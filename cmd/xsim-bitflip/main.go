@@ -1,0 +1,48 @@
+// Command xsim-bitflip regenerates the paper's Table I: a fault (bit
+// flip) injection campaign against victim application instances, reporting
+// the injections-to-failure statistics (min/max/mean/median/mode/stddev).
+//
+//	xsim-bitflip
+//	xsim-bitflip -victims 1000 -max 100 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"xsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		victims = flag.Int("victims", 100, "victim application instances (Table I: 100)")
+		max     = flag.Int("max", 100, "injection cap per victim (Table I: 100)")
+		seed    = flag.Int64("seed", 2013, "random seed")
+	)
+	flag.Parse()
+
+	res, err := xsim.RunTableI(xsim.TableIConfig{
+		Victims:       *victims,
+		MaxInjections: *max,
+		Seed:          *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table I: fault (bit flip) injection results")
+	fmt.Println()
+	fmt.Print(res.Table())
+	if res.Survived > 0 {
+		fmt.Printf("\n%d victims survived the %d-injection cap\n", res.Survived, *max)
+	}
+	fmt.Println("\nfatal flips by image region:")
+	for _, region := range []string{"registers", "stack", "code", "data", "heap"} {
+		fmt.Printf("  %-10s %d\n", region, res.KillsByRegion[region])
+	}
+	fmt.Println("\ninjections-to-failure distribution:")
+	fmt.Print(res.Histogram(10, 40))
+	fmt.Printf("\np50 = %.0f, p90 = %.0f, p99 = %.0f injections\n",
+		res.Percentile(50), res.Percentile(90), res.Percentile(99))
+}

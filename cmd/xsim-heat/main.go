@@ -1,0 +1,149 @@
+// Command xsim-heat runs the heat-equation application (the paper's
+// targeted application) inside the simulator and regenerates the paper's
+// evaluation:
+//
+//	xsim-heat -table2                 # Table II (scaled to -ranks)
+//	xsim-heat -table2 -ranks 32768    # Table II at the paper's full scale
+//	xsim-heat -phases                 # §V-D failure-mode classification
+//	xsim-heat -mttf 3000 -interval 125
+//	xsim-heat -failures "12@350,99@1200"
+//
+// The failure schedule can also come from the XSIM_FAILURES environment
+// variable, mirroring xSim's command-line/environment injection interface.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"xsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		ranks      = flag.Int("ranks", 512, "simulated MPI ranks (32768 = the paper's scale)")
+		workers    = flag.Int("workers", 1, "engine partitions executing in parallel")
+		iterations = flag.Int("iterations", 1000, "total iteration count")
+		interval   = flag.Int("interval", 0, "checkpoint/halo-exchange interval (default: iterations)")
+		mttfSecs   = flag.Float64("mttf", 0, "system MTTF in seconds for random failure injection (0 = none)")
+		seed       = flag.Int64("seed", 133, "random seed for failure injection")
+		failures   = flag.String("failures", os.Getenv("XSIM_FAILURES"), "failure schedule as rank@seconds,... (also via $XSIM_FAILURES)")
+		table2     = flag.Bool("table2", false, "regenerate Table II (checkpoint interval × system MTTF sweep)")
+		sweep      = flag.Bool("sweep", false, "sweep the checkpoint interval against Daly's analytic optimum")
+		phases     = flag.Bool("phases", false, "run the §V-D failure-mode classification")
+		trials     = flag.Int("trials", 10, "trials for -phases")
+		withIO     = flag.Bool("io", false, "enable the file-system cost model (checkpoint-I/O ablation)")
+		verbose    = flag.Bool("v", false, "print simulator informational messages")
+	)
+	flag.Parse()
+
+	var logf func(string, ...any)
+	if *verbose {
+		logf = log.Printf
+	}
+
+	switch {
+	case *table2:
+		cfg := xsim.TableIIConfig{
+			Ranks:      *ranks,
+			Workers:    *workers,
+			Iterations: *iterations,
+			Seed:       *seed,
+			Logf:       logf,
+		}
+		if *withIO {
+			cfg.FSModel = xsim.PaperPFS()
+		}
+		fmt.Printf("Table II: varying the checkpoint interval and system MTTF\n")
+		fmt.Printf("(%d simulated MPI ranks, %d iterations, seed %d)\n\n", *ranks, *iterations, *seed)
+		tab, err := xsim.RunTableII(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(tab.Render())
+	case *sweep:
+		cfg := xsim.IntervalSweepConfig{
+			Ranks:      *ranks,
+			Workers:    *workers,
+			Iterations: *iterations,
+			MTTF:       xsim.Seconds(*mttfSecs),
+			Logf:       logf,
+		}
+		s, err := xsim.RunIntervalSweep(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(s.Render())
+	case *phases:
+		fi, err := xsim.RunFirstImpressions(xsim.FirstImpressionsConfig{
+			Ranks:      *ranks,
+			Workers:    *workers,
+			Iterations: *iterations,
+			Interval:   *interval,
+			Trials:     *trials,
+			Seed:       *seed,
+			Logf:       logf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(fi.Render())
+	default:
+		runSingle(*ranks, *workers, *iterations, *interval, *mttfSecs, *seed, *failures, *withIO, logf)
+	}
+}
+
+// runSingle runs one heat campaign (with restarts if failures strike) and
+// reports the paper's per-row metrics.
+func runSingle(ranks, workers, iterations, interval int, mttfSecs float64, seed int64, failures string, withIO bool, logf func(string, ...any)) {
+	if interval == 0 {
+		interval = iterations
+	}
+	hc, err := xsim.HeatWorkloadFor(ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hc.Iterations = iterations
+	hc.ExchangeInterval = interval
+	hc.CheckpointInterval = interval
+
+	sched, err := xsim.ParseSchedule(failures)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := xsim.Config{
+		Ranks:        ranks,
+		Workers:      workers,
+		Failures:     sched,
+		CallOverhead: xsim.PaperCallOverhead,
+		Logf:         logf,
+	}
+	if withIO {
+		base.FSModel = xsim.PaperPFS()
+	}
+	camp := xsim.Campaign{
+		Base:             base,
+		MTTF:             xsim.Seconds(mttfSecs),
+		Seed:             seed,
+		CheckpointPrefix: "heat",
+		AppFor:           func(int) xsim.App { return xsim.RunHeat(hc) },
+	}
+	res, err := camp.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("heat: %d ranks, %d iterations, checkpoint interval %d\n", ranks, iterations, interval)
+	for _, run := range res.Runs {
+		inj := "none"
+		if run.Injected != nil {
+			inj = run.Injected.String()
+		}
+		fmt.Printf("  run %d: start %v end %v (injected: %s; %d completed, %d failed, %d aborted)\n",
+			run.Run, run.Start, run.End, inj, run.Completed, run.Failed, run.Aborted)
+	}
+	fmt.Printf("E2 = %.0f s over %d runs, F = %d, MTTF_a = %.0f s\n",
+		res.E2.Seconds(), len(res.Runs), res.Failures, res.MTTFa().Seconds())
+}

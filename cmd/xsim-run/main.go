@@ -1,0 +1,158 @@
+// Command xsim-run executes one of the built-in demo applications inside
+// the simulator with optional failure injection — the quickest way to poke
+// at the simulator from the command line:
+//
+//	xsim-run -app ring -ranks 64
+//	xsim-run -app allreduce -ranks 1024 -failures "7@0.001"
+//	xsim-run -app ulfm -ranks 16 -failures "3@0.5"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"xsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		app      = flag.String("app", "ring", "application: ring, allreduce, ulfm")
+		ranks    = flag.Int("ranks", 64, "simulated MPI ranks")
+		workers  = flag.Int("workers", 1, "engine partitions executing in parallel")
+		rounds   = flag.Int("rounds", 3, "communication rounds")
+		failures = flag.String("failures", os.Getenv("XSIM_FAILURES"), "failure schedule as rank@seconds,...")
+		traceOut = flag.String("trace", "", "write a per-operation event trace to this CSV file")
+		verbose  = flag.Bool("v", false, "print simulator informational messages")
+	)
+	flag.Parse()
+
+	sched, err := xsim.ParseSchedule(*failures)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := xsim.Config{Ranks: *ranks, Workers: *workers, Failures: sched}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	var tr *xsim.TraceBuffer
+	if *traceOut != "" {
+		tr = xsim.NewTrace(1 << 20)
+		cfg.Trace = tr
+	}
+	sim, err := xsim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var body xsim.App
+	switch *app {
+	case "ring":
+		body = ringApp(*rounds)
+	case "allreduce":
+		body = allreduceApp(*rounds)
+	case "ulfm":
+		body = ulfmApp(*rounds)
+	default:
+		log.Fatalf("unknown app %q (ring, allreduce, ulfm)", *app)
+	}
+
+	res, err := sim.Run(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %d ranks: simulated time %v (min %v avg %v), wall %v\n",
+		*app, *ranks, res.SimTime, res.MinTime, res.AvgTime, res.WallTime)
+	fmt.Printf("%d completed, %d failed, %d aborted\n", res.Completed, res.Failed, res.Aborted)
+	rep := res.Energy(xsim.PaperPower())
+	fmt.Printf("energy: %s\n", rep)
+
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := tr.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d events written to %s (%d dropped)\n", tr.Len(), *traceOut, tr.Dropped())
+	}
+}
+
+// ringApp circulates a token around the rank ring, computing between hops.
+func ringApp(rounds int) xsim.App {
+	return func(e *xsim.Env) {
+		defer e.Finalize()
+		c := e.World()
+		n := e.Size()
+		next := (e.Rank() + 1) % n
+		prev := (e.Rank() - 1 + n) % n
+		for round := 0; round < rounds; round++ {
+			e.Compute(1e7)
+			if e.Rank() == 0 {
+				if err := c.Send(next, round, []byte{byte(round)}); err != nil {
+					return
+				}
+				if _, err := c.Recv(prev, round); err != nil {
+					return
+				}
+			} else {
+				msg, err := c.Recv(prev, round)
+				if err != nil {
+					return
+				}
+				if err := c.Send(next, round, msg.Data); err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+// allreduceApp repeatedly sums a vector across all ranks.
+func allreduceApp(rounds int) xsim.App {
+	return func(e *xsim.Env) {
+		defer e.Finalize()
+		c := e.World()
+		for round := 0; round < rounds; round++ {
+			e.Compute(1e7)
+			sum, err := c.Allreduce([]float64{float64(e.Rank())}, xsim.OpSum)
+			if err != nil {
+				return
+			}
+			n := float64(e.Size())
+			if want := n * (n - 1) / 2; sum[0] != want && e.Rank() == 0 {
+				e.Logf("allreduce mismatch: %v != %v", sum[0], want)
+			}
+		}
+	}
+}
+
+// ulfmApp runs allreduce rounds under ULFM recovery: when a rank fails,
+// the survivors revoke, shrink, and continue on the smaller communicator.
+func ulfmApp(rounds int) xsim.App {
+	return func(e *xsim.Env) {
+		defer e.Finalize()
+		c := e.World()
+		c.SetErrorHandler(xsim.ErrorsReturn)
+		final, err := xsim.RunWithRecovery(c, 4, func(c *xsim.Comm, attempt int) error {
+			for round := 0; round < rounds; round++ {
+				e.Compute(1e7)
+				if _, err := c.Allreduce([]float64{1}, xsim.OpSum); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			e.Logf("recovery failed: %v", err)
+			return
+		}
+		if final.Rank() == 0 && final.Size() != e.Size() {
+			e.Logf("completed on a shrunk communicator of %d ranks (was %d)", final.Size(), e.Size())
+		}
+	}
+}

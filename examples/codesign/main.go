@@ -1,0 +1,136 @@
+// Codesign: compare two resilience strategies fairly — the toolkit's whole
+// reason to exist. The paper's motivation: "there are currently no tools,
+// methods, and metrics to compare them fairly, especially at extreme
+// scale, and to identify the cost/benefit trade-off."
+//
+//	go run ./examples/codesign
+//
+// The same iterative workload faces the same process failure under two
+// strategies:
+//
+//   - checkpoint/restart (the paper's Table II mechanism): the application
+//     aborts on the failure, restarts from the last checkpoint with
+//     continuous virtual time, and re-runs the lost iterations;
+//
+//   - ULFM run-through recovery (the paper's future work): the survivors
+//     revoke, shrink, and finish the remaining work on fewer ranks without
+//     restarting.
+//
+// Both report completion time and energy to solution from the same
+// simulator, models, and failure — a co-design data point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xsim"
+)
+
+const (
+	ranks      = 64
+	iterations = 200
+	interval   = 25     // checkpoint interval (iterations)
+	failSecs   = 320.0  // the failure both strategies face
+	iterOps    = 8.92e6 // ≈5.25 simulated seconds per iteration
+	failedRank = 13     // who dies
+)
+
+func main() {
+	fmt.Printf("workload: %d ranks × %d iterations; rank %d fails at %v s\n\n",
+		ranks, iterations, failedRank, failSecs)
+
+	crTime, crEnergy := checkpointRestart()
+	ulfmTime, ulfmEnergy := ulfmRunThrough()
+
+	fmt.Println()
+	fmt.Printf("%-22s %14s %16s\n", "strategy", "completion", "energy")
+	fmt.Printf("%-22s %12.0f s %13.1f MJ\n", "checkpoint/restart", crTime, crEnergy/1e6)
+	fmt.Printf("%-22s %12.0f s %13.1f MJ\n", "ULFM shrink-recovery", ulfmTime, ulfmEnergy/1e6)
+	fmt.Println()
+	switch {
+	case ulfmTime < crTime:
+		fmt.Printf("run-through recovery wins by %.0f s here: no lost iterations, but the\n", crTime-ulfmTime)
+		fmt.Println("survivors carry the dead rank's share for the rest of the run —")
+		fmt.Println("vary the failure time and checkpoint interval to find the crossover.")
+	default:
+		fmt.Printf("checkpoint/restart wins by %.0f s here: the failure struck close enough\n", ulfmTime-crTime)
+		fmt.Println("to a checkpoint that little work was lost.")
+	}
+}
+
+// checkpointRestart runs the heat workload through the restart campaign.
+func checkpointRestart() (secs, joules float64) {
+	hc, err := xsim.HeatWorkloadFor(ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hc.Iterations = iterations
+	hc.ExchangeInterval = interval
+	hc.CheckpointInterval = interval
+
+	sched, err := xsim.ParseSchedule(fmt.Sprintf("%d@%g", failedRank, failSecs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	camp := xsim.Campaign{
+		Base:             xsim.Config{Ranks: ranks, Failures: sched, CallOverhead: xsim.PaperCallOverhead},
+		CheckpointPrefix: "heat",
+		AppFor:           func(int) xsim.App { return xsim.RunHeat(hc) },
+	}
+	res, err := camp.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint/restart:   %d run(s), F=%d, E2=%.0f s\n",
+		len(res.Runs), res.Failures, res.E2.Seconds())
+	return res.E2.Seconds(), res.Energy(xsim.PaperPower()).TotalJoules
+}
+
+// ulfmRunThrough runs an equivalent iteration loop under shrink recovery:
+// survivors redistribute the remaining iterations after the failure.
+func ulfmRunThrough() (secs, joules float64) {
+	sched, err := xsim.ParseSchedule(fmt.Sprintf("%d@%g", failedRank, failSecs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := xsim.New(xsim.Config{Ranks: ranks, Failures: sched, CallOverhead: xsim.PaperCallOverhead})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(func(env *xsim.Env) {
+		defer env.Finalize()
+		world := env.World()
+		world.SetErrorHandler(xsim.ErrorsReturn)
+		if env.Rank() == failedRank {
+			// The failed rank computes until its scheduled failure.
+			for i := 0; i < iterations; i++ {
+				env.Compute(iterOps)
+				if _, err := world.Allreduce([]float64{1}, xsim.OpSum); err != nil {
+					return
+				}
+			}
+			return
+		}
+		done := 0
+		_, err := xsim.RunWithRecovery(world, 3, func(c *xsim.Comm, attempt int) error {
+			for done < iterations {
+				env.Compute(iterOps * float64(ranks) / float64(c.Size()))
+				if _, err := c.Allreduce([]float64{1}, xsim.OpSum); err != nil {
+					return err
+				}
+				done++
+			}
+			return nil
+		})
+		if err != nil {
+			env.Logf("recovery failed: %v", err)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ULFM shrink-recovery: %d survivors finished, completion %.0f s\n",
+		res.Completed, res.SimTime.Seconds())
+	return res.SimTime.Seconds(), res.Energy(xsim.PaperPower()).TotalJoules
+}

@@ -1,0 +1,441 @@
+package xsim
+
+import (
+	"fmt"
+	"strings"
+
+	"xsim/internal/checkpoint"
+	"xsim/internal/fsmodel"
+	"xsim/internal/softerror"
+	"xsim/internal/stats"
+	"xsim/internal/vclock"
+)
+
+// PaperCallOverhead is the calibrated per-MPI-call CPU cost used by the
+// paper-shaped experiments: about 2.9 µs of native MPI software overhead
+// per call, scaled by the paper's 1000× node slowdown. It makes the
+// 32,768-rank linear collectives dominate the per-checkpoint-cycle cost,
+// which is what spreads the paper's E1 column as the checkpoint interval
+// shrinks.
+const PaperCallOverhead = Duration(2900 * Microsecond)
+
+// --- Table I: fault (bit flip) injection ---------------------------------
+
+// TableIConfig parameterises the Table I reproduction (the Finject bit
+// flip campaign the paper reports).
+type TableIConfig struct {
+	// Victims is the number of victim application instances (paper: 100).
+	Victims int
+	// MaxInjections is the per-victim cap (paper: an arbitrary 100).
+	MaxInjections int
+	// Seed makes the campaign repeatable.
+	Seed int64
+}
+
+// TableIResult is the campaign result, re-exported.
+type TableIResult = softerror.CampaignResult
+
+// RunTableI reproduces Table I: bit flips are injected into victim
+// process images until the victims fail, and the injections-to-failure
+// distribution is summarised.
+func RunTableI(cfg TableIConfig) (*TableIResult, error) {
+	if cfg.Victims == 0 {
+		cfg.Victims = 100
+	}
+	if cfg.MaxInjections == 0 {
+		cfg.MaxInjections = 100
+	}
+	return softerror.RunCampaign(softerror.CampaignConfig{
+		Victims:       cfg.Victims,
+		MaxInjections: cfg.MaxInjections,
+		Seed:          cfg.Seed,
+	})
+}
+
+// --- Table II: varying the checkpoint interval and system MTTF -----------
+
+// TableIIConfig parameterises the Table II reproduction.
+type TableIIConfig struct {
+	// Ranks is the number of simulated MPI processes (paper: 32,768).
+	Ranks int
+	// Workers is the engine parallelism (0/1 = sequential).
+	Workers int
+	// Iterations is the total iteration count (paper: 1,000; always
+	// fixed per the paper).
+	Iterations int
+	// Intervals are the checkpoint (and halo-exchange) intervals to
+	// sweep (paper: 500, 250, 125 — 50 %, 25 %, 12.5 % of the total
+	// iteration count). The no-failure baseline with a single final
+	// checkpoint is always included.
+	Intervals []int
+	// MTTFs are the system mean-time-to-failure values to sweep
+	// (paper: 6,000 s and 3,000 s).
+	MTTFs []Duration
+	// Seed drives the random failure injection.
+	Seed int64
+	// CallOverhead defaults to PaperCallOverhead.
+	CallOverhead Duration
+	// FSModel is the file-system cost model. The paper's Table II
+	// excludes checkpoint I/O overhead (its file system model was a work
+	// in progress), so the zero value charges nothing; the checkpoint-I/O
+	// ablation sets PaperPFS().
+	FSModel fsmodel.Model
+	// MaxRuns caps failure/restart cycles per cell.
+	MaxRuns int
+	// Logf receives simulator progress messages.
+	Logf func(format string, args ...any)
+}
+
+// TableIIRow is one row of Table II.
+type TableIIRow struct {
+	// MTTFs is the system MTTF (0 for the no-failure baseline rows).
+	MTTFs Duration
+	// C is the checkpoint interval in iterations.
+	C int
+	// E1 is the simulated execution time without failures.
+	E1 Time
+	// E2 is the simulated execution time with failures and restarts
+	// (0 for baseline rows).
+	E2 Time
+	// F is the number of injected failures experienced.
+	F int
+	// MTTFa is the experienced application mean-time-to-failure,
+	// E2/(F+1).
+	MTTFa Duration
+	// Runs is the number of application runs (1 + restarts).
+	Runs int
+}
+
+// TableII is the Table II reproduction.
+type TableII struct {
+	Config TableIIConfig
+	Rows   []TableIIRow
+}
+
+// paperTableIIDefaults fills the paper's parameters.
+func (cfg *TableIIConfig) defaults() {
+	if cfg.Ranks == 0 {
+		cfg.Ranks = 32768
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 1000
+	}
+	if len(cfg.Intervals) == 0 {
+		cfg.Intervals = []int{cfg.Iterations / 2, cfg.Iterations / 4, cfg.Iterations / 8}
+	}
+	if len(cfg.MTTFs) == 0 {
+		cfg.MTTFs = []Duration{6000 * Second, 3000 * Second}
+	}
+	if cfg.CallOverhead == 0 {
+		cfg.CallOverhead = PaperCallOverhead
+	}
+}
+
+// RunTableII reproduces Table II: the heat application runs at Ranks
+// simulated MPI processes with the checkpoint interval and the system MTTF
+// varied; each cell reports E1 (no failures), E2 (with failures and
+// restarts), F, and MTTFa.
+func RunTableII(cfg TableIIConfig) (*TableII, error) {
+	cfg.defaults()
+	base, err := HeatWorkloadFor(cfg.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	base.Iterations = cfg.Iterations
+
+	runE1 := func(interval int) (Time, error) {
+		hc := base
+		hc.ExchangeInterval = interval
+		hc.CheckpointInterval = interval
+		sim, err := New(Config{
+			Ranks:        cfg.Ranks,
+			Workers:      cfg.Workers,
+			CallOverhead: cfg.CallOverhead,
+			FSModel:      cfg.FSModel,
+			Logf:         cfg.Logf,
+		})
+		if err != nil {
+			return 0, err
+		}
+		res, err := sim.Run(RunHeat(hc))
+		if err != nil {
+			return 0, err
+		}
+		if !res.Success() {
+			return 0, fmt.Errorf("xsim: E1 run with interval %d did not complete: %d failed, %d aborted",
+				interval, res.Failed, res.Aborted)
+		}
+		return res.SimTime, nil
+	}
+
+	table := &TableII{Config: cfg}
+
+	// Baseline: no failures, a single checkpoint after the last
+	// iteration.
+	e1, err := runE1(cfg.Iterations)
+	if err != nil {
+		return nil, err
+	}
+	table.Rows = append(table.Rows, TableIIRow{C: cfg.Iterations, E1: e1, Runs: 1})
+
+	e1ByC := make(map[int]Time)
+	for _, c := range cfg.Intervals {
+		if e1, err = runE1(c); err != nil {
+			return nil, err
+		}
+		e1ByC[c] = e1
+	}
+
+	for _, mttf := range cfg.MTTFs {
+		for _, c := range cfg.Intervals {
+			hc := base
+			hc.ExchangeInterval = c
+			hc.CheckpointInterval = c
+			camp := Campaign{
+				Base: Config{
+					Ranks:        cfg.Ranks,
+					Workers:      cfg.Workers,
+					CallOverhead: cfg.CallOverhead,
+					FSModel:      cfg.FSModel,
+					Logf:         cfg.Logf,
+				},
+				MTTF: mttf,
+				// Mix the MTTF into the seed so different MTTF sweeps
+				// draw independent failure sequences.
+				Seed:             cfg.Seed + int64(mttf),
+				MaxRuns:          cfg.MaxRuns,
+				CheckpointPrefix: "heat",
+				AppFor:           func(int) App { return RunHeat(hc) },
+			}
+			res, err := camp.Run()
+			if err != nil {
+				return nil, err
+			}
+			table.Rows = append(table.Rows, TableIIRow{
+				MTTFs: mttf,
+				C:     c,
+				E1:    e1ByC[c],
+				E2:    res.E2,
+				F:     res.Failures,
+				MTTFa: res.MTTFa(),
+				Runs:  len(res.Runs),
+			})
+		}
+	}
+	return table, nil
+}
+
+// Render prints the table in the paper's layout.
+func (t *TableII) Render() string {
+	header := []string{"MTTF_s", "C", "E1", "E2", "F", "MTTF_a"}
+	var rows [][]string
+	secs := func(v vclock.Time) string {
+		if v == 0 {
+			return "—"
+		}
+		return fmt.Sprintf("%.0f s", v.Seconds())
+	}
+	for _, r := range t.Rows {
+		mttf := "—"
+		e2 := "—"
+		f := "0"
+		mttfa := "—"
+		if r.MTTFs > 0 {
+			mttf = fmt.Sprintf("%.0f s", r.MTTFs.Seconds())
+			e2 = secs(r.E2)
+			f = fmt.Sprintf("%d", r.F)
+			mttfa = fmt.Sprintf("%.0f s", r.MTTFa.Seconds())
+		}
+		rows = append(rows, []string{mttf, fmt.Sprintf("%d", r.C), secs(r.E1), e2, f, mttfa})
+	}
+	return stats.Table(header, rows)
+}
+
+// --- §V-D First impressions: failure-mode classification -----------------
+
+// FirstImpressionsConfig parameterises the failure-mode study: repeated
+// single-failure runs of the heat application, classifying in which phase
+// the failure struck, in which phase the survivors detected it (and
+// aborted), and the state the checkpoint files were left in.
+type FirstImpressionsConfig struct {
+	// Ranks, Workers, Iterations, Interval describe the workload.
+	Ranks      int
+	Workers    int
+	Iterations int
+	Interval   int
+	// Trials is the number of independent single-failure runs.
+	Trials int
+	// MTTF spreads the random failure times (default 6,000 s).
+	MTTF Duration
+	// Seed makes the study repeatable.
+	Seed int64
+	// CallOverhead defaults to PaperCallOverhead.
+	CallOverhead Duration
+	// Logf receives simulator progress messages.
+	Logf func(format string, args ...any)
+}
+
+// FirstImpressions aggregates the failure-mode study.
+type FirstImpressions struct {
+	Config FirstImpressionsConfig
+	// Trials is the number of runs in which the failure activated.
+	Trials int
+	// FailedIn histograms the phase the failed rank was in.
+	FailedIn map[string]int
+	// DetectedIn histograms the phases the surviving ranks aborted in.
+	DetectedIn map[string]int
+	// CheckpointOutcomes histograms the post-abort checkpoint state:
+	// "corrupted-file" (present but incomplete), "incomplete-set"
+	// (files missing), "partially-deleted-old-set", "clean".
+	CheckpointOutcomes map[string]int
+}
+
+// RunFirstImpressions reproduces the paper's §V-D observations: because
+// the computation phase dominates, failures usually strike during
+// computation and are detected in the halo exchange; failures during the
+// checkpoint phase are detected in the following barrier; aborts leave
+// incomplete or corrupted checkpoints, or partially deleted old sets.
+func RunFirstImpressions(cfg FirstImpressionsConfig) (*FirstImpressions, error) {
+	if cfg.Ranks == 0 {
+		cfg.Ranks = 512
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 1000
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = cfg.Iterations / 8
+	}
+	if cfg.Trials == 0 {
+		cfg.Trials = 10
+	}
+	if cfg.MTTF == 0 {
+		// Scale the MTTF to the run: one iteration is ≈5.25 simulated
+		// seconds, and failures draw uniform within [0, 2×MTTF), so a
+		// quarter of the expected execution time guarantees the failure
+		// activates within the run.
+		cfg.MTTF = Duration(cfg.Iterations) * Seconds(5.25) / 4
+	}
+	if cfg.CallOverhead == 0 {
+		cfg.CallOverhead = PaperCallOverhead
+	}
+	base, err := HeatWorkloadFor(cfg.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	base.Iterations = cfg.Iterations
+	base.ExchangeInterval = cfg.Interval
+	base.CheckpointInterval = cfg.Interval
+
+	out := &FirstImpressions{
+		Config:             cfg,
+		FailedIn:           make(map[string]int),
+		DetectedIn:         make(map[string]int),
+		CheckpointOutcomes: make(map[string]int),
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		store := NewStore()
+		tracker := NewHeatTracker(cfg.Ranks)
+		hc := base
+		hc.Tracker = tracker
+		camp := Campaign{
+			Base: Config{
+				Ranks:        cfg.Ranks,
+				Workers:      cfg.Workers,
+				Store:        store,
+				CallOverhead: cfg.CallOverhead,
+				Logf:         cfg.Logf,
+			},
+			MTTF:    cfg.MTTF,
+			Seed:    cfg.Seed + int64(trial)*1000,
+			MaxRuns: 1, // observe the first failure only
+			AppFor:  func(int) App { return RunHeat(hc) },
+		}
+		res, _ := camp.Run() // the single run usually aborts; that is the point
+		if res == nil || len(res.Runs) == 0 {
+			continue
+		}
+		run := res.Runs[0]
+		if run.Failed == 0 {
+			// The drawn failure time was beyond the application's end.
+			continue
+		}
+		out.Trials++
+		failedRank := run.Injected.Rank
+		out.FailedIn[tracker.PhaseOf(failedRank).String()]++
+		for r := 0; r < cfg.Ranks; r++ {
+			if r == failedRank {
+				continue
+			}
+			out.DetectedIn[tracker.PhaseOf(r).String()]++
+		}
+		out.CheckpointOutcomes[classifyCheckpoints(store, "heat", cfg.Ranks)]++
+	}
+	return out, nil
+}
+
+// classifyCheckpoints inspects the post-abort checkpoint state.
+func classifyCheckpoints(store *Store, prefix string, n int) string {
+	iters := checkpoint.Iterations(store, prefix)
+	if len(iters) == 0 {
+		return "no-checkpoint"
+	}
+	corrupted := false
+	incomplete := false
+	for _, it := range iters {
+		present := 0
+		for r := 0; r < n; r++ {
+			name := checkpoint.FileName(prefix, it, r)
+			if !store.Exists(name) {
+				continue
+			}
+			present++
+			if !store.Complete(name) {
+				corrupted = true
+			}
+		}
+		if present < n {
+			incomplete = true
+		}
+	}
+	switch {
+	case corrupted:
+		return "corrupted-file"
+	case incomplete && len(iters) > 1:
+		return "partially-deleted-old-set"
+	case incomplete:
+		return "incomplete-set"
+	default:
+		return "clean"
+	}
+}
+
+// Render prints the failure-mode study.
+func (f *FirstImpressions) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "first impressions: %d trials with an activated failure\n\n", f.Trials)
+	section := func(title string, m map[string]int) {
+		fmt.Fprintf(&b, "%s:\n", title)
+		for _, k := range sortedKeys(m) {
+			fmt.Fprintf(&b, "  %-28s %d\n", k, m[k])
+		}
+		b.WriteByte('\n')
+	}
+	section("failed rank was in phase", f.FailedIn)
+	section("survivors aborted in phase (rank counts)", f.DetectedIn)
+	section("checkpoint state after abort", f.CheckpointOutcomes)
+	return b.String()
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

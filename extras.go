@@ -1,0 +1,122 @@
+package xsim
+
+import (
+	"xsim/internal/checkpoint"
+	"xsim/internal/fsmodel"
+	"xsim/internal/powermodel"
+	"xsim/internal/redundancy"
+	"xsim/internal/reliability"
+	"xsim/internal/softerror"
+	"xsim/internal/trace"
+	"xsim/internal/ulfm"
+)
+
+// TraceBuffer records simulator events for timeline analysis; attach one
+// via Config.Trace and read it after the run (Events, OfRank, Counts,
+// WriteCSV).
+type TraceBuffer = trace.Buffer
+
+// TraceEvent is one recorded trace event.
+type TraceEvent = trace.Event
+
+// NewTrace returns a trace buffer retaining at most max events (<= 0 for
+// unbounded).
+func NewTrace(max int) *TraceBuffer { return trace.New(max) }
+
+// ReliabilitySystem is a component-based system reliability model: nodes
+// composed of components with exponential/Weibull/lognormal time-to-
+// failure distributions. Its CampaignSource method plugs into
+// Campaign.DrawFailures, replacing the paper's worst-case uniform draw
+// with model-driven failures.
+type ReliabilitySystem = reliability.System
+
+// ReliabilityNode is one node's component composition.
+type ReliabilityNode = reliability.Node
+
+// ReliabilityComponent is one component and its failure distribution.
+type ReliabilityComponent = reliability.Component
+
+// Failure distributions for reliability components.
+type (
+	// Exponential is the constant-hazard distribution.
+	Exponential = reliability.Exponential
+	// Weibull covers infant mortality (shape < 1) and wear-out
+	// (shape > 1).
+	Weibull = reliability.Weibull
+	// LogNormal is the lognormal time-to-failure distribution.
+	LogNormal = reliability.LogNormal
+)
+
+// PaperReliabilityNode returns a plausible compute-node reliability model
+// whose 32,768-node system MTTF lands in the paper's 3,000–6,000 s regime.
+func PaperReliabilityNode() ReliabilityNode { return reliability.PaperNode() }
+
+// RedundantComm is a redMPI-style dual-redundant communicator: every
+// logical rank is two replicas, and receivers digest-compare messages with
+// their partner replica to detect silent data corruption online.
+type RedundantComm = redundancy.Comm
+
+// SDCError reports a detected silent data corruption in a redundant
+// communicator.
+type SDCError = redundancy.SDCError
+
+// WrapRedundant builds the dual-redundant communicator for this process;
+// the world size must be even (the upper half mirrors the lower half).
+func WrapRedundant(env *Env) (*RedundantComm, error) { return redundancy.Wrap(env) }
+
+// PowerModel is the per-node power model (compute/idle/overhead watts).
+type PowerModel = powermodel.Model
+
+// PowerReport aggregates a run's energy.
+type PowerReport = powermodel.Report
+
+// PaperPower returns a plausible power model for the paper's simulated
+// node (100 W compute, 40 W idle, 20 W overhead).
+func PaperPower() PowerModel { return powermodel.Paper() }
+
+// This file re-exports the extension surfaces (ULFM recovery and
+// soft-error injection) so applications only import the xsim package.
+
+// RecoveryWork is one attempt of an application phase in a ULFM recovery
+// loop; see RunWithRecovery.
+type RecoveryWork = ulfm.Work
+
+// RunWithRecovery runs work on c, recovering from process failures by
+// revoking the communicator, shrinking it to the survivors, and retrying —
+// the user-level failure mitigation alternative to checkpoint/restart (the
+// paper's ULFM future work). See internal/ulfm for details.
+func RunWithRecovery(c *Comm, maxAttempts int, work RecoveryWork) (*Comm, error) {
+	return ulfm.RunWithRecovery(c, maxAttempts, work)
+}
+
+// IsProcFailed reports whether err is (or wraps) a detected process
+// failure.
+func IsProcFailed(err error) (*ProcFailedError, bool) { return ulfm.IsProcFailed(err) }
+
+// IsRevoked reports whether err is (or wraps) a communicator revocation.
+func IsRevoked(err error) bool { return ulfm.IsRevoked(err) }
+
+// FlipFloat64 flips one bit of a float64 in place — the soft-error
+// injection building block for studying silent data corruption in
+// application state. bit must be in [0, 64).
+func FlipFloat64(vals []float64, idx, bit int) (old, flipped float64) {
+	return softerror.FlipFloat64(vals, idx, bit)
+}
+
+// PaperPFS returns the parallel-file-system cost model used by the
+// checkpoint-I/O ablation (1 ms metadata operations, 1 GB/s writes,
+// 2 GB/s reads per client).
+func PaperPFS() fsmodel.Model { return fsmodel.PaperPFS() }
+
+// CheckpointFS gives a simulated process timed access to the simulated
+// parallel file system for application-level checkpointing (full,
+// synthetic, and incremental writes; validated reads; restart helpers).
+type CheckpointFS = checkpoint.FS
+
+// CheckpointMeta describes a checkpoint file.
+type CheckpointMeta = checkpoint.Meta
+
+// NewCheckpointFS returns the process's checkpoint file-system handle; the
+// simulation must have a file-system store (Config.Store is created by
+// default).
+func NewCheckpointFS(env *Env) (*CheckpointFS, error) { return checkpoint.NewFS(env) }

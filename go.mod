@@ -1,0 +1,3 @@
+module xsim
+
+go 1.22

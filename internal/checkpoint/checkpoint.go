@@ -1,0 +1,412 @@
+// Package checkpoint implements application-level checkpoint/restart on
+// top of the simulated parallel file system, following the structure of
+// the paper's heat application: each rank periodically writes a checkpoint
+// file containing the application's configuration and current data, a
+// global barrier follows so the previous checkpoint set can be deleted
+// safely, and on restart the application loads the last valid checkpoint —
+// deleting corrupted files (present but missing information) while a
+// cleanup pass outside the application (the paper's shell script) removes
+// incomplete sets (files missing entirely due to a failure during
+// checkpointing).
+//
+// The package also persists the simulated application exit time across
+// runs (the paper's xSim extension for continuous virtual timing after an
+// abort and restart).
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xsim/internal/fsmodel"
+	"xsim/internal/mpi"
+	"xsim/internal/vclock"
+)
+
+// magic identifies checkpoint files.
+var magic = [4]byte{'X', 'C', 'K', 'P'}
+
+const headerLen = 4 + 4 + 4 + 8 + 8 + 8 + 8 // magic, version, flags, iteration, rank, payload length, base iteration
+
+// version is the checkpoint format version.
+const version = 1
+
+// flagSynthetic marks a checkpoint whose payload bytes were not stored:
+// large-scale modelled experiments charge the write cost of the full
+// payload without materialising it (like the payload-free messages of the
+// MPI layer).
+const flagSynthetic = 1 << 0
+
+// flagIncremental marks a delta checkpoint: it holds only the data changed
+// since its base iteration, so restoring it requires the base checkpoint
+// (and any intermediate deltas) as well — the incremental/differential
+// checkpointing technique of the paper's related work.
+const flagIncremental = 1 << 1
+
+// ErrCorrupted reports a checkpoint file that exists but misses
+// information (the paper's "corrupted checkpoint").
+var ErrCorrupted = errors.New("checkpoint: corrupted checkpoint file")
+
+// Meta describes a checkpoint file.
+type Meta struct {
+	// Iteration is the application iteration the checkpoint captures.
+	Iteration int
+	// Rank is the writing process's rank.
+	Rank int
+	// PayloadSize is the checkpoint payload size in bytes. For synthetic
+	// checkpoints (WriteSized) the size is recorded but the bytes are
+	// not stored.
+	PayloadSize int
+	// Synthetic reports whether the payload bytes were omitted.
+	Synthetic bool
+	// Incremental reports whether this is a delta checkpoint, and
+	// BaseIteration names the checkpoint it builds on (the previous full
+	// checkpoint or delta).
+	Incremental   bool
+	BaseIteration int
+}
+
+// FileName returns the checkpoint file name of one rank at one iteration.
+func FileName(prefix string, iteration, rank int) string {
+	return fmt.Sprintf("%s.ckpt.%d.r%d", prefix, iteration, rank)
+}
+
+// setPrefix returns the common prefix of one iteration's checkpoint set.
+func setPrefix(prefix string, iteration int) string {
+	return fmt.Sprintf("%s.ckpt.%d.", prefix, iteration)
+}
+
+// FS gives one simulated process timed access to the simulated parallel
+// file system: operations advance the process's virtual clock according to
+// the file-system cost model, and a process failure mid-write leaves a
+// corrupted (incomplete) file behind.
+type FS struct {
+	env   *mpi.Env
+	store *fsmodel.Store
+	model fsmodel.Model
+}
+
+// NewFS returns the process's file-system handle; the world must have been
+// configured with a file-system store.
+func NewFS(env *mpi.Env) (*FS, error) {
+	store := env.FSStore()
+	if store == nil {
+		return nil, errors.New("checkpoint: world has no file-system store")
+	}
+	return &FS{env: env, store: store, model: env.FSModel()}, nil
+}
+
+// Store returns the underlying simulated file system.
+func (fs *FS) Store() *fsmodel.Store { return fs.store }
+
+// Write writes one rank's checkpoint: header, then payload, committed at
+// the end. The virtual write time is charged *between* creating the file
+// and committing it, so a process failure during the write leaves the file
+// present but incomplete — exactly the paper's corrupted-checkpoint
+// failure mode.
+func (fs *FS) Write(prefix string, meta Meta, payload []byte) error {
+	meta.PayloadSize = len(payload)
+	meta.Synthetic = false
+	return fs.write(prefix, meta, payload)
+}
+
+// WriteSized writes a synthetic checkpoint: the header records a payload
+// of size bytes and the write charges the corresponding virtual time, but
+// the bytes are not materialised. Large-scale modelled experiments use it
+// the way the MPI layer uses payload-free messages.
+func (fs *FS) WriteSized(prefix string, meta Meta, size int) error {
+	meta.PayloadSize = size
+	meta.Synthetic = true
+	meta.Incremental = false
+	return fs.write(prefix, meta, nil)
+}
+
+// WriteIncremental writes a delta checkpoint holding only the data changed
+// since baseIteration (which must itself be restorable). The virtual write
+// time covers only the delta, which is incremental checkpointing's entire
+// point; restoring requires the whole chain back to a full checkpoint.
+func (fs *FS) WriteIncremental(prefix string, meta Meta, baseIteration int, delta []byte) error {
+	meta.PayloadSize = len(delta)
+	meta.Synthetic = false
+	meta.Incremental = true
+	meta.BaseIteration = baseIteration
+	return fs.write(prefix, meta, delta)
+}
+
+// WriteIncrementalSized is WriteIncremental with a synthetic payload of
+// deltaSize bytes, for modelled experiments.
+func (fs *FS) WriteIncrementalSized(prefix string, meta Meta, baseIteration, deltaSize int) error {
+	meta.PayloadSize = deltaSize
+	meta.Synthetic = true
+	meta.Incremental = true
+	meta.BaseIteration = baseIteration
+	return fs.write(prefix, meta, nil)
+}
+
+func (fs *FS) write(prefix string, meta Meta, payload []byte) error {
+	name := FileName(prefix, meta.Iteration, meta.Rank)
+	fs.env.Elapse(fs.model.MetadataCost())
+	w := fs.store.Create(name)
+	var flags uint32
+	if meta.Synthetic {
+		flags |= flagSynthetic
+	}
+	if meta.Incremental {
+		flags |= flagIncremental
+	}
+	hdr := make([]byte, 0, headerLen)
+	hdr = append(hdr, magic[:]...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, version)
+	hdr = binary.LittleEndian.AppendUint32(hdr, flags)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(meta.Iteration))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(meta.Rank))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(meta.PayloadSize))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(meta.BaseIteration))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	// The write cost elapses while the file is incomplete: a failure
+	// activating here corrupts the checkpoint.
+	fs.env.Elapse(fs.model.WriteCost(headerLen + meta.PayloadSize))
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	fs.env.Elapse(fs.model.MetadataCost())
+	return w.Commit()
+}
+
+// Read loads and validates one rank's checkpoint. It returns ErrCorrupted
+// (wrapped) for files that exist but miss information, and
+// fsmodel.ErrNotExist (wrapped) for missing files.
+func (fs *FS) Read(prefix string, iteration, rank int) (Meta, []byte, error) {
+	name := FileName(prefix, iteration, rank)
+	fs.env.Elapse(fs.model.MetadataCost())
+	data, complete, err := fs.store.Open(name)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	meta, payload, err := decode(data, complete)
+	if err == nil {
+		fs.env.Elapse(fs.model.ReadCost(headerLen + meta.PayloadSize))
+	} else {
+		fs.env.Elapse(fs.model.ReadCost(len(data)))
+	}
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("%w: %s", err, name)
+	}
+	if meta.Iteration != iteration || meta.Rank != rank {
+		return Meta{}, nil, fmt.Errorf("%w: %s has meta %+v", ErrCorrupted, name, meta)
+	}
+	return meta, payload, nil
+}
+
+// Delete removes one rank's checkpoint file (idempotent).
+func (fs *FS) Delete(prefix string, iteration, rank int) {
+	fs.env.Elapse(fs.model.MetadataCost())
+	fs.store.Delete(FileName(prefix, iteration, rank))
+}
+
+// decode parses and validates a checkpoint file.
+func decode(data []byte, complete bool) (Meta, []byte, error) {
+	if !complete {
+		return Meta{}, nil, fmt.Errorf("%w (uncommitted)", ErrCorrupted)
+	}
+	if len(data) < headerLen {
+		return Meta{}, nil, fmt.Errorf("%w (truncated header)", ErrCorrupted)
+	}
+	if string(data[:4]) != string(magic[:]) {
+		return Meta{}, nil, fmt.Errorf("%w (bad magic)", ErrCorrupted)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != version {
+		return Meta{}, nil, fmt.Errorf("%w (version %d)", ErrCorrupted, v)
+	}
+	flags := binary.LittleEndian.Uint32(data[8:])
+	meta := Meta{
+		Iteration:     int(binary.LittleEndian.Uint64(data[12:])),
+		Rank:          int(binary.LittleEndian.Uint64(data[20:])),
+		PayloadSize:   int(binary.LittleEndian.Uint64(data[28:])),
+		BaseIteration: int(binary.LittleEndian.Uint64(data[36:])),
+		Synthetic:     flags&flagSynthetic != 0,
+		Incremental:   flags&flagIncremental != 0,
+	}
+	payload := data[headerLen:]
+	if meta.Synthetic {
+		if len(payload) != 0 {
+			return Meta{}, nil, fmt.Errorf("%w (synthetic checkpoint carries %d payload bytes)", ErrCorrupted, len(payload))
+		}
+		return meta, nil, nil
+	}
+	if len(payload) != meta.PayloadSize {
+		return Meta{}, nil, fmt.Errorf("%w (payload %d bytes, header says %d)", ErrCorrupted, len(payload), meta.PayloadSize)
+	}
+	return meta, payload, nil
+}
+
+// LatestValid returns this rank's newest iteration with a valid (complete,
+// well-formed) checkpoint file, deleting any newer corrupted files it
+// encounters on the way — the paper's application "automatically loads the
+// last checkpoint and automatically deletes any corrupted checkpoint". The
+// second result is false when no valid checkpoint exists.
+//
+// It discovers candidate iterations by scanning the store; applications
+// that know their checkpoint cadence should prefer LatestValidAmong, which
+// probes candidates directly — a full scan per rank is quadratic at scale.
+func (fs *FS) LatestValid(prefix string, rank int) (int, bool) {
+	return fs.LatestValidAmong(prefix, rank, Iterations(fs.store, prefix))
+}
+
+// LatestValidAmong is LatestValid restricted to the given candidate
+// iterations (ascending); it probes each candidate with O(1) lookups
+// instead of scanning the store.
+func (fs *FS) LatestValidAmong(prefix string, rank int, iters []int) (int, bool) {
+	for i := len(iters) - 1; i >= 0; i-- {
+		it := iters[i]
+		name := FileName(prefix, it, rank)
+		if !fs.store.Exists(name) {
+			continue
+		}
+		fs.env.Elapse(fs.model.MetadataCost())
+		data, complete, err := fs.store.Open(name)
+		if err != nil {
+			continue
+		}
+		meta, _, err := decode(data, complete)
+		if err != nil {
+			// Corrupted: delete and keep looking at older sets.
+			fs.Delete(prefix, it, rank)
+			continue
+		}
+		// A delta checkpoint is only restorable if its chain back to a
+		// full checkpoint is intact.
+		if meta.Incremental && !ChainValid(fs.store, prefix, rank, it) {
+			continue
+		}
+		return it, true
+	}
+	return 0, false
+}
+
+// ChainValid reports whether the checkpoint at iteration can be restored:
+// a full checkpoint must be valid; a delta additionally needs every link
+// back to a full checkpoint valid (incremental checkpointing's restore
+// requirement). It inspects the store directly without charging virtual
+// time.
+func ChainValid(store *fsmodel.Store, prefix string, rank, iteration int) bool {
+	for hops := 0; hops < 1000; hops++ { // bound against base-pointer cycles
+		data, complete, err := store.Open(FileName(prefix, iteration, rank))
+		if err != nil {
+			return false
+		}
+		meta, _, err := decode(data, complete)
+		if err != nil {
+			return false
+		}
+		if !meta.Incremental {
+			return true
+		}
+		if meta.BaseIteration >= iteration {
+			return false // corrupt base pointer
+		}
+		iteration = meta.BaseIteration
+	}
+	return false
+}
+
+// Iterations lists the iterations that have at least one checkpoint file
+// under prefix, ascending. It inspects the store directly without charging
+// virtual time (a bookkeeping scan).
+func Iterations(store *fsmodel.Store, prefix string) []int {
+	seen := make(map[int]bool)
+	lead := prefix + ".ckpt."
+	for _, name := range store.List(lead) {
+		rest := strings.TrimPrefix(name, lead)
+		itStr, _, ok := strings.Cut(rest, ".r")
+		if !ok {
+			continue
+		}
+		if it, err := strconv.Atoi(itStr); err == nil {
+			seen[it] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for it := range seen {
+		out = append(out, it)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SetComplete reports whether iteration's checkpoint set has a committed,
+// well-formed file for every one of n ranks.
+func SetComplete(store *fsmodel.Store, prefix string, iteration, n int) bool {
+	for r := 0; r < n; r++ {
+		data, complete, err := store.Open(FileName(prefix, iteration, r))
+		if err != nil {
+			return false
+		}
+		if _, _, err := decode(data, complete); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// CleanIncompleteSets deletes every checkpoint set that is missing files
+// or contains corrupted files, keeping only fully valid sets. It mirrors
+// the shell script the paper runs before a restart ("incomplete
+// checkpoints are deleted using a shell script") and therefore operates on
+// the store directly, outside simulated time. It returns the iterations
+// removed.
+func CleanIncompleteSets(store *fsmodel.Store, prefix string, n int) []int {
+	var removed []int
+	for _, it := range Iterations(store, prefix) {
+		if SetComplete(store, prefix, it, n) {
+			continue
+		}
+		for _, name := range store.List(setPrefix(prefix, it)) {
+			store.Delete(name)
+		}
+		removed = append(removed, it)
+	}
+	return removed
+}
+
+// DeleteSet removes iteration's entire checkpoint set from the store
+// (bookkeeping, no virtual time).
+func DeleteSet(store *fsmodel.Store, prefix string, iteration int) {
+	for _, name := range store.List(setPrefix(prefix, iteration)) {
+		store.Delete(name)
+	}
+}
+
+// exitTimeFile is the reserved name holding the simulated exit time.
+const exitTimeFile = "__xsim.exit_time"
+
+// SaveExitTime persists the simulated time of the application exit (the
+// maximum simulated process time) so a restarted run can initialise every
+// process clock from it — xSim's support for continuous virtual timing
+// across abort/restart cycles.
+func SaveExitTime(store *fsmodel.Store, t vclock.Time) error {
+	w := store.Create(exitTimeFile)
+	if _, err := w.Write(binary.LittleEndian.AppendUint64(nil, uint64(t))); err != nil {
+		return err
+	}
+	return w.Commit()
+}
+
+// LoadExitTime reads the persisted exit time; ok is false when none was
+// saved.
+func LoadExitTime(store *fsmodel.Store) (t vclock.Time, ok bool) {
+	data, complete, err := store.Open(exitTimeFile)
+	if err != nil || !complete || len(data) != 8 {
+		return 0, false
+	}
+	return vclock.Time(binary.LittleEndian.Uint64(data)), true
+}
+
+// ClearExitTime removes the persisted exit time (fresh experiment).
+func ClearExitTime(store *fsmodel.Store) { store.Delete(exitTimeFile) }

@@ -1,0 +1,384 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+
+	"xsim/internal/core"
+	"xsim/internal/fsmodel"
+	"xsim/internal/mpi"
+	"xsim/internal/netmodel"
+	"xsim/internal/procmodel"
+	"xsim/internal/topology"
+	"xsim/internal/vclock"
+)
+
+// withEnv runs body inside a 1-rank simulated world with a PFS.
+func withEnv(t *testing.T, store *fsmodel.Store, model fsmodel.Model, failAt vclock.Time, body func(*mpi.Env)) *core.Result {
+	t.Helper()
+	eng, err := core.New(core.Config{NumVPs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failAt > 0 {
+		if err := eng.ScheduleFailure(0, failAt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net := &netmodel.Model{
+		Topo:   topology.NewFullyConnected(1),
+		System: netmodel.LinkParams{Latency: vclock.Microsecond, Bandwidth: 1e9, DetectionTimeout: vclock.Second},
+		OnNode: netmodel.LinkParams{Latency: vclock.Microsecond, Bandwidth: 1e9, DetectionTimeout: vclock.Second},
+	}
+	w, err := mpi.NewWorld(eng, mpi.WorldConfig{Net: net, Proc: procmodel.Paper(), FSStore: store, FSModel: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(e *mpi.Env) {
+		body(e)
+		if !e.Finalized() {
+			e.Finalize()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	store := fsmodel.NewStore()
+	payload := []byte("grid state at iteration 500")
+	withEnv(t, store, fsmodel.Model{}, 0, func(e *mpi.Env) {
+		fs, err := NewFS(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Write("heat", Meta{Iteration: 500, Rank: 0}, payload); err != nil {
+			t.Fatal(err)
+		}
+		meta, got, err := fs.Read("heat", 500, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meta.Iteration != 500 || meta.Rank != 0 || string(got) != string(payload) {
+			t.Fatalf("read back %+v %q", meta, got)
+		}
+	})
+}
+
+func TestWriteChargesTime(t *testing.T) {
+	store := fsmodel.NewStore()
+	model := fsmodel.PaperPFS()
+	payload := make([]byte, 1e6)
+	withEnv(t, store, model, 0, func(e *mpi.Env) {
+		fs, _ := NewFS(e)
+		before := e.Now()
+		if err := fs.Write("heat", Meta{Iteration: 1, Rank: 0}, payload); err != nil {
+			t.Fatal(err)
+		}
+		want := 2*model.MetadataCost() + model.WriteCost(headerLen+len(payload))
+		if got := e.Now().Sub(before); got != want {
+			t.Fatalf("write charged %v, want %v", got, want)
+		}
+	})
+}
+
+func TestFailureDuringWriteCorruptsCheckpoint(t *testing.T) {
+	store := fsmodel.NewStore()
+	model := fsmodel.PaperPFS() // 1 MB takes ~1 ms: fail in the middle
+	payload := make([]byte, 1e6)
+	// Timeline: 1 ms metadata (file not yet created), then create, then
+	// ~1 ms payload write. Failing at 1.5 ms lands mid-write, after the
+	// file exists but before it commits.
+	res := withEnv(t, store, model, vclock.Time(1500*vclock.Microsecond), func(e *mpi.Env) {
+		fs, _ := NewFS(e)
+		if err := fs.Write("heat", Meta{Iteration: 2, Rank: 0}, payload); err != nil {
+			t.Fatal(err)
+		}
+		t.Error("write should have been interrupted by the failure")
+	})
+	if res.Failed != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	// The file exists (created before the failure) but is incomplete:
+	// the paper's corrupted checkpoint.
+	name := FileName("heat", 2, 0)
+	if !store.Exists(name) {
+		t.Fatal("corrupted checkpoint should exist")
+	}
+	if store.Complete(name) {
+		t.Fatal("corrupted checkpoint should be incomplete")
+	}
+	// A later reader rejects it.
+	withEnv(t, store, model, 0, func(e *mpi.Env) {
+		fs, _ := NewFS(e)
+		if _, _, err := fs.Read("heat", 2, 0); !errors.Is(err, ErrCorrupted) {
+			t.Errorf("read err = %v, want ErrCorrupted", err)
+		}
+	})
+}
+
+func TestReadMissing(t *testing.T) {
+	store := fsmodel.NewStore()
+	withEnv(t, store, fsmodel.Model{}, 0, func(e *mpi.Env) {
+		fs, _ := NewFS(e)
+		if _, _, err := fs.Read("heat", 9, 0); !errors.Is(err, fsmodel.ErrNotExist) {
+			t.Errorf("err = %v, want ErrNotExist", err)
+		}
+	})
+}
+
+func TestLatestValidSkipsCorrupted(t *testing.T) {
+	store := fsmodel.NewStore()
+	withEnv(t, store, fsmodel.Model{}, 0, func(e *mpi.Env) {
+		fs, _ := NewFS(e)
+		if err := fs.Write("heat", Meta{Iteration: 100, Rank: 0}, []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Write("heat", Meta{Iteration: 200, Rank: 0}, []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Corrupt the newer checkpoint: create-without-commit.
+	store.Create(FileName("heat", 300, 0)).Write([]byte("partial"))
+	withEnv(t, store, fsmodel.Model{}, 0, func(e *mpi.Env) {
+		fs, _ := NewFS(e)
+		it, ok := fs.LatestValid("heat", 0)
+		if !ok || it != 200 {
+			t.Fatalf("LatestValid = %d, %v; want 200, true", it, ok)
+		}
+	})
+	// The corrupted file was deleted on the way.
+	if store.Exists(FileName("heat", 300, 0)) {
+		t.Error("corrupted checkpoint should have been deleted")
+	}
+}
+
+func TestLatestValidNone(t *testing.T) {
+	store := fsmodel.NewStore()
+	withEnv(t, store, fsmodel.Model{}, 0, func(e *mpi.Env) {
+		fs, _ := NewFS(e)
+		if _, ok := fs.LatestValid("heat", 0); ok {
+			t.Error("empty store should have no valid checkpoint")
+		}
+	})
+}
+
+func TestIterationsAndSetComplete(t *testing.T) {
+	store := fsmodel.NewStore()
+	withEnv(t, store, fsmodel.Model{}, 0, func(e *mpi.Env) {
+		fs, _ := NewFS(e)
+		for _, it := range []int{125, 250} {
+			for r := 0; r < 1; r++ {
+				if err := fs.Write("heat", Meta{Iteration: it, Rank: r}, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	})
+	got := Iterations(store, "heat")
+	if len(got) != 2 || got[0] != 125 || got[1] != 250 {
+		t.Fatalf("Iterations = %v", got)
+	}
+	if !SetComplete(store, "heat", 125, 1) {
+		t.Error("set 125 should be complete")
+	}
+	if SetComplete(store, "heat", 125, 2) {
+		t.Error("set 125 should be incomplete for 2 ranks")
+	}
+}
+
+func TestCleanIncompleteSets(t *testing.T) {
+	store := fsmodel.NewStore()
+	const n = 3
+	withEnv(t, store, fsmodel.Model{}, 0, func(e *mpi.Env) {
+		fs, _ := NewFS(e)
+		// Set 100: complete for all 3 ranks (this env plays each rank's
+		// writer role; rank identity is in the meta, not the env).
+		for r := 0; r < n; r++ {
+			if err := fs.Write("heat", Meta{Iteration: 100, Rank: r}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Set 200: missing rank 2 (failure during checkpointing).
+		for r := 0; r < n-1; r++ {
+			if err := fs.Write("heat", Meta{Iteration: 200, Rank: r}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	removed := CleanIncompleteSets(store, "heat", n)
+	if len(removed) != 1 || removed[0] != 200 {
+		t.Fatalf("removed = %v", removed)
+	}
+	if got := Iterations(store, "heat"); len(got) != 1 || got[0] != 100 {
+		t.Fatalf("surviving iterations = %v", got)
+	}
+}
+
+func TestDeleteSet(t *testing.T) {
+	store := fsmodel.NewStore()
+	withEnv(t, store, fsmodel.Model{}, 0, func(e *mpi.Env) {
+		fs, _ := NewFS(e)
+		fs.Write("heat", Meta{Iteration: 1, Rank: 0}, nil)
+		fs.Write("heat", Meta{Iteration: 2, Rank: 0}, nil)
+	})
+	DeleteSet(store, "heat", 1)
+	if got := Iterations(store, "heat"); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("iterations after delete = %v", got)
+	}
+}
+
+func TestWriteSizedSynthetic(t *testing.T) {
+	store := fsmodel.NewStore()
+	model := fsmodel.PaperPFS()
+	withEnv(t, store, model, 0, func(e *mpi.Env) {
+		fs, _ := NewFS(e)
+		before := e.Now()
+		if err := fs.WriteSized("heat", Meta{Iteration: 5, Rank: 0}, 1e6); err != nil {
+			t.Fatal(err)
+		}
+		// Full write cost charged despite no payload bytes stored.
+		want := 2*model.MetadataCost() + model.WriteCost(headerLen+1e6)
+		if got := e.Now().Sub(before); got != want {
+			t.Fatalf("synthetic write charged %v, want %v", got, want)
+		}
+		meta, payload, err := fs.Read("heat", 5, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !meta.Synthetic || meta.PayloadSize != 1e6 || payload != nil {
+			t.Fatalf("meta = %+v payload = %d bytes", meta, len(payload))
+		}
+	})
+	// Tiny on disk.
+	if store.Size(FileName("heat", 5, 0)) > 100 {
+		t.Fatal("synthetic checkpoint materialised its payload")
+	}
+}
+
+func TestIncrementalChain(t *testing.T) {
+	store := fsmodel.NewStore()
+	withEnv(t, store, fsmodel.Model{}, 0, func(e *mpi.Env) {
+		fs, _ := NewFS(e)
+		if err := fs.Write("heat", Meta{Iteration: 100, Rank: 0}, []byte("full state")); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteIncremental("heat", Meta{Iteration: 110, Rank: 0}, 100, []byte("delta1")); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteIncremental("heat", Meta{Iteration: 120, Rank: 0}, 110, []byte("delta2")); err != nil {
+			t.Fatal(err)
+		}
+		if !ChainValid(store, "heat", 0, 120) {
+			t.Fatal("intact chain should be valid")
+		}
+		// The newest restorable iteration is the tip of the chain.
+		it, ok := fs.LatestValidAmong("heat", 0, []int{100, 110, 120})
+		if !ok || it != 120 {
+			t.Fatalf("latest = %d, %v", it, ok)
+		}
+		// Breaking a middle link invalidates everything above it.
+		fs.Delete("heat", 110, 0)
+		if ChainValid(store, "heat", 0, 120) {
+			t.Fatal("broken chain should be invalid")
+		}
+		it, ok = fs.LatestValidAmong("heat", 0, []int{100, 110, 120})
+		if !ok || it != 100 {
+			t.Fatalf("latest after break = %d, %v (want the full checkpoint)", it, ok)
+		}
+	})
+}
+
+func TestIncrementalSizedCost(t *testing.T) {
+	store := fsmodel.NewStore()
+	model := fsmodel.PaperPFS()
+	withEnv(t, store, model, 0, func(e *mpi.Env) {
+		fs, _ := NewFS(e)
+		if err := fs.WriteSized("heat", Meta{Iteration: 1, Rank: 0}, 1e6); err != nil {
+			t.Fatal(err)
+		}
+		before := e.Now()
+		// A 10% delta costs a tenth of the payload write time.
+		if err := fs.WriteIncrementalSized("heat", Meta{Iteration: 2, Rank: 0}, 1, 1e5); err != nil {
+			t.Fatal(err)
+		}
+		got := e.Now().Sub(before)
+		want := 2*model.MetadataCost() + model.WriteCost(headerLen+1e5)
+		if got != want {
+			t.Fatalf("delta charged %v, want %v", got, want)
+		}
+		meta, _, err := fs.Read("heat", 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !meta.Incremental || meta.BaseIteration != 1 {
+			t.Fatalf("meta = %+v", meta)
+		}
+		if !ChainValid(store, "heat", 0, 2) {
+			t.Fatal("synthetic chain should be valid")
+		}
+	})
+}
+
+func TestChainValidCycleGuard(t *testing.T) {
+	store := fsmodel.NewStore()
+	withEnv(t, store, fsmodel.Model{}, 0, func(e *mpi.Env) {
+		fs, _ := NewFS(e)
+		// A delta claiming a base at or above itself is corrupt.
+		if err := fs.WriteIncremental("heat", Meta{Iteration: 50, Rank: 0}, 50, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if ChainValid(store, "heat", 0, 50) {
+			t.Fatal("self-referential chain should be invalid")
+		}
+	})
+}
+
+func TestExitTimePersistence(t *testing.T) {
+	store := fsmodel.NewStore()
+	if _, ok := LoadExitTime(store); ok {
+		t.Fatal("fresh store should have no exit time")
+	}
+	want := vclock.TimeFromSeconds(7957)
+	if err := SaveExitTime(store, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := LoadExitTime(store)
+	if !ok || got != want {
+		t.Fatalf("LoadExitTime = %v, %v", got, ok)
+	}
+	// Overwrite with a later exit.
+	if err := SaveExitTime(store, want.Add(vclock.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := LoadExitTime(store); got != want.Add(vclock.Second) {
+		t.Fatalf("updated exit time = %v", got)
+	}
+	ClearExitTime(store)
+	if _, ok := LoadExitTime(store); ok {
+		t.Fatal("cleared store should have no exit time")
+	}
+}
+
+func TestNewFSWithoutStore(t *testing.T) {
+	eng, _ := core.New(core.Config{NumVPs: 1})
+	net := &netmodel.Model{
+		Topo:   topology.NewFullyConnected(1),
+		System: netmodel.LinkParams{Latency: vclock.Microsecond, Bandwidth: 1e9},
+		OnNode: netmodel.LinkParams{Latency: vclock.Microsecond, Bandwidth: 1e9},
+	}
+	w, err := mpi.NewWorld(eng, mpi.WorldConfig{Net: net, Proc: procmodel.Paper()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(func(e *mpi.Env) {
+		if _, err := NewFS(e); err == nil {
+			t.Error("NewFS without a store should fail")
+		}
+		e.Finalize()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"xsim/internal/vclock"
+)
+
+// BenchmarkHandoff measures the raw VP block/wake cycle: the cost of one
+// simulated context switch.
+func BenchmarkHandoff(b *testing.B) {
+	eng, err := New(Config{NumVPs: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	registerPingBench(eng)
+	rounds := b.N
+	b.ResetTimer()
+	if _, err := eng.Run(func(c *Ctx) {
+		peer := 1 - c.Rank()
+		for i := 0; i < rounds; i++ {
+			if c.Rank() == 0 {
+				c.Emit(Event{Time: c.NowQuiet().Add(vclock.Microsecond), Kind: kindPingBench, Target: peer})
+				c.Block("pong")
+			} else {
+				c.Block("ping")
+				c.Emit(Event{Time: c.NowQuiet().Add(vclock.Microsecond), Kind: kindPingBench, Target: peer})
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+const kindPingBench = FirstUserKind + 7
+
+func registerPingBench(eng *Engine) {
+	eng.RegisterHandler(kindPingBench, func(s *SchedCtx, ev *Event) {
+		if s.Alive(ev.Target) && s.Blocked(ev.Target) {
+			s.Wake(ev.Target, ev.Time, nil)
+		}
+	})
+}
+
+// BenchmarkEventHeap measures the event queue under a churning load.
+func BenchmarkEventHeap(b *testing.B) {
+	var h eventHeap
+	evs := make([]*Event, 1024)
+	for i := range evs {
+		evs[i] = &Event{Time: vclock.Time(i * 7919 % 1024), Src: i % 16, Seq: uint64(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := evs[i%1024]
+		h.push(ev)
+		if h.Len() > 512 {
+			h.pop()
+		}
+	}
+}
+
+// BenchmarkEngineStartup measures building and tearing down a 4096-VP
+// engine (goroutine spawn + kill path).
+func BenchmarkEngineStartup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng, err := New(Config{NumVPs: 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(func(c *Ctx) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,367 @@
+// Package core implements the heart of the simulator: a deterministic
+// discrete-event engine that executes simulated MPI processes (virtual
+// processes, VPs) as cooperatively scheduled goroutines with per-VP virtual
+// clocks.
+//
+// The execution model mirrors xSim's: each VP runs application code
+// natively and yields to the simulator only when it blocks in a receive or
+// performs a simulator-internal function; the simulator interleaves VPs by
+// message receive timestamps. With Workers > 1, VPs are partitioned across
+// worker goroutines (the analogue of xSim's native MPI processes) that
+// synchronise through conservative safe windows bounded by the
+// cross-partition lookahead, so parallel runs produce results identical to
+// sequential ones.
+//
+// Process failures follow the paper's semantics: each VP carries a time of
+// failure (initialised to "fail never"); a scheduled failure activates when
+// the VP next updates its clock at or past that time, i.e. the scheduled
+// time is the earliest failure time and the actual failure time is when the
+// simulator regains control.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"xsim/internal/vclock"
+)
+
+// Config parameterises an Engine.
+type Config struct {
+	// NumVPs is the number of simulated MPI processes.
+	NumVPs int
+	// Workers is the number of partitions executing VPs. 1 (the default
+	// when zero) is fully sequential; larger values run partitions
+	// concurrently under conservative window synchronisation.
+	Workers int
+	// Lookahead is the minimum virtual delay of any cross-partition
+	// event, required when Workers > 1. Higher layers must never emit a
+	// cross-partition event closer than this to the emitting VP's clock;
+	// the network model's minimum link latency is the natural choice.
+	Lookahead vclock.Duration
+	// StartClock initialises every VP's clock, supporting continuous
+	// virtual time across simulated application restarts (the paper's
+	// exit-time file).
+	StartClock vclock.Time
+	// Logf, when non-nil, receives the simulator's informational
+	// messages (failure injections, aborts, shutdown statistics).
+	Logf func(format string, args ...any)
+}
+
+// Handler processes events of a registered kind in scheduler context.
+type Handler func(*SchedCtx, *Event)
+
+// Engine drives one simulation run.
+type Engine struct {
+	cfg      Config
+	vps      []*vp
+	parts    []*partition
+	handlers map[Kind]Handler
+	onDeath  func(*Ctx, DeathReason)
+	ran      bool
+}
+
+// New validates cfg and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.NumVPs <= 0 {
+		return nil, fmt.Errorf("core: NumVPs must be positive, got %d", cfg.NumVPs)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("core: Workers must be positive, got %d", cfg.Workers)
+	}
+	if cfg.Workers > cfg.NumVPs {
+		cfg.Workers = cfg.NumVPs
+	}
+	if cfg.Workers > 1 && cfg.Lookahead <= 0 {
+		return nil, errors.New("core: Workers > 1 requires a positive Lookahead")
+	}
+	if cfg.StartClock < 0 {
+		return nil, fmt.Errorf("core: StartClock must be non-negative, got %v", cfg.StartClock)
+	}
+	eng := &Engine{
+		cfg:      cfg,
+		vps:      make([]*vp, cfg.NumVPs),
+		parts:    make([]*partition, cfg.Workers),
+		handlers: make(map[Kind]Handler),
+	}
+	// Contiguous block partitioning: neighbouring ranks usually
+	// communicate most, so blocks minimise cross-partition traffic.
+	per := cfg.NumVPs / cfg.Workers
+	extra := cfg.NumVPs % cfg.Workers
+	lo := 0
+	for i := range eng.parts {
+		hi := lo + per
+		if i < extra {
+			hi++
+		}
+		p := &partition{
+			id:       i,
+			eng:      eng,
+			lo:       lo,
+			hi:       hi,
+			yield:    make(chan yieldKind),
+			crossOut: make([][]*Event, cfg.Workers),
+			live:     hi - lo,
+		}
+		eng.parts[i] = p
+		for r := lo; r < hi; r++ {
+			eng.vps[r] = &vp{
+				rank:    r,
+				part:    p,
+				clock:   cfg.StartClock,
+				tof:     vclock.Never,
+				abortAt: vclock.Never,
+				wake:    make(chan wakeAction),
+			}
+		}
+		lo = hi
+	}
+	return eng, nil
+}
+
+// RegisterHandler installs the handler for an event kind. Kinds below the
+// engine-reserved range or duplicate registrations panic (programming
+// errors).
+func (e *Engine) RegisterHandler(kind Kind, h Handler) {
+	if kind < reservedKinds {
+		panic(fmt.Sprintf("core: kind %d is reserved by the engine", kind))
+	}
+	if _, dup := e.handlers[kind]; dup {
+		panic(fmt.Sprintf("core: duplicate handler for kind %d", kind))
+	}
+	e.handlers[kind] = h
+}
+
+// OnDeath installs a hook invoked in VP context when a VP terminates for
+// any reason except an engine-shutdown kill. The MPI layer uses it to drop
+// queued messages and broadcast failure notifications.
+func (e *Engine) OnDeath(hook func(*Ctx, DeathReason)) { e.onDeath = hook }
+
+// ScheduleFailure schedules a process failure of rank at virtual time t
+// (the earliest failure time). Must be called before Run.
+func (e *Engine) ScheduleFailure(rank int, t vclock.Time) error {
+	if e.ran {
+		return errors.New("core: ScheduleFailure after Run")
+	}
+	if rank < 0 || rank >= len(e.vps) {
+		return fmt.Errorf("core: failure rank %d out of range [0,%d)", rank, len(e.vps))
+	}
+	if t < e.cfg.StartClock {
+		return fmt.Errorf("core: failure time %v precedes start clock %v", t, e.cfg.StartClock)
+	}
+	v := e.vps[rank]
+	if t < v.tof {
+		v.tof = t
+	}
+	p := v.part
+	p.eventQ.push(&Event{Time: t, Src: EngineSrc, Seq: p.nextSeq(), Kind: kindFailure, Target: rank})
+	return nil
+}
+
+// Result summarises a simulation run.
+type Result struct {
+	// FinalClocks holds each VP's virtual clock at termination.
+	FinalClocks []vclock.Time
+	// Deaths holds each VP's termination reason.
+	Deaths []DeathReason
+	// Busy and Waited hold each VP's accumulated executing and blocked
+	// virtual time (their sum is the VP's clock advance since start);
+	// the power model turns them into energy.
+	Busy   []vclock.Duration
+	Waited []vclock.Duration
+	// MinClock, MaxClock, AvgClock summarise the final clocks — the
+	// per-process timing statistics xSim prints at shutdown. MaxClock is
+	// the simulated time of the application exit, which the paper's
+	// restart support persists to carry virtual time across runs.
+	MinClock, MaxClock vclock.Time
+	AvgClock           vclock.Time
+	// Completed, Failed, Aborted count VPs by death reason.
+	Completed, Failed, Aborted int
+	// Deadlocked reports whether the run ended with live VPs blocked
+	// forever; Blocked describes them.
+	Deadlocked bool
+	Blocked    []string
+	// EventsProcessed and Resumes count the engine's processed work
+	// items (events dispatched and VP resumes) — throughput telemetry.
+	EventsProcessed uint64
+	Resumes         uint64
+}
+
+// Run executes body once per VP and drives the simulation to completion.
+// It returns an error if the configuration was already consumed, a VP
+// panicked, or the simulation deadlocked (the deadlock Result is still
+// returned for inspection).
+func (e *Engine) Run(body func(*Ctx)) (*Result, error) {
+	if e.ran {
+		return nil, errors.New("core: engine can only run once")
+	}
+	e.ran = true
+
+	for _, v := range e.vps {
+		go v.run(e, body)
+		v.pendingWake = &wakeAction{at: e.cfg.StartClock}
+		v.part.ready.push(readyEntry{at: e.cfg.StartClock, rank: v.rank})
+		v.state = vpReady
+	}
+
+	if len(e.parts) == 1 {
+		e.parts[0].processWindow(vclock.Never)
+	} else {
+		e.runParallel()
+	}
+
+	// Termination or deadlock: any VP still alive is blocked forever.
+	res := &Result{
+		FinalClocks: make([]vclock.Time, len(e.vps)),
+		Deaths:      make([]DeathReason, len(e.vps)),
+		Busy:        make([]vclock.Duration, len(e.vps)),
+		Waited:      make([]vclock.Duration, len(e.vps)),
+	}
+	for _, p := range e.parts {
+		if p.live > 0 {
+			res.Deadlocked = true
+			res.Blocked = append(res.Blocked, p.blockedReport()...)
+		}
+		res.EventsProcessed += p.events
+		res.Resumes += p.resumes
+	}
+	// Tear down surviving VPs so no goroutines leak.
+	for _, p := range e.parts {
+		for r := p.lo; r < p.hi; r++ {
+			p.kill(e.vps[r])
+		}
+	}
+
+	var firstPanic string
+	var sum vclock.Time
+	res.MinClock = vclock.Never
+	for i, v := range e.vps {
+		res.FinalClocks[i] = v.clock
+		res.Deaths[i] = v.death
+		res.Busy[i] = v.busy
+		res.Waited[i] = v.waited
+		switch v.death {
+		case DeathCompleted:
+			res.Completed++
+		case DeathFailed:
+			res.Failed++
+		case DeathAborted:
+			res.Aborted++
+		case DeathPanicked:
+			if firstPanic == "" {
+				firstPanic = v.panicMsg
+			}
+		}
+		if v.clock < res.MinClock {
+			res.MinClock = v.clock
+		}
+		if v.clock > res.MaxClock {
+			res.MaxClock = v.clock
+		}
+		sum += v.clock
+	}
+	res.AvgClock = sum / vclock.Time(len(e.vps))
+	e.logf("[sim] shutdown: %d completed, %d failed, %d aborted; process times min %v max %v avg %v",
+		res.Completed, res.Failed, res.Aborted, res.MinClock, res.MaxClock, res.AvgClock)
+
+	if firstPanic != "" {
+		return res, fmt.Errorf("core: %s", firstPanic)
+	}
+	if res.Deadlocked {
+		return res, fmt.Errorf("core: deadlock detected with %d blocked VPs:\n%s",
+			len(res.Blocked), strings.Join(res.Blocked, "\n"))
+	}
+	return res, nil
+}
+
+// runParallel drives the partitions through conservative safe windows: in
+// each round the coordinator finds the globally earliest pending item and
+// lets every partition process items strictly before that time plus the
+// lookahead; cross-partition events generated during the round necessarily
+// land at or beyond the horizon and are merged at the barrier.
+func (e *Engine) runParallel() {
+	for _, p := range e.parts {
+		p.work = make(chan vclock.Time)
+		p.done = make(chan struct{})
+		go func(p *partition) {
+			for h := range p.work {
+				p.processWindow(h)
+				p.done <- struct{}{}
+			}
+		}(p)
+	}
+	for {
+		globalMin := vclock.Never
+		for _, p := range e.parts {
+			if n := p.localNext(); n < globalMin {
+				globalMin = n
+			}
+		}
+		if globalMin == vclock.Never {
+			break
+		}
+		horizon := globalMin.Add(e.cfg.Lookahead)
+		for _, p := range e.parts {
+			p.work <- horizon
+		}
+		for _, p := range e.parts {
+			<-p.done
+		}
+		// Barrier reached: merge cross-partition buffers. The heap
+		// orders merged events by the deterministic key, so insertion
+		// order does not matter.
+		for _, p := range e.parts {
+			for q, evs := range p.crossOut {
+				for _, ev := range evs {
+					e.parts[q].eventQ.push(ev)
+				}
+				p.crossOut[q] = nil
+			}
+		}
+	}
+	for _, p := range e.parts {
+		close(p.work)
+	}
+}
+
+// route delivers an event emitted at senderClock by from's current VP or
+// handler to the partition owning its target.
+func (e *Engine) route(from *partition, senderClock vclock.Time, ev *Event) {
+	if ev.Target < 0 || ev.Target >= len(e.vps) {
+		panic(fmt.Sprintf("core: event target %d out of range", ev.Target))
+	}
+	e.routeToPartition(from, senderClock, e.vps[ev.Target].part, ev)
+}
+
+// routeToPartition delivers an event to an explicit partition, enforcing
+// the lookahead constraint for cross-partition delivery.
+func (e *Engine) routeToPartition(from *partition, senderClock vclock.Time, to *partition, ev *Event) {
+	if to == from {
+		from.eventQ.push(ev)
+		return
+	}
+	if ev.Time < senderClock.Add(e.cfg.Lookahead) {
+		panic(fmt.Sprintf("core: cross-partition event at %v violates lookahead %v from clock %v",
+			ev.Time, e.cfg.Lookahead, senderClock))
+	}
+	from.crossOut[to.id] = append(from.crossOut[to.id], ev)
+}
+
+// NumVPs returns the number of simulated processes.
+func (e *Engine) NumVPs() int { return len(e.vps) }
+
+// Lookahead returns the configured cross-partition lookahead.
+func (e *Engine) Lookahead() vclock.Duration { return e.cfg.Lookahead }
+
+// Workers returns the number of partitions.
+func (e *Engine) Workers() int { return len(e.parts) }
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"container/heap"
+
+	"xsim/internal/vclock"
+)
+
+// Kind identifies the handler that processes an event. Kinds below
+// reservedKinds are reserved by the engine; higher layers (the simulated MPI
+// layer) register their own kinds.
+type Kind int
+
+// Engine-internal event kinds.
+const (
+	// kindFailure activates a scheduled process failure for a blocked VP.
+	kindFailure Kind = iota
+	// kindTimer wakes a VP parked in Ctx.Sleep.
+	kindTimer
+	// reservedKinds is the first kind available to higher layers.
+	reservedKinds
+)
+
+// FirstUserKind is the first event kind available to higher layers;
+// register handlers for FirstUserKind+i.
+const FirstUserKind = reservedKinds
+
+// EngineSrc is the Src value of events emitted by the engine itself or
+// scheduled before the simulation starts (e.g. failure injections).
+const EngineSrc = -1
+
+// BroadcastTarget addresses an event to a partition as a whole rather than
+// to a single VP; the handler may then touch every VP local to that
+// partition. Use Engine.EmitBroadcast to deliver one copy per partition.
+const BroadcastTarget = -1
+
+// Event is a timestamped occurrence delivered to the partition owning its
+// target VP. Events are processed in deterministic global virtual-time
+// order; the ordering key is (Time, Src, Seq), which is unique because each
+// source numbers its events sequentially.
+type Event struct {
+	// Time is the virtual time at which the event takes effect.
+	Time vclock.Time
+	// Src is the rank of the VP that emitted the event, or EngineSrc.
+	Src int
+	// Seq is the per-source sequence number, assigned by the engine.
+	Seq uint64
+	// Kind selects the registered handler.
+	Kind Kind
+	// Target is the rank of the VP the event concerns, or BroadcastTarget
+	// for partition-level events.
+	Target int
+	// Payload carries handler-specific data.
+	Payload any
+}
+
+// before reports whether e is ordered before o under the deterministic
+// (Time, Src, Seq) key.
+func (e *Event) before(o *Event) bool {
+	if e.Time != o.Time {
+		return e.Time < o.Time
+	}
+	if e.Src != o.Src {
+		return e.Src < o.Src
+	}
+	return e.Seq < o.Seq
+}
+
+// eventHeap is a min-heap of events ordered by the deterministic key.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].before(h[j]) }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// push inserts an event.
+func (h *eventHeap) push(ev *Event) { heap.Push(h, ev) }
+
+// pop removes and returns the earliest event; it panics on an empty heap.
+func (h *eventHeap) pop() *Event { return heap.Pop(h).(*Event) }
+
+// peek returns the earliest event without removing it, or nil if empty.
+func (h *eventHeap) peek() *Event {
+	if len(*h) == 0 {
+		return nil
+	}
+	return (*h)[0]
+}
+
+// readyEntry is a VP that can resume execution at a known virtual time.
+type readyEntry struct {
+	at   vclock.Time
+	rank int
+}
+
+// readyHeap is a min-heap of resumable VPs ordered by (wake time, rank),
+// which is unique because a VP is ready at most once.
+type readyHeap []readyEntry
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].rank < h[j].rank
+}
+func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(readyEntry)) }
+func (h *readyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (h *readyHeap) push(e readyEntry) { heap.Push(h, e) }
+func (h *readyHeap) pop() readyEntry   { return heap.Pop(h).(readyEntry) }
+func (h *readyHeap) peek() (readyEntry, bool) {
+	if len(*h) == 0 {
+		return readyEntry{}, false
+	}
+	return (*h)[0], true
+}

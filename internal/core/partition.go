@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+
+	"xsim/internal/vclock"
+)
+
+// yieldKind is the VP→scheduler handoff message.
+type yieldKind int
+
+const (
+	yieldBlocked yieldKind = iota // VP parked in Block
+	yieldDead                     // VP terminated
+)
+
+// partition owns a contiguous range of VPs and executes them one at a time,
+// interleaved by virtual timestamps — the analogue of one native MPI
+// process in xSim's oversubscribed execution. With Workers > 1 the engine
+// runs partitions concurrently under conservative window synchronisation.
+type partition struct {
+	id  int
+	eng *Engine
+
+	// lo, hi delimit the owned rank range [lo, hi).
+	lo, hi int
+
+	eventQ eventHeap
+	ready  readyHeap
+
+	// yield receives the handoff when the running VP blocks or dies.
+	yield chan yieldKind
+
+	// crossOut buffers events destined for other partitions during a
+	// window; the coordinator merges them at the window barrier.
+	crossOut [][]*Event
+
+	// watermark is the virtual time of the item currently being
+	// processed; wakes and handler emissions must not go backwards past
+	// it (that would break deterministic global time order).
+	watermark vclock.Time
+
+	// seq numbers handler-context emissions (Src = partitionSrc(id)).
+	seq uint64
+
+	live int // VPs not yet dead
+
+	// events and resumes count processed work items for the engine's
+	// statistics.
+	events  uint64
+	resumes uint64
+
+	// work/done drive the worker goroutine in parallel mode.
+	work chan vclock.Time
+	done chan struct{}
+}
+
+// partitionSrc returns the deterministic event source id for handler
+// emissions from partition id (distinct from any VP rank and from
+// EngineSrc... engine events use EngineSrc=-1, partitions use -2, -3, ...).
+func partitionSrc(id int) int { return -2 - id }
+
+func (p *partition) owns(rank int) bool { return rank >= p.lo && rank < p.hi }
+
+func (p *partition) nextSeq() uint64 {
+	p.seq++
+	return p.seq
+}
+
+// localNext returns the earliest pending work item's virtual time, or
+// vclock.Never if the partition is idle. Called only between windows (or
+// before the first), when no VP is running.
+func (p *partition) localNext() vclock.Time {
+	next := vclock.Never
+	if ev := p.eventQ.peek(); ev != nil {
+		next = ev.Time
+	}
+	if re, ok := p.ready.peek(); ok && re.at < next {
+		next = re.at
+	}
+	return next
+}
+
+// processWindow processes all pending items with virtual time strictly
+// before horizon, in deterministic (time, src, seq) order, preferring
+// events over VP resumes on equal times. Items generated during the window
+// that still fall before the horizon are processed too.
+func (p *partition) processWindow(horizon vclock.Time) {
+	for {
+		ev := p.eventQ.peek()
+		re, haveReady := p.ready.peek()
+		switch {
+		case ev != nil && ev.Time < horizon && (!haveReady || ev.Time <= re.at):
+			p.eventQ.pop()
+			p.watermark = ev.Time
+			p.events++
+			p.dispatch(ev)
+		case haveReady && re.at < horizon:
+			p.ready.pop()
+			p.watermark = re.at
+			p.resumes++
+			p.resume(re.rank)
+		default:
+			return
+		}
+	}
+}
+
+// dispatch routes an event to its handler.
+func (p *partition) dispatch(ev *Event) {
+	switch ev.Kind {
+	case kindFailure:
+		p.handleFailureEvent(ev)
+		return
+	case kindTimer:
+		v := p.eng.vps[ev.Target]
+		if v.state == vpBlocked && v.sleeping && ev.Payload == v.sleepSeq {
+			p.wake(v, ev.Time, nil)
+		}
+		return
+	}
+	h := p.eng.handlers[ev.Kind]
+	if h == nil {
+		panic(fmt.Sprintf("core: no handler registered for event kind %d", ev.Kind))
+	}
+	h(&SchedCtx{eng: p.eng, part: p}, ev)
+}
+
+// handleFailureEvent activates a scheduled process failure. If the target
+// VP is blocked it is woken so that the failure activates at the scheduled
+// time; if it is ready or will run later, the time-of-failure field makes
+// the failure activate at the VP's next clock update — the actual failure
+// time is when the simulator regains control, at or after the scheduled
+// time, exactly as in the paper.
+func (p *partition) handleFailureEvent(ev *Event) {
+	v := p.eng.vps[ev.Target]
+	if v.state == vpDead {
+		return
+	}
+	if ev.Time < v.tof {
+		v.tof = ev.Time
+	}
+	if v.state == vpBlocked {
+		p.wake(v, ev.Time, nil)
+	}
+}
+
+// wake moves a blocked VP to the ready heap. at is the logical wake time;
+// the effective resume time also respects the VP's own clock and the
+// partition watermark.
+func (p *partition) wake(v *vp, at vclock.Time, val any) {
+	if v.part != p {
+		panic(fmt.Sprintf("core: partition %d woke rank %d owned by partition %d", p.id, v.rank, v.part.id))
+	}
+	if v.state != vpBlocked {
+		panic(fmt.Sprintf("core: wake of rank %d in state %d", v.rank, v.state))
+	}
+	if at < p.watermark {
+		at = p.watermark
+	}
+	v.state = vpReady
+	v.pendingWake = &wakeAction{at: at, val: val}
+	p.ready.push(readyEntry{at: vclock.Max(at, v.clock), rank: v.rank})
+}
+
+// resume hands execution to a ready VP and waits for it to block or die.
+func (p *partition) resume(rank int) {
+	v := p.eng.vps[rank]
+	act := *v.pendingWake
+	v.pendingWake = nil
+	v.wake <- act
+	if k := <-p.yield; k == yieldDead {
+		p.live--
+	}
+}
+
+// kill tears down a VP that is still alive at engine shutdown.
+func (p *partition) kill(v *vp) {
+	switch v.state {
+	case vpDead:
+		return
+	case vpBlocked, vpCreated:
+		v.wake <- wakeAction{kill: true}
+	case vpReady:
+		v.pendingWake = nil
+		v.wake <- wakeAction{kill: true}
+	default:
+		panic(fmt.Sprintf("core: kill of running rank %d", v.rank))
+	}
+	if k := <-p.yield; k != yieldDead {
+		panic("core: killed VP yielded without dying")
+	}
+	p.live--
+}
+
+// blockedReport describes the blocked VPs of this partition for deadlock
+// diagnostics.
+func (p *partition) blockedReport() []string {
+	var out []string
+	for r := p.lo; r < p.hi; r++ {
+		v := p.eng.vps[r]
+		if v.state == vpBlocked {
+			out = append(out, fmt.Sprintf("rank %d blocked at %v: %s", v.rank, v.clock, v.blockReason))
+		}
+	}
+	return out
+}
+
+// SchedCtx is the engine handle passed to event handlers. Handlers run in
+// scheduler context: no VP of this partition is executing, so the handler
+// may inspect and mutate the per-VP state of local VPs.
+type SchedCtx struct {
+	eng  *Engine
+	part *partition
+}
+
+// Now returns the virtual time of the event being processed.
+func (s *SchedCtx) Now() vclock.Time { return s.part.watermark }
+
+// N returns the total number of VPs.
+func (s *SchedCtx) N() int { return len(s.eng.vps) }
+
+// LocalRanks returns the rank range [lo, hi) owned by this partition.
+func (s *SchedCtx) LocalRanks() (lo, hi int) { return s.part.lo, s.part.hi }
+
+// Alive reports whether rank has not terminated. rank must be local.
+func (s *SchedCtx) Alive(rank int) bool { return s.local(rank).state != vpDead }
+
+// Blocked reports whether rank is parked in Block. rank must be local.
+func (s *SchedCtx) Blocked(rank int) bool { return s.local(rank).state == vpBlocked }
+
+// Clock returns rank's virtual clock. rank must be local.
+func (s *SchedCtx) Clock(rank int) vclock.Time { return s.local(rank).clock }
+
+// Data returns rank's attached per-VP state. rank must be local.
+func (s *SchedCtx) Data(rank int) any { return s.local(rank).userData }
+
+// Wake resumes a blocked local VP at virtual time at (clamped to the
+// current event time), delivering val as Block's return value.
+func (s *SchedCtx) Wake(rank int, at vclock.Time, val any) {
+	s.part.wake(s.local(rank), at, val)
+}
+
+// SetTimeOfFailure schedules rank's failure at t (earliest failure time);
+// it takes effect at the VP's next clock update. rank must be local. It
+// does not wake a blocked VP — emit a failure event via
+// Engine.ScheduleFailure (pre-run) or use Wake for that.
+func (s *SchedCtx) SetTimeOfFailure(rank int, t vclock.Time) {
+	v := s.local(rank)
+	if t < v.tof {
+		v.tof = t
+	}
+}
+
+// SetAbortAt schedules rank's unwind for a simulated MPI abort at time t;
+// it takes effect at the VP's next clock update. rank must be local.
+func (s *SchedCtx) SetAbortAt(rank int, t vclock.Time) {
+	v := s.local(rank)
+	if t < v.abortAt {
+		v.abortAt = t
+	}
+}
+
+// Emit schedules an event from handler context. Its Time must not precede
+// the current event time, and cross-partition targets must respect the
+// engine lookahead.
+func (s *SchedCtx) Emit(ev Event) {
+	if ev.Time < s.part.watermark {
+		panic(fmt.Sprintf("core: handler emitted event at %v before current time %v", ev.Time, s.part.watermark))
+	}
+	ev.Src = partitionSrc(s.part.id)
+	ev.Seq = s.part.nextSeq()
+	s.eng.route(s.part, s.part.watermark, &ev)
+}
+
+// Logf writes an informational message through the engine's logger.
+func (s *SchedCtx) Logf(format string, args ...any) {
+	s.eng.logf("[sim @ %v] %s", s.part.watermark, fmt.Sprintf(format, args...))
+}
+
+func (s *SchedCtx) local(rank int) *vp {
+	v := s.eng.vps[rank]
+	if v.part != s.part {
+		panic(fmt.Sprintf("core: partition %d accessed rank %d owned by partition %d", s.part.id, rank, v.part.id))
+	}
+	return v
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"xsim/internal/vclock"
+)
+
+// DeathReason records why a VP stopped executing.
+type DeathReason int
+
+const (
+	// DeathCompleted means the VP body returned normally.
+	DeathCompleted DeathReason = iota
+	// DeathFailed means the VP's scheduled (or self-triggered) process
+	// failure activated.
+	DeathFailed
+	// DeathAborted means the VP unwound due to a simulated MPI abort.
+	DeathAborted
+	// DeathKilled means the engine tore the VP down at shutdown (e.g.
+	// after a deadlock was detected).
+	DeathKilled
+	// DeathPanicked means the VP body panicked with a real error.
+	DeathPanicked
+)
+
+// String returns a human-readable reason.
+func (r DeathReason) String() string {
+	switch r {
+	case DeathCompleted:
+		return "completed"
+	case DeathFailed:
+		return "failed"
+	case DeathAborted:
+		return "aborted"
+	case DeathKilled:
+		return "killed"
+	case DeathPanicked:
+		return "panicked"
+	default:
+		return fmt.Sprintf("DeathReason(%d)", int(r))
+	}
+}
+
+// Unwind sentinels. VP unwinding uses panic/recover internally: the
+// sentinel propagates out of arbitrarily nested application code to the VP
+// wrapper, which classifies it. Application code must not recover() across
+// simulator calls.
+type unwindSentinel struct{ reason DeathReason }
+
+// vpState tracks where a VP is in its lifecycle.
+type vpState int
+
+const (
+	vpCreated vpState = iota // goroutine not yet started running body
+	vpRunning                // currently executing (its partition's turn)
+	vpReady                  // resumable, waiting in the ready heap
+	vpBlocked                // waiting for a Wake
+	vpDead                   // terminated
+)
+
+// wakeAction is the scheduler→VP resume message.
+type wakeAction struct {
+	at   vclock.Time // VP clock becomes max(clock, at)
+	val  any         // returned from Block
+	kill bool        // tear the VP down instead of resuming it
+}
+
+// vp is one simulated MPI process (virtual process). All fields are owned
+// by the VP's partition: they are touched either by the VP goroutine while
+// it runs (its partition's scheduler is parked) or by the partition
+// scheduler while the VP is not running.
+type vp struct {
+	rank  int
+	part  *partition
+	clock vclock.Time
+
+	// tof is the scheduled time of failure (earliest failure time); the
+	// VP actually fails at the first clock update at or after tof. Never
+	// means the VP never fails — the paper initialises this to "fail
+	// never" on startup.
+	tof vclock.Time
+	// abortAt is the time of a pending simulated MPI abort, or Never.
+	abortAt vclock.Time
+
+	state       vpState
+	blockReason string
+	wake        chan wakeAction
+	pendingWake *wakeAction // set while in the ready heap
+
+	death     DeathReason
+	deathTime vclock.Time
+	panicVal  any
+	panicMsg  string
+
+	// sleeping and sleepSeq guard Ctx.Sleep against stale timer events
+	// (a timer for a sleep the VP already left must be dropped).
+	sleeping bool
+	sleepSeq uint64
+
+	// busy accumulates virtual time spent executing (Elapse/Compute and
+	// charged I/O); waited accumulates virtual time spent blocked or
+	// advanced to operation completions. busy + waited equals the clock
+	// advance since start, which the power model turns into energy.
+	busy   vclock.Duration
+	waited vclock.Duration
+
+	// seq numbers this VP's emitted events for deterministic ordering.
+	seq uint64
+	// userData holds the higher layer's (MPI) per-VP state.
+	userData any
+}
+
+func (v *vp) nextSeq() uint64 {
+	v.seq++
+	return v.seq
+}
+
+// checkUnwind activates a pending failure or abort if the VP's clock has
+// reached it. It must be called from VP context after every clock update —
+// this is the paper's activation rule: a scheduled failure activates when
+// the targeted process executes, updates its clock, and the clock reaches
+// or passes the time of failure.
+func (v *vp) checkUnwind() {
+	failPending := v.clock >= v.tof
+	abortPending := v.clock >= v.abortAt
+	switch {
+	case failPending && abortPending:
+		// Both thresholds crossed: the earlier-scheduled one wins.
+		if v.tof <= v.abortAt {
+			panic(unwindSentinel{DeathFailed})
+		}
+		panic(unwindSentinel{DeathAborted})
+	case failPending:
+		panic(unwindSentinel{DeathFailed})
+	case abortPending:
+		panic(unwindSentinel{DeathAborted})
+	}
+}
+
+// Ctx is the simulator handle passed to application (and MPI layer) code
+// running inside a VP. All methods must be called from the VP's own
+// goroutine.
+type Ctx struct {
+	eng *Engine
+	vp  *vp
+}
+
+// Rank returns the VP's rank.
+func (c *Ctx) Rank() int { return c.vp.rank }
+
+// N returns the total number of VPs in the simulation.
+func (c *Ctx) N() int { return len(c.eng.vps) }
+
+// Now returns the VP's virtual clock. Reading the clock is a clock update
+// point: like xSim's handling of timing functions (gettimeofday), it lets
+// the simulator regain control, so a pending failure or abort activates
+// here.
+func (c *Ctx) Now() vclock.Time {
+	c.vp.checkUnwind()
+	return c.vp.clock
+}
+
+// NowQuiet returns the VP's virtual clock without giving the simulator a
+// chance to activate failures. The MPI layer uses it for internal
+// bookkeeping timestamps.
+func (c *Ctx) NowQuiet() vclock.Time { return c.vp.clock }
+
+// Elapse advances the VP's virtual clock by d, modelling computation or
+// other local activity. Negative durations are ignored. The clock update
+// is an activation point for pending failures and aborts.
+func (c *Ctx) Elapse(d vclock.Duration) {
+	if d > 0 {
+		c.vp.clock = c.vp.clock.Add(d)
+		c.vp.busy += d
+	}
+	c.vp.checkUnwind()
+}
+
+// BusyTime returns the virtual time this VP has spent executing.
+func (c *Ctx) BusyTime() vclock.Duration { return c.vp.busy }
+
+// WaitTime returns the virtual time this VP has spent blocked on
+// communication or sleeping.
+func (c *Ctx) WaitTime() vclock.Duration { return c.vp.waited }
+
+// Sleep advances the VP's virtual clock by d while yielding to the
+// simulator, unlike Elapse: events due before the deadline (message
+// arrivals, failure activations, aborts) are processed in virtual-time
+// order while the VP sleeps, so a sleeping VP fails or aborts at the
+// scheduled time rather than at the end of the phase. Use Elapse to model
+// native computation (the simulator cannot regain control mid-compute) and
+// Sleep for interruptible waiting.
+func (c *Ctx) Sleep(d vclock.Duration) {
+	v := c.vp
+	if d <= 0 {
+		v.checkUnwind()
+		return
+	}
+	v.sleepSeq++
+	c.Emit(Event{Time: v.clock.Add(d), Kind: kindTimer, Target: v.rank, Payload: v.sleepSeq})
+	v.sleeping = true
+	c.Block("sleep")
+	v.sleeping = false
+}
+
+// AdvanceTo moves the VP's clock forward to t if t is later (e.g. to the
+// completion time of an already-completed request). Like Elapse, it is an
+// activation point for pending failures and aborts.
+func (c *Ctx) AdvanceTo(t vclock.Time) {
+	if t > c.vp.clock {
+		c.vp.waited += t.Sub(c.vp.clock)
+		c.vp.clock = t
+	}
+	c.vp.checkUnwind()
+}
+
+// AbortNow unwinds this VP as part of a simulated MPI abort at its current
+// clock. It does not return.
+func (c *Ctx) AbortNow() {
+	c.vp.abortAt = c.vp.clock
+	panic(unwindSentinel{DeathAborted})
+}
+
+// Block parks the VP until a handler wakes it via SchedCtx.Wake. It
+// returns the value passed to Wake after advancing the clock to the wake
+// time; the resume is an activation point. The reason string appears in
+// deadlock reports.
+func (c *Ctx) Block(reason string) any {
+	v := c.vp
+	v.state = vpBlocked
+	v.blockReason = reason
+	v.part.yield <- yieldBlocked
+	act := <-v.wake
+	v.state = vpRunning
+	v.blockReason = ""
+	if act.kill {
+		panic(unwindSentinel{DeathKilled})
+	}
+	if act.at > v.clock {
+		v.waited += act.at.Sub(v.clock)
+		v.clock = act.at
+	}
+	v.checkUnwind()
+	return act.val
+}
+
+// Emit schedules an event. The event's Src and Seq are assigned by the
+// engine; its Time must not be before the VP's current clock, and events
+// that cross partitions must respect the engine's lookahead (Time at least
+// clock+lookahead) — both are programming errors that panic.
+func (c *Ctx) Emit(ev Event) {
+	v := c.vp
+	if ev.Time < v.clock {
+		panic(fmt.Sprintf("core: rank %d emitted event at %v before its clock %v", v.rank, ev.Time, v.clock))
+	}
+	ev.Src = v.rank
+	ev.Seq = v.nextSeq()
+	c.eng.route(v.part, v.clock, &ev)
+}
+
+// EmitBroadcast schedules one copy of ev per partition with Target set to
+// BroadcastTarget. The same lookahead rule applies for remote partitions.
+func (c *Ctx) EmitBroadcast(ev Event) {
+	v := c.vp
+	if ev.Time < v.clock {
+		panic(fmt.Sprintf("core: rank %d broadcast event at %v before its clock %v", v.rank, ev.Time, v.clock))
+	}
+	ev.Target = BroadcastTarget
+	for _, p := range c.eng.parts {
+		copyEv := ev
+		copyEv.Src = v.rank
+		copyEv.Seq = v.nextSeq()
+		c.eng.routeToPartition(v.part, v.clock, p, &copyEv)
+	}
+}
+
+// FailNow triggers an immediate process failure of this VP (used for
+// application-triggered failures such as returning from main without
+// calling Finalize, or an explicit self-injection).
+func (c *Ctx) FailNow() {
+	c.vp.tof = c.vp.clock
+	panic(unwindSentinel{DeathFailed})
+}
+
+// SetTimeOfFailure schedules this VP's own failure at t (the earliest
+// failure time). Passing vclock.Never clears a pending schedule.
+func (c *Ctx) SetTimeOfFailure(t vclock.Time) {
+	c.vp.tof = t
+	c.vp.checkUnwind()
+}
+
+// TimeOfFailure returns the VP's scheduled time of failure (vclock.Never
+// if none).
+func (c *Ctx) TimeOfFailure() vclock.Time { return c.vp.tof }
+
+// Data returns the higher layer's per-VP state attached with SetData.
+func (c *Ctx) Data() any { return c.vp.userData }
+
+// SetData attaches per-VP state for the higher layer.
+func (c *Ctx) SetData(d any) { c.vp.userData = d }
+
+// Logf writes an informational message through the engine's logger,
+// prefixed with the VP's rank and clock.
+func (c *Ctx) Logf(format string, args ...any) {
+	c.eng.logf("[rank %d @ %v] %s", c.vp.rank, c.vp.clock, fmt.Sprintf(format, args...))
+}
+
+// Lookahead returns the engine's cross-partition lookahead. Higher layers
+// must delay cross-partition events by at least this much.
+func (c *Ctx) Lookahead() vclock.Duration { return c.eng.cfg.Lookahead }
+
+// run is the VP goroutine body.
+func (v *vp) run(eng *Engine, body func(*Ctx)) {
+	act := <-v.wake // initial resume from the scheduler
+	v.state = vpRunning
+	v.clock = vclock.Max(v.clock, act.at)
+	defer func() {
+		r := recover()
+		switch s := r.(type) {
+		case nil:
+			v.death = DeathCompleted
+		case unwindSentinel:
+			v.death = s.reason
+		default:
+			v.death = DeathPanicked
+			v.panicVal = r
+			v.panicMsg = fmt.Sprintf("rank %d panicked: %v\n%s", v.rank, r, debug.Stack())
+		}
+		v.deathTime = v.clock
+		v.state = vpDead
+		if v.death != DeathKilled && eng.onDeath != nil {
+			// Death bookkeeping (dropping queued messages, broadcasting
+			// the failure notification) runs in VP context so it can
+			// emit events on the VP's behalf.
+			func() {
+				defer func() {
+					if r2 := recover(); r2 != nil {
+						v.panicMsg = fmt.Sprintf("rank %d death hook panicked: %v\n%s", v.rank, r2, debug.Stack())
+						if v.death != DeathPanicked {
+							v.death = DeathPanicked
+							v.panicVal = r2
+						}
+					}
+				}()
+				eng.onDeath(&Ctx{eng: eng, vp: v}, v.death)
+			}()
+		}
+		v.part.yield <- yieldDead
+	}()
+	if act.kill {
+		panic(unwindSentinel{DeathKilled})
+	}
+	v.checkUnwind()
+	body(&Ctx{eng: eng, vp: v})
+}

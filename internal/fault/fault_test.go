@@ -1,0 +1,191 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xsim/internal/core"
+	"xsim/internal/vclock"
+)
+
+func TestParseEmpty(t *testing.T) {
+	for _, s := range []string{"", "  ", ","} {
+		sched, err := Parse(s)
+		if err != nil || len(sched) != 0 {
+			t.Errorf("Parse(%q) = %v, %v", s, sched, err)
+		}
+	}
+}
+
+func TestParseValid(t *testing.T) {
+	sched, err := Parse(" 12@350.5, 99@1200 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 2 {
+		t.Fatalf("len = %d", len(sched))
+	}
+	if sched[0].Rank != 12 || sched[0].At != vclock.TimeFromSeconds(350.5) {
+		t.Errorf("sched[0] = %+v", sched[0])
+	}
+	if sched[1].Rank != 99 || sched[1].At != vclock.TimeFromSeconds(1200) {
+		t.Errorf("sched[1] = %+v", sched[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"12", "a@5", "1@b", "-3@5", "3@-5", "1@@2"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	orig := Schedule{{Rank: 3, At: vclock.TimeFromSeconds(1.5)}, {Rank: 0, At: 0}}
+	back, err := Parse(orig.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip length %d", len(back))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Errorf("entry %d: %+v != %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestSorted(t *testing.T) {
+	s := Schedule{{Rank: 5, At: 100}, {Rank: 1, At: 50}, {Rank: 0, At: 100}}
+	got := s.Sorted()
+	if got[0].Rank != 1 || got[1].Rank != 0 || got[2].Rank != 5 {
+		t.Errorf("sorted = %v", got)
+	}
+	// Original untouched.
+	if s[0].Rank != 5 {
+		t.Error("Sorted mutated the receiver")
+	}
+}
+
+func TestApply(t *testing.T) {
+	eng, err := core.New(core.Config{NumVPs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := Schedule{{Rank: 2, At: vclock.TimeFromSeconds(1)}}
+	if err := Apply(eng, sched); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(func(c *core.Ctx) { c.Elapse(5 * vclock.Second) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Deaths[2] != core.DeathFailed {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestApplyBadRank(t *testing.T) {
+	eng, _ := core.New(core.Config{NumVPs: 2})
+	if err := Apply(eng, Schedule{{Rank: 7, At: 0}}); err == nil {
+		t.Fatal("out-of-range rank should fail")
+	}
+}
+
+func TestRandomFailureBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	mttf := 3000 * vclock.Second
+	start := vclock.TimeFromSeconds(500)
+	for i := 0; i < 1000; i++ {
+		inj := RandomFailure(rng, 32768, mttf, start)
+		if inj.Rank < 0 || inj.Rank >= 32768 {
+			t.Fatalf("rank %d out of range", inj.Rank)
+		}
+		if inj.At < start || inj.At >= start.Add(2*mttf) {
+			t.Fatalf("time %v outside [start, start+2*MTTF)", inj.At)
+		}
+	}
+}
+
+func TestRandomFailureUniformish(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mttf := 1000 * vclock.Second
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += RandomFailure(rng, 10, mttf, 0).At.Seconds()
+	}
+	mean := sum / n
+	// Uniform over [0, 2000): mean should be near 1000 s (= the MTTF).
+	if mean < 950 || mean > 1050 {
+		t.Fatalf("mean failure time = %v, want ~1000", mean)
+	}
+}
+
+func TestRandomFailurePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []func(){
+		func() { RandomFailure(rng, 0, vclock.Second, 0) },
+		func() { RandomFailure(rng, 4, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	c := Campaign{Seed: 7, Ranks: 1024, MTTF: 3000 * vclock.Second}
+	a := c.ForRun(3, vclock.TimeFromSeconds(100))
+	b := c.ForRun(3, vclock.TimeFromSeconds(100))
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Fatalf("campaign not deterministic: %v vs %v", a, b)
+	}
+	// Different runs draw different failures (with overwhelming
+	// probability for these seeds).
+	d := c.ForRun(4, vclock.TimeFromSeconds(100))
+	if a[0] == d[0] {
+		t.Fatalf("runs 3 and 4 drew identical failures: %v", a[0])
+	}
+}
+
+func TestCampaignDisabled(t *testing.T) {
+	c := Campaign{Seed: 7, Ranks: 1024, MTTF: 0}
+	if s := c.ForRun(0, 0); s != nil {
+		t.Fatalf("disabled campaign returned %v", s)
+	}
+}
+
+func TestQuickParseSortedStable(t *testing.T) {
+	f := func(ranks []uint8, times []uint16) bool {
+		n := len(ranks)
+		if len(times) < n {
+			n = len(times)
+		}
+		var s Schedule
+		for i := 0; i < n; i++ {
+			s = append(s, Injection{Rank: int(ranks[i]), At: vclock.Time(times[i]) * vclock.Time(vclock.Second)})
+		}
+		sorted := s.Sorted()
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i].At < sorted[i-1].At {
+				return false
+			}
+			if sorted[i].At == sorted[i-1].At && sorted[i].Rank < sorted[i-1].Rank {
+				return false
+			}
+		}
+		return len(sorted) == len(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package fsmodel provides the simulated parallel file system used for
+// application-level checkpoint/restart. It has two halves:
+//
+//   - Store: the persistent contents of the simulated file system. A Store
+//     outlives individual simulation runs, so checkpoints written before an
+//     abort are visible to the restarted application — exactly like a real
+//     parallel file system outliving an application crash. Files written by
+//     a process that failed before committing remain in an incomplete state,
+//     which is how the paper's "incomplete or corrupted checkpoint" failure
+//     modes arise.
+//
+//   - Model: the cost model (metadata latency, read/write bandwidth). The
+//     paper notes its file system model was a work in progress and excludes
+//     checkpoint I/O overhead from the Table II experiments; Model therefore
+//     supports a disabled mode in which all operations are free, plus a
+//     full cost mode used by the checkpoint-I/O ablation.
+package fsmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"xsim/internal/vclock"
+)
+
+// Model is the file-system cost model. The zero Model charges no time for
+// any operation (matching the paper's Table II configuration).
+type Model struct {
+	// MetadataLatency is charged for each open, create, commit, and
+	// delete operation.
+	MetadataLatency vclock.Duration
+	// WriteBandwidth and ReadBandwidth are per-client bandwidths in
+	// bytes per second; zero means infinitely fast.
+	WriteBandwidth float64
+	ReadBandwidth  float64
+}
+
+// PaperPFS returns a plausible parallel-file-system cost model used by the
+// checkpoint-I/O ablation: 1 ms metadata operations, 1 GB/s writes and
+// 2 GB/s reads per client.
+func PaperPFS() Model {
+	return Model{
+		MetadataLatency: vclock.Millisecond,
+		WriteBandwidth:  1e9,
+		ReadBandwidth:   2e9,
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (m Model) Validate() error {
+	if m.MetadataLatency < 0 {
+		return fmt.Errorf("fsmodel: MetadataLatency must be non-negative")
+	}
+	if m.WriteBandwidth < 0 || m.ReadBandwidth < 0 {
+		return fmt.Errorf("fsmodel: bandwidths must be non-negative")
+	}
+	return nil
+}
+
+// MetadataCost returns the virtual time of one metadata operation.
+func (m Model) MetadataCost() vclock.Duration { return m.MetadataLatency }
+
+// WriteCost returns the virtual time of writing n bytes.
+func (m Model) WriteCost(n int) vclock.Duration {
+	if n <= 0 || m.WriteBandwidth == 0 {
+		return 0
+	}
+	return vclock.FromSeconds(float64(n) / m.WriteBandwidth)
+}
+
+// ReadCost returns the virtual time of reading n bytes.
+func (m Model) ReadCost(n int) vclock.Duration {
+	if n <= 0 || m.ReadBandwidth == 0 {
+		return 0
+	}
+	return vclock.FromSeconds(float64(n) / m.ReadBandwidth)
+}
+
+// file is the stored state of one simulated file.
+type file struct {
+	data     []byte
+	complete bool
+}
+
+// Store holds the persistent contents of the simulated file system. It is
+// safe for concurrent use by the parallel engine's partitions.
+type Store struct {
+	mu    sync.Mutex
+	files map[string]*file
+}
+
+// NewStore returns an empty simulated file system.
+func NewStore() *Store {
+	return &Store{files: make(map[string]*file)}
+}
+
+// Writer is an open simulated file being written. It is not safe for
+// concurrent use; each simulated process writes its own files.
+type Writer struct {
+	store *Store
+	name  string
+	buf   []byte
+	done  bool
+}
+
+// Create creates (or truncates) name and returns a Writer. The file exists
+// immediately but stays incomplete until Commit; a process failure between
+// Create and Commit therefore leaves a corrupted file behind, and a failure
+// before Create leaves the file missing — the two checkpoint failure modes
+// the paper's application distinguishes.
+func (s *Store) Create(name string) *Writer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files[name] = &file{complete: false}
+	return &Writer{store: s, name: name}
+}
+
+// Write appends p to the file. It never fails; the simulated PFS has
+// unbounded capacity.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.done {
+		return 0, fmt.Errorf("fsmodel: write to committed file %q", w.name)
+	}
+	w.buf = append(w.buf, p...)
+	w.store.mu.Lock()
+	if f, ok := w.store.files[w.name]; ok {
+		f.data = append([]byte(nil), w.buf...)
+	}
+	w.store.mu.Unlock()
+	return len(p), nil
+}
+
+// Commit marks the file complete. Further writes fail.
+func (w *Writer) Commit() error {
+	if w.done {
+		return fmt.Errorf("fsmodel: double commit of %q", w.name)
+	}
+	w.done = true
+	w.store.mu.Lock()
+	defer w.store.mu.Unlock()
+	f, ok := w.store.files[w.name]
+	if !ok {
+		return fmt.Errorf("fsmodel: commit of deleted file %q", w.name)
+	}
+	f.complete = true
+	return nil
+}
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Name returns the file's name.
+func (w *Writer) Name() string { return w.name }
+
+// ErrNotExist is returned when opening a missing file.
+var ErrNotExist = fmt.Errorf("fsmodel: file does not exist")
+
+// Open returns a copy of the file's contents and whether it was committed
+// completely. Opening a missing file returns ErrNotExist.
+func (s *Store) Open(name string) (data []byte, complete bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[name]
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %q", ErrNotExist, name)
+	}
+	return append([]byte(nil), f.data...), f.complete, nil
+}
+
+// Exists reports whether name exists (complete or not).
+func (s *Store) Exists(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.files[name]
+	return ok
+}
+
+// Complete reports whether name exists and was committed.
+func (s *Store) Complete(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[name]
+	return ok && f.complete
+}
+
+// Size returns the current size of name in bytes, or -1 if it is missing.
+func (s *Store) Size(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[name]
+	if !ok {
+		return -1
+	}
+	return len(f.data)
+}
+
+// Delete removes name. Deleting a missing file is a no-op, mirroring the
+// idempotent cleanup scripts the paper's application uses.
+func (s *Store) Delete(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.files, name)
+}
+
+// List returns the names of all files with the given prefix, sorted.
+func (s *Store) List(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var names []string
+	for name := range s.files {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of files in the store.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.files)
+}

@@ -1,0 +1,628 @@
+// Package heat implements the paper's targeted application: an iterative
+// solver for the heat equation on a regular 3-D grid, decomposed into
+// cubes distributed across the MPI ranks. Each rank performs the same
+// total number of iterations, updating every data point from its
+// neighbours; a halo exchange between neighbouring cubes runs at a
+// configurable iteration interval, and a checkpoint is written at a
+// configurable interval, followed by a global barrier after which the
+// previous checkpoint is deleted safely. On restart the application
+// automatically loads the last checkpoint (deleting corrupted ones).
+//
+// Two fidelity modes are supported:
+//
+//   - Real compute: the grid is allocated and the 7-point stencil actually
+//     runs, halo faces and checkpoints carry real data. Used by the
+//     correctness tests and small examples.
+//
+//   - Modelled compute (RealCompute=false): compute phases charge
+//     processor-model time for the same number of point updates, halos are
+//     payload-free messages of the real face sizes, and checkpoints are
+//     synthetic files of the real size. This is how the 32,768-rank
+//     experiments of the paper are reproduced on a laptop: xSim likewise
+//     scales time by a processor model rather than simulating cycles.
+package heat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"xsim/internal/checkpoint"
+	"xsim/internal/mpi"
+	"xsim/internal/vclock"
+)
+
+// Config parameterises the heat application.
+type Config struct {
+	// NX, NY, NZ is the global grid (the paper uses 512×512×512).
+	NX, NY, NZ int
+	// PX, PY, PZ is the process grid (the paper uses 32×32×32); the
+	// product must equal the world size and each dimension must divide
+	// the corresponding grid dimension.
+	PX, PY, PZ int
+	// Iterations is the total iteration count (the paper uses 1,000).
+	Iterations int
+	// ExchangeInterval is the halo-exchange interval in iterations. The
+	// paper sets it equal to the checkpoint interval so a halo exchange
+	// takes place right before a checkpoint.
+	ExchangeInterval int
+	// CheckpointInterval is the checkpoint interval in iterations; the
+	// final iteration always writes a checkpoint (the baseline run's
+	// single result checkpoint).
+	CheckpointInterval int
+	// Prefix names the checkpoint files (default "heat").
+	Prefix string
+	// RealCompute selects real grids and stencils over modelled time.
+	RealCompute bool
+	// PointCost is the modelled work per point update in reference-core
+	// cycles; see PaperWorkload for the calibration.
+	PointCost float64
+	// Alpha is the diffusion coefficient of the explicit update (real
+	// compute mode); stability requires Alpha <= 1/6.
+	Alpha float64
+	// Tracker, when set, records per-rank progress and phases for the
+	// failure-mode analysis (§V-D of the paper).
+	Tracker *Tracker
+	// OnFinal, when set, receives each rank's total heat after the last
+	// iteration (real compute mode only) — used by correctness tests and
+	// examples to check conservation.
+	OnFinal func(rank int, totalHeat float64)
+	// ProactiveTrigger, when non-zero, makes every rank write one extra
+	// off-interval checkpoint at the first iteration boundary at or past
+	// this virtual time — proactive fault tolerance driven by a failure
+	// predictor (the campaign sets it to the predicted failure time
+	// minus the prediction lead). vclock.Never means "proactive mode
+	// without a trigger this run": no extra checkpoint is written, but
+	// restarts still consider the off-cadence checkpoints earlier runs
+	// may have left behind.
+	ProactiveTrigger vclock.Time
+}
+
+// PaperWorkload returns the paper's Table II workload: a 512³ grid over
+// 32,768 ranks in 32³ cubes (16³ points per rank), 1,000 iterations,
+// modelled compute. PointCost is calibrated so one iteration takes about
+// 5.25 simulated seconds on the paper's processor model (a node 1000×
+// slower than a 1.7 GHz Opteron core), matching the paper's no-failure
+// baseline of 5,248 s for 1,000 iterations.
+func PaperWorkload() Config {
+	return Config{
+		NX: 512, NY: 512, NZ: 512,
+		PX: 32, PY: 32, PZ: 32,
+		Iterations:         1000,
+		ExchangeInterval:   1000,
+		CheckpointInterval: 1000,
+		Prefix:             "heat",
+		PointCost:          2178, // 4096 points × 2178 cycles / 1.7e6 Hz ≈ 5.25 s/iteration
+		Alpha:              1.0 / 6.0,
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (c *Config) Validate(worldSize int) error {
+	if c.NX <= 0 || c.NY <= 0 || c.NZ <= 0 {
+		return fmt.Errorf("heat: grid %dx%dx%d must be positive", c.NX, c.NY, c.NZ)
+	}
+	if c.PX <= 0 || c.PY <= 0 || c.PZ <= 0 {
+		return fmt.Errorf("heat: process grid %dx%dx%d must be positive", c.PX, c.PY, c.PZ)
+	}
+	if c.PX*c.PY*c.PZ != worldSize {
+		return fmt.Errorf("heat: process grid %dx%dx%d needs %d ranks, world has %d",
+			c.PX, c.PY, c.PZ, c.PX*c.PY*c.PZ, worldSize)
+	}
+	if c.NX%c.PX != 0 || c.NY%c.PY != 0 || c.NZ%c.PZ != 0 {
+		return fmt.Errorf("heat: grid %dx%dx%d not divisible by process grid %dx%dx%d",
+			c.NX, c.NY, c.NZ, c.PX, c.PY, c.PZ)
+	}
+	if c.Iterations <= 0 {
+		return fmt.Errorf("heat: Iterations must be positive")
+	}
+	if c.ExchangeInterval <= 0 || c.CheckpointInterval <= 0 {
+		return fmt.Errorf("heat: intervals must be positive")
+	}
+	if c.PointCost < 0 {
+		return fmt.Errorf("heat: PointCost must be non-negative")
+	}
+	if c.RealCompute && (c.Alpha <= 0 || c.Alpha > 1.0/6.0) {
+		return fmt.Errorf("heat: Alpha %g outside stable range (0, 1/6]", c.Alpha)
+	}
+	return nil
+}
+
+// Local returns the per-rank cube dimensions.
+func (c *Config) Local() (nx, ny, nz int) {
+	return c.NX / c.PX, c.NY / c.PY, c.NZ / c.PZ
+}
+
+// PointsPerRank returns the number of grid points each rank owns.
+func (c *Config) PointsPerRank() int {
+	nx, ny, nz := c.Local()
+	return nx * ny * nz
+}
+
+// CheckpointBytes returns the per-rank checkpoint payload size: the cube's
+// data points as float64 plus the application configuration the paper's
+// checkpoint includes.
+func (c *Config) CheckpointBytes() int { return 8*c.PointsPerRank() + 64 }
+
+// prefix returns the configured or default checkpoint prefix.
+func (c *Config) prefix() string {
+	if c.Prefix == "" {
+		return "heat"
+	}
+	return c.Prefix
+}
+
+// checkpointIterations returns every iteration at which this
+// configuration writes a checkpoint, ascending.
+func (c *Config) checkpointIterations() []int {
+	var out []int
+	for it := c.CheckpointInterval; it <= c.Iterations; it += c.CheckpointInterval {
+		out = append(out, it)
+	}
+	if len(out) == 0 || out[len(out)-1] != c.Iterations {
+		out = append(out, c.Iterations)
+	}
+	return out
+}
+
+// Phase identifies where in its cycle a rank currently is; the paper's
+// "first impressions" analysis classifies failures and detections by
+// phase (computation, halo exchange, checkpoint, barrier, delete).
+type Phase int32
+
+// Application phases.
+const (
+	PhaseInit Phase = iota
+	PhaseCompute
+	PhaseHalo
+	PhaseCheckpoint
+	PhaseBarrier
+	PhaseDelete
+	PhaseDone
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseInit:
+		return "init"
+	case PhaseCompute:
+		return "compute"
+	case PhaseHalo:
+		return "halo-exchange"
+	case PhaseCheckpoint:
+		return "checkpoint"
+	case PhaseBarrier:
+		return "barrier"
+	case PhaseDelete:
+		return "delete-old-checkpoint"
+	case PhaseDone:
+		return "done"
+	default:
+		return fmt.Sprintf("Phase(%d)", int32(p))
+	}
+}
+
+// Tracker records per-rank progress across a run. Each rank writes only
+// its own slots while the simulation runs; read it after Run returns.
+type Tracker struct {
+	phases    []Phase
+	iters     []int
+	ckpts     []int
+	startIter []int
+}
+
+// NewTracker sizes a tracker for n ranks.
+func NewTracker(n int) *Tracker {
+	return &Tracker{
+		phases:    make([]Phase, n),
+		iters:     make([]int, n),
+		ckpts:     make([]int, n),
+		startIter: make([]int, n),
+	}
+}
+
+// PhaseOf returns the last phase rank entered.
+func (t *Tracker) PhaseOf(rank int) Phase { return t.phases[rank] }
+
+// IterOf returns the last iteration rank started.
+func (t *Tracker) IterOf(rank int) int { return t.iters[rank] }
+
+// CheckpointsOf returns the checkpoints rank completed.
+func (t *Tracker) CheckpointsOf(rank int) int { return t.ckpts[rank] }
+
+// StartIterOf returns the iteration rank restarted from (0 = fresh).
+func (t *Tracker) StartIterOf(rank int) int { return t.startIter[rank] }
+
+// PhaseCounts histograms the ranks' last phases.
+func (t *Tracker) PhaseCounts() map[Phase]int {
+	out := make(map[Phase]int)
+	for _, p := range t.phases {
+		out[p]++
+	}
+	return out
+}
+
+func (t *Tracker) setPhase(rank int, p Phase) {
+	if t != nil {
+		t.phases[rank] = p
+	}
+}
+
+// Run executes the heat application inside one simulated MPI process. It
+// is the paper's application loop: restart from the last valid checkpoint
+// if one exists, then iterate with compute, halo-exchange, checkpoint,
+// barrier and delete phases, and finalise cleanly.
+func Run(env *mpi.Env, cfg Config) {
+	if err := cfg.Validate(env.Size()); err != nil {
+		panic(err)
+	}
+	world := env.World()
+	rank := env.Rank()
+	tr := cfg.Tracker
+	tr.setPhase(rank, PhaseInit)
+
+	fs, err := checkpoint.NewFS(env)
+	if err != nil {
+		panic(err)
+	}
+	st := newState(&cfg, rank)
+
+	// Restart support: load the newest valid checkpoint, deleting any
+	// corrupted ones encountered (the cleanup script outside the
+	// simulation already removed incomplete sets). The candidate
+	// iterations follow from the checkpoint cadence, so each rank probes
+	// them directly instead of scanning the store.
+	startIter := 0
+	candidates := cfg.checkpointIterations()
+	if cfg.ProactiveTrigger > 0 {
+		// Proactive checkpoints land off the regular cadence, so every
+		// iteration is a restart candidate.
+		candidates = make([]int, cfg.Iterations)
+		for i := range candidates {
+			candidates[i] = i + 1
+		}
+	}
+	if it, ok := fs.LatestValidAmong(cfg.prefix(), rank, candidates); ok {
+		if cfg.RealCompute {
+			_, payload, err := fs.Read(cfg.prefix(), it, rank)
+			if err != nil {
+				panic(fmt.Sprintf("heat: rank %d cannot reload checkpoint %d: %v", rank, it, err))
+			}
+			st.restore(payload)
+		} else {
+			env.Elapse(env.FSModel().ReadCost(cfg.CheckpointBytes()))
+		}
+		startIter = it
+	}
+	if tr != nil {
+		tr.startIter[rank] = startIter
+	}
+	prevCkpt := startIter // previous checkpoint iteration (0 = none)
+
+	// Initialise the ghost layers of the (initial or restored) state so
+	// the first computation phase sees its neighbours' boundaries.
+	tr.setPhase(rank, PhaseHalo)
+	st.haloExchange(env, world)
+
+	proactiveDone := false
+	for iter := startIter + 1; iter <= cfg.Iterations; iter++ {
+		if tr != nil {
+			tr.iters[rank] = iter
+		}
+		tr.setPhase(rank, PhaseCompute)
+		st.computeIteration(env)
+
+		if iter%cfg.ExchangeInterval == 0 || iter == cfg.Iterations {
+			tr.setPhase(rank, PhaseHalo)
+			st.haloExchange(env, world)
+		}
+		// Proactive fault tolerance: a failure predictor fired, so write
+		// an extra checkpoint now to minimise the progress a restart
+		// would lose.
+		proactive := cfg.ProactiveTrigger > 0 && !proactiveDone &&
+			env.Now() >= cfg.ProactiveTrigger
+		if proactive {
+			proactiveDone = true
+		}
+		if proactive || iter%cfg.CheckpointInterval == 0 || iter == cfg.Iterations {
+			tr.setPhase(rank, PhaseCheckpoint)
+			meta := checkpoint.Meta{Iteration: iter, Rank: rank}
+			if cfg.RealCompute {
+				err = fs.Write(cfg.prefix(), meta, st.encode())
+			} else {
+				err = fs.WriteSized(cfg.prefix(), meta, cfg.CheckpointBytes())
+			}
+			if err != nil {
+				panic(fmt.Sprintf("heat: rank %d checkpoint %d: %v", rank, iter, err))
+			}
+			// A global barrier synchronises all processes so the
+			// previous checkpoint can be deleted safely.
+			tr.setPhase(rank, PhaseBarrier)
+			if err := world.Barrier(); err != nil {
+				panic(fmt.Sprintf("heat: rank %d barrier after checkpoint %d: %v", rank, iter, err))
+			}
+			tr.setPhase(rank, PhaseDelete)
+			if prevCkpt > 0 && prevCkpt != iter {
+				fs.Delete(cfg.prefix(), prevCkpt, rank)
+			}
+			if tr != nil {
+				tr.ckpts[rank]++
+			}
+			prevCkpt = iter
+		}
+	}
+	tr.setPhase(rank, PhaseDone)
+	if cfg.OnFinal != nil && cfg.RealCompute {
+		cfg.OnFinal(rank, st.TotalHeat())
+	}
+	env.Finalize()
+}
+
+// state holds one rank's grid (real mode) or just its geometry (modelled
+// mode).
+type state struct {
+	cfg        *Config
+	rank       int
+	px, py, pz int // this rank's coordinates in the process grid
+	nx, ny, nz int // local cube dimensions
+	cur, next  []float64
+}
+
+// newState builds the per-rank state; real mode initialises the grid with
+// a deterministic hot spot per rank so heat actually flows.
+func newState(cfg *Config, rank int) *state {
+	nx, ny, nz := cfg.Local()
+	s := &state{cfg: cfg, rank: rank, nx: nx, ny: ny, nz: nz}
+	s.px = rank % cfg.PX
+	s.py = (rank / cfg.PX) % cfg.PY
+	s.pz = rank / (cfg.PX * cfg.PY)
+	if cfg.RealCompute {
+		// Ghost layers on every side: (nx+2)(ny+2)(nz+2).
+		n := (nx + 2) * (ny + 2) * (nz + 2)
+		s.cur = make([]float64, n)
+		s.next = make([]float64, n)
+		s.cur[s.idx(1+rank%nx, 1+rank%ny, 1+rank%nz)] = 1000
+	}
+	return s
+}
+
+// idx addresses the ghosted local grid; interior points are 1..n.
+func (s *state) idx(i, j, k int) int {
+	return i + j*(s.nx+2) + k*(s.nx+2)*(s.ny+2)
+}
+
+// neighbor returns the world rank of the process-grid neighbour in the
+// given direction (periodic).
+func (s *state) neighbor(dx, dy, dz int) int {
+	cfg := s.cfg
+	x := (s.px + dx + cfg.PX) % cfg.PX
+	y := (s.py + dy + cfg.PY) % cfg.PY
+	z := (s.pz + dz + cfg.PZ) % cfg.PZ
+	return x + y*cfg.PX + z*cfg.PX*cfg.PY
+}
+
+// computeIteration runs (or models) one stencil sweep over the cube.
+func (s *state) computeIteration(env *mpi.Env) {
+	env.Compute(float64(s.cfg.PointsPerRank()) * s.cfg.PointCost)
+	if !s.cfg.RealCompute {
+		return
+	}
+	a := s.cfg.Alpha
+	for k := 1; k <= s.nz; k++ {
+		for j := 1; j <= s.ny; j++ {
+			for i := 1; i <= s.nx; i++ {
+				c := s.idx(i, j, k)
+				u := s.cur[c]
+				s.next[c] = u + a*(s.cur[c-1]+s.cur[c+1]+
+					s.cur[c-(s.nx+2)]+s.cur[c+(s.nx+2)]+
+					s.cur[c-(s.nx+2)*(s.ny+2)]+s.cur[c+(s.nx+2)*(s.ny+2)]-6*u)
+			}
+		}
+	}
+	s.cur, s.next = s.next, s.cur
+}
+
+// direction describes one of the six halo faces.
+type direction struct {
+	dx, dy, dz int
+	tag        int
+}
+
+// directions lists the six face exchanges; tags pair opposite directions
+// so a rank's send in +x matches its neighbour's receive in -x.
+var directions = []direction{
+	{+1, 0, 0, 0}, {-1, 0, 0, 1},
+	{0, +1, 0, 2}, {0, -1, 0, 3},
+	{0, 0, +1, 4}, {0, 0, -1, 5},
+}
+
+// oppositeTag returns the tag the neighbour uses for the reverse direction.
+func oppositeTag(tag int) int { return tag ^ 1 }
+
+// faceSize returns the byte size of the face payload in a direction.
+func (s *state) faceSize(d direction) int {
+	switch {
+	case d.dx != 0:
+		return 8 * s.ny * s.nz
+	case d.dy != 0:
+		return 8 * s.nx * s.nz
+	default:
+		return 8 * s.nx * s.ny
+	}
+}
+
+// haloExchange swaps boundary faces with the six neighbours: receives are
+// posted first, then sends, then everything completes — the standard
+// deadlock-free pattern. In modelled mode the messages carry sizes only.
+func (s *state) haloExchange(env *mpi.Env, world *mpi.Comm) {
+	reqs := make([]*mpi.Request, 0, 12)
+	recvs := make([]*mpi.Request, 0, 6)
+	for _, d := range directions {
+		req, err := world.Irecv(s.neighbor(d.dx, d.dy, d.dz), oppositeTag(d.tag))
+		if err != nil {
+			panic(fmt.Sprintf("heat: halo irecv: %v", err))
+		}
+		recvs = append(recvs, req)
+		reqs = append(reqs, req)
+	}
+	for _, d := range directions {
+		var req *mpi.Request
+		var err error
+		if s.cfg.RealCompute {
+			req, err = world.Isend(s.neighbor(d.dx, d.dy, d.dz), d.tag, s.packFace(d))
+		} else {
+			req, err = world.IsendN(s.neighbor(d.dx, d.dy, d.dz), d.tag, s.faceSize(d))
+		}
+		if err != nil {
+			panic(fmt.Sprintf("heat: halo isend: %v", err))
+		}
+		reqs = append(reqs, req)
+	}
+	if err := world.Waitall(reqs); err != nil {
+		panic(fmt.Sprintf("heat: halo waitall: %v", err))
+	}
+	if s.cfg.RealCompute {
+		for i, d := range directions {
+			msg, err := world.Wait(recvs[i])
+			if err != nil {
+				panic(fmt.Sprintf("heat: halo wait: %v", err))
+			}
+			s.unpackFace(d, msg.Data)
+		}
+	}
+}
+
+// packFace serialises the boundary layer the neighbour in direction d
+// needs (this rank's outermost interior plane facing d).
+func (s *state) packFace(d direction) []byte {
+	buf := make([]byte, 0, s.faceSize(d))
+	put := func(v float64) []byte {
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	switch {
+	case d.dx != 0:
+		i := 1
+		if d.dx > 0 {
+			i = s.nx
+		}
+		for k := 1; k <= s.nz; k++ {
+			for j := 1; j <= s.ny; j++ {
+				buf = put(s.cur[s.idx(i, j, k)])
+			}
+		}
+	case d.dy != 0:
+		j := 1
+		if d.dy > 0 {
+			j = s.ny
+		}
+		for k := 1; k <= s.nz; k++ {
+			for i := 1; i <= s.nx; i++ {
+				buf = put(s.cur[s.idx(i, j, k)])
+			}
+		}
+	default:
+		k := 1
+		if d.dz > 0 {
+			k = s.nz
+		}
+		for j := 1; j <= s.ny; j++ {
+			for i := 1; i <= s.nx; i++ {
+				buf = put(s.cur[s.idx(i, j, k)])
+			}
+		}
+	}
+	return buf
+}
+
+// unpackFace stores a received face into the ghost layer on the side the
+// message came from. The neighbour in direction d sent its face toward us,
+// so it fills our ghost plane on that side.
+func (s *state) unpackFace(d direction, data []byte) {
+	get := func(n int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(data[8*n:]))
+	}
+	n := 0
+	switch {
+	case d.dx != 0:
+		i := 0
+		if d.dx > 0 {
+			i = s.nx + 1
+		}
+		for k := 1; k <= s.nz; k++ {
+			for j := 1; j <= s.ny; j++ {
+				s.cur[s.idx(i, j, k)] = get(n)
+				n++
+			}
+		}
+	case d.dy != 0:
+		j := 0
+		if d.dy > 0 {
+			j = s.ny + 1
+		}
+		for k := 1; k <= s.nz; k++ {
+			for i := 1; i <= s.nx; i++ {
+				s.cur[s.idx(i, j, k)] = get(n)
+				n++
+			}
+		}
+	default:
+		k := 0
+		if d.dz > 0 {
+			k = s.nz + 1
+		}
+		for j := 1; j <= s.ny; j++ {
+			for i := 1; i <= s.nx; i++ {
+				s.cur[s.idx(i, j, k)] = get(n)
+				n++
+			}
+		}
+	}
+}
+
+// encode serialises the interior grid for a checkpoint (configuration
+// header plus the current data, per the paper).
+func (s *state) encode() []byte {
+	buf := make([]byte, 0, 8*s.cfg.PointsPerRank()+64)
+	for _, v := range []int{s.cfg.NX, s.cfg.NY, s.cfg.NZ, s.cfg.PX, s.cfg.PY, s.cfg.PZ, s.rank, s.cfg.Iterations} {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	for k := 1; k <= s.nz; k++ {
+		for j := 1; j <= s.ny; j++ {
+			for i := 1; i <= s.nx; i++ {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.cur[s.idx(i, j, k)]))
+			}
+		}
+	}
+	return buf
+}
+
+// restore loads a checkpoint payload produced by encode.
+func (s *state) restore(payload []byte) {
+	if len(payload) != 64+8*s.cfg.PointsPerRank() {
+		panic(fmt.Sprintf("heat: checkpoint payload is %d bytes, want %d", len(payload), 64+8*s.cfg.PointsPerRank()))
+	}
+	off := 64
+	for k := 1; k <= s.nz; k++ {
+		for j := 1; j <= s.ny; j++ {
+			for i := 1; i <= s.nx; i++ {
+				s.cur[s.idx(i, j, k)] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+				off += 8
+			}
+		}
+	}
+}
+
+// TotalHeat sums the interior grid (a conserved quantity under the
+// periodic stencil); the correctness tests check it.
+func (s *state) TotalHeat() float64 {
+	var sum float64
+	for k := 1; k <= s.nz; k++ {
+		for j := 1; j <= s.ny; j++ {
+			for i := 1; i <= s.nx; i++ {
+				sum += s.cur[s.idx(i, j, k)]
+			}
+		}
+	}
+	return sum
+}

@@ -1,0 +1,110 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"xsim/internal/core"
+	"xsim/internal/procmodel"
+	"xsim/internal/vclock"
+)
+
+// benchWorld builds an n-rank world for benchmarking.
+func benchWorld(b *testing.B, n int) *World {
+	b.Helper()
+	eng, err := core.New(core.Config{NumVPs: n})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := NewWorld(eng, WorldConfig{Net: testNet(n), Proc: procmodel.Paper()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkSendRecv measures simulated point-to-point throughput through
+// the full stack (matching, protocol selection, virtual-time accounting).
+func BenchmarkSendRecv(b *testing.B) {
+	msgs := b.N
+	w := benchWorld(b, 2)
+	b.ResetTimer()
+	if _, err := w.Run(func(e *Env) {
+		defer e.Finalize()
+		c := e.World()
+		for i := 0; i < msgs; i++ {
+			if e.Rank() == 0 {
+				if err := c.SendN(1, 0, 64); err != nil {
+					b.Error(err)
+				}
+			} else {
+				if _, err := c.Recv(0, 0); err != nil {
+					b.Error(err)
+				}
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBarrier measures the linear barrier at several scales (one
+// barrier per iteration).
+func BenchmarkBarrier(b *testing.B) {
+	for _, n := range []int{16, 256, 1024} {
+		b.Run(fmt.Sprintf("ranks=%d", n), func(b *testing.B) {
+			rounds := b.N
+			w := benchWorld(b, n)
+			b.ResetTimer()
+			if _, err := w.Run(func(e *Env) {
+				defer e.Finalize()
+				for i := 0; i < rounds; i++ {
+					if err := e.World().Barrier(); err != nil {
+						b.Error(err)
+					}
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkUnexpectedMatching measures the indexed unexpected-queue path:
+// many queued envelopes, receives posted afterwards.
+func BenchmarkUnexpectedMatching(b *testing.B) {
+	const queued = 512
+	iters := b.N
+	w := benchWorld(b, 2)
+	b.ResetTimer()
+	if _, err := w.Run(func(e *Env) {
+		defer e.Finalize()
+		c := e.World()
+		for i := 0; i < iters; i++ {
+			if e.Rank() == 0 {
+				for m := 0; m < queued; m++ {
+					if _, err := c.IsendN(1, m%8, 16); err != nil {
+						b.Error(err)
+					}
+				}
+				// Per-iteration ack keeps the unexpected queue bounded.
+				if _, err := c.Recv(1, 100); err != nil {
+					b.Error(err)
+				}
+			} else {
+				e.Sleep(vclock.Millisecond)
+				for m := 0; m < queued; m++ {
+					if _, err := c.Recv(0, m%8); err != nil {
+						b.Error(err)
+					}
+				}
+				if err := c.SendN(0, 100, 0); err != nil {
+					b.Error(err)
+				}
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(queued*iters)/b.Elapsed().Seconds(), "matches/s")
+}

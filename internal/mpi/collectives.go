@@ -1,0 +1,482 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Internal collective tags live in the negative tag space so they never
+// collide with application tags (which must be non-negative).
+const (
+	tagBarrierIn = -10 - iota
+	tagBarrierOut
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+	tagAlltoall
+	tagAllgather
+	// TagULFMBase is the first internal tag available to the ULFM
+	// extension package.
+	TagULFMBase = -100
+)
+
+// sendTag performs a blocking internal send (raw error, no handler).
+func (c *Comm) sendTag(dst, tag, size int, data []byte) error {
+	return c.env.wait(c.isendTag(dst, tag, size, data))
+}
+
+// recvTag performs a blocking internal receive (raw error, no handler).
+func (c *Comm) recvTag(src, tag int) (*Message, error) {
+	req := c.irecvTag(src, tag)
+	if err := c.env.wait(req); err != nil {
+		return nil, err
+	}
+	return req.msg, nil
+}
+
+// Barrier blocks until every member reaches it. With the paper's linear
+// algorithm, every rank reports to rank 0, which then releases every rank;
+// a failure anywhere is detected here by timeout — the paper's "failure
+// during the checkpoint phase is detected in the following barrier".
+func (c *Comm) Barrier() error { return c.handleError(c.barrier()) }
+
+func (c *Comm) barrier() error {
+	if err := c.checkRevoked("barrier"); err != nil {
+		return err
+	}
+	c.env.chargeCall()
+	if c.Size() == 1 {
+		return nil
+	}
+	if c.env.w.cfg.Collectives == Tree {
+		// A zero-byte reduce-to-0 followed by a broadcast.
+		if err := c.treeGatherSignal(tagBarrierIn); err != nil {
+			return err
+		}
+		return c.treeBcastSignal(tagBarrierOut)
+	}
+	n := c.Size()
+	if c.rank == 0 {
+		for r := 1; r < n; r++ {
+			if _, err := c.recvTag(r, tagBarrierIn); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < n; r++ {
+			if err := c.sendTag(r, tagBarrierOut, 0, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.sendTag(0, tagBarrierIn, 0, nil); err != nil {
+		return err
+	}
+	_, err := c.recvTag(0, tagBarrierOut)
+	return err
+}
+
+// Bcast broadcasts root's data to every member; every rank returns the
+// broadcast payload. Non-root callers pass nil.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	out, err := c.bcast(root, data, len(data), tagBcast)
+	return out, c.handleError(err)
+}
+
+func (c *Comm) bcast(root int, data []byte, size, tag int) ([]byte, error) {
+	if err := c.checkRevoked("bcast"); err != nil {
+		return nil, err
+	}
+	c.env.chargeCall()
+	if c.Size() == 1 {
+		return data, nil
+	}
+	if c.env.w.cfg.Collectives == Tree {
+		return c.treeBcast(root, data, size, tag)
+	}
+	if c.rank == root {
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.sendTag(r, tag, size, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	msg, err := c.recvTag(root, tag)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Data, nil
+}
+
+// ReduceOp folds src into dst elementwise; both slices have equal length.
+type ReduceOp func(dst, src []float64)
+
+// Predefined reduction operations.
+var (
+	// OpSum adds elementwise.
+	OpSum ReduceOp = func(dst, src []float64) {
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	}
+	// OpMax takes the elementwise maximum.
+	OpMax ReduceOp = func(dst, src []float64) {
+		for i := range dst {
+			dst[i] = math.Max(dst[i], src[i])
+		}
+	}
+	// OpMin takes the elementwise minimum.
+	OpMin ReduceOp = func(dst, src []float64) {
+		for i := range dst {
+			dst[i] = math.Min(dst[i], src[i])
+		}
+	}
+)
+
+// Reduce folds every member's contribution at root with op. The root
+// returns the reduction, others return nil.
+func (c *Comm) Reduce(root int, contrib []float64, op ReduceOp) ([]float64, error) {
+	out, err := c.reduce(root, contrib, op)
+	return out, c.handleError(err)
+}
+
+func (c *Comm) reduce(root int, contrib []float64, op ReduceOp) ([]float64, error) {
+	if err := c.checkRevoked("reduce"); err != nil {
+		return nil, err
+	}
+	c.env.chargeCall()
+	if c.Size() == 1 {
+		return append([]float64(nil), contrib...), nil
+	}
+	if c.env.w.cfg.Collectives == Tree {
+		return c.treeReduce(root, contrib, op)
+	}
+	if c.rank != root {
+		return nil, c.sendTag(root, tagReduce, 8*len(contrib), encodeF64s(contrib))
+	}
+	acc := append([]float64(nil), contrib...)
+	// Linear: fold contributions in rank order, which keeps the result
+	// deterministic even for non-associative floating-point ops.
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		msg, err := c.recvTag(r, tagReduce)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := decodeF64s(msg.Data, len(contrib))
+		if err != nil {
+			return nil, err
+		}
+		op(acc, vals)
+	}
+	return acc, nil
+}
+
+// treeReduce folds contributions along a binomial tree rooted at root.
+// The fold order differs from the linear algorithm's, so results for
+// non-associative floating-point operations may differ in the last bits —
+// the usual MPI caveat.
+func (c *Comm) treeReduce(root int, contrib []float64, op ReduceOp) ([]float64, error) {
+	n := c.Size()
+	vrank := (c.rank - root + n) % n
+	acc := append([]float64(nil), contrib...)
+	for mask := 1; mask < n; mask <<= 1 {
+		if vrank&mask != 0 {
+			parent := (vrank - mask + root) % n
+			return nil, c.sendTag(parent, tagReduce, 8*len(acc), encodeF64s(acc))
+		}
+		if child := vrank | mask; child < n {
+			msg, err := c.recvTag((child+root)%n, tagReduce)
+			if err != nil {
+				return nil, err
+			}
+			vals, err := decodeF64s(msg.Data, len(acc))
+			if err != nil {
+				return nil, err
+			}
+			op(acc, vals)
+		}
+	}
+	return acc, nil
+}
+
+// Allreduce folds every member's contribution and distributes the result
+// to every member (implemented as a reduce to rank 0 plus a broadcast,
+// matching linear-algorithm MPI implementations).
+func (c *Comm) Allreduce(contrib []float64, op ReduceOp) ([]float64, error) {
+	out, err := c.allreduce(contrib, op)
+	return out, c.handleError(err)
+}
+
+func (c *Comm) allreduce(contrib []float64, op ReduceOp) ([]float64, error) {
+	acc, err := c.reduce(0, contrib, op)
+	if err != nil {
+		return nil, err
+	}
+	var buf []byte
+	if c.rank == 0 {
+		buf = encodeF64s(acc)
+	}
+	buf, err = c.bcast(0, buf, 8*len(contrib), tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	return decodeF64s(buf, len(contrib))
+}
+
+// Gather collects every member's data at root in rank order. The root
+// returns one slice per rank, others return nil.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	out, err := c.gather(root, data, tagGather)
+	return out, c.handleError(err)
+}
+
+func (c *Comm) gather(root int, data []byte, tag int) ([][]byte, error) {
+	if err := c.checkRevoked("gather"); err != nil {
+		return nil, err
+	}
+	c.env.chargeCall()
+	if c.rank != root {
+		return nil, c.sendTag(root, tag, len(data), data)
+	}
+	out := make([][]byte, c.Size())
+	out[root] = append([]byte(nil), data...)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		msg, err := c.recvTag(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = msg.Data
+	}
+	return out, nil
+}
+
+// Scatter distributes parts[i] from root to rank i; every rank returns its
+// part. Non-root callers pass nil.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	out, err := c.scatter(root, parts)
+	return out, c.handleError(err)
+}
+
+func (c *Comm) scatter(root int, parts [][]byte) ([]byte, error) {
+	if err := c.checkRevoked("scatter"); err != nil {
+		return nil, err
+	}
+	c.env.chargeCall()
+	if c.rank == root {
+		if len(parts) != c.Size() {
+			return nil, fmt.Errorf("mpi: scatter needs %d parts, got %d", c.Size(), len(parts))
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.sendTag(r, tagScatter, len(parts[r]), parts[r]); err != nil {
+				return nil, err
+			}
+		}
+		return append([]byte(nil), parts[root]...), nil
+	}
+	msg, err := c.recvTag(root, tagScatter)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Data, nil
+}
+
+// Allgather collects every member's data at every member, in rank order
+// (gather to rank 0 plus a broadcast of the framed result).
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	out, err := c.allgather(data)
+	return out, c.handleError(err)
+}
+
+func (c *Comm) allgather(data []byte) ([][]byte, error) {
+	parts, err := c.gather(0, data, tagAllgather)
+	if err != nil {
+		return nil, err
+	}
+	var framed []byte
+	if c.rank == 0 {
+		framed = frame(parts)
+	}
+	framed, err = c.bcast(0, framed, len(framed), tagAllgather)
+	if err != nil {
+		return nil, err
+	}
+	return unframe(framed)
+}
+
+// Alltoall sends parts[i] to rank i and returns one received slice per
+// rank. Receives are posted before sends so the exchange cannot deadlock
+// under the rendezvous protocol.
+func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
+	out, err := c.alltoall(parts)
+	return out, c.handleError(err)
+}
+
+func (c *Comm) alltoall(parts [][]byte) ([][]byte, error) {
+	if err := c.checkRevoked("alltoall"); err != nil {
+		return nil, err
+	}
+	c.env.chargeCall()
+	if len(parts) != c.Size() {
+		return nil, fmt.Errorf("mpi: alltoall needs %d parts, got %d", c.Size(), len(parts))
+	}
+	n := c.Size()
+	recvs := make([]*Request, 0, n-1)
+	reqs := make([]*Request, 0, 2*(n-1))
+	for r := 0; r < n; r++ {
+		if r == c.rank {
+			continue
+		}
+		req := c.irecvTag(r, tagAlltoall)
+		recvs = append(recvs, req)
+		reqs = append(reqs, req)
+	}
+	for r := 0; r < n; r++ {
+		if r == c.rank {
+			continue
+		}
+		reqs = append(reqs, c.isendTag(r, tagAlltoall, len(parts[r]), parts[r]))
+	}
+	if err := c.env.wait(reqs...); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, n)
+	out[c.rank] = append([]byte(nil), parts[c.rank]...)
+	i := 0
+	for r := 0; r < n; r++ {
+		if r == c.rank {
+			continue
+		}
+		out[r] = recvs[i].msg.Data
+		i++
+	}
+	return out, nil
+}
+
+// --- Binomial-tree algorithms (collective-algorithm ablation) -----------
+
+// treeBcast broadcasts along a binomial tree rooted at root (the standard
+// MPICH-style algorithm).
+func (c *Comm) treeBcast(root int, data []byte, size, tag int) ([]byte, error) {
+	n := c.Size()
+	vrank := (c.rank - root + n) % n
+	mask := 1
+	for ; mask < n; mask <<= 1 {
+		if vrank&mask != 0 {
+			parent := (vrank - mask + root) % n
+			msg, err := c.recvTag(parent, tag)
+			if err != nil {
+				return nil, err
+			}
+			data = msg.Data
+			break
+		}
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vrank+mask < n {
+			child := (vrank + mask + root) % n
+			if err := c.sendTag(child, tag, size, data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// treeBcastSignal broadcasts a zero-byte release along a binomial tree
+// rooted at rank 0.
+func (c *Comm) treeBcastSignal(tag int) error {
+	_, err := c.treeBcast(0, nil, 0, tag)
+	return err
+}
+
+// treeGatherSignal gathers a zero-byte arrival signal to rank 0 along a
+// binomial tree (the reduce direction of a tree barrier).
+func (c *Comm) treeGatherSignal(tag int) error {
+	n := c.Size()
+	vrank := c.rank
+	for mask := 1; mask < n; mask <<= 1 {
+		if vrank&mask != 0 {
+			return c.sendTag(vrank-mask, tag, 0, nil)
+		}
+		if child := vrank | mask; child < n {
+			if _, err := c.recvTag(child, tag); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// encodeF64s encodes floats little-endian.
+func encodeF64s(vals []float64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// decodeF64s decodes exactly n floats.
+func decodeF64s(buf []byte, n int) ([]float64, error) {
+	if len(buf) != 8*n {
+		return nil, fmt.Errorf("mpi: reduce payload is %d bytes, want %d", len(buf), 8*n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out, nil
+}
+
+// frame length-prefixes a slice of byte slices into one buffer.
+func frame(parts [][]byte) []byte {
+	total := 4
+	for _, p := range parts {
+		total += 4 + len(p)
+	}
+	buf := make([]byte, 0, total)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(parts)))
+	for _, p := range parts {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// unframe reverses frame.
+func unframe(buf []byte) ([][]byte, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("mpi: framed buffer too short")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("mpi: framed buffer truncated at part %d", i)
+		}
+		l := int(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+		if len(buf) < l {
+			return nil, fmt.Errorf("mpi: framed part %d truncated", i)
+		}
+		out[i] = append([]byte(nil), buf[:l]...)
+		buf = buf[l:]
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package mpi
+
+import (
+	"testing"
+
+	"xsim/internal/core"
+	"xsim/internal/netmodel"
+	"xsim/internal/procmodel"
+	"xsim/internal/vclock"
+)
+
+// contendedNet returns the test network with endpoint NICs limited to
+// 1 GB/s in both directions.
+func contendedNet(n int) *netmodel.Model {
+	net := testNet(n)
+	net.InjectBandwidth = 1e9
+	net.EjectBandwidth = 1e9
+	return net
+}
+
+func runContended(t *testing.T, n int, net *netmodel.Model, app func(*Env)) *core.Result {
+	t.Helper()
+	eng, err := core.New(core.Config{NumVPs: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(eng, WorldConfig{Net: net, Proc: procmodel.Paper()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(e *Env) {
+		app(e)
+		if !e.Finalized() {
+			e.Finalize()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestIncastSerialisesAtReceiver(t *testing.T) {
+	// 8 senders each push 1 kB (eager) to rank 0 at t=0. Contention-free,
+	// all arrive after one transfer time; with a 1 GB/s ejection NIC the
+	// payloads serialise: the last completes no earlier than 8 kB / 1 GB/s.
+	const n = 9
+	const size = 1000
+	run := func(net *netmodel.Model) vclock.Time {
+		res := runContended(t, n, net, func(e *Env) {
+			c := e.World()
+			if e.Rank() == 0 {
+				for i := 1; i < n; i++ {
+					if _, err := c.Recv(AnySource, 0); err != nil {
+						t.Errorf("recv: %v", err)
+					}
+				}
+			} else {
+				if err := c.SendN(0, 0, size); err != nil {
+					t.Errorf("send: %v", err)
+				}
+			}
+		})
+		return res.FinalClocks[0]
+	}
+	free := run(testNet(n))
+	contended := run(contendedNet(n))
+	if contended <= free {
+		t.Fatalf("incast with contention (%v) should be slower than without (%v)", contended, free)
+	}
+	// The serialised lower bound: 8 payloads through a 1 GB/s NIC.
+	lower := vclock.TimeFromSeconds(8 * size / 1e9)
+	if contended < lower {
+		t.Fatalf("contended completion %v below the serialisation bound %v", contended, lower)
+	}
+}
+
+func TestInjectionSerialisesAtSender(t *testing.T) {
+	// One sender bursts 8 *rendezvous* payloads to distinct receivers.
+	// (Eager bursts already serialise through the sender's CPU via the
+	// per-send injection overhead; rendezvous data is pushed by the NIC
+	// after the clear-to-send, which is where injection contention
+	// bites.) With contention the last receiver finishes no earlier than
+	// 8 payloads through the 1 GB/s NIC.
+	const n = 9
+	const size = 4096 // above the 1 KiB test eager threshold
+	run := func(net *netmodel.Model) vclock.Time {
+		var last vclock.Time
+		res := runContended(t, n, net, func(e *Env) {
+			c := e.World()
+			if e.Rank() == 0 {
+				var reqs []*Request
+				for i := 1; i < n; i++ {
+					r, err := c.IsendN(i, 0, size)
+					if err != nil {
+						t.Errorf("isend: %v", err)
+						return
+					}
+					reqs = append(reqs, r)
+				}
+				if err := c.Waitall(reqs); err != nil {
+					t.Errorf("waitall: %v", err)
+				}
+			} else {
+				if _, err := c.Recv(0, 0); err != nil {
+					t.Errorf("recv: %v", err)
+				}
+			}
+		})
+		for r := 1; r < n; r++ {
+			if res.FinalClocks[r] > last {
+				last = res.FinalClocks[r]
+			}
+		}
+		return last
+	}
+	free := run(testNet(n))
+	contended := run(contendedNet(n))
+	if contended <= free {
+		t.Fatalf("burst with contention (%v) should be slower than without (%v)", contended, free)
+	}
+	lower := vclock.TimeFromSeconds(8 * size / 1e9)
+	if contended < lower {
+		t.Fatalf("contended completion %v below the injection bound %v", contended, lower)
+	}
+}
+
+func TestRendezvousContention(t *testing.T) {
+	// Two rendezvous payloads to the same receiver: ejection contention
+	// pushes the second's completion behind the first's occupancy.
+	const size = 4096
+	net := contendedNet(3)
+	res := runContended(t, 3, net, func(e *Env) {
+		c := e.World()
+		if e.Rank() == 0 {
+			m1, err := c.Recv(AnySource, 0)
+			if err != nil {
+				t.Errorf("recv1: %v", err)
+			}
+			m2, err := c.Recv(AnySource, 0)
+			if err != nil {
+				t.Errorf("recv2: %v", err)
+			}
+			if m1.Size != size || m2.Size != size {
+				t.Error("sizes wrong")
+			}
+		} else {
+			if err := c.SendN(0, 0, size); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}
+	})
+	// The receiver's final clock covers at least two payload ejections.
+	if res.FinalClocks[0] < vclock.TimeFromSeconds(2*size/1e9) {
+		t.Fatalf("receiver clock %v below two ejection occupancies", res.FinalClocks[0])
+	}
+}
+
+func TestContentionOffByDefault(t *testing.T) {
+	net := testNet(2)
+	if net.Contended() {
+		t.Fatal("test net should be contention-free by default")
+	}
+	if netmodel.Paper().Contended() {
+		t.Fatal("paper net should be contention-free (as in the paper)")
+	}
+	if got := net.InjectOccupancy(1 << 20); got != 0 {
+		t.Fatalf("disabled occupancy = %v", got)
+	}
+}
+
+func TestContentionDeterministicAcrossWorkers(t *testing.T) {
+	const n = 8
+	run := func(workers int) []vclock.Time {
+		eng, err := core.New(core.Config{NumVPs: n, Workers: workers, Lookahead: vclock.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorld(eng, WorldConfig{Net: contendedNet(n), Proc: procmodel.Paper()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.Run(func(e *Env) {
+			defer e.Finalize()
+			c := e.World()
+			if e.Rank() == 0 {
+				for i := 1; i < n; i++ {
+					if _, err := c.Recv(i, 0); err != nil {
+						t.Errorf("recv: %v", err)
+					}
+				}
+			} else {
+				e.Elapse(vclock.Duration(e.Rank()) * vclock.Microsecond)
+				if err := c.SendN(0, 0, 2000); err != nil {
+					t.Errorf("send: %v", err)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalClocks
+	}
+	seq := run(1)
+	par := run(4)
+	for r := range seq {
+		if seq[r] != par[r] {
+			t.Fatalf("rank %d: %v != %v", r, par[r], seq[r])
+		}
+	}
+}

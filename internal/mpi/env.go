@@ -1,0 +1,317 @@
+package mpi
+
+import (
+	"fmt"
+
+	"xsim/internal/core"
+	"xsim/internal/fsmodel"
+	"xsim/internal/netmodel"
+	"xsim/internal/procmodel"
+	"xsim/internal/vclock"
+)
+
+// CollectiveAlgo selects the collective communication algorithm.
+type CollectiveAlgo int
+
+const (
+	// Linear collectives (the paper's configuration): the root
+	// communicates with every other rank sequentially.
+	Linear CollectiveAlgo = iota
+	// Tree collectives use binomial trees, the usual optimisation; kept
+	// for the collective-algorithm ablation.
+	Tree
+)
+
+// String names the algorithm.
+func (a CollectiveAlgo) String() string {
+	if a == Tree {
+		return "tree"
+	}
+	return "linear"
+}
+
+// WorldConfig parameterises the simulated MPI world.
+type WorldConfig struct {
+	// Net is the network model (required).
+	Net *netmodel.Model
+	// Proc is the processor model used by Env.Compute.
+	Proc procmodel.Model
+	// NotifyDelay is the latency of simulator-internal failure/abort
+	// notifications. Zero defaults to the system link latency. With a
+	// parallel engine it must be at least the engine lookahead.
+	NotifyDelay vclock.Duration
+	// CallOverhead is the per-MPI-call CPU cost charged to the caller.
+	CallOverhead vclock.Duration
+	// Collectives selects the collective algorithm (default Linear, as
+	// in the paper).
+	Collectives CollectiveAlgo
+	// FSStore and FSModel expose the simulated parallel file system to
+	// applications; FSStore may be nil if the application does no I/O.
+	FSStore *fsmodel.Store
+	// FSModel is the file-system cost model (zero value = free I/O,
+	// matching the paper's Table II configuration).
+	FSModel fsmodel.Model
+	// Tracer, when set, receives one event per MPI operation (sends,
+	// receive posts, completions, failures, aborts) for timeline
+	// analysis. It must be safe for concurrent use (partitions record
+	// in parallel).
+	Tracer Tracer
+}
+
+// Tracer receives simulator events; internal/trace.Buffer implements it.
+type Tracer interface {
+	Record(rank int, at vclock.Time, kind, detail string)
+}
+
+// traceEvent records an event if tracing is enabled.
+func (w *World) traceEvent(rank int, at vclock.Time, kind, detail string) {
+	if w.cfg.Tracer != nil {
+		w.cfg.Tracer.Record(rank, at, kind, detail)
+	}
+}
+
+// World wires the simulated MPI layer into a core engine. Create the
+// engine, then the world, then call World.Run with the application.
+type World struct {
+	cfg WorldConfig
+	eng *core.Engine
+}
+
+// Event kinds registered by the MPI layer.
+const (
+	kindEnvelope core.Kind = core.FirstUserKind + iota
+	kindCts
+	kindData
+	kindReqTimeout
+	kindFailNotify
+	kindAbortNotify
+	kindRevoke
+	// KindEnd is the first kind available to layers above MPI.
+	KindEnd
+)
+
+// NewWorld validates cfg, registers the MPI event handlers and death hook
+// on eng, and returns the world.
+func NewWorld(eng *core.Engine, cfg WorldConfig) (*World, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("mpi: WorldConfig.Net is required")
+	}
+	if err := cfg.Net.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Proc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.FSModel.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NotifyDelay == 0 {
+		cfg.NotifyDelay = cfg.Net.System.Latency
+	}
+	if cfg.NotifyDelay < 0 || cfg.CallOverhead < 0 {
+		return nil, fmt.Errorf("mpi: NotifyDelay and CallOverhead must be non-negative")
+	}
+	if cfg.Net.Topo.Nodes() < eng.NumVPs() {
+		return nil, fmt.Errorf("mpi: topology has %d nodes for %d ranks (one rank per node)",
+			cfg.Net.Topo.Nodes(), eng.NumVPs())
+	}
+	if eng.Workers() > 1 {
+		la := eng.Lookahead()
+		minDelay := cfg.NotifyDelay
+		for _, d := range []vclock.Duration{cfg.Net.System.Latency, cfg.Net.OnNode.Latency} {
+			if d < minDelay {
+				minDelay = d
+			}
+		}
+		if la > minDelay {
+			return nil, fmt.Errorf("mpi: engine lookahead %v exceeds minimum event delay %v", la, minDelay)
+		}
+	}
+	w := &World{cfg: cfg, eng: eng}
+	eng.RegisterHandler(kindEnvelope, w.handleEnvelope)
+	eng.RegisterHandler(kindCts, w.handleCts)
+	eng.RegisterHandler(kindData, w.handleData)
+	eng.RegisterHandler(kindReqTimeout, w.handleReqTimeout)
+	eng.RegisterHandler(kindFailNotify, w.handleFailNotify)
+	eng.RegisterHandler(kindAbortNotify, w.handleAbortNotify)
+	eng.RegisterHandler(kindRevoke, w.handleRevoke)
+	eng.OnDeath(w.onDeath)
+	return w, nil
+}
+
+// Engine returns the underlying core engine.
+func (w *World) Engine() *core.Engine { return w.eng }
+
+// Config returns the world configuration.
+func (w *World) Config() WorldConfig { return w.cfg }
+
+// Run executes app once per simulated MPI process and drives the
+// simulation to completion. An application that returns without calling
+// Env.Finalize is treated as a process failure, mirroring the paper's
+// fault model (returning from main or calling exit without MPI_Finalize).
+func (w *World) Run(app func(*Env)) (*core.Result, error) {
+	return w.eng.Run(func(c *core.Ctx) {
+		ps := &procState{
+			postedBySrc: make(map[matchKey][]*Request),
+			unexpBySrc:  make(map[matchKey][]*envelope),
+			pending:     make(map[uint64]*Request),
+			failedPeers: make(map[int]vclock.Time),
+		}
+		env := &Env{w: w, ctx: c, ps: ps}
+		ps.env = env
+		env.world = newWorldComm(env)
+		c.SetData(ps)
+		app(env)
+		if !env.finalized {
+			c.Logf("exited without MPI_Finalize: simulated MPI process failure")
+			c.FailNow()
+		}
+	})
+}
+
+// onDeath broadcasts the simulator-internal failure notification when a
+// simulated MPI process fails: an informational message is printed, and
+// every simulated process is notified of the failed rank and its time of
+// failure so that it can maintain its own list of failed peers.
+func (w *World) onDeath(c *core.Ctx, reason core.DeathReason) {
+	if reason != core.DeathFailed {
+		return
+	}
+	at := c.NowQuiet()
+	c.Logf("simulated MPI process failure injected (rank %d, time of failure %v)", c.Rank(), at)
+	w.traceEvent(c.Rank(), at, "failure", "")
+	c.EmitBroadcast(core.Event{
+		Time:    at.Add(w.cfg.NotifyDelay),
+		Kind:    kindFailNotify,
+		Payload: failNotify{rank: c.Rank(), at: at},
+	})
+}
+
+// procState is the MPI layer's per-VP state, attached as the core VP's
+// user data. It is only touched from the owning partition (either the VP's
+// own goroutine while running, or its partition's event handlers).
+type procState struct {
+	env *Env
+
+	// Posted receives are indexed by (communicator, source) with
+	// wildcard-source receives in a separate ordered list; postSeq
+	// establishes MPI's first-match-in-post-order rule across the two.
+	postedBySrc map[matchKey][]*Request
+	postedWild  []*Request
+	postSeq     uint64
+	// Unexpected envelopes are indexed the same way; arriveSeq
+	// establishes arrival order for wildcard receives.
+	unexpBySrc map[matchKey][]*envelope
+	arriveSeq  uint64
+	// pending indexes all incomplete requests by id for handler lookup.
+	pending map[uint64]*Request
+	// failedPeers is this process's own list of failed simulated MPI
+	// processes and their times of failure (the paper's per-process
+	// failed list, filled in by notification events).
+	failedPeers map[int]vclock.Time
+	// waitingOn is the request set the VP is currently blocked on.
+	waitingOn []*Request
+	// probes holds outstanding blocking probes (at most one: a process
+	// blocks in a single Probe at a time; kept as a slice for symmetry).
+	probes []*probeRec
+	// nextReqID numbers this VP's requests.
+	nextReqID uint64
+
+	// revoked communicator ids (ULFM extension).
+	revoked map[int]bool
+
+	// injectFreeAt and ejectFreeAt model endpoint contention: the
+	// virtual times this node's NIC finishes its current injection and
+	// ejection (used only when the network model enables contention).
+	injectFreeAt vclock.Time
+	ejectFreeAt  vclock.Time
+}
+
+func (ps *procState) newReqID() uint64 {
+	ps.nextReqID++
+	return ps.nextReqID
+}
+
+// Env is the per-process handle a simulated application uses: the analogue
+// of the MPI library state inside one MPI process.
+type Env struct {
+	w     *World
+	ctx   *core.Ctx
+	ps    *procState
+	world *Comm
+
+	finalized  bool
+	nextCommID int
+}
+
+// Rank returns the process's world rank.
+func (e *Env) Rank() int { return e.ctx.Rank() }
+
+// Size returns the world size (total simulated MPI processes).
+func (e *Env) Size() int { return e.ctx.N() }
+
+// World returns the world communicator (all ranks).
+func (e *Env) World() *Comm { return e.world }
+
+// Now returns the process's virtual clock. Like a timing function in xSim
+// (gettimeofday), it updates the clock and lets a pending failure or abort
+// activate.
+func (e *Env) Now() vclock.Time { return e.ctx.Now() }
+
+// Elapse advances the virtual clock by d, modelling local computation.
+func (e *Env) Elapse(d vclock.Duration) { e.ctx.Elapse(d) }
+
+// Compute advances the virtual clock by the processor model's time for ops
+// work units (reference-core cycles).
+func (e *Env) Compute(ops float64) { e.ctx.Elapse(e.w.cfg.Proc.ComputeTime(ops)) }
+
+// Sleep advances the virtual clock by d while yielding to the simulator
+// (interruptible by failures and aborts, unlike Elapse).
+func (e *Env) Sleep(d vclock.Duration) { e.ctx.Sleep(d) }
+
+// Finalize marks a clean MPI exit. Applications that return without
+// calling it are treated as failed processes.
+func (e *Env) Finalize() { e.finalized = true }
+
+// Finalized reports whether Finalize was called.
+func (e *Env) Finalized() bool { return e.finalized }
+
+// Abort aborts the simulated application from this process (MPI_Abort on
+// the world communicator). It does not return.
+func (e *Env) Abort(code int) { e.world.Abort(code) }
+
+// FailNow makes this process fail immediately (an application-triggered
+// process failure). It does not return.
+func (e *Env) FailNow() { e.ctx.FailNow() }
+
+// ScheduleFailure schedules this process's own failure at virtual time t
+// (the earliest failure time; the actual failure happens at the next clock
+// update at or past t).
+func (e *Env) ScheduleFailure(t vclock.Time) { e.ctx.SetTimeOfFailure(t) }
+
+// FailedPeers returns a snapshot of this process's failed-peer list as a
+// map from world rank to time of failure.
+func (e *Env) FailedPeers() map[int]vclock.Time {
+	out := make(map[int]vclock.Time, len(e.ps.failedPeers))
+	for r, t := range e.ps.failedPeers {
+		out[r] = t
+	}
+	return out
+}
+
+// FSStore returns the simulated parallel file system contents (nil if the
+// world was configured without one).
+func (e *Env) FSStore() *fsmodel.Store { return e.w.cfg.FSStore }
+
+// FSModel returns the file-system cost model.
+func (e *Env) FSModel() fsmodel.Model { return e.w.cfg.FSModel }
+
+// Logf writes an informational message through the simulator's logger.
+func (e *Env) Logf(format string, args ...any) { e.ctx.Logf(format, args...) }
+
+// chargeCall charges the per-call CPU overhead; every MPI call is a clock
+// update point where pending failures and aborts activate.
+func (e *Env) chargeCall() { e.ctx.Elapse(e.w.cfg.CallOverhead) }
+
+// coreCtx exposes the core context to sibling packages (ULFM).
+func (e *Env) coreCtx() *core.Ctx { return e.ctx }

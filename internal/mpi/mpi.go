@@ -1,0 +1,147 @@
+// Package mpi implements the simulated MPI layer: point-to-point messaging
+// with tags, wildcards and nonblocking requests, linear (and, for ablation,
+// tree-based) collectives, communicators, error handlers, and the paper's
+// resilience semantics — simulated MPI process failure injection, purely
+// timeout-based failure detection, simulator-internal failure/abort
+// notification, and MPI abort.
+//
+// Simulated applications are Go functions of the form func(*Env); each runs
+// inside a virtual process of the core engine with its own virtual clock.
+// Communication time is charged by the network model, compute time by the
+// processor model (Env.Compute / Env.Elapse).
+package mpi
+
+import (
+	"fmt"
+
+	"xsim/internal/vclock"
+)
+
+// Wildcards for Recv/Irecv source and tag matching.
+const (
+	// AnySource matches a message from any rank (MPI_ANY_SOURCE).
+	AnySource = -1
+	// AnyTag matches a message with any tag (MPI_ANY_TAG).
+	AnyTag = -1
+)
+
+// Message is a received message.
+type Message struct {
+	// Src is the sender's rank in the receiving communicator.
+	Src int
+	// Tag is the message tag.
+	Tag int
+	// Size is the payload size in bytes. Payload-free sends (SendN)
+	// carry a Size but nil Data, which lets large-scale experiments
+	// model traffic without allocating it.
+	Size int
+	// Data is the payload, or nil for payload-free messages.
+	Data []byte
+}
+
+// ProcFailedError reports that an operation involved a failed simulated MPI
+// process. Detection is purely timeout-based: the operation completes in
+// error only after the configured network communication timeout (plus
+// notification latency) has passed in virtual time.
+type ProcFailedError struct {
+	// Rank is the failed process's world rank.
+	Rank int
+	// FailedAt is the virtual time the process failed.
+	FailedAt vclock.Time
+	// Op names the operation that detected the failure.
+	Op string
+}
+
+// Error implements error.
+func (e *ProcFailedError) Error() string {
+	return fmt.Sprintf("mpi: %s detected failure of rank %d (failed at %v)", e.Op, e.Rank, e.FailedAt)
+}
+
+// RevokedError reports that a communicator was revoked (ULFM extension).
+type RevokedError struct {
+	// Comm is the revoked communicator's id.
+	Comm int
+}
+
+// Error implements error.
+func (e *RevokedError) Error() string {
+	return fmt.Sprintf("mpi: communicator %d revoked", e.Comm)
+}
+
+// reqKind distinguishes request flavours.
+type reqKind int
+
+const (
+	recvReq reqKind = iota
+	sendReq
+)
+
+// Request is a nonblocking operation handle (MPI_Request).
+type Request struct {
+	id   uint64
+	kind reqKind
+	comm *Comm
+
+	// Matching fields in world ranks; src may be AnySource, tag AnyTag.
+	src, dst int
+	tag      int
+
+	postClock vclock.Time
+	size      int
+	data      []byte
+
+	// Completion state.
+	done       bool
+	completeAt vclock.Time
+	msg        *Message
+	err        error
+
+	// awaitingData marks a recv matched to a rendezvous envelope whose
+	// data transfer is still in flight.
+	awaitingData bool
+	// timeoutScheduled dedupes failure-detection timeout events.
+	timeoutScheduled bool
+
+	// Posted-receive index bookkeeping.
+	posted  bool
+	wild    bool
+	postKey matchKey
+	postSeq uint64
+}
+
+// Done reports whether the request has completed (successfully or not).
+func (r *Request) Done() bool { return r.done }
+
+// Err returns the request's error after completion, nil on success.
+func (r *Request) Err() error { return r.err }
+
+// opName names the request's operation for error messages.
+func (r *Request) opName() string {
+	if r.kind == recvReq {
+		return "recv"
+	}
+	return "send"
+}
+
+// peer returns the world rank of the remote process the request involves
+// (AnySource for wildcard receives that have not matched).
+func (r *Request) peer() int {
+	if r.kind == recvReq {
+		return r.src
+	}
+	return r.dst
+}
+
+// involves reports whether the failure of world rank affects this pending
+// request: a receive from that rank (or a wildcard receive, which the
+// paper also releases, since the failed process can no longer send), or a
+// send to that rank.
+func (r *Request) involves(rank int) bool {
+	if r.done {
+		return false
+	}
+	if r.kind == recvReq {
+		return r.src == rank || r.src == AnySource
+	}
+	return r.dst == rank
+}

@@ -1,0 +1,332 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"xsim/internal/vclock"
+)
+
+func TestAnyTagSpecificSource(t *testing.T) {
+	runWorld(t, 2, 1, func(e *Env) {
+		c := e.World()
+		if e.Rank() == 0 {
+			for _, tag := range []int{5, 9, 2} {
+				if _, err := c.Isend(1, tag, []byte{byte(tag)}); err != nil {
+					t.Fatalf("isend: %v", err)
+				}
+			}
+		} else {
+			e.Elapse(vclock.Millisecond)
+			// AnyTag takes the earliest arrival regardless of tag.
+			for _, want := range []int{5, 9, 2} {
+				m, err := c.Recv(0, AnyTag)
+				if err != nil {
+					t.Fatalf("recv: %v", err)
+				}
+				if m.Tag != want {
+					t.Errorf("tag = %d, want %d", m.Tag, want)
+				}
+			}
+		}
+	})
+}
+
+func TestTagSelectivity(t *testing.T) {
+	runWorld(t, 2, 1, func(e *Env) {
+		c := e.World()
+		if e.Rank() == 0 {
+			if _, err := c.Isend(1, 6, []byte("six")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Isend(1, 5, []byte("five")); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			// Posting for tag 5 must skip the earlier tag-6 message.
+			m5, err := c.Recv(0, 5)
+			if err != nil || string(m5.Data) != "five" {
+				t.Fatalf("tag 5: %v %q", err, m5.Data)
+			}
+			m6, err := c.Recv(0, 6)
+			if err != nil || string(m6.Data) != "six" {
+				t.Fatalf("tag 6: %v %q", err, m6.Data)
+			}
+		}
+	})
+}
+
+func TestRendezvousSelfSendNonblocking(t *testing.T) {
+	runWorld(t, 1, 1, func(e *Env) {
+		c := e.World()
+		big := make([]byte, 4096) // above the 1 KiB test threshold
+		req, err := c.Isend(0, 0, big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := c.Recv(0, 0)
+		if err != nil || len(m.Data) != 4096 {
+			t.Fatalf("recv: %v", err)
+		}
+		if _, err := c.Wait(req); err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+	})
+}
+
+func TestBlockingRendezvousSelfSendDeadlocks(t *testing.T) {
+	_, err := runWorldErr(t, 1, 1, nil, func(e *Env) {
+		// The MPI classic: a blocking send to self above the eager
+		// threshold can never complete — the deadlock detector must
+		// catch it rather than hang.
+		e.World().SendN(0, 0, 1<<20)
+		t.Error("unreachable: send should deadlock")
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestMultipleFailuresAllDetected(t *testing.T) {
+	failures := map[int]vclock.Time{
+		1: vclock.TimeFromSeconds(1),
+		2: vclock.TimeFromSeconds(2),
+	}
+	res, err := runWorldErr(t, 4, 1, failures, func(e *Env) {
+		c := e.World()
+		c.SetErrorHandler(ErrorsReturn)
+		switch e.Rank() {
+		case 1, 2:
+			e.Elapse(10 * vclock.Second)
+		case 0:
+			if _, err := c.Recv(1, 0); err == nil {
+				t.Error("recv from rank 1 should fail")
+			}
+			if _, err := c.Recv(2, 0); err == nil {
+				t.Error("recv from rank 2 should fail")
+			}
+			if n := len(e.FailedPeers()); n != 2 {
+				t.Errorf("failed peers = %d, want 2", n)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 2 || res.Completed != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestBarrierRootFailureAborts(t *testing.T) {
+	// Rank 0 is the linear barrier's root; its failure must be detected
+	// by the participants and abort the application.
+	res, err := runWorldErr(t, 4, 1, map[int]vclock.Time{0: vclock.TimeFromSeconds(1)}, func(e *Env) {
+		c := e.World()
+		if e.Rank() == 0 {
+			e.Elapse(5 * vclock.Second)
+			return
+		}
+		if err := c.Barrier(); err != nil {
+			t.Errorf("fatal handler should abort, not return: %v", err)
+		}
+		t.Errorf("rank %d survived the barrier", e.Rank())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Aborted != 3 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestCollectivesOnRevokedComm(t *testing.T) {
+	runWorld(t, 3, 1, func(e *Env) {
+		c := e.World()
+		c.SetErrorHandler(ErrorsReturn)
+		if e.Rank() == 0 {
+			c.Revoke()
+		} else {
+			e.Sleep(vclock.Millisecond) // let the revocation arrive
+		}
+		if err := c.Barrier(); err == nil {
+			t.Errorf("rank %d: barrier on revoked comm should fail", e.Rank())
+		}
+		if _, err := c.Bcast(0, nil); err == nil {
+			t.Errorf("rank %d: bcast on revoked comm should fail", e.Rank())
+		}
+		if _, err := c.Allreduce([]float64{1}, OpSum); err == nil {
+			t.Errorf("rank %d: allreduce on revoked comm should fail", e.Rank())
+		}
+	})
+}
+
+func TestEmptyMessage(t *testing.T) {
+	runWorld(t, 2, 1, func(e *Env) {
+		c := e.World()
+		if e.Rank() == 0 {
+			if err := c.Send(1, 0, nil); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			m, err := c.Recv(0, 0)
+			if err != nil || m.Size != 0 || len(m.Data) != 0 {
+				t.Fatalf("empty message: %v %+v", err, m)
+			}
+		}
+	})
+}
+
+func TestMixedProtocolOrdering(t *testing.T) {
+	// A big rendezvous send followed by a small eager send from the same
+	// source: matching must stay in send order even though the eager
+	// payload could physically arrive first.
+	runWorld(t, 2, 1, func(e *Env) {
+		c := e.World()
+		if e.Rank() == 0 {
+			big, err := c.IsendN(1, 0, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			small, err := c.Isend(1, 0, []byte("small"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Waitall([]*Request{big, small}); err != nil {
+				t.Fatalf("waitall: %v", err)
+			}
+		} else {
+			e.Elapse(vclock.Millisecond)
+			m1, err := c.Recv(0, 0)
+			if err != nil || m1.Size != 1<<20 {
+				t.Fatalf("first recv: %v size=%d, want the rendezvous message", err, m1.Size)
+			}
+			m2, err := c.Recv(0, 0)
+			if err != nil || string(m2.Data) != "small" {
+				t.Fatalf("second recv: %v %q", err, m2.Data)
+			}
+		}
+	})
+}
+
+func TestWildcardVsSpecificPostOrder(t *testing.T) {
+	runWorld(t, 2, 1, func(e *Env) {
+		c := e.World()
+		if e.Rank() == 0 {
+			e.Elapse(vclock.Millisecond)
+			if _, err := c.Isend(1, 3, []byte("first")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Isend(1, 3, []byte("second")); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			// The wildcard receive is posted first: MPI matching gives
+			// it the first message, the later specific receive gets the
+			// second.
+			wild, err := c.Irecv(AnySource, AnyTag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := c.Irecv(0, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mWild, err := c.Wait(wild)
+			if err != nil {
+				t.Fatalf("wild wait: %v", err)
+			}
+			if string(mWild.Data) != "first" || mWild.Tag != 3 || mWild.Src != 0 {
+				t.Fatalf("wildcard got %+v, want the first message", mWild)
+			}
+			mSpec, err := c.Wait(spec)
+			if err != nil {
+				t.Fatalf("spec wait: %v", err)
+			}
+			if string(mSpec.Data) != "second" {
+				t.Fatalf("specific got %q, want the second message", mSpec.Data)
+			}
+		}
+	})
+}
+
+func TestWaitallFirstErrorInOrder(t *testing.T) {
+	res, err := runWorldErr(t, 3, 1, map[int]vclock.Time{2: 0}, func(e *Env) {
+		c := e.World()
+		c.SetErrorHandler(ErrorsReturn)
+		switch e.Rank() {
+		case 0:
+			// req0: from the failed rank (errors); req1: from rank 1
+			// (succeeds). Waitall returns req0's error.
+			r0, err := c.Irecv(2, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r1, err := c.Irecv(1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			werr := c.Waitall([]*Request{r0, r1})
+			if _, ok := werr.(*ProcFailedError); !ok {
+				t.Fatalf("waitall err = %v, want ProcFailedError", werr)
+			}
+			if !r1.Done() || r1.Err() != nil {
+				t.Error("healthy request should have completed cleanly")
+			}
+		case 1:
+			if err := c.Send(0, 0, []byte("ok")); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Completed != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestTreeCollectivesOddSizes(t *testing.T) {
+	for _, n := range []int{3, 5, 6} {
+		n := n
+		runWorld(t, n, 1, func(e *Env) {
+			c := e.World()
+			if err := c.Barrier(); err != nil {
+				t.Errorf("n=%d barrier: %v", n, err)
+			}
+			out, err := c.Bcast(n-1, []byte{42})
+			if err != nil || len(out) != 1 || out[0] != 42 {
+				t.Errorf("n=%d bcast: %v %v", n, err, out)
+			}
+			sum, err := c.Allreduce([]float64{1}, OpSum)
+			if err != nil || sum[0] != float64(n) {
+				t.Errorf("n=%d allreduce: %v %v", n, err, sum)
+			}
+		}, withTree())
+	}
+}
+
+func TestLargeScaleBarrierSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := runWorld(t, 4096, 1, func(e *Env) {
+		if err := e.World().Barrier(); err != nil {
+			t.Errorf("barrier: %v", err)
+		}
+	})
+	if res.Completed != 4096 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+}
+
+func TestFailedPeersSnapshotIsolated(t *testing.T) {
+	runWorld(t, 2, 1, func(e *Env) {
+		snap := e.FailedPeers()
+		snap[42] = 1 // mutating the snapshot must not corrupt the state
+		if len(e.FailedPeers()) != 0 {
+			t.Error("snapshot mutation leaked into the failed-peer list")
+		}
+	})
+}

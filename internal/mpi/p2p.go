@@ -1,0 +1,510 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"xsim/internal/core"
+	"xsim/internal/vclock"
+)
+
+// envelope is the matching unit travelling between processes. Both eager
+// messages and rendezvous ready-to-send envelopes are control-sized, so
+// envelopes from one sender arrive in send order and MPI's non-overtaking
+// matching rule holds; an eager payload becomes available at dataAt, while
+// a rendezvous payload is transferred only after the receiver matches.
+type envelope struct {
+	commID      int
+	src, dst    int // world ranks
+	srcCommRank int // sender's rank within the communicator
+	tag         int
+	size        int
+
+	// Eager fields.
+	data   []byte
+	dataAt vclock.Time
+
+	// Rendezvous fields.
+	rendezvous bool
+	sendReqID  uint64
+
+	// arriveSeq orders unexpected envelopes at the receiver.
+	arriveSeq uint64
+}
+
+// ctsMsg is the rendezvous clear-to-send control message (receiver→sender).
+type ctsMsg struct {
+	sendReqID uint64
+	recvReqID uint64
+	recvRank  int // world rank of the receiver
+}
+
+// dataMsg is the rendezvous payload delivery (sender→receiver).
+type dataMsg struct {
+	recvReqID uint64
+	data      []byte
+}
+
+// reqTimeout fires the failure-detection timeout of a pending request.
+type reqTimeout struct {
+	reqID    uint64
+	peer     int
+	failedAt vclock.Time
+}
+
+// failNotify is the simulator-internal failure notification payload.
+type failNotify struct {
+	rank int
+	at   vclock.Time
+}
+
+// abortNotify is the simulator-internal abort notification payload.
+type abortNotify struct {
+	origin int
+	at     vclock.Time
+	code   int
+}
+
+// matchKey indexes posted receives and unexpected envelopes by
+// communicator and source world rank.
+type matchKey struct{ comm, src int }
+
+// tagOK reports whether a posted receive's tag accepts an envelope's tag.
+func tagOK(r *Request, env *envelope) bool {
+	return r.tag == AnyTag || r.tag == env.tag
+}
+
+// addPosted files a receive request into the posted index.
+func (ps *procState) addPosted(r *Request) {
+	ps.postSeq++
+	r.postSeq = ps.postSeq
+	r.posted = true
+	r.wild = r.src == AnySource
+	if r.wild {
+		ps.postedWild = append(ps.postedWild, r)
+		return
+	}
+	r.postKey = matchKey{r.comm.id, r.src}
+	ps.postedBySrc[r.postKey] = append(ps.postedBySrc[r.postKey], r)
+}
+
+// removePosted unfiles a receive request; it is a no-op for requests that
+// already matched.
+func (ps *procState) removePosted(r *Request) {
+	if !r.posted {
+		return
+	}
+	r.posted = false
+	if r.wild {
+		for i, q := range ps.postedWild {
+			if q == r {
+				ps.postedWild = append(ps.postedWild[:i], ps.postedWild[i+1:]...)
+				return
+			}
+		}
+		return
+	}
+	list := ps.postedBySrc[r.postKey]
+	for i, q := range list {
+		if q == r {
+			if i == 0 {
+				list = list[1:]
+			} else {
+				list = append(list[:i], list[i+1:]...)
+			}
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(ps.postedBySrc, r.postKey)
+	} else {
+		ps.postedBySrc[r.postKey] = list
+	}
+}
+
+// takePosted finds and unfiles the posted receive an arriving envelope
+// matches: the earliest-posted compatible request, considering both the
+// exact-source list and wildcard receives (MPI's matching rule).
+func (ps *procState) takePosted(env *envelope) *Request {
+	var best *Request
+	for _, r := range ps.postedBySrc[matchKey{env.commID, env.src}] {
+		if tagOK(r, env) {
+			best = r
+			break
+		}
+	}
+	for _, r := range ps.postedWild {
+		if r.comm.id == env.commID && tagOK(r, env) {
+			if best == nil || r.postSeq < best.postSeq {
+				best = r
+			}
+			break
+		}
+	}
+	if best != nil {
+		ps.removePosted(best)
+	}
+	return best
+}
+
+// addUnexpected queues an envelope that matched no posted receive.
+func (ps *procState) addUnexpected(env *envelope) {
+	ps.arriveSeq++
+	env.arriveSeq = ps.arriveSeq
+	k := matchKey{env.commID, env.src}
+	ps.unexpBySrc[k] = append(ps.unexpBySrc[k], env)
+}
+
+// takeUnexpected finds and removes the earliest-arrived envelope a freshly
+// posted receive matches. For wildcard receives the earliest arrival
+// across all sources wins (a deterministic min-scan, immune to map
+// iteration order).
+func (ps *procState) takeUnexpected(req *Request) *envelope {
+	if req.src != AnySource {
+		k := matchKey{req.comm.id, req.src}
+		list := ps.unexpBySrc[k]
+		for i, env := range list {
+			if tagOK(req, env) {
+				// The match is usually the head: slice it off without
+				// copying the (possibly long) tail.
+				if i == 0 {
+					list = list[1:]
+				} else {
+					list = append(list[:i], list[i+1:]...)
+				}
+				if len(list) == 0 {
+					delete(ps.unexpBySrc, k)
+				} else {
+					ps.unexpBySrc[k] = list
+				}
+				return env
+			}
+		}
+		return nil
+	}
+	var best *envelope
+	var bestKey matchKey
+	var bestIdx int
+	for k, list := range ps.unexpBySrc {
+		if k.comm != req.comm.id {
+			continue
+		}
+		for i, env := range list {
+			if tagOK(req, env) {
+				if best == nil || env.arriveSeq < best.arriveSeq {
+					best, bestKey, bestIdx = env, k, i
+				}
+				break
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	list := ps.unexpBySrc[bestKey]
+	if bestIdx == 0 {
+		list = list[1:]
+	} else {
+		list = append(list[:bestIdx], list[bestIdx+1:]...)
+	}
+	if len(list) == 0 {
+		delete(ps.unexpBySrc, bestKey)
+	} else {
+		ps.unexpBySrc[bestKey] = list
+	}
+	return best
+}
+
+// emitter abstracts the two contexts that can emit events and read the
+// current virtual time: a running VP (its own Ctx) and an event handler
+// (SchedCtx). Message matching runs in both.
+type emitter interface {
+	emit(ev core.Event)
+	now() vclock.Time
+}
+
+// vpEmitter adapts a VP context.
+type vpEmitter struct{ ctx *core.Ctx }
+
+func (v vpEmitter) emit(ev core.Event) { v.ctx.Emit(ev) }
+func (v vpEmitter) now() vclock.Time   { return v.ctx.NowQuiet() }
+
+// schedEmitter adapts a handler context.
+type schedEmitter struct{ s *core.SchedCtx }
+
+func (h schedEmitter) emit(ev core.Event) { h.s.Emit(ev) }
+func (h schedEmitter) now() vclock.Time   { return h.s.Now() }
+
+// isend posts a nonblocking send and returns its request. Internal: the
+// public wrappers apply the communicator's error handler.
+func (c *Comm) isend(dstCommRank, tag, size int, data []byte) (*Request, error) {
+	e := c.env
+	e.chargeCall()
+	if err := c.checkRevoked("send"); err != nil {
+		return nil, err
+	}
+	if dstCommRank < 0 || dstCommRank >= c.n {
+		return nil, fmt.Errorf("mpi: send destination rank %d out of range [0,%d)", dstCommRank, c.n)
+	}
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: send tag %d must be non-negative", tag)
+	}
+	return c.isendTag(dstCommRank, tag, size, data), nil
+}
+
+// isendTag posts a send with any tag value (internal tags are negative).
+func (c *Comm) isendTag(dstCommRank, tag, size int, data []byte) *Request {
+	e := c.env
+	net := e.w.cfg.Net
+	src := e.Rank()
+	dst := c.WorldRank(dstCommRank)
+	// Snapshot the payload: MPI owns the buffer until completion, and a
+	// broadcast root reuses one buffer across many sends.
+	if data != nil {
+		data = append([]byte(nil), data...)
+	}
+	req := &Request{
+		id:        e.ps.newReqID(),
+		kind:      sendReq,
+		comm:      c,
+		src:       src,
+		dst:       dst,
+		tag:       tag,
+		size:      size,
+		data:      data,
+		postClock: e.ctx.NowQuiet(),
+	}
+	env := &envelope{
+		commID:      c.id,
+		src:         src,
+		dst:         dst,
+		srcCommRank: c.rank,
+		tag:         tag,
+		size:        size,
+	}
+	t0 := e.ctx.NowQuiet()
+	if e.w.cfg.Tracer != nil {
+		proto := "eager"
+		if !net.Eager(size) {
+			proto = "rendezvous"
+		}
+		e.w.traceEvent(src, t0, "send", fmt.Sprintf("dst=%d tag=%d size=%d %s", dst, tag, size, proto))
+	}
+	if net.Eager(size) {
+		// Endpoint contention: the payload queues behind earlier
+		// injections at this node's NIC.
+		inject := t0
+		if occ := net.InjectOccupancy(size); occ > 0 {
+			inject = vclock.Max(t0, e.ps.injectFreeAt)
+			e.ps.injectFreeAt = inject.Add(occ)
+		}
+		env.data = data
+		env.dataAt = inject.Add(net.TransferTime(src, dst, size))
+		// An eager send completes locally once the message is injected;
+		// it never waits on the receiver (fire-and-forget buffering).
+		req.done = true
+		e.ctx.Emit(core.Event{Time: t0.Add(net.ControlTime(src, dst)), Kind: kindEnvelope, Target: dst, Payload: env})
+		e.ctx.Elapse(net.SendOverhead(src, dst, size))
+		req.completeAt = e.ctx.NowQuiet()
+	} else {
+		// Rendezvous: send the ready-to-send envelope and wait for the
+		// receiver's clear-to-send before transferring the payload.
+		env.rendezvous = true
+		env.sendReqID = req.id
+		e.ps.pending[req.id] = req
+		e.ctx.Emit(core.Event{Time: t0.Add(net.ControlTime(src, dst)), Kind: kindEnvelope, Target: dst, Payload: env})
+		e.ctx.Elapse(net.SendOverhead(src, dst, 0))
+	}
+	return req
+}
+
+// irecv posts a nonblocking receive. Internal: the public wrappers apply
+// the communicator's error handler.
+func (c *Comm) irecv(srcCommRank, tag int) (*Request, error) {
+	e := c.env
+	e.chargeCall()
+	if err := c.checkRevoked("recv"); err != nil {
+		return nil, err
+	}
+	if srcCommRank != AnySource && (srcCommRank < 0 || srcCommRank >= c.n) {
+		return nil, fmt.Errorf("mpi: receive source rank %d out of range [0,%d)", srcCommRank, c.n)
+	}
+	if tag < 0 && tag != AnyTag {
+		return nil, fmt.Errorf("mpi: receive tag %d must be non-negative or AnyTag", tag)
+	}
+	return c.irecvTag(srcCommRank, tag), nil
+}
+
+// irecvTag posts a receive with any tag value (internal tags are negative).
+func (c *Comm) irecvTag(srcCommRank, tag int) *Request {
+	e := c.env
+	src := AnySource
+	if srcCommRank != AnySource {
+		src = c.WorldRank(srcCommRank)
+	}
+	req := &Request{
+		id:        e.ps.newReqID(),
+		kind:      recvReq,
+		comm:      c,
+		src:       src,
+		dst:       e.Rank(),
+		tag:       tag,
+		postClock: e.ctx.NowQuiet(),
+	}
+	e.ps.pending[req.id] = req
+	e.w.traceEvent(e.Rank(), req.postClock, "recv-post", fmt.Sprintf("src=%d tag=%d", src, tag))
+	// Match the earliest compatible unexpected envelope first (arrival
+	// order preserves MPI's non-overtaking rule).
+	if env := e.ps.takeUnexpected(req); env != nil {
+		matchEnvelope(e.w, e.ps, req, env, vpEmitter{e.ctx})
+		return req
+	}
+	e.ps.addPosted(req)
+	return req
+}
+
+// matchEnvelope binds a receive request to an envelope. For eager
+// envelopes the request completes when the payload has arrived; for
+// rendezvous envelopes a clear-to-send goes back to the sender and the
+// request completes when the payload delivery event fires.
+func matchEnvelope(w *World, ps *procState, req *Request, env *envelope, em emitter) {
+	req.src = env.src
+	req.msg = &Message{Src: env.srcCommRank, Tag: env.tag, Size: env.size}
+	if env.rendezvous {
+		req.awaitingData = true
+		net := w.cfg.Net
+		// The clear-to-send leaves once both the envelope has arrived
+		// (em.now() when matching on arrival) and the receive is posted
+		// (postClock when the envelope waited in the unexpected queue).
+		em.emit(core.Event{
+			Time:    vclock.Max(em.now(), req.postClock).Add(net.ControlTime(env.dst, env.src)),
+			Kind:    kindCts,
+			Target:  env.src,
+			Payload: ctsMsg{sendReqID: env.sendReqID, recvReqID: req.id, recvRank: env.dst},
+		})
+		return
+	}
+	req.msg.Data = env.data
+	completeRequest(ps, req, vclock.Max(req.postClock, env.dataAt), nil)
+}
+
+// completeRequest finalises a request at virtual time at.
+func completeRequest(ps *procState, req *Request, at vclock.Time, err error) {
+	req.done = true
+	req.completeAt = at
+	req.err = err
+	req.awaitingData = false
+	delete(ps.pending, req.id)
+	ps.removePosted(req)
+}
+
+// waitReason describes a wait for deadlock reports.
+func waitReason(reqs []*Request) string {
+	if len(reqs) == 1 {
+		r := reqs[0]
+		if r.kind == recvReq {
+			return fmt.Sprintf("MPI wait: recv from %d tag %d (comm %d)", r.src, r.tag, r.comm.id)
+		}
+		return fmt.Sprintf("MPI wait: send to %d tag %d (comm %d)", r.dst, r.tag, r.comm.id)
+	}
+	return fmt.Sprintf("MPI waitall: %d requests", len(reqs))
+}
+
+// wait blocks until every request completes, advancing the clock to the
+// latest completion time. It returns the first error among the requests in
+// request order. Internal: public wrappers apply the error handler.
+func (e *Env) wait(reqs ...*Request) error {
+	e.chargeCall()
+	for {
+		allDone := true
+		var latest vclock.Time
+		for _, r := range reqs {
+			if !r.done {
+				allDone = false
+				break
+			}
+			if r.completeAt > latest {
+				latest = r.completeAt
+			}
+		}
+		if allDone {
+			e.ctx.AdvanceTo(latest)
+			if e.w.cfg.Tracer != nil {
+				for _, r := range reqs {
+					detail := fmt.Sprintf("%s peer=%d", r.opName(), r.peer())
+					if r.err != nil {
+						detail += " err=" + r.err.Error()
+					}
+					e.w.traceEvent(e.Rank(), r.completeAt, "complete", detail)
+				}
+			}
+			for _, r := range reqs {
+				if r.err != nil {
+					return r.err
+				}
+			}
+			return nil
+		}
+		// Before blocking, arm failure-detection timeouts for pending
+		// requests that involve already-known-failed peers; requests
+		// whose peer fails later are armed by the notification handler.
+		for _, r := range reqs {
+			if !r.done {
+				e.ps.armTimeout(e.w, r, vpEmitter{e.ctx})
+			}
+		}
+		e.ps.waitingOn = reqs
+		e.ctx.Block(waitReason(reqs))
+		e.ps.waitingOn = nil
+	}
+}
+
+// armTimeout schedules the failure-detection timeout of a pending request
+// whose peer is known to have failed. The operation completes in error at
+// max(post time, time of failure) + the network tier's timeout — the
+// paper's purely timeout-based detection — but never before the failure is
+// knowable at this process.
+func (ps *procState) armTimeout(w *World, req *Request, em emitter) {
+	if req.done || req.timeoutScheduled {
+		return
+	}
+	self := ps.env.Rank()
+	best := vclock.Never
+	bestPeer := -1
+	consider := func(peer int, tof vclock.Time) {
+		at := vclock.Max(req.postClock, tof).Add(w.cfg.Net.Timeout(self, peer))
+		if at < best || (at == best && peer < bestPeer) {
+			best, bestPeer = at, peer
+		}
+	}
+	if req.kind == recvReq && req.src == AnySource {
+		// Deterministic scan: pick the earliest-detectable failed peer.
+		for peer, tof := range ps.failedPeers {
+			consider(peer, tof)
+		}
+	} else if tof, ok := ps.failedPeers[req.peer()]; ok {
+		consider(req.peer(), tof)
+	}
+	if bestPeer < 0 {
+		return
+	}
+	at := vclock.Max(best, em.now())
+	req.timeoutScheduled = true
+	em.emit(core.Event{
+		Time:    at,
+		Kind:    kindReqTimeout,
+		Target:  self,
+		Payload: reqTimeout{reqID: req.id, peer: bestPeer, failedAt: ps.failedPeers[bestPeer]},
+	})
+}
+
+// pendingInOrder returns the process's pending requests sorted by id, for
+// deterministic iteration (map order is randomised).
+func (ps *procState) pendingInOrder() []*Request {
+	out := make([]*Request, 0, len(ps.pending))
+	for _, r := range ps.pending {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}

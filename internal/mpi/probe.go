@@ -1,0 +1,170 @@
+package mpi
+
+import (
+	"fmt"
+
+	"xsim/internal/vclock"
+)
+
+// ErrCancelled is the error a cancelled request completes with.
+type CancelledError struct {
+	// Op names the cancelled operation.
+	Op string
+}
+
+// Error implements error.
+func (e *CancelledError) Error() string { return fmt.Sprintf("mpi: %s cancelled", e.Op) }
+
+// probeRec is one outstanding blocking probe.
+type probeRec struct {
+	comm, src, tag int // src is a world rank or AnySource
+}
+
+// matchesEnvelope reports whether the probe accepts an envelope.
+func (p *probeRec) matchesEnvelope(env *envelope) bool {
+	if p.comm != env.commID {
+		return false
+	}
+	if p.src != AnySource && p.src != env.src {
+		return false
+	}
+	return p.tag == AnyTag || p.tag == env.tag
+}
+
+// peekUnexpected finds (without consuming) the earliest-arrived unexpected
+// envelope matching (comm, src, tag); src is a world rank or AnySource.
+func (ps *procState) peekUnexpected(comm, src, tag int) *envelope {
+	var best *envelope
+	consider := func(env *envelope) {
+		if tag != AnyTag && tag != env.tag {
+			return
+		}
+		if best == nil || env.arriveSeq < best.arriveSeq {
+			best = env
+		}
+	}
+	if src != AnySource {
+		for _, env := range ps.unexpBySrc[matchKey{comm, src}] {
+			consider(env)
+		}
+		return best
+	}
+	for k, list := range ps.unexpBySrc {
+		if k.comm != comm {
+			continue
+		}
+		for _, env := range list {
+			consider(env)
+		}
+	}
+	return best
+}
+
+// Iprobe checks without blocking whether a matching message has arrived
+// (MPI_Iprobe): it returns the envelope information of the earliest match
+// without consuming it, or ok=false. Only messages whose envelope has
+// reached this process are visible — exactly MPI's semantics.
+func (c *Comm) Iprobe(src, tag int) (*Message, bool, error) {
+	e := c.env
+	e.chargeCall()
+	if err := c.checkRevoked("iprobe"); err != nil {
+		return nil, false, c.handleError(err)
+	}
+	worldSrc, err := c.probeSrc(src)
+	if err != nil {
+		return nil, false, c.handleError(err)
+	}
+	env := e.ps.peekUnexpected(c.id, worldSrc, tag)
+	if env == nil {
+		return nil, false, nil
+	}
+	return &Message{Src: env.srcCommRank, Tag: env.tag, Size: env.size}, true, nil
+}
+
+// Probe blocks until a matching message has arrived and returns its
+// envelope information without consuming it (MPI_Probe). Probing a failed
+// process completes in error after the detection timeout, like a receive.
+func (c *Comm) Probe(src, tag int) (*Message, error) {
+	e := c.env
+	e.chargeCall()
+	if err := c.checkRevoked("probe"); err != nil {
+		return nil, c.handleError(err)
+	}
+	worldSrc, err := c.probeSrc(src)
+	if err != nil {
+		return nil, c.handleError(err)
+	}
+	postClock := e.ctx.NowQuiet()
+	for {
+		if env := e.ps.peekUnexpected(c.id, worldSrc, tag); env != nil {
+			return &Message{Src: env.srcCommRank, Tag: env.tag, Size: env.size}, nil
+		}
+		// A relevant failed peer means no message can come: complete in
+		// error after the detection timeout, like a receive would.
+		if peer, tof, ok := e.ps.relevantFailure(worldSrc); ok {
+			at := vclock.Max(postClock, tof).Add(e.w.cfg.Net.Timeout(e.Rank(), peer))
+			e.ctx.AdvanceTo(vclock.Max(at, e.ctx.NowQuiet()))
+			return nil, c.handleError(&ProcFailedError{Rank: peer, FailedAt: tof, Op: "probe"})
+		}
+		pr := &probeRec{comm: c.id, src: worldSrc, tag: tag}
+		e.ps.probes = append(e.ps.probes, pr)
+		e.ctx.Block(fmt.Sprintf("MPI probe: src %d tag %d (comm %d)", worldSrc, tag, c.id))
+		e.ps.removeProbe(pr)
+	}
+}
+
+// probeSrc validates and translates a probe source rank.
+func (c *Comm) probeSrc(src int) (int, error) {
+	if src == AnySource {
+		return AnySource, nil
+	}
+	if src < 0 || src >= c.n {
+		return 0, fmt.Errorf("mpi: probe source rank %d out of range [0,%d)", src, c.n)
+	}
+	return c.WorldRank(src), nil
+}
+
+// relevantFailure returns the earliest-detectable failed peer relevant to
+// an operation on worldSrc (or any peer, for AnySource), deterministically.
+func (ps *procState) relevantFailure(worldSrc int) (peer int, tof vclock.Time, ok bool) {
+	if worldSrc != AnySource {
+		t, dead := ps.failedPeers[worldSrc]
+		return worldSrc, t, dead
+	}
+	best := vclock.Never
+	bestPeer := -1
+	for p, t := range ps.failedPeers {
+		if t < best || (t == best && p < bestPeer) {
+			best, bestPeer = t, p
+		}
+	}
+	if bestPeer < 0 {
+		return 0, 0, false
+	}
+	return bestPeer, best, true
+}
+
+// removeProbe unregisters an outstanding probe.
+func (ps *procState) removeProbe(pr *probeRec) {
+	for i, p := range ps.probes {
+		if p == pr {
+			ps.probes = append(ps.probes[:i], ps.probes[i+1:]...)
+			return
+		}
+	}
+}
+
+// Cancel cancels a pending request (MPI_Cancel): the request completes
+// with CancelledError at the current virtual time. Cancelling a completed
+// request reports false. A cancelled receive leaves later-arriving
+// messages in the unexpected queue for other receives; a cancelled
+// rendezvous send drops the eventual clear-to-send.
+func (c *Comm) Cancel(r *Request) bool {
+	e := c.env
+	e.chargeCall()
+	if r.done {
+		return false
+	}
+	completeRequest(e.ps, r, e.ctx.NowQuiet(), &CancelledError{Op: r.opName()})
+	return true
+}

@@ -1,0 +1,180 @@
+package mpi
+
+import (
+	"testing"
+
+	"xsim/internal/vclock"
+)
+
+func TestIprobe(t *testing.T) {
+	runWorld(t, 2, 1, func(e *Env) {
+		c := e.World()
+		if e.Rank() == 0 {
+			if err := c.Send(1, 7, []byte("probe me")); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		// Nothing arrived yet at t=0.
+		if _, ok, err := c.Iprobe(0, 7); err != nil || ok {
+			t.Fatalf("early iprobe = %v, %v", ok, err)
+		}
+		e.Sleep(vclock.Millisecond) // let the envelope arrive
+		m, ok, err := c.Iprobe(0, 7)
+		if err != nil || !ok {
+			t.Fatalf("iprobe = %v, %v", ok, err)
+		}
+		if m.Src != 0 || m.Tag != 7 || m.Size != 8 {
+			t.Fatalf("probed envelope = %+v", m)
+		}
+		// Probing does not consume: the receive still sees the message.
+		got, err := c.Recv(0, 7)
+		if err != nil || string(got.Data) != "probe me" {
+			t.Fatalf("recv after probe: %v %q", err, got.Data)
+		}
+		// Consumed now.
+		if _, ok, _ := c.Iprobe(0, 7); ok {
+			t.Fatal("iprobe after recv should find nothing")
+		}
+	})
+}
+
+func TestProbeBlocksUntilArrival(t *testing.T) {
+	runWorld(t, 2, 1, func(e *Env) {
+		c := e.World()
+		if e.Rank() == 0 {
+			e.Elapse(5 * vclock.Millisecond)
+			if err := c.SendN(1, 3, 64); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		m, err := c.Probe(AnySource, AnyTag)
+		if err != nil {
+			t.Fatalf("probe: %v", err)
+		}
+		if m.Src != 0 || m.Tag != 3 || m.Size != 64 {
+			t.Fatalf("probe result = %+v", m)
+		}
+		// The probe returned at (or after) the envelope's arrival.
+		if e.Now() < vclock.Time(5*vclock.Millisecond) {
+			t.Fatalf("probe returned at %v, before the send", e.Now())
+		}
+		// And the message is still receivable.
+		if _, err := c.Recv(m.Src, m.Tag); err != nil {
+			t.Fatalf("recv after probe: %v", err)
+		}
+	})
+}
+
+func TestProbeFailedPeerTimesOut(t *testing.T) {
+	res, err := runWorldErr(t, 2, 1, map[int]vclock.Time{0: vclock.TimeFromSeconds(1)}, func(e *Env) {
+		c := e.World()
+		c.SetErrorHandler(ErrorsReturn)
+		if e.Rank() == 0 {
+			e.Elapse(2 * vclock.Second)
+			return
+		}
+		_, err := c.Probe(0, 0)
+		if _, ok := err.(*ProcFailedError); !ok {
+			t.Fatalf("probe err = %v, want ProcFailedError", err)
+		}
+		// Detection latency includes the configured timeout.
+		if e.Now() < vclock.TimeFromSeconds(2) {
+			t.Fatalf("probe failed too early: %v", e.Now())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Completed != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	runWorld(t, 2, 1, func(e *Env) {
+		c := e.World()
+		c.SetErrorHandler(ErrorsReturn)
+		if _, err := c.Probe(9, 0); err == nil {
+			t.Error("out-of-range probe source should fail")
+		}
+		if _, _, err := c.Iprobe(-2, 0); err == nil {
+			t.Error("out-of-range iprobe source should fail")
+		}
+	})
+}
+
+func TestCancelRecv(t *testing.T) {
+	runWorld(t, 2, 1, func(e *Env) {
+		c := e.World()
+		if e.Rank() == 0 {
+			e.Elapse(vclock.Millisecond)
+			if err := c.Send(1, 0, []byte("late")); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		req, err := c.Irecv(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Cancel(req) {
+			t.Fatal("cancel of pending recv should succeed")
+		}
+		if !req.Done() {
+			t.Fatal("cancelled request should be done")
+		}
+		if _, ok := req.Err().(*CancelledError); !ok {
+			t.Fatalf("err = %v, want CancelledError", req.Err())
+		}
+		if c.Cancel(req) {
+			t.Fatal("double cancel should report false")
+		}
+		// The message was not consumed by the cancelled receive: a fresh
+		// receive gets it.
+		m, err := c.Recv(0, 0)
+		if err != nil || string(m.Data) != "late" {
+			t.Fatalf("recv after cancel: %v %q", err, m.Data)
+		}
+	})
+}
+
+func TestCancelRendezvousSend(t *testing.T) {
+	runWorld(t, 2, 1, func(e *Env) {
+		c := e.World()
+		if e.Rank() == 0 {
+			req, err := c.IsendN(1, 0, 1<<20) // rendezvous: pends on the CTS
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.Cancel(req) {
+				t.Fatal("cancel of pending send should succeed")
+			}
+			return
+		}
+		// The receiver never posts: without the cancel this would
+		// deadlock; with it, both ranks complete.
+		e.Elapse(vclock.Millisecond)
+	})
+}
+
+func TestTreeReduce(t *testing.T) {
+	const n = 6
+	runWorld(t, n, 1, func(e *Env) {
+		c := e.World()
+		for root := 0; root < n; root += 2 {
+			sum, err := c.Reduce(root, []float64{float64(e.Rank()), 1}, OpSum)
+			if err != nil {
+				t.Fatalf("tree reduce root %d: %v", root, err)
+			}
+			if e.Rank() == root {
+				if sum[0] != float64(n*(n-1)/2) || sum[1] != n {
+					t.Fatalf("root %d sum = %v", root, sum)
+				}
+			} else if sum != nil {
+				t.Fatalf("non-root got %v", sum)
+			}
+		}
+	}, withTree())
+}

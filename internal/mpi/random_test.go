@@ -1,0 +1,197 @@
+package mpi
+
+import (
+	"math/rand"
+	"testing"
+
+	"xsim/internal/core"
+	"xsim/internal/procmodel"
+	"xsim/internal/vclock"
+)
+
+// randomScript generates a deadlock-free random communication pattern:
+// a global list of messages (src, dst, tag, size) plus per-rank compute
+// durations. Every rank posts all its receives up front, then issues its
+// sends interleaved with compute, then waits for everything — no blocking
+// cycles, any pattern is safe.
+type scriptMsg struct {
+	src, dst, tag, size int
+}
+
+func randomScript(rng *rand.Rand, ranks, msgs int) []scriptMsg {
+	out := make([]scriptMsg, msgs)
+	for i := range out {
+		src := rng.Intn(ranks)
+		dst := rng.Intn(ranks)
+		for dst == src {
+			dst = rng.Intn(ranks)
+		}
+		size := rng.Intn(512)
+		if rng.Intn(4) == 0 {
+			size = 2048 + rng.Intn(4096) // rendezvous in the test net
+		}
+		out[i] = scriptMsg{src: src, dst: dst, tag: i, size: size}
+	}
+	return out
+}
+
+// runRandomWorkload executes a random script and returns the final clocks.
+func runRandomWorkload(t *testing.T, seed int64, ranks, msgs, workers int) []vclock.Time {
+	t.Helper()
+	script := randomScript(rand.New(rand.NewSource(seed)), ranks, msgs)
+	computeSeed := seed * 31
+
+	eng, err := core.New(core.Config{NumVPs: ranks, Workers: workers, Lookahead: vclock.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(eng, WorldConfig{Net: testNet(ranks), Proc: procmodel.Paper()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(e *Env) {
+		defer e.Finalize()
+		c := e.World()
+		me := e.Rank()
+		// Per-rank deterministic compute pattern.
+		myRng := rand.New(rand.NewSource(computeSeed + int64(me)))
+		var reqs []*Request
+		for _, m := range script {
+			if m.dst == me {
+				r, err := c.Irecv(m.src, m.tag)
+				if err != nil {
+					t.Errorf("irecv: %v", err)
+					return
+				}
+				reqs = append(reqs, r)
+			}
+		}
+		for _, m := range script {
+			if m.src == me {
+				e.Elapse(vclock.Duration(myRng.Intn(1000)) * vclock.Microsecond)
+				r, err := c.IsendN(m.dst, m.tag, m.size)
+				if err != nil {
+					t.Errorf("isend: %v", err)
+					return
+				}
+				reqs = append(reqs, r)
+			}
+		}
+		if err := c.Waitall(reqs); err != nil {
+			t.Errorf("waitall: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != ranks {
+		t.Fatalf("completed = %d (%+v)", res.Completed, res)
+	}
+	return res.FinalClocks
+}
+
+// TestRandomWorkloadsParallelEquivalence drives random communication
+// patterns through the sequential and parallel engines and demands
+// bit-identical virtual clocks — the core guarantee of the conservative
+// windowed synchronisation.
+func TestRandomWorkloadsParallelEquivalence(t *testing.T) {
+	const ranks, msgs = 12, 120
+	for seed := int64(1); seed <= 8; seed++ {
+		seq := runRandomWorkload(t, seed, ranks, msgs, 1)
+		for _, workers := range []int{3, 7} {
+			par := runRandomWorkload(t, seed, ranks, msgs, workers)
+			for r := range seq {
+				if seq[r] != par[r] {
+					t.Fatalf("seed %d workers %d: rank %d clock %v != sequential %v",
+						seed, workers, r, par[r], seq[r])
+				}
+			}
+		}
+	}
+}
+
+// TestRandomWorkloadsRepeatable demands run-to-run determinism for random
+// patterns (the paper: experiments are repeatable because the simulator
+// and the application are deterministic).
+func TestRandomWorkloadsRepeatable(t *testing.T) {
+	const ranks, msgs = 10, 80
+	for seed := int64(20); seed <= 23; seed++ {
+		a := runRandomWorkload(t, seed, ranks, msgs, 2)
+		b := runRandomWorkload(t, seed, ranks, msgs, 2)
+		for r := range a {
+			if a[r] != b[r] {
+				t.Fatalf("seed %d: rank %d clock %v != %v across identical runs", seed, r, a[r], b[r])
+			}
+		}
+	}
+}
+
+// TestRandomWorkloadsWithFailures mixes random failure injections into
+// random workloads: no crashes, no deadlocks, deterministic outcomes, and
+// consistent death accounting under both engines.
+func TestRandomWorkloadsWithFailures(t *testing.T) {
+	const ranks, msgs = 10, 60
+	run := func(seed int64, workers int) *core.Result {
+		script := randomScript(rand.New(rand.NewSource(seed)), ranks, msgs)
+		eng, err := core.New(core.Config{NumVPs: ranks, Workers: workers, Lookahead: vclock.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorld(eng, WorldConfig{Net: testNet(ranks), Proc: procmodel.Paper()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+		for i := 0; i < 2; i++ {
+			rank := frng.Intn(ranks)
+			at := vclock.Time(frng.Int63n(int64(50 * vclock.Millisecond)))
+			if err := eng.ScheduleFailure(rank, at); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := w.Run(func(e *Env) {
+			defer e.Finalize()
+			c := e.World()
+			me := e.Rank()
+			var reqs []*Request
+			for _, m := range script {
+				if m.dst == me {
+					r, err := c.Irecv(m.src, m.tag)
+					if err != nil {
+						return
+					}
+					reqs = append(reqs, r)
+				}
+			}
+			for _, m := range script {
+				if m.src == me {
+					e.Elapse(vclock.Duration(me+1) * vclock.Millisecond)
+					r, err := c.IsendN(m.dst, m.tag, m.size)
+					if err != nil {
+						return
+					}
+					reqs = append(reqs, r)
+				}
+			}
+			// Fatal handler: a detected failure aborts the application,
+			// which is the expected outcome for most seeds.
+			c.Waitall(reqs)
+		})
+		if err != nil {
+			t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+		}
+		return res
+	}
+	for seed := int64(40); seed <= 45; seed++ {
+		seq := run(seed, 1)
+		par := run(seed, 4)
+		if seq.Failed != par.Failed || seq.Aborted != par.Aborted || seq.Completed != par.Completed {
+			t.Fatalf("seed %d: outcome mismatch seq=%+v par=%+v", seed, seq, par)
+		}
+		for r := range seq.FinalClocks {
+			if seq.FinalClocks[r] != par.FinalClocks[r] {
+				t.Fatalf("seed %d rank %d: %v != %v", seed, r, par.FinalClocks[r], seq.FinalClocks[r])
+			}
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"xsim/internal/core"
+)
+
+// This file implements the MPI user-level failure mitigation (ULFM)
+// surface the paper names as future work it had just begun: error
+// notification at the application (ProcFailedError instead of a fatal
+// abort), remote process notification via communicator revocation
+// (MPI_Comm_revoke), and communicator reconfiguration (MPI_Comm_shrink),
+// plus a simplified fault-tolerant agreement (MPI_Comm_agree).
+
+// Internal ULFM tags (within the reserved negative tag space).
+const (
+	tagShrinkReport = TagULFMBase - iota
+	tagShrinkResult
+	tagAgreeReport
+	tagAgreeResult
+)
+
+// revokeNotify is the simulator-internal revocation notification payload.
+type revokeNotify struct {
+	commID int
+	origin int
+}
+
+// handleRevoke processes a communicator revocation at one partition:
+// every local process marks the communicator revoked, and pending
+// operations on it complete with RevokedError.
+func (w *World) handleRevoke(s *core.SchedCtx, ev *core.Event) {
+	rn := ev.Payload.(revokeNotify)
+	lo, hi := s.LocalRanks()
+	for rank := lo; rank < hi; rank++ {
+		ps := localState(s, rank)
+		if ps == nil {
+			continue
+		}
+		if ps.revoked == nil {
+			ps.revoked = make(map[int]bool)
+		}
+		if ps.revoked[rn.commID] {
+			continue
+		}
+		ps.revoked[rn.commID] = true
+		for _, req := range ps.pendingInOrder() {
+			if req.comm.id == rn.commID {
+				completeRequest(ps, req, ev.Time, &RevokedError{Comm: rn.commID})
+				wakeIfWaiting(s, ps, req, req.completeAt)
+			}
+		}
+	}
+}
+
+// Revoke revokes the communicator (MPI_Comm_revoke): a simulator-internal
+// notification reaches every process, pending and future operations on
+// the communicator fail with RevokedError, and collective recovery
+// (Shrink) becomes possible. Revoke itself never blocks.
+func (c *Comm) Revoke() {
+	e := c.env
+	c.markRevoked()
+	e.Logf("MPI_Comm_revoke on comm %d", c.id)
+	e.ctx.EmitBroadcast(core.Event{
+		Time:    e.ctx.NowQuiet().Add(e.w.cfg.NotifyDelay),
+		Kind:    kindRevoke,
+		Payload: revokeNotify{commID: c.id, origin: e.Rank()},
+	})
+}
+
+// encodeRanks serialises a rank list.
+func encodeRanks(ranks []int) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(ranks)))
+	for _, r := range ranks {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r))
+	}
+	return buf
+}
+
+// decodeRanks reverses encodeRanks.
+func decodeRanks(buf []byte) ([]int, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("mpi: rank list too short")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if len(buf) != 4+4*n {
+		return nil, fmt.Errorf("mpi: rank list is %d bytes for %d ranks", len(buf), n)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(binary.LittleEndian.Uint32(buf[4+4*i:]))
+	}
+	return out, nil
+}
+
+// Shrink builds a new communicator containing the surviving members
+// (MPI_Comm_shrink). It is collective among the survivors: each reports
+// its locally known failed set to the lowest-ranked survivor, which unions
+// them (treating report timeouts as further failures), decides the new
+// membership, and distributes it. Survivors return the new communicator
+// with their new rank; the simplification relative to full ULFM is that
+// the root survivor must stay alive through the shrink.
+func (c *Comm) Shrink() (*Comm, error) {
+	e := c.env
+	e.chargeCall()
+	failed := make(map[int]bool)
+	for _, cr := range c.FailedInComm() {
+		failed[cr] = true
+	}
+	root := -1
+	for cr := 0; cr < c.n; cr++ {
+		if !failed[cr] {
+			root = cr
+			break
+		}
+	}
+	if root < 0 {
+		return nil, fmt.Errorf("mpi: shrink of comm %d: no survivors", c.id)
+	}
+	if c.rank == root {
+		for cr := 0; cr < c.n; cr++ {
+			if cr == root || failed[cr] {
+				continue
+			}
+			msg, err := c.recvTag(cr, tagShrinkReport)
+			if err != nil {
+				// A survivor candidate died before reporting: the
+				// timeout reveals it; treat it as failed.
+				if _, ok := err.(*ProcFailedError); ok {
+					failed[cr] = true
+					continue
+				}
+				return nil, err
+			}
+			reported, err := decodeRanks(msg.Data)
+			if err != nil {
+				return nil, err
+			}
+			for _, fr := range reported {
+				failed[fr] = true
+			}
+		}
+		var live []int
+		for cr := 0; cr < c.n; cr++ {
+			if !failed[cr] {
+				live = append(live, cr)
+			}
+		}
+		sort.Ints(live)
+		payload := encodeRanks(live)
+		for _, cr := range live {
+			if cr == root {
+				continue
+			}
+			if err := c.sendTag(cr, tagShrinkResult, len(payload), payload); err != nil {
+				if _, ok := err.(*ProcFailedError); ok {
+					continue // died after deciding membership; survivors proceed
+				}
+				return nil, err
+			}
+		}
+		return c.commFromCommRanks(live), nil
+	}
+	report := encodeRanks(c.FailedInComm())
+	if err := c.sendTag(root, tagShrinkReport, len(report), report); err != nil {
+		return nil, fmt.Errorf("mpi: shrink report to root failed: %w", err)
+	}
+	msg, err := c.recvTag(root, tagShrinkResult)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: shrink result from root failed: %w", err)
+	}
+	live, err := decodeRanks(msg.Data)
+	if err != nil {
+		return nil, err
+	}
+	return c.commFromCommRanks(live), nil
+}
+
+// commFromCommRanks derives a communicator from a list of this
+// communicator's ranks.
+func (c *Comm) commFromCommRanks(commRanks []int) *Comm {
+	group := make([]int, len(commRanks))
+	for i, cr := range commRanks {
+		group[i] = c.WorldRank(cr)
+	}
+	return c.env.newComm(group, c.env.Rank())
+}
+
+// Agree performs a simplified fault-tolerant agreement (MPI_Comm_agree):
+// the survivors' flags are combined with bitwise AND and every survivor
+// receives the result, even if other members failed. The root survivor
+// must stay alive through the agreement.
+func (c *Comm) Agree(flag uint32) (uint32, error) {
+	e := c.env
+	e.chargeCall()
+	failed := make(map[int]bool)
+	for _, cr := range c.FailedInComm() {
+		failed[cr] = true
+	}
+	root := -1
+	for cr := 0; cr < c.n; cr++ {
+		if !failed[cr] {
+			root = cr
+			break
+		}
+	}
+	if root < 0 {
+		return 0, fmt.Errorf("mpi: agree on comm %d: no survivors", c.id)
+	}
+	if c.rank == root {
+		acc := flag
+		var live []int
+		for cr := 0; cr < c.n; cr++ {
+			if cr == root || failed[cr] {
+				continue
+			}
+			msg, err := c.recvTag(cr, tagAgreeReport)
+			if err != nil {
+				if _, ok := err.(*ProcFailedError); ok {
+					continue
+				}
+				return 0, err
+			}
+			if len(msg.Data) != 4 {
+				return 0, fmt.Errorf("mpi: agree report is %d bytes", len(msg.Data))
+			}
+			acc &= binary.LittleEndian.Uint32(msg.Data)
+			live = append(live, cr)
+		}
+		payload := binary.LittleEndian.AppendUint32(nil, acc)
+		for _, cr := range live {
+			if err := c.sendTag(cr, tagAgreeResult, 4, payload); err != nil {
+				if _, ok := err.(*ProcFailedError); ok {
+					continue
+				}
+				return 0, err
+			}
+		}
+		return acc, nil
+	}
+	report := binary.LittleEndian.AppendUint32(nil, flag)
+	if err := c.sendTag(root, tagAgreeReport, 4, report); err != nil {
+		return 0, fmt.Errorf("mpi: agree report to root failed: %w", err)
+	}
+	msg, err := c.recvTag(root, tagAgreeResult)
+	if err != nil {
+		return 0, fmt.Errorf("mpi: agree result from root failed: %w", err)
+	}
+	if len(msg.Data) != 4 {
+		return 0, fmt.Errorf("mpi: agree result is %d bytes", len(msg.Data))
+	}
+	return binary.LittleEndian.Uint32(msg.Data), nil
+}

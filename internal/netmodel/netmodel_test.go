@@ -1,0 +1,155 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xsim/internal/topology"
+	"xsim/internal/vclock"
+)
+
+func TestPaperModelValid(t *testing.T) {
+	m := Paper()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Topo.Nodes() != 32768 {
+		t.Fatalf("paper topology nodes = %d", m.Topo.Nodes())
+	}
+}
+
+func TestEagerThreshold(t *testing.T) {
+	m := Paper()
+	if !m.Eager(256 * 1024) {
+		t.Error("payload at threshold should be eager")
+	}
+	if m.Eager(256*1024 + 1) {
+		t.Error("payload above threshold should use rendezvous")
+	}
+	if !m.Eager(0) {
+		t.Error("empty payload should be eager")
+	}
+}
+
+func TestTransferTimeLatencyOnly(t *testing.T) {
+	m := Paper()
+	tor := m.Topo.(*topology.Torus3D)
+	src := tor.ID(0, 0, 0)
+	dst := tor.ID(3, 0, 0)
+	// Zero-byte message over 3 hops: 3 µs.
+	if got := m.TransferTime(src, dst, 0); got != 3*vclock.Microsecond {
+		t.Fatalf("TransferTime = %v, want 3µs", got)
+	}
+}
+
+func TestTransferTimeBandwidth(t *testing.T) {
+	m := Paper()
+	tor := m.Topo.(*topology.Torus3D)
+	src := tor.ID(0, 0, 0)
+	dst := tor.ID(1, 0, 0)
+	// 32 GB over a 32 GB/s link takes 1 s (plus 1 µs latency).
+	got := m.TransferTime(src, dst, 32e9)
+	want := vclock.Second + vclock.Microsecond
+	if got != want {
+		t.Fatalf("TransferTime = %v, want %v", got, want)
+	}
+}
+
+func TestIntraNodeUsesOnNodeTier(t *testing.T) {
+	m := Paper()
+	if got := m.TransferTime(7, 7, 0); got != m.OnNode.Latency {
+		t.Fatalf("intra-node transfer = %v, want %v", got, m.OnNode.Latency)
+	}
+	if got := m.Timeout(7, 7); got != m.OnNode.DetectionTimeout {
+		t.Fatalf("intra-node timeout = %v", got)
+	}
+	if got := m.Timeout(7, 8); got != m.System.DetectionTimeout {
+		t.Fatalf("system timeout = %v", got)
+	}
+}
+
+func TestControlTime(t *testing.T) {
+	m := Paper()
+	if m.ControlTime(0, 1) != m.TransferTime(0, 1, 0) {
+		t.Fatal("control message must equal zero-payload transfer")
+	}
+}
+
+func TestSendOverhead(t *testing.T) {
+	m := Paper()
+	m.SoftwareOverhead = vclock.Microsecond
+	// Sender overhead is independent of distance for eager sends.
+	if m.SendOverhead(0, 1, 1024) != m.SendOverhead(0, 31, 1024) {
+		t.Error("sender overhead should not depend on hops")
+	}
+	if m.SendOverhead(0, 1, 0) != vclock.Microsecond {
+		t.Error("zero payload overhead should equal software overhead")
+	}
+}
+
+func TestTransferTimeMonotoneInSize(t *testing.T) {
+	m := Paper()
+	f := func(a, b uint32) bool {
+		x, y := int(a%1e9), int(b%1e9)
+		if x > y {
+			x, y = y, x
+		}
+		return m.TransferTime(0, 1, x) <= m.TransferTime(0, 1, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferTimeMonotoneInHops(t *testing.T) {
+	m := Paper()
+	tor := m.Topo.(*topology.Torus3D)
+	prev := vclock.Duration(0)
+	for d := 1; d <= 16; d++ {
+		cur := m.TransferTime(tor.ID(0, 0, 0), tor.ID(d, 0, 0), 0)
+		if cur < prev {
+			t.Fatalf("transfer time not monotone in hops at distance %d", d)
+		}
+		prev = cur
+	}
+}
+
+func TestOccupancies(t *testing.T) {
+	m := Paper()
+	m.InjectBandwidth = 1e9
+	m.EjectBandwidth = 2e9
+	if !m.Contended() {
+		t.Fatal("model should report contention enabled")
+	}
+	if got := m.InjectOccupancy(1e9); got != vclock.Second {
+		t.Errorf("inject occupancy = %v", got)
+	}
+	if got := m.EjectOccupancy(2e9); got != vclock.Second {
+		t.Errorf("eject occupancy = %v", got)
+	}
+	if m.InjectOccupancy(0) != 0 || m.EjectOccupancy(-5) != 0 {
+		t.Error("non-positive sizes should cost nothing")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	ok := Paper()
+	cases := []func(*Model){
+		func(m *Model) { m.Topo = nil },
+		func(m *Model) { m.System.Bandwidth = 0 },
+		func(m *Model) { m.OnNode.Bandwidth = -1 },
+		func(m *Model) { m.System.Latency = -1 },
+		func(m *Model) { m.System.DetectionTimeout = -1 },
+		func(m *Model) { m.EagerThreshold = -1 },
+		func(m *Model) { m.SoftwareOverhead = -1 },
+		func(m *Model) { m.InjectBandwidth = -1 },
+		func(m *Model) { m.EjectBandwidth = -1 },
+	}
+	for i, mutate := range cases {
+		m := *ok
+		mutate(&m)
+		if m.Validate() == nil {
+			t.Errorf("case %d: Validate should fail", i)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package powermodel provides the power consumption model of the
+// simulated system — the paper's future-work item (5) and a pillar of its
+// stated goal, a toolkit that "considers architectural performance and
+// resilience parameters to optimize parallel application performance
+// within a given power consumption budget".
+//
+// The model is phase-based: each simulated node draws ComputeWatts while
+// its process executes (the core engine's busy time), IdleWatts while it
+// waits on communication or sleeps, and the system adds a constant
+// per-node overhead (cooling, interconnect share). Combined with the
+// engine's per-VP busy/wait accounting, the same simulation that yields
+// Table II's execution times also yields the energy a checkpoint-interval
+// choice costs — the performance/resilience/power trade-off.
+package powermodel
+
+import (
+	"fmt"
+
+	"xsim/internal/vclock"
+)
+
+// Model is the per-node power model.
+type Model struct {
+	// ComputeWatts is the node's draw while executing application code.
+	ComputeWatts float64
+	// IdleWatts is the draw while blocked on communication or sleeping.
+	IdleWatts float64
+	// OverheadWatts is a constant per-node draw for the whole wall
+	// (virtual) duration of the run — power supplies, cooling share,
+	// interconnect.
+	OverheadWatts float64
+}
+
+// Paper returns a plausible model for the paper's simulated node: 100 W
+// at full compute, 40 W idle, 20 W constant overhead (in the band of
+// contemporary HPC compute-node measurements).
+func Paper() Model {
+	return Model{ComputeWatts: 100, IdleWatts: 40, OverheadWatts: 20}
+}
+
+// Validate reports a configuration error, if any.
+func (m Model) Validate() error {
+	if m.ComputeWatts < 0 || m.IdleWatts < 0 || m.OverheadWatts < 0 {
+		return fmt.Errorf("powermodel: watts must be non-negative (%+v)", m)
+	}
+	if m.IdleWatts > m.ComputeWatts {
+		return fmt.Errorf("powermodel: IdleWatts %g exceeds ComputeWatts %g", m.IdleWatts, m.ComputeWatts)
+	}
+	return nil
+}
+
+// NodeEnergy returns the energy in joules one node consumes over a run
+// with the given busy and waiting virtual times. The node's powered
+// duration is busy+waited (its share of the run).
+func (m Model) NodeEnergy(busy, waited vclock.Duration) float64 {
+	return m.ComputeWatts*busy.Seconds() +
+		m.IdleWatts*waited.Seconds() +
+		m.OverheadWatts*(busy+waited).Seconds()
+}
+
+// Report aggregates a run's energy.
+type Report struct {
+	// TotalJoules is the system energy over the run.
+	TotalJoules float64
+	// ComputeJoules, IdleJoules, OverheadJoules break the total down.
+	ComputeJoules, IdleJoules, OverheadJoules float64
+	// AvgPowerWatts is the average system draw: total energy over the
+	// run's virtual duration.
+	AvgPowerWatts float64
+	// BusyFraction is the system-wide fraction of powered time spent
+	// computing.
+	BusyFraction float64
+}
+
+// SystemEnergy aggregates per-rank busy/wait times (from the engine's
+// result) into a system energy report. makespan is the run's total
+// virtual duration (its end time minus its start time).
+func (m Model) SystemEnergy(busy, waited []vclock.Duration, makespan vclock.Duration) Report {
+	var r Report
+	var busySum, waitSum float64
+	for i := range busy {
+		busySum += busy[i].Seconds()
+		waitSum += waited[i].Seconds()
+	}
+	r.ComputeJoules = m.ComputeWatts * busySum
+	r.IdleJoules = m.IdleWatts * waitSum
+	r.OverheadJoules = m.OverheadWatts * (busySum + waitSum)
+	r.TotalJoules = r.ComputeJoules + r.IdleJoules + r.OverheadJoules
+	if makespan > 0 {
+		r.AvgPowerWatts = r.TotalJoules / makespan.Seconds()
+	}
+	if busySum+waitSum > 0 {
+		r.BusyFraction = busySum / (busySum + waitSum)
+	}
+	return r
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("energy %.3g J (compute %.3g J, idle %.3g J, overhead %.3g J), avg power %.3g W, busy fraction %.1f%%",
+		r.TotalJoules, r.ComputeJoules, r.IdleJoules, r.OverheadJoules, r.AvgPowerWatts, 100*r.BusyFraction)
+}

@@ -1,0 +1,97 @@
+package powermodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xsim/internal/vclock"
+)
+
+func TestPaperValid(t *testing.T) {
+	if err := Paper().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	for _, m := range []Model{
+		{ComputeWatts: -1},
+		{ComputeWatts: 10, IdleWatts: -1},
+		{ComputeWatts: 10, IdleWatts: 20},
+		{ComputeWatts: 10, OverheadWatts: -5},
+	} {
+		if m.Validate() == nil {
+			t.Errorf("Validate(%+v) should fail", m)
+		}
+	}
+}
+
+func TestNodeEnergy(t *testing.T) {
+	m := Model{ComputeWatts: 100, IdleWatts: 40, OverheadWatts: 10}
+	// 10 s busy + 5 s waiting: 100*10 + 40*5 + 10*15 = 1350 J.
+	got := m.NodeEnergy(10*vclock.Second, 5*vclock.Second)
+	if math.Abs(got-1350) > 1e-9 {
+		t.Fatalf("NodeEnergy = %v, want 1350", got)
+	}
+}
+
+func TestSystemEnergy(t *testing.T) {
+	m := Model{ComputeWatts: 100, IdleWatts: 40, OverheadWatts: 0}
+	busy := []vclock.Duration{10 * vclock.Second, 20 * vclock.Second}
+	wait := []vclock.Duration{5 * vclock.Second, 0}
+	r := m.SystemEnergy(busy, wait, 20*vclock.Second)
+	wantCompute := 100.0 * 30
+	wantIdle := 40.0 * 5
+	if math.Abs(r.ComputeJoules-wantCompute) > 1e-9 || math.Abs(r.IdleJoules-wantIdle) > 1e-9 {
+		t.Fatalf("report = %+v", r)
+	}
+	if math.Abs(r.TotalJoules-(wantCompute+wantIdle)) > 1e-9 {
+		t.Fatalf("total = %v", r.TotalJoules)
+	}
+	if math.Abs(r.AvgPowerWatts-r.TotalJoules/20) > 1e-9 {
+		t.Fatalf("avg power = %v", r.AvgPowerWatts)
+	}
+	if math.Abs(r.BusyFraction-30.0/35.0) > 1e-9 {
+		t.Fatalf("busy fraction = %v", r.BusyFraction)
+	}
+}
+
+func TestSystemEnergyEmpty(t *testing.T) {
+	r := Paper().SystemEnergy(nil, nil, 0)
+	if r.TotalJoules != 0 || r.AvgPowerWatts != 0 || r.BusyFraction != 0 {
+		t.Fatalf("empty report = %+v", r)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Paper().SystemEnergy(
+		[]vclock.Duration{vclock.Second}, []vclock.Duration{vclock.Second}, 2*vclock.Second)
+	s := r.String()
+	for _, want := range []string{"energy", "avg power", "busy fraction"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestQuickEnergyProperties(t *testing.T) {
+	m := Paper()
+	f := func(busyS, waitS uint16) bool {
+		busy := vclock.Duration(busyS) * vclock.Second
+		wait := vclock.Duration(waitS) * vclock.Second
+		e := m.NodeEnergy(busy, wait)
+		if e < 0 {
+			return false
+		}
+		// More busy time never costs less energy.
+		return m.NodeEnergy(busy+vclock.Second, wait) >= e &&
+			// Converting wait into busy never reduces energy (compute
+			// draws at least idle power).
+			m.NodeEnergy(busy+wait, 0) >= e-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package procmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"xsim/internal/vclock"
+)
+
+func TestPaperModel(t *testing.T) {
+	m := Paper()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.EffectiveHz(); got != 1.7e6 {
+		t.Fatalf("effective rate = %g, want 1.7e6", got)
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	m := Model{ReferenceHz: 1e9, Slowdown: 1}
+	// 1e9 ops at 1 GHz = 1 second.
+	if d := m.ComputeTime(1e9); d != vclock.Second {
+		t.Fatalf("ComputeTime = %v, want 1s", d)
+	}
+	// Slowing the node 10x makes the same work take 10 seconds.
+	m.Slowdown = 10
+	if d := m.ComputeTime(1e9); d != 10*vclock.Second {
+		t.Fatalf("ComputeTime = %v, want 10s", d)
+	}
+}
+
+func TestComputeTimeNonPositive(t *testing.T) {
+	m := Paper()
+	if m.ComputeTime(0) != 0 || m.ComputeTime(-5) != 0 {
+		t.Fatal("non-positive work must take zero time")
+	}
+}
+
+func TestOpsInverse(t *testing.T) {
+	m := Paper()
+	f := func(raw uint32) bool {
+		ops := float64(raw%1e9) + 1
+		back := m.Ops(m.ComputeTime(ops))
+		return math.Abs(back-ops) < 1e-3*ops+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleNative(t *testing.T) {
+	m := Model{ReferenceHz: 1.7e9, Slowdown: 1000}
+	// 1 ms of native compute becomes 1 s of simulated compute.
+	if d := m.ScaleNative(vclock.Millisecond); d != vclock.Second {
+		t.Fatalf("ScaleNative = %v, want 1s", d)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, m := range []Model{
+		{ReferenceHz: 0, Slowdown: 1},
+		{ReferenceHz: 1e9, Slowdown: 0},
+		{ReferenceHz: -1, Slowdown: 1},
+	} {
+		if m.Validate() == nil {
+			t.Errorf("Validate(%+v) should fail", m)
+		}
+	}
+}
+
+func TestComputeTimeMonotone(t *testing.T) {
+	m := Paper()
+	f := func(a, b uint32) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.ComputeTime(x) <= m.ComputeTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package redundancy implements redMPI-style dual modular redundancy on
+// top of the simulated MPI layer — the paper's related-work system for
+// online detection of soft errors (§II-C): each logical rank is backed by
+// two replicas; messages flow replica-to-replica, and receivers compare
+// message digests with their partner replica, so a single bit flip in
+// either replica's data is detected the first time it crosses the network.
+// With detection disabled the replicas run isolated, which is how redMPI
+// doubles as a fault-injection study tool (comparing a corrupted replica's
+// trajectory against the clean one).
+package redundancy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"xsim/internal/mpi"
+)
+
+// SDCError reports a detected silent data corruption: the two replicas of
+// a sender disagreed on a message's contents.
+type SDCError struct {
+	// LogicalSrc and Tag identify the corrupted message.
+	LogicalSrc, Tag int
+	// Replica is the receiving replica that detected the mismatch.
+	Replica int
+}
+
+// Error implements error.
+func (e *SDCError) Error() string {
+	return fmt.Sprintf("redundancy: silent data corruption detected in message from logical rank %d tag %d (replica %d)",
+		e.LogicalSrc, e.Tag, e.Replica)
+}
+
+// Comm is a dual-redundant communicator: a logical communicator of size
+// Size() whose every rank is two physical replicas. Replica 0 of logical
+// rank r is world rank r; replica 1 is world rank r + Size().
+type Comm struct {
+	world   *mpi.Comm
+	n       int // logical size
+	logical int // this process's logical rank
+	replica int // 0 or 1
+	// Detect enables online comparison of message digests between
+	// replica pairs (redMPI's detection mode). When false, replicas run
+	// isolated (redMPI's fault-injection mode).
+	Detect bool
+}
+
+// Tags: application tags occupy the non-negative space; the digest
+// exchange uses a distinct tag derived from the application tag so
+// comparisons never collide with payload traffic.
+const digestTagBase = 1 << 20
+
+// Wrap builds the redundant communicator for this process. The world size
+// must be even: the upper half mirrors the lower half.
+func Wrap(env *mpi.Env) (*Comm, error) {
+	n := env.Size()
+	if n%2 != 0 {
+		return nil, fmt.Errorf("redundancy: world size %d must be even for dual redundancy", n)
+	}
+	half := n / 2
+	c := &Comm{world: env.World(), n: half, Detect: true}
+	if env.Rank() < half {
+		c.logical = env.Rank()
+		c.replica = 0
+	} else {
+		c.logical = env.Rank() - half
+		c.replica = 1
+	}
+	return c, nil
+}
+
+// Size returns the logical communicator size.
+func (c *Comm) Size() int { return c.n }
+
+// Logical returns this process's logical rank.
+func (c *Comm) Logical() int { return c.logical }
+
+// Replica returns this process's replica index (0 or 1).
+func (c *Comm) Replica() int { return c.replica }
+
+// Partner returns the world rank of this process's partner replica.
+func (c *Comm) Partner() int {
+	if c.replica == 0 {
+		return c.logical + c.n
+	}
+	return c.logical
+}
+
+// worldRank translates a logical rank to the world rank of the same
+// replica.
+func (c *Comm) worldRank(logical int) int {
+	if c.replica == 0 {
+		return logical
+	}
+	return logical + c.n
+}
+
+// digest hashes a payload for the replica comparison.
+func digest(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// Send sends data to the same replica of the logical destination. Both
+// replicas of the logical sender perform the send with their own (ideally
+// identical) data; divergence is what detection catches at the receiver.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= c.n {
+		return fmt.Errorf("redundancy: destination %d out of range [0,%d)", dst, c.n)
+	}
+	return c.world.Send(c.worldRank(dst), tag, data)
+}
+
+// Recv receives from the same replica of the logical source. With Detect
+// enabled, the two receiving replicas then exchange digests of what they
+// received and compare: a mismatch means one replica of the sender
+// produced corrupted data, and both receivers report SDCError — redMPI's
+// online detection. The replicas otherwise continue unharmed (detection
+// without correction, the dual-redundancy limit redMPI documents; triple
+// redundancy would vote).
+func (c *Comm) Recv(src, tag int) (*mpi.Message, error) {
+	if src < 0 || src >= c.n {
+		return nil, fmt.Errorf("redundancy: source %d out of range [0,%d)", src, c.n)
+	}
+	msg, err := c.world.Recv(c.worldRank(src), tag)
+	if err != nil {
+		return nil, err
+	}
+	if !c.Detect {
+		return msg, nil
+	}
+	mine := digest(msg.Data)
+	buf := binary.LittleEndian.AppendUint64(nil, mine)
+	dtag := digestTagBase + tag
+	var theirsMsg *mpi.Message
+	// Deterministic ordering between the partners: replica 0 sends its
+	// digest first, replica 1 receives first.
+	if c.replica == 0 {
+		if err := c.world.Send(c.Partner(), dtag, buf); err != nil {
+			return nil, err
+		}
+		theirsMsg, err = c.world.Recv(c.Partner(), dtag)
+	} else {
+		theirsMsg, err = c.world.Recv(c.Partner(), dtag)
+		if err == nil {
+			err = c.world.Send(c.Partner(), dtag, buf)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	theirs := binary.LittleEndian.Uint64(theirsMsg.Data)
+	if theirs != mine {
+		return msg, &SDCError{LogicalSrc: src, Tag: tag, Replica: c.replica}
+	}
+	return msg, nil
+}
+
+// Allreduce folds contributions across the logical communicator within
+// this replica sphere (linear: logical rank 0 gathers and broadcasts).
+// With Detect enabled every hop is digest-compared with the partner.
+// Detection does not stop the collective — like redMPI, corruption is
+// reported while execution continues — so the result is returned together
+// with the first SDCError observed, if any.
+func (c *Comm) Allreduce(contrib []float64, op mpi.ReduceOp) ([]float64, error) {
+	const tag = 1<<19 + 1
+	var sdc error
+	recv := func(src, tag int) (*mpi.Message, error) {
+		msg, err := c.Recv(src, tag)
+		if err != nil {
+			var e *SDCError
+			if errors.As(err, &e) && msg != nil {
+				if sdc == nil {
+					sdc = err
+				}
+				return msg, nil
+			}
+			return nil, err
+		}
+		return msg, nil
+	}
+	if c.logical == 0 {
+		acc := append([]float64(nil), contrib...)
+		for r := 1; r < c.n; r++ {
+			msg, err := recv(r, tag)
+			if err != nil {
+				return nil, err
+			}
+			vals, err := decodeF64s(msg.Data, len(contrib))
+			if err != nil {
+				return nil, err
+			}
+			op(acc, vals)
+		}
+		for r := 1; r < c.n; r++ {
+			if err := c.Send(r, tag+1, encodeF64s(acc)); err != nil {
+				return nil, err
+			}
+		}
+		return acc, sdc
+	}
+	if err := c.Send(0, tag, encodeF64s(contrib)); err != nil {
+		return nil, err
+	}
+	msg, err := recv(0, tag+1)
+	if err != nil {
+		return nil, err
+	}
+	out, err := decodeF64s(msg.Data, len(contrib))
+	if err != nil {
+		return nil, err
+	}
+	return out, sdc
+}
+
+// encodeF64s/decodeF64s mirror the MPI layer's helpers (kept local so the
+// package only depends on the public MPI surface).
+func encodeF64s(vals []float64) []byte {
+	buf := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+func decodeF64s(buf []byte, n int) ([]float64, error) {
+	if len(buf) != 8*n {
+		return nil, fmt.Errorf("redundancy: payload is %d bytes, want %d", len(buf), 8*n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out, nil
+}

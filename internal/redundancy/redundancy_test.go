@@ -1,0 +1,209 @@
+package redundancy
+
+import (
+	"errors"
+	"testing"
+
+	"xsim/internal/core"
+	"xsim/internal/mpi"
+	"xsim/internal/netmodel"
+	"xsim/internal/procmodel"
+	"xsim/internal/softerror"
+	"xsim/internal/topology"
+	"xsim/internal/vclock"
+)
+
+// runDMR runs app on a 2×logical world.
+func runDMR(t *testing.T, logical int, app func(*mpi.Env, *Comm)) *core.Result {
+	t.Helper()
+	n := 2 * logical
+	eng, err := core.New(core.Config{NumVPs: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &netmodel.Model{
+		Topo:           topology.NewFullyConnected(n),
+		System:         netmodel.LinkParams{Latency: vclock.Microsecond, Bandwidth: 1e9, DetectionTimeout: 10 * vclock.Millisecond},
+		OnNode:         netmodel.LinkParams{Latency: vclock.Microsecond, Bandwidth: 1e9, DetectionTimeout: 10 * vclock.Millisecond},
+		EagerThreshold: 256 * 1024,
+	}
+	w, err := mpi.NewWorld(eng, mpi.WorldConfig{Net: net, Proc: procmodel.Paper()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(e *mpi.Env) {
+		defer e.Finalize()
+		dmr, err := Wrap(e)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		app(e, dmr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGeometry(t *testing.T) {
+	runDMR(t, 4, func(e *mpi.Env, d *Comm) {
+		if d.Size() != 4 {
+			t.Errorf("logical size = %d", d.Size())
+		}
+		wantLogical := e.Rank() % 4
+		wantReplica := e.Rank() / 4
+		if d.Logical() != wantLogical || d.Replica() != wantReplica {
+			t.Errorf("rank %d: logical %d replica %d", e.Rank(), d.Logical(), d.Replica())
+		}
+		// Partners are mutual.
+		if d.Partner() != (e.Rank()+4)%8 {
+			t.Errorf("rank %d partner = %d", e.Rank(), d.Partner())
+		}
+	})
+}
+
+func TestWrapOddWorld(t *testing.T) {
+	eng, _ := core.New(core.Config{NumVPs: 3})
+	net := &netmodel.Model{
+		Topo:   topology.NewFullyConnected(3),
+		System: netmodel.LinkParams{Latency: vclock.Microsecond, Bandwidth: 1e9},
+		OnNode: netmodel.LinkParams{Latency: vclock.Microsecond, Bandwidth: 1e9},
+	}
+	w, _ := mpi.NewWorld(eng, mpi.WorldConfig{Net: net, Proc: procmodel.Paper()})
+	if _, err := w.Run(func(e *mpi.Env) {
+		defer e.Finalize()
+		if _, err := Wrap(e); err == nil {
+			t.Error("odd world should fail to wrap")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanTransferNoFalsePositive(t *testing.T) {
+	res := runDMR(t, 2, func(e *mpi.Env, d *Comm) {
+		if d.Logical() == 0 {
+			if err := d.Send(1, 0, []byte("identical")); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		} else {
+			msg, err := d.Recv(0, 0)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			if string(msg.Data) != "identical" {
+				t.Errorf("data = %q", msg.Data)
+			}
+		}
+	})
+	if res.Completed != 4 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+}
+
+func TestBitFlipDetected(t *testing.T) {
+	detected := make([]bool, 4) // world size
+	runDMR(t, 2, func(e *mpi.Env, d *Comm) {
+		if d.Logical() == 0 {
+			data := []float64{1, 2, 3}
+			if d.Replica() == 1 {
+				// The soft error: replica 1's copy of the payload is
+				// silently corrupted before the send.
+				softerror.FlipFloat64(data, 1, 13)
+			}
+			buf := encodeF64s(data)
+			if err := d.Send(1, 0, buf); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		} else {
+			_, err := d.Recv(0, 0)
+			var sdc *SDCError
+			if errors.As(err, &sdc) {
+				detected[e.Rank()] = true
+				if sdc.LogicalSrc != 0 {
+					t.Errorf("detected src = %d", sdc.LogicalSrc)
+				}
+			} else if err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}
+	})
+	// Both replicas of the logical receiver detect the mismatch.
+	if !detected[1] || !detected[3] {
+		t.Fatalf("detection flags = %v, want both receiver replicas", detected)
+	}
+}
+
+func TestDetectionDisabledIsolatesReplicas(t *testing.T) {
+	// redMPI's fault-injection mode: detection off, the corrupted replica
+	// runs to completion with diverged data and nobody notices online.
+	divergence := make([]string, 4)
+	runDMR(t, 2, func(e *mpi.Env, d *Comm) {
+		d.Detect = false
+		if d.Logical() == 0 {
+			payload := "clean"
+			if d.Replica() == 1 {
+				payload = "corrupt"
+			}
+			if err := d.Send(1, 0, []byte(payload)); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		} else {
+			msg, err := d.Recv(0, 0)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			divergence[e.Rank()] = string(msg.Data)
+		}
+	})
+	if divergence[1] != "clean" || divergence[3] != "corrupt" {
+		t.Fatalf("isolated replicas = %v", divergence)
+	}
+}
+
+func TestAllreduceDetectsCorruption(t *testing.T) {
+	// A single corrupted contribution propagates into the reduction —
+	// and the digest comparison catches it at the first hop.
+	sawSDC := false
+	runDMR(t, 3, func(e *mpi.Env, d *Comm) {
+		contrib := []float64{float64(d.Logical())}
+		if d.Logical() == 2 && d.Replica() == 1 {
+			softerror.FlipFloat64(contrib, 0, 60)
+		}
+		_, err := d.Allreduce(contrib, mpi.OpSum)
+		var sdc *SDCError
+		if errors.As(err, &sdc) {
+			sawSDC = true
+		}
+	})
+	if !sawSDC {
+		t.Fatal("corrupted contribution went undetected")
+	}
+}
+
+func TestAllreduceCleanValues(t *testing.T) {
+	runDMR(t, 3, func(e *mpi.Env, d *Comm) {
+		sum, err := d.Allreduce([]float64{float64(d.Logical())}, mpi.OpSum)
+		if err != nil {
+			t.Errorf("allreduce: %v", err)
+			return
+		}
+		if sum[0] != 3 { // 0+1+2
+			t.Errorf("sum = %v", sum[0])
+		}
+	})
+}
+
+func TestSendRecvValidation(t *testing.T) {
+	runDMR(t, 2, func(e *mpi.Env, d *Comm) {
+		if err := d.Send(5, 0, nil); err == nil {
+			t.Error("out-of-range logical dst should fail")
+		}
+		if _, err := d.Recv(-1, 0); err == nil {
+			t.Error("out-of-range logical src should fail")
+		}
+	})
+}

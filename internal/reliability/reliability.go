@@ -1,0 +1,234 @@
+// Package reliability provides component-based system reliability models —
+// the paper's future-work item (2). Instead of the evaluation's worst-case
+// uniform failure draw, a simulated system is composed of nodes, each a
+// series system of components (CPU, memory, NIC, ...) with their own
+// time-to-failure distributions; the model generates MPI process failure
+// schedules for the fault injector and estimates of the system MTTF.
+//
+// Distributions follow the HPC reliability literature: exponential
+// (constant hazard), Weibull (infant mortality for shape < 1, wear-out for
+// shape > 1), and lognormal.
+package reliability
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"xsim/internal/fault"
+	"xsim/internal/vclock"
+)
+
+// maxTTF caps sampled times-to-failure: virtual time is int64 nanoseconds
+// (max ≈ 292 years), and heavy-tailed draws beyond a century are
+// irrelevant to any simulated run anyway.
+const maxTTF = 100 * 365 * 24 * vclock.Hour
+
+// clampTTF converts seconds to a duration, capping at maxTTF.
+func clampTTF(seconds float64) vclock.Duration {
+	if seconds >= maxTTF.Seconds() {
+		return maxTTF
+	}
+	return vclock.FromSeconds(seconds)
+}
+
+// Distribution samples component times-to-failure.
+type Distribution interface {
+	// Sample draws one time-to-failure.
+	Sample(rng *rand.Rand) vclock.Duration
+	// Mean returns the distribution's expected time-to-failure.
+	Mean() vclock.Duration
+	// Name describes the distribution.
+	Name() string
+}
+
+// Exponential is the constant-hazard distribution, parameterised by its
+// mean time between failures.
+type Exponential struct {
+	MTBF vclock.Duration
+}
+
+// Sample implements Distribution via inverse-CDF sampling.
+func (e Exponential) Sample(rng *rand.Rand) vclock.Duration {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return clampTTF(-e.MTBF.Seconds() * math.Log(u))
+}
+
+// Mean implements Distribution.
+func (e Exponential) Mean() vclock.Duration { return e.MTBF }
+
+// Name implements Distribution.
+func (e Exponential) Name() string { return fmt.Sprintf("exponential(MTBF=%v)", e.MTBF) }
+
+// Weibull is the Weibull distribution with the given shape and scale.
+// Shape < 1 models infant mortality (decreasing hazard), shape > 1
+// wear-out (increasing hazard), shape = 1 reduces to exponential.
+type Weibull struct {
+	Shape float64
+	Scale vclock.Duration
+}
+
+// Sample implements Distribution via inverse-CDF sampling.
+func (w Weibull) Sample(rng *rand.Rand) vclock.Duration {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return clampTTF(w.Scale.Seconds() * math.Pow(-math.Log(u), 1/w.Shape))
+}
+
+// Mean implements Distribution: scale × Γ(1 + 1/shape), capped at the
+// representable maximum.
+func (w Weibull) Mean() vclock.Duration {
+	g, _ := math.Lgamma(1 + 1/w.Shape)
+	return clampTTF(w.Scale.Seconds() * math.Exp(g))
+}
+
+// Name implements Distribution.
+func (w Weibull) Name() string { return fmt.Sprintf("weibull(k=%g, λ=%v)", w.Shape, w.Scale) }
+
+// LogNormal is the lognormal distribution: ln(TTF seconds) ~ N(Mu, Sigma²).
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// Sample implements Distribution.
+func (l LogNormal) Sample(rng *rand.Rand) vclock.Duration {
+	return clampTTF(math.Exp(l.Mu + l.Sigma*rng.NormFloat64()))
+}
+
+// Mean implements Distribution: exp(Mu + Sigma²/2), capped at the
+// representable maximum.
+func (l LogNormal) Mean() vclock.Duration {
+	return clampTTF(math.Exp(l.Mu + l.Sigma*l.Sigma/2))
+}
+
+// Name implements Distribution.
+func (l LogNormal) Name() string { return fmt.Sprintf("lognormal(µ=%g, σ=%g)", l.Mu, l.Sigma) }
+
+// Component is one part of a node with its own failure behaviour.
+type Component struct {
+	Name string
+	Dist Distribution
+}
+
+// Node is a series system: it fails when its first component fails.
+type Node struct {
+	Components []Component
+}
+
+// Validate reports a configuration error, if any.
+func (n Node) Validate() error {
+	if len(n.Components) == 0 {
+		return fmt.Errorf("reliability: node has no components")
+	}
+	for _, c := range n.Components {
+		if c.Dist == nil {
+			return fmt.Errorf("reliability: component %q has no distribution", c.Name)
+		}
+		if c.Dist.Mean() <= 0 {
+			return fmt.Errorf("reliability: component %q has non-positive mean TTF", c.Name)
+		}
+	}
+	return nil
+}
+
+// SampleTTF draws the node's time-to-failure and the failing component.
+func (n Node) SampleTTF(rng *rand.Rand) (vclock.Duration, string) {
+	best := vclock.Duration(math.MaxInt64)
+	which := ""
+	for _, c := range n.Components {
+		if ttf := c.Dist.Sample(rng); ttf < best {
+			best = ttf
+			which = c.Name
+		}
+	}
+	return best, which
+}
+
+// PaperNode returns a plausible compute-node model in the band the paper's
+// discussion implies (exascale-era components with decreasing
+// reliability): exponential CPU and NIC, Weibull wear-out memory and
+// infant-mortality power supply, combining to a node MTBF of roughly 7
+// years — so a 32,768-node system fails every several hours, the regime of
+// Table II's 3,000–6,000 s system MTTFs.
+func PaperNode() Node {
+	year := 365 * 24 * vclock.Hour
+	return Node{Components: []Component{
+		{Name: "cpu", Dist: Exponential{MTBF: 25 * year}},
+		{Name: "memory", Dist: Weibull{Shape: 1.5, Scale: 20 * year}},
+		{Name: "nic", Dist: Exponential{MTBF: 40 * year}},
+		{Name: "psu", Dist: Weibull{Shape: 0.9, Scale: 30 * year}},
+	}}
+}
+
+// System is a machine of identical nodes, one simulated MPI rank per node.
+type System struct {
+	Nodes int
+	Node  Node
+}
+
+// Validate reports a configuration error, if any.
+func (s System) Validate() error {
+	if s.Nodes <= 0 {
+		return fmt.Errorf("reliability: system needs nodes, got %d", s.Nodes)
+	}
+	return s.Node.Validate()
+}
+
+// Failure is a drawn node failure.
+type Failure struct {
+	// Node is the failed node (= rank) index.
+	Node int
+	// At is the virtual failure time.
+	At vclock.Time
+	// Component names the component that failed.
+	Component string
+}
+
+// FirstFailure draws each node's time-to-failure from start and returns
+// the earliest — the next system failure under the renewal assumption
+// (every restart begins with fresh components, the analogue of the paper's
+// per-run failure draws).
+func (s System) FirstFailure(rng *rand.Rand, start vclock.Time) Failure {
+	best := Failure{Node: -1, At: vclock.Never}
+	for node := 0; node < s.Nodes; node++ {
+		ttf, comp := s.Node.SampleTTF(rng)
+		if at := start.Add(ttf); at < best.At {
+			best = Failure{Node: node, At: at, Component: comp}
+		}
+	}
+	return best
+}
+
+// EstimateSystemMTTF Monte-Carlo-estimates the system's mean time to first
+// failure over the given number of samples.
+func (s System) EstimateSystemMTTF(rng *rand.Rand, samples int) vclock.Duration {
+	if samples <= 0 {
+		samples = 100
+	}
+	var sum float64
+	for i := 0; i < samples; i++ {
+		f := s.FirstFailure(rng, 0)
+		sum += vclock.Duration(f.At).Seconds()
+	}
+	return vclock.FromSeconds(sum / float64(samples))
+}
+
+// CampaignSource adapts the system model to the restart campaign: run i
+// draws the system's first failure after the run's start time,
+// deterministically from the base seed. The returned schedule has one
+// entry (the paper's evaluation also injects at most one failure per run).
+func (s System) CampaignSource(seed int64) func(run int, start vclock.Time) fault.Schedule {
+	return func(run int, start vclock.Time) fault.Schedule {
+		rng := rand.New(rand.NewSource(seed + int64(run)))
+		f := s.FirstFailure(rng, start)
+		if f.Node < 0 {
+			return nil
+		}
+		return fault.Schedule{{Rank: f.Node, At: f.At}}
+	}
+}

@@ -1,0 +1,189 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xsim/internal/vclock"
+)
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Exponential{MTBF: 1000 * vclock.Second}
+	if d.Mean() != 1000*vclock.Second {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += d.Sample(rng).Seconds()
+	}
+	if got := sum / n; math.Abs(got-1000) > 30 {
+		t.Fatalf("sample mean = %v, want ≈1000", got)
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Shape 1 reduces to exponential: mean = scale.
+	d := Weibull{Shape: 1, Scale: 500 * vclock.Second}
+	if got := d.Mean().Seconds(); math.Abs(got-500) > 1e-6 {
+		t.Fatalf("weibull k=1 mean = %v, want 500", got)
+	}
+	// Shape 2: mean = scale × Γ(1.5) = scale × 0.8862.
+	d2 := Weibull{Shape: 2, Scale: 1000 * vclock.Second}
+	if got := d2.Mean().Seconds(); math.Abs(got-886.2) > 0.5 {
+		t.Fatalf("weibull k=2 mean = %v, want ≈886.2", got)
+	}
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += d2.Sample(rng).Seconds()
+	}
+	if got := sum / n; math.Abs(got-886.2) > 20 {
+		t.Fatalf("weibull sample mean = %v, want ≈886", got)
+	}
+}
+
+func TestWeibullHazardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Infant mortality (k<1) produces far more very-early failures than
+	// wear-out (k>1) at the same mean.
+	infant := Weibull{Shape: 0.5, Scale: 500 * vclock.Second} // mean = 2×500
+	wear := Weibull{Shape: 3, Scale: 1119 * vclock.Second}    // mean ≈ 1000
+	early := func(d Distribution) int {
+		count := 0
+		for i := 0; i < 5000; i++ {
+			if d.Sample(rng) < 50*vclock.Second {
+				count++
+			}
+		}
+		return count
+	}
+	if ei, ew := early(infant), early(wear); ei <= 10*ew {
+		t.Fatalf("infant-mortality early failures %d should dwarf wear-out %d", ei, ew)
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := LogNormal{Mu: math.Log(1000), Sigma: 0.5}
+	want := 1000 * math.Exp(0.125)
+	if got := d.Mean().Seconds(); math.Abs(got-want) > 1 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += d.Sample(rng).Seconds()
+	}
+	if got := sum / n; math.Abs(got-want) > 0.05*want {
+		t.Fatalf("sample mean = %v, want ≈%v", got, want)
+	}
+}
+
+func TestNodeSeriesSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	node := Node{Components: []Component{
+		{Name: "weak", Dist: Exponential{MTBF: 100 * vclock.Second}},
+		{Name: "strong", Dist: Exponential{MTBF: 1e6 * vclock.Second}},
+	}}
+	if err := node.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	weakKills := 0
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		ttf, comp := node.SampleTTF(rng)
+		sum += ttf.Seconds()
+		if comp == "weak" {
+			weakKills++
+		}
+	}
+	// The weak component dominates: nearly every failure is its fault,
+	// and the node MTTF is close to the weak MTBF.
+	if weakKills < n*95/100 {
+		t.Fatalf("weak component caused only %d/%d failures", weakKills, n)
+	}
+	if got := sum / n; math.Abs(got-100) > 10 {
+		t.Fatalf("node mean TTF = %v, want ≈100 (series ≈ weakest)", got)
+	}
+}
+
+func TestNodeValidate(t *testing.T) {
+	if (Node{}).Validate() == nil {
+		t.Error("empty node should fail")
+	}
+	bad := Node{Components: []Component{{Name: "x"}}}
+	if bad.Validate() == nil {
+		t.Error("nil distribution should fail")
+	}
+}
+
+func TestPaperNodeSystemMTTF(t *testing.T) {
+	sys := System{Nodes: 32768, Node: PaperNode()}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	mttf := sys.EstimateSystemMTTF(rng, 60)
+	// The paper's experiments use system MTTFs of 3,000–6,000 s; the
+	// component model should land within an order of magnitude.
+	if mttf < 500*vclock.Second || mttf > 50000*vclock.Second {
+		t.Fatalf("system MTTF = %v, want within the paper's regime", mttf)
+	}
+}
+
+func TestSystemValidate(t *testing.T) {
+	if (System{Nodes: 0, Node: PaperNode()}).Validate() == nil {
+		t.Error("zero nodes should fail")
+	}
+}
+
+func TestFirstFailureBounds(t *testing.T) {
+	sys := System{Nodes: 16, Node: Node{Components: []Component{
+		{Name: "only", Dist: Exponential{MTBF: 100 * vclock.Second}},
+	}}}
+	rng := rand.New(rand.NewSource(7))
+	start := vclock.TimeFromSeconds(500)
+	for i := 0; i < 100; i++ {
+		f := sys.FirstFailure(rng, start)
+		if f.Node < 0 || f.Node >= 16 {
+			t.Fatalf("node %d out of range", f.Node)
+		}
+		if f.At < start {
+			t.Fatalf("failure at %v precedes start %v", f.At, start)
+		}
+		if f.Component != "only" {
+			t.Fatalf("component = %q", f.Component)
+		}
+	}
+}
+
+func TestCampaignSourceDeterministic(t *testing.T) {
+	sys := System{Nodes: 64, Node: PaperNode()}
+	src := sys.CampaignSource(42)
+	a := src(3, vclock.TimeFromSeconds(100))
+	b := src(3, vclock.TimeFromSeconds(100))
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Fatalf("not deterministic: %v vs %v", a, b)
+	}
+	c := src(4, vclock.TimeFromSeconds(100))
+	if a[0] == c[0] {
+		t.Fatalf("different runs drew identical failures: %v", a[0])
+	}
+}
+
+func TestDistributionNames(t *testing.T) {
+	for _, d := range []Distribution{
+		Exponential{MTBF: vclock.Second},
+		Weibull{Shape: 2, Scale: vclock.Second},
+		LogNormal{Mu: 1, Sigma: 0.5},
+	} {
+		if d.Name() == "" {
+			t.Errorf("%T has empty name", d)
+		}
+	}
+}

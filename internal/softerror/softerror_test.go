@@ -1,0 +1,229 @@
+package softerror
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultVictimCalibration(t *testing.T) {
+	m := DefaultVictim()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := m.KillProbability()
+	// Calibrated so the expected injections-to-failure (≈1/p) is near
+	// Table I's mean of 21.97.
+	if p < 1.0/26 || p > 1.0/18 {
+		t.Fatalf("kill probability = %v (mean %v), want ≈ 1/22", p, 1/p)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	for _, m := range []VictimModel{
+		{},
+		{Regions: []Region{{Name: "x", Bytes: 0, Sensitivity: 0.5}}},
+		{Regions: []Region{{Name: "x", Bytes: 10, Sensitivity: -0.1}}},
+		{Regions: []Region{{Name: "x", Bytes: 10, Sensitivity: 1.5}}},
+	} {
+		if m.Validate() == nil {
+			t.Errorf("Validate(%+v) should fail", m)
+		}
+	}
+}
+
+func TestVictimDies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := NewVictim(DefaultVictim(), rng)
+	for i := 0; i < 100000 && !v.Dead(); i++ {
+		v.Inject()
+	}
+	if !v.Dead() {
+		t.Fatal("victim survived 100000 injections")
+	}
+	// Further injections report killed.
+	killed, _ := v.Inject()
+	if !killed {
+		t.Fatal("dead victim reported alive")
+	}
+}
+
+func TestCampaignTableIShape(t *testing.T) {
+	res, err := RunCampaign(CampaignConfig{Victims: 100, MaxInjections: 100, Seed: 2013})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary
+	if res.Victims != 100 || len(res.ToFailure) != 100 {
+		t.Fatalf("victims = %d", res.Victims)
+	}
+	// Table I shape: mean ≈ 22, min small, max large, right-skewed
+	// (median < mean), stddev comparable to the mean.
+	if s.Mean < 15 || s.Mean > 30 {
+		t.Errorf("mean = %v, want ≈ 22", s.Mean)
+	}
+	if s.Min > 3 {
+		t.Errorf("min = %v, want small", s.Min)
+	}
+	if s.Max < 50 {
+		t.Errorf("max = %v, want large", s.Max)
+	}
+	if s.Median >= s.Mean {
+		t.Errorf("median %v >= mean %v: not right-skewed", s.Median, s.Mean)
+	}
+	if s.StdDev < s.Mean/2 || s.StdDev > 2*s.Mean {
+		t.Errorf("stddev = %v vs mean %v", s.StdDev, s.Mean)
+	}
+	// Total = sum of per-victim counts.
+	sum := 0
+	for _, n := range res.ToFailure {
+		sum += n
+	}
+	if sum != res.Injections {
+		t.Errorf("injections = %d, sum = %d", res.Injections, sum)
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	cfg := CampaignConfig{Victims: 50, MaxInjections: 100, Seed: 7}
+	a, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Injections != b.Injections {
+		t.Fatalf("non-deterministic: %d vs %d injections", a.Injections, b.Injections)
+	}
+	for i := range a.ToFailure {
+		if a.ToFailure[i] != b.ToFailure[i] {
+			t.Fatalf("victim %d: %d vs %d", i, a.ToFailure[i], b.ToFailure[i])
+		}
+	}
+}
+
+func TestCampaignConfigErrors(t *testing.T) {
+	if _, err := RunCampaign(CampaignConfig{Victims: 0, MaxInjections: 10}); err == nil {
+		t.Error("zero victims should fail")
+	}
+	if _, err := RunCampaign(CampaignConfig{Victims: 10, MaxInjections: 0}); err == nil {
+		t.Error("zero cap should fail")
+	}
+	bad := VictimModel{Regions: []Region{{Name: "x", Bytes: -1}}}
+	if _, err := RunCampaign(CampaignConfig{Victims: 10, MaxInjections: 10, Model: bad}); err == nil {
+		t.Error("bad model should fail")
+	}
+}
+
+func TestCampaignCapRespected(t *testing.T) {
+	// An insensitive victim survives; counts are capped.
+	m := VictimModel{Regions: []Region{{Name: "cold", Bytes: 1024, Sensitivity: 0}}}
+	res, err := RunCampaign(CampaignConfig{Victims: 5, MaxInjections: 37, Seed: 1, Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Survived != 5 {
+		t.Fatalf("survived = %d", res.Survived)
+	}
+	for _, n := range res.ToFailure {
+		if n != 37 {
+			t.Fatalf("capped count = %d, want 37", n)
+		}
+	}
+}
+
+func TestKillsByRegionBias(t *testing.T) {
+	res, err := RunCampaign(CampaignConfig{Victims: 2000, MaxInjections: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heap is by far the largest region; despite its low
+	// sensitivity it should account for a large share of kills, and the
+	// tiny register file for almost none in absolute terms.
+	if res.KillsByRegion["heap"] < res.KillsByRegion["registers"] {
+		t.Errorf("kills by region look wrong: %v", res.KillsByRegion)
+	}
+	total := 0
+	for _, k := range res.KillsByRegion {
+		total += k
+	}
+	if total+res.Survived != res.Victims {
+		t.Errorf("kills %d + survivors %d != victims %d", total, res.Survived, res.Victims)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	res, err := RunCampaign(CampaignConfig{Victims: 100, MaxInjections: 100, Seed: 2013})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.Table()
+	for _, want := range []string{"Victims", "Injections", "Minimum", "Maximum", "Mean", "Median", "Mode", "Std.Dev.", "100"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestFlipFloat64(t *testing.T) {
+	vals := []float64{1.0, 2.0, 3.0}
+	old, new := FlipFloat64(vals, 1, 51)
+	if old != 2.0 {
+		t.Fatalf("old = %v", old)
+	}
+	if vals[1] != new || new == old {
+		t.Fatalf("flip not applied: %v", vals)
+	}
+	// Flipping the same bit again restores the value.
+	_, back := FlipFloat64(vals, 1, 51)
+	if back != 2.0 {
+		t.Fatalf("double flip = %v, want 2.0", back)
+	}
+}
+
+func TestFlipFloat64BitRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bit 64 should panic")
+		}
+	}()
+	FlipFloat64([]float64{1}, 0, 64)
+}
+
+func TestQuickFlipInvolution(t *testing.T) {
+	f := func(v float64, bit uint8) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		b := int(bit % 64)
+		vals := []float64{v}
+		FlipFloat64(vals, 0, b)
+		FlipFloat64(vals, 0, b)
+		return vals[0] == v || (math.IsNaN(vals[0]) && math.IsNaN(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCampaignMeanTracksProbability(t *testing.T) {
+	// Property: a higher-sensitivity victim dies in fewer injections on
+	// average.
+	low := VictimModel{Regions: []Region{{Name: "m", Bytes: 1024, Sensitivity: 0.02}}}
+	high := VictimModel{Regions: []Region{{Name: "m", Bytes: 1024, Sensitivity: 0.2}}}
+	a, err := RunCampaign(CampaignConfig{Victims: 300, MaxInjections: 1000, Seed: 5, Model: low})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCampaign(CampaignConfig{Victims: 300, MaxInjections: 1000, Seed: 5, Model: high})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary.Mean <= b.Summary.Mean {
+		t.Fatalf("mean(low)=%v should exceed mean(high)=%v", a.Summary.Mean, b.Summary.Mean)
+	}
+}

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Sum != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Median != 7 || s.Mode != 7 || s.StdDev != 0 {
+		t.Fatalf("single summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	// 1..5: mean 3, median 3, population stddev sqrt(2).
+	s := Summarize([]float64{5, 3, 1, 2, 4})
+	if s.Min != 1 || s.Max != 5 || !almostEqual(s.Mean, 3) || !almostEqual(s.Median, 3) {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if !almostEqual(s.StdDev, math.Sqrt(2)) {
+		t.Fatalf("stddev = %v, want sqrt(2)", s.StdDev)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 10})
+	if !almostEqual(s.Median, 2.5) {
+		t.Fatalf("median = %v, want 2.5", s.Median)
+	}
+}
+
+func TestMode(t *testing.T) {
+	s := Summarize([]float64{4, 4, 4, 1, 2, 2, 9})
+	if s.Mode != 4 {
+		t.Fatalf("mode = %v, want 4", s.Mode)
+	}
+	// Tie: smallest most-frequent value wins.
+	s = Summarize([]float64{2, 2, 7, 7, 5})
+	if s.Mode != 2 {
+		t.Fatalf("tie mode = %v, want 2", s.Mode)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{1, 98, 17, 4, 4})
+	if s.Min != 1 || s.Max != 98 || s.Mode != 4 || s.N != 5 {
+		t.Fatalf("int summary wrong: %+v", s)
+	}
+}
+
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		if s.Min != sorted[0] || s.Max != sorted[len(sorted)-1] {
+			return false
+		}
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		if s.Median < s.Min-1e-9 || s.Median > s.Max+1e-9 {
+			return false
+		}
+		return s.StdDev >= 0 && s.N == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"Field", "Value"}, [][]string{
+		{"Victims", "100"},
+		{"Injections", "2197"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Field") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator wrong: %q", lines[1])
+	}
+	// Numeric cells right-align: "100" should be padded on the left to the
+	// width of "Value".
+	if !strings.Contains(lines[2], "  100") {
+		t.Errorf("numeric alignment wrong: %q", lines[2])
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); !almostEqual(got, 5.5) {
+		t.Errorf("p50 = %v, want 5.5", got)
+	}
+	if got := Percentile(xs, 90); !almostEqual(got, 9.1) {
+		t.Errorf("p90 = %v, want 9.1", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []int16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{1, 1, 1, 1, 5, 9, 9}
+	h := Histogram(xs, 4, 20)
+	lines := strings.Split(strings.TrimRight(h, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 bins, got %d:\n%s", len(lines), h)
+	}
+	// The first bin holds the four 1s and owns the longest bar.
+	if !strings.Contains(lines[0], "4") || !strings.Contains(lines[0], "████████████████████") {
+		t.Errorf("first bin wrong: %q", lines[0])
+	}
+	if Histogram(nil, 4, 20) != "(empty)\n" {
+		t.Error("empty histogram rendering wrong")
+	}
+	// Constant samples collapse into one populated bin without panicking.
+	if h := Histogram([]float64{3, 3, 3}, 5, 10); !strings.Contains(h, "3") {
+		t.Errorf("constant histogram: %q", h)
+	}
+}
+
+func TestNumericCell(t *testing.T) {
+	for s, want := range map[string]bool{
+		"100":     true,
+		"5,248 s": true,
+		"1e-6":    true,
+		"—":       true,
+		"":        true,
+		"Victims": false,
+		"3.5x":    false,
+	} {
+		if got := numericCell(s); got != want {
+			t.Errorf("numericCell(%q) = %v, want %v", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package trace records simulator events into an in-memory buffer for
+// timeline analysis — the performance-tool half of the toolkit (xSim is
+// "designed like a traditional performance tool"). The simulated MPI layer
+// emits an event per operation (sends, receive posts, completions,
+// failures, aborts); the buffer orders them by virtual time and renders
+// CSV for external tooling.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"xsim/internal/vclock"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	// Seq is the buffer-assigned sequence number (arrival order).
+	Seq uint64
+	// Rank is the simulated process, or -1 for simulator-level events.
+	Rank int
+	// At is the virtual time.
+	At vclock.Time
+	// Kind classifies the event ("send", "recv-post", "complete",
+	// "failure", "abort", ...).
+	Kind string
+	// Detail carries kind-specific information.
+	Detail string
+}
+
+// Buffer is a bounded, thread-safe event recorder. The zero value is not
+// usable; construct with New.
+type Buffer struct {
+	mu      sync.Mutex
+	events  []Event
+	seq     uint64
+	max     int
+	dropped int
+}
+
+// New returns a buffer holding at most max events (older events are
+// retained; later ones are counted as dropped). max <= 0 means unbounded.
+func New(max int) *Buffer {
+	return &Buffer{max: max}
+}
+
+// Record implements the MPI layer's Tracer hook.
+func (b *Buffer) Record(rank int, at vclock.Time, kind, detail string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq++
+	if b.max > 0 && len(b.events) >= b.max {
+		b.dropped++
+		return
+	}
+	b.events = append(b.events, Event{Seq: b.seq, Rank: rank, At: at, Kind: kind, Detail: detail})
+}
+
+// Len returns the number of retained events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Dropped returns the number of events discarded due to the bound.
+func (b *Buffer) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Events returns the retained events ordered by (virtual time, rank,
+// arrival sequence).
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	out := append([]Event(nil), b.events...)
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// OfKind returns the retained events of one kind, time-ordered.
+func (b *Buffer) OfKind(kind string) []Event {
+	var out []Event
+	for _, ev := range b.Events() {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// OfRank returns the retained events of one rank, time-ordered.
+func (b *Buffer) OfRank(rank int) []Event {
+	var out []Event
+	for _, ev := range b.Events() {
+		if ev.Rank == rank {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Counts histograms the retained events by kind.
+func (b *Buffer) Counts() map[string]int {
+	out := make(map[string]int)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ev := range b.events {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// WriteCSV renders the time-ordered events as CSV with a header row.
+func (b *Buffer) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_s,rank,kind,detail"); err != nil {
+		return err
+	}
+	for _, ev := range b.Events() {
+		if _, err := fmt.Fprintf(w, "%.9f,%d,%s,%q\n", ev.At.Seconds(), ev.Rank, ev.Kind, ev.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"xsim/internal/vclock"
+)
+
+func TestRecordAndOrder(t *testing.T) {
+	b := New(0)
+	b.Record(1, vclock.TimeFromSeconds(2), "send", "x")
+	b.Record(0, vclock.TimeFromSeconds(1), "recv-post", "y")
+	b.Record(0, vclock.TimeFromSeconds(2), "complete", "z")
+	evs := b.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	// Ordered by (time, rank, seq).
+	if evs[0].Kind != "recv-post" || evs[1].Rank != 0 || evs[2].Rank != 1 {
+		t.Fatalf("order wrong: %+v", evs)
+	}
+}
+
+func TestBound(t *testing.T) {
+	b := New(2)
+	for i := 0; i < 5; i++ {
+		b.Record(0, vclock.Time(i), "e", "")
+	}
+	if b.Len() != 2 || b.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d", b.Len(), b.Dropped())
+	}
+}
+
+func TestFiltersAndCounts(t *testing.T) {
+	b := New(0)
+	b.Record(0, 1, "send", "")
+	b.Record(1, 2, "send", "")
+	b.Record(0, 3, "abort", "")
+	if got := b.OfKind("send"); len(got) != 2 {
+		t.Fatalf("OfKind = %d", len(got))
+	}
+	if got := b.OfRank(0); len(got) != 2 {
+		t.Fatalf("OfRank = %d", len(got))
+	}
+	counts := b.Counts()
+	if counts["send"] != 2 || counts["abort"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	b := New(0)
+	b.Record(3, vclock.TimeFromSeconds(1.5), "send", `dst=4 tag=0`)
+	var buf bytes.Buffer
+	if err := b.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "time_s,rank,kind,detail\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "1.500000000,3,send") {
+		t.Fatalf("missing row: %q", out)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	b := New(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Record(g, vclock.Time(i), "e", "")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.Len() != 800 {
+		t.Fatalf("len = %d", b.Len())
+	}
+}

@@ -1,0 +1,82 @@
+// Package ulfm provides user-level failure mitigation recovery patterns on
+// top of the simulated MPI layer's ULFM surface (Revoke/Shrink/Agree) —
+// the run-through alternative to checkpoint/restart that the paper lists
+// as future work. Applications wrap their communication phases in
+// RunWithRecovery: when a process failure surfaces, the communicator is
+// revoked so every survivor observes the failure, shrunk to the survivors,
+// and the work retried on the new communicator.
+package ulfm
+
+import (
+	"errors"
+	"fmt"
+
+	"xsim/internal/mpi"
+)
+
+// IsProcFailed reports whether err (or anything it wraps) is a process
+// failure detection.
+func IsProcFailed(err error) (*mpi.ProcFailedError, bool) {
+	var pf *mpi.ProcFailedError
+	if errors.As(err, &pf) {
+		return pf, true
+	}
+	return nil, false
+}
+
+// IsRevoked reports whether err (or anything it wraps) is a communicator
+// revocation.
+func IsRevoked(err error) bool {
+	var rv *mpi.RevokedError
+	return errors.As(err, &rv)
+}
+
+// Recoverable reports whether err is a failure the ULFM recovery loop can
+// handle (process failure or revocation).
+func Recoverable(err error) bool {
+	if _, ok := IsProcFailed(err); ok {
+		return true
+	}
+	return IsRevoked(err)
+}
+
+// Work is one attempt of an application phase on the current communicator.
+// attempt counts retries (0 = first try).
+type Work func(c *mpi.Comm, attempt int) error
+
+// RunWithRecovery runs work on c, recovering from process failures by
+// revoking the communicator, shrinking it to the survivors, and retrying
+// on the shrunk communicator. It returns the communicator the work finally
+// succeeded on (which may be c itself) and the terminal error, if any.
+// Communicators must use ErrorsReturn (or a user handler): a fatal error
+// handler aborts before recovery can run.
+//
+// Every surviving member must call RunWithRecovery with the same work:
+// revocation guarantees that survivors blocked elsewhere observe the
+// failure and join the Shrink.
+func RunWithRecovery(c *mpi.Comm, maxAttempts int, work Work) (*mpi.Comm, error) {
+	if maxAttempts <= 0 {
+		return c, fmt.Errorf("ulfm: maxAttempts must be positive")
+	}
+	var err error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		err = work(c, attempt)
+		if err == nil {
+			return c, nil
+		}
+		if !Recoverable(err) {
+			return c, err
+		}
+		// Make the failure global, then rebuild from the survivors.
+		if !c.Revoked() {
+			c.Revoke()
+		}
+		shrunk, serr := c.Shrink()
+		if serr != nil {
+			return c, fmt.Errorf("ulfm: shrink after %v: %w", err, serr)
+		}
+		shrunk.SetErrorHandler(mpi.ErrorsReturn)
+		c = shrunk
+	}
+	return c, fmt.Errorf("ulfm: giving up after %d attempts: %w", maxAttempts, err)
+}

@@ -1,0 +1,250 @@
+package ulfm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"xsim/internal/core"
+	"xsim/internal/fault"
+	"xsim/internal/mpi"
+	"xsim/internal/netmodel"
+	"xsim/internal/procmodel"
+	"xsim/internal/topology"
+	"xsim/internal/vclock"
+)
+
+func testWorld(t *testing.T, n int, failures fault.Schedule) *mpi.World {
+	t.Helper()
+	eng, err := core.New(core.Config{NumVPs: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &netmodel.Model{
+		Topo:           topology.NewFullyConnected(n),
+		System:         netmodel.LinkParams{Latency: vclock.Microsecond, Bandwidth: 1e9, DetectionTimeout: 10 * vclock.Millisecond},
+		OnNode:         netmodel.LinkParams{Latency: vclock.Microsecond, Bandwidth: 1e9, DetectionTimeout: 10 * vclock.Millisecond},
+		EagerThreshold: 256 * 1024,
+	}
+	w, err := mpi.NewWorld(eng, mpi.WorldConfig{Net: net, Proc: procmodel.Paper()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Apply(w.Engine(), failures); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestErrorClassifiers(t *testing.T) {
+	pf := &mpi.ProcFailedError{Rank: 3, FailedAt: 0, Op: "recv"}
+	if got, ok := IsProcFailed(fmt.Errorf("wrapped: %w", pf)); !ok || got.Rank != 3 {
+		t.Error("IsProcFailed failed on wrapped error")
+	}
+	if _, ok := IsProcFailed(errors.New("other")); ok {
+		t.Error("IsProcFailed false positive")
+	}
+	rv := &mpi.RevokedError{Comm: 1}
+	if !IsRevoked(fmt.Errorf("wrapped: %w", rv)) {
+		t.Error("IsRevoked failed on wrapped error")
+	}
+	if !Recoverable(pf) || !Recoverable(rv) || Recoverable(errors.New("nope")) {
+		t.Error("Recoverable misclassifies")
+	}
+}
+
+func TestRevokeReleasesBlockedOperations(t *testing.T) {
+	const n = 3
+	w := testWorld(t, n, nil)
+	res, err := w.Run(func(e *mpi.Env) {
+		defer e.Finalize()
+		c := e.World()
+		c.SetErrorHandler(mpi.ErrorsReturn)
+		switch e.Rank() {
+		case 0:
+			e.Elapse(vclock.Millisecond)
+			c.Revoke()
+		default:
+			// Blocked in a receive that no failure would ever release:
+			// the revocation must.
+			_, err := c.Recv(0, 99)
+			if !IsRevoked(err) {
+				t.Errorf("rank %d recv err = %v, want RevokedError", e.Rank(), err)
+			}
+			// Future operations on the revoked communicator fail fast.
+			if err := c.SendN(0, 1, 8); !IsRevoked(err) {
+				t.Errorf("rank %d send err = %v, want RevokedError", e.Rank(), err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != n {
+		t.Fatalf("completed = %d (%+v)", res.Completed, res)
+	}
+}
+
+func TestShrinkExcludesFailedRank(t *testing.T) {
+	const n = 5
+	const deadRank = 2
+	w := testWorld(t, n, fault.Schedule{{Rank: deadRank, At: vclock.Time(vclock.Millisecond)}})
+	w.Engine() // silence linters; engine already configured
+	res, err := w.Run(func(e *mpi.Env) {
+		c := e.World()
+		c.SetErrorHandler(mpi.ErrorsReturn)
+		if e.Rank() == deadRank {
+			e.Elapse(vclock.Hour) // failure activates mid-compute
+			return
+		}
+		defer e.Finalize()
+		// Rank 0 detects the failure directly; the others learn of it
+		// through the revocation.
+		if e.Rank() == 0 {
+			if _, err := c.Recv(deadRank, 0); err == nil {
+				t.Error("recv from dead rank should fail")
+			}
+			c.Revoke()
+		} else {
+			_, err := c.Recv(0, 99) // parked until the revocation
+			if !IsRevoked(err) {
+				t.Errorf("rank %d: %v", e.Rank(), err)
+			}
+		}
+		shrunk, err := c.Shrink()
+		if err != nil {
+			t.Errorf("rank %d shrink: %v", e.Rank(), err)
+			return
+		}
+		if shrunk.Size() != n-1 {
+			t.Errorf("rank %d shrunk size = %d, want %d", e.Rank(), shrunk.Size(), n-1)
+		}
+		// The shrunk communicator is fully usable.
+		shrunk.SetErrorHandler(mpi.ErrorsReturn)
+		sum, err := shrunk.Allreduce([]float64{1}, mpi.OpSum)
+		if err != nil {
+			t.Errorf("rank %d allreduce on shrunk: %v", e.Rank(), err)
+			return
+		}
+		if sum[0] != float64(n-1) {
+			t.Errorf("rank %d allreduce = %v, want %d", e.Rank(), sum[0], n-1)
+		}
+		// Rank translation: the dead world rank is absent.
+		for _, wr := range shrunk.Group() {
+			if wr == deadRank {
+				t.Errorf("dead rank %d still in shrunk group %v", deadRank, shrunk.Group())
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Completed != n-1 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestAgreeAcrossFailure(t *testing.T) {
+	const n = 4
+	const deadRank = 3
+	w := testWorld(t, n, fault.Schedule{{Rank: deadRank, At: 0}})
+	res, err := w.Run(func(e *mpi.Env) {
+		if e.Rank() == deadRank {
+			return // fails at startup
+		}
+		defer e.Finalize()
+		c := e.World()
+		c.SetErrorHandler(mpi.ErrorsReturn)
+		// Give the failure notification time to propagate so the root
+		// does not wait a full timeout for the dead rank's report.
+		e.Sleep(vclock.Millisecond)
+		flag := uint32(0b111)
+		if e.Rank() == 1 {
+			flag = 0b101
+		}
+		got, err := c.Agree(flag)
+		if err != nil {
+			t.Errorf("rank %d agree: %v", e.Rank(), err)
+			return
+		}
+		if got != 0b101 {
+			t.Errorf("rank %d agree = %b, want 101", e.Rank(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Completed != n-1 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestRunWithRecovery(t *testing.T) {
+	const n = 6
+	const deadRank = 4
+	w := testWorld(t, n, fault.Schedule{{Rank: deadRank, At: vclock.Time(vclock.Millisecond)}})
+	attemptsByRank := make([]int, n)
+	w2 := w
+	res, err := w2.Run(func(e *mpi.Env) {
+		c := e.World()
+		c.SetErrorHandler(mpi.ErrorsReturn)
+		if e.Rank() == deadRank {
+			e.Elapse(vclock.Hour)
+			return
+		}
+		defer e.Finalize()
+		final, err := RunWithRecovery(c, 3, func(c *mpi.Comm, attempt int) error {
+			attemptsByRank[e.Rank()]++
+			// A ring reduction over the current membership: fails on the
+			// first attempt (dead member), succeeds after the shrink.
+			sum, err := c.Allreduce([]float64{1}, mpi.OpSum)
+			if err != nil {
+				return err
+			}
+			if want := float64(c.Size()); sum[0] != want {
+				return fmt.Errorf("allreduce = %v, want %v", sum[0], want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("rank %d recovery failed: %v", e.Rank(), err)
+			return
+		}
+		if final.Size() != n-1 {
+			t.Errorf("rank %d final comm size = %d", e.Rank(), final.Size())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Completed != n-1 {
+		t.Fatalf("result = %+v", res)
+	}
+	for r, a := range attemptsByRank {
+		if r == deadRank {
+			continue
+		}
+		if a < 2 {
+			t.Errorf("rank %d attempts = %d, want >= 2 (retry after shrink)", r, a)
+		}
+	}
+}
+
+func TestRunWithRecoveryNonRecoverable(t *testing.T) {
+	const n = 2
+	w := testWorld(t, n, nil)
+	if _, err := w.Run(func(e *mpi.Env) {
+		defer e.Finalize()
+		c := e.World()
+		boom := errors.New("application bug")
+		_, err := RunWithRecovery(c, 3, func(*mpi.Comm, int) error { return boom })
+		if !errors.Is(err, boom) {
+			t.Errorf("err = %v, want the application bug", err)
+		}
+		if _, err := RunWithRecovery(c, 0, func(*mpi.Comm, int) error { return nil }); err == nil {
+			t.Error("maxAttempts=0 should fail")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

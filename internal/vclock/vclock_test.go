@@ -1,0 +1,108 @@
+package vclock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConstants(t *testing.T) {
+	if Second != 1e9 {
+		t.Fatalf("Second = %d, want 1e9", Second)
+	}
+	if Minute != 60*Second || Hour != 60*Minute {
+		t.Fatalf("minute/hour wrong: %d %d", Minute, Hour)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	tm := Time(0).Add(5 * Second)
+	if tm != Time(5*Second) {
+		t.Fatalf("Add: got %v", tm)
+	}
+	if d := tm.Sub(Time(2 * Second)); d != 3*Second {
+		t.Fatalf("Sub: got %v", d)
+	}
+}
+
+func TestBeforeAfter(t *testing.T) {
+	a, b := Time(1), Time(2)
+	if !a.Before(b) || a.After(b) || b.Before(a) || !b.After(a) {
+		t.Fatal("ordering broken")
+	}
+	if a.Before(a) || a.After(a) {
+		t.Fatal("a should not be before/after itself")
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	for _, s := range []float64{0, 1, 5248, 0.000001, 12345.678901} {
+		tm := TimeFromSeconds(s)
+		if got := tm.Seconds(); math.Abs(got-s) > 1e-9*math.Max(1, s) {
+			t.Errorf("TimeFromSeconds(%v).Seconds() = %v", s, got)
+		}
+		d := FromSeconds(s)
+		if got := d.Seconds(); math.Abs(got-s) > 1e-9*math.Max(1, s) {
+			t.Errorf("FromSeconds(%v).Seconds() = %v", s, got)
+		}
+	}
+}
+
+func TestFromStd(t *testing.T) {
+	if FromStd(3*time.Millisecond) != 3*Millisecond {
+		t.Fatal("FromStd mismatch")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Time(5248 * Second).String(); got != "5248.000000s" {
+		t.Errorf("Time.String() = %q", got)
+	}
+	if got := Never.String(); got != "never" {
+		t.Errorf("Never.String() = %q", got)
+	}
+	if got := (1500 * Millisecond).String(); got != "1.500000s" {
+		t.Errorf("Duration.String() = %q", got)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max(Time(1), Time(2)) != Time(2) || Max(Time(2), Time(1)) != Time(2) {
+		t.Fatal("Max wrong")
+	}
+	if Min(Time(1), Time(2)) != Time(1) || Min(Time(2), Time(1)) != Time(1) {
+		t.Fatal("Min wrong")
+	}
+}
+
+func TestNeverIsLatest(t *testing.T) {
+	if !Time(1 << 40).Before(Never) {
+		t.Fatal("Never must compare later than any realistic time")
+	}
+}
+
+// Property: Add and Sub are inverses for non-overflowing operands.
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(base int32, delta int32) bool {
+		tm := Time(base)
+		d := Duration(delta)
+		return tm.Add(d).Sub(tm) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Max/Min return one of their operands and order correctly.
+func TestQuickMaxMin(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Time(a), Time(b)
+		mx, mn := Max(x, y), Min(x, y)
+		return (mx == x || mx == y) && (mn == x || mn == y) &&
+			!mx.Before(mn) && mn.Add(mx.Sub(mn)) == mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package xsim
+
+import (
+	"fmt"
+
+	"xsim/internal/checkpoint"
+	"xsim/internal/fault"
+	"xsim/internal/vclock"
+)
+
+// Campaign drives an application through failure/restart cycles until it
+// completes: each run draws one random failure (uniform rank, uniform time
+// within 2×MTTF of the run start — the paper's worst-case model); when the
+// application aborts, the simulated exit time is persisted and the next
+// run resumes from it with continuous virtual time, after the checkpoint
+// cleanup the paper performs with a shell script.
+type Campaign struct {
+	// Base is the per-run configuration template. Its Store is shared
+	// across runs (one is created if nil); StartClock and Failures are
+	// managed by the campaign (Base.Failures applies to the first run
+	// only, for reproducing specific scenarios).
+	Base Config
+	// MTTF is the system mean-time-to-failure for random injection;
+	// zero injects nothing beyond Base.Failures.
+	MTTF Duration
+	// DrawFailures, when set, replaces the MTTF draw: it returns the
+	// failure schedule for each run (e.g. a component-based reliability
+	// model via ReliabilitySystem.CampaignSource).
+	DrawFailures func(run int, start Time) Schedule
+	// Seed makes the campaign's random failures repeatable.
+	Seed int64
+	// MaxRuns caps the failure/restart cycles (default 100).
+	MaxRuns int
+	// CheckpointPrefix, when set, enables the between-runs cleanup of
+	// incomplete checkpoint sets.
+	CheckpointPrefix string
+	// AppFor builds the application for each run (fresh trackers etc.);
+	// use the same closure for every run if no per-run state is needed.
+	AppFor func(run int) App
+	// AppForPredicted, when set, is used instead of AppFor and
+	// additionally receives the run's predicted failure time (the drawn
+	// injection minus PredictionLead; vclock.Never when no failure was
+	// drawn) — proactive fault tolerance experiments build applications
+	// that checkpoint ahead of the predicted failure.
+	AppForPredicted func(run int, predicted Time) App
+	// PredictionLead is how far ahead the failure predictor fires.
+	PredictionLead Duration
+}
+
+// RunSummary describes one application run within a campaign.
+type RunSummary struct {
+	// Run is the 0-based run index.
+	Run int
+	// Start and End are the run's virtual start and exit times.
+	Start, End Time
+	// Injected is the failure drawn for this run (nil when none).
+	Injected *Injection
+	// Completed, Failed, Aborted count ranks by termination.
+	Completed, Failed, Aborted int
+}
+
+// CampaignResult summarises a failure/restart campaign.
+type CampaignResult struct {
+	// Runs holds one summary per application run.
+	Runs []RunSummary
+	// Done reports whether the application eventually completed.
+	Done bool
+	// E2 is the simulated completion time including all failure/restart
+	// cycles (the paper's E2 column).
+	E2 Time
+	// Failures is the number of process failures experienced (the
+	// paper's F column).
+	Failures int
+	// Busy and Waited accumulate each rank's executing and blocked
+	// virtual time across all runs of the campaign, for energy
+	// accounting.
+	Busy, Waited []Duration
+}
+
+// Energy evaluates a power model over the whole campaign: every run's
+// busy/wait time contributes, so the energy cost of lost work and
+// restarts is included.
+func (r *CampaignResult) Energy(m PowerModel) PowerReport {
+	return m.SystemEnergy(r.Busy, r.Waited, Duration(r.E2))
+}
+
+// MTTFa returns the experienced application mean-time-to-failure,
+// E2/(F+1), the paper's MTTFa column.
+func (r *CampaignResult) MTTFa() Duration {
+	return Duration(r.E2) / Duration(r.Failures+1)
+}
+
+// Run executes the campaign.
+func (c Campaign) Run() (*CampaignResult, error) {
+	if c.AppFor == nil && c.AppForPredicted == nil {
+		return nil, fmt.Errorf("xsim: Campaign.AppFor is required")
+	}
+	maxRuns := c.MaxRuns
+	if maxRuns == 0 {
+		maxRuns = 100
+	}
+	if c.Base.Store == nil {
+		c.Base.Store = NewStore()
+	}
+	store := c.Base.Store
+	checkpoint.ClearExitTime(store)
+	rcamp := fault.Campaign{Seed: c.Seed, Ranks: c.Base.Ranks, MTTF: c.MTTF}
+	result := &CampaignResult{}
+	start := c.Base.StartClock
+
+	for run := 0; run < maxRuns; run++ {
+		cfg := c.Base
+		cfg.StartClock = start
+		cfg.Failures = nil
+		if run == 0 {
+			cfg.Failures = append(cfg.Failures, c.Base.Failures...)
+		}
+		var drawn Schedule
+		if c.DrawFailures != nil {
+			drawn = c.DrawFailures(run, start)
+		} else {
+			drawn = rcamp.ForRun(run, start)
+		}
+		cfg.Failures = append(cfg.Failures, drawn...)
+
+		sim, err := New(cfg)
+		if err != nil {
+			return result, err
+		}
+		var app App
+		if c.AppForPredicted != nil {
+			// The predictor sees the run's earliest upcoming failure
+			// (explicit or drawn) and fires PredictionLead ahead of it.
+			predicted := Time(vclock.Never)
+			if sorted := cfg.Failures.Sorted(); len(sorted) > 0 {
+				predicted = sorted[0].At - Time(c.PredictionLead)
+				if predicted < start {
+					predicted = start
+				}
+			}
+			app = c.AppForPredicted(run, predicted)
+		} else {
+			app = c.AppFor(run)
+		}
+		res, err := sim.Run(app)
+		if err != nil {
+			return result, err
+		}
+		summary := RunSummary{
+			Run:       run,
+			Start:     start,
+			End:       res.SimTime,
+			Completed: res.Completed,
+			Failed:    res.Failed,
+			Aborted:   res.Aborted,
+		}
+		if len(cfg.Failures) > 0 {
+			inj := cfg.Failures[0]
+			summary.Injected = &inj
+		}
+		result.Runs = append(result.Runs, summary)
+		result.Failures += res.Failed
+		if result.Busy == nil {
+			result.Busy = make([]Duration, c.Base.Ranks)
+			result.Waited = make([]Duration, c.Base.Ranks)
+		}
+		for r := range res.Busy {
+			result.Busy[r] += res.Busy[r]
+			result.Waited[r] += res.Waited[r]
+		}
+
+		if res.Success() {
+			result.Done = true
+			result.E2 = res.SimTime
+			return result, nil
+		}
+		// Abort path: persist the exit time for continuous virtual
+		// timing, clean up incomplete checkpoint sets, restart.
+		if err := checkpoint.SaveExitTime(store, res.SimTime); err != nil {
+			return result, err
+		}
+		if c.CheckpointPrefix != "" {
+			checkpoint.CleanIncompleteSets(store, c.CheckpointPrefix, c.Base.Ranks)
+		}
+		start = res.SimTime
+	}
+	result.E2 = start
+	return result, fmt.Errorf("xsim: campaign did not complete within %d runs (%d failures)", maxRuns, result.Failures)
+}
+
+// SavedExitTime reads the exit time a previous aborted run persisted in
+// the store (ok is false when none was saved).
+func SavedExitTime(store *Store) (Time, bool) { return checkpoint.LoadExitTime(store) }

@@ -1,0 +1,360 @@
+// Package xsim is a simulation-based performance/resilience investigation
+// toolkit for hardware/software co-design of high-performance computing
+// systems — a from-scratch Go reproduction of the system described in
+// "Toward a Performance/Resilience Tool for Hardware/Software Co-Design of
+// High-Performance Computing Systems" (Engelmann & Naughton, ICPP 2013).
+//
+// Applications written against the simulated MPI layer run as virtual
+// processes with their own virtual clocks inside a deterministic
+// discrete-event engine, against configurable processor, network and file
+// system models. The resilience features of the paper are all available:
+// MPI process failure injection (explicit schedules or random failures
+// drawn from a system MTTF), purely timeout-based failure detection with
+// simulator-internal notification, simulated MPI abort, and
+// application-level checkpoint/restart with continuous virtual time across
+// restarts.
+//
+// A minimal simulation looks like:
+//
+//	sim, err := xsim.New(xsim.Config{Ranks: 64})
+//	if err != nil { ... }
+//	res, err := sim.Run(func(env *xsim.Env) {
+//	    world := env.World()
+//	    if env.Rank() == 0 {
+//	        world.Send(1, 0, []byte("hello"))
+//	    } else if env.Rank() == 1 {
+//	        msg, _ := world.Recv(0, 0)
+//	        env.Logf("got %q", msg.Data)
+//	    }
+//	    env.Finalize()
+//	})
+//	fmt.Println("simulated time:", res.SimTime)
+package xsim
+
+import (
+	"fmt"
+	"time"
+
+	"xsim/internal/core"
+	"xsim/internal/fault"
+	"xsim/internal/fsmodel"
+	"xsim/internal/heat"
+	"xsim/internal/mpi"
+	"xsim/internal/netmodel"
+	"xsim/internal/procmodel"
+	"xsim/internal/topology"
+	"xsim/internal/vclock"
+)
+
+// Re-exported simulation types: applications only ever import this
+// package.
+type (
+	// Env is the per-process handle passed to the application.
+	Env = mpi.Env
+	// Comm is a simulated MPI communicator.
+	Comm = mpi.Comm
+	// Message is a received message.
+	Message = mpi.Message
+	// Request is a nonblocking operation handle.
+	Request = mpi.Request
+	// ProcFailedError reports a detected process failure.
+	ProcFailedError = mpi.ProcFailedError
+	// Time is a virtual timestamp.
+	Time = vclock.Time
+	// Duration is a virtual time span.
+	Duration = vclock.Duration
+	// Schedule is a failure-injection schedule (rank@time pairs).
+	Schedule = fault.Schedule
+	// Injection is one scheduled process failure.
+	Injection = fault.Injection
+	// Store is the simulated parallel file system's persistent contents.
+	Store = fsmodel.Store
+)
+
+// Wildcards and error handlers, re-exported.
+const (
+	AnySource      = mpi.AnySource
+	AnyTag         = mpi.AnyTag
+	ErrorsAreFatal = mpi.ErrorsAreFatal
+	ErrorsReturn   = mpi.ErrorsReturn
+)
+
+// Virtual-time units, re-exported.
+const (
+	Microsecond = vclock.Microsecond
+	Millisecond = vclock.Millisecond
+	Second      = vclock.Second
+	Minute      = vclock.Minute
+	Hour        = vclock.Hour
+)
+
+// Reduction operators, re-exported.
+var (
+	OpSum = mpi.OpSum
+	OpMax = mpi.OpMax
+	OpMin = mpi.OpMin
+)
+
+// Never is the sentinel virtual time for "not scheduled" (e.g. the
+// predicted failure time of a run in which no failure was drawn).
+const Never = vclock.Never
+
+// Seconds converts float seconds to a virtual duration.
+func Seconds(s float64) Duration { return vclock.FromSeconds(s) }
+
+// ParseSchedule reads a failure schedule in "rank@seconds,..." syntax.
+func ParseSchedule(s string) (Schedule, error) { return fault.Parse(s) }
+
+// NewStore returns an empty simulated parallel file system, shared across
+// simulation runs to support checkpoint/restart.
+func NewStore() *Store { return fsmodel.NewStore() }
+
+// App is a simulated MPI application: the function runs once per rank.
+type App = func(*Env)
+
+// Config parameterises a simulation.
+type Config struct {
+	// Ranks is the number of simulated MPI processes (required).
+	Ranks int
+	// Workers is the number of engine partitions executing virtual
+	// processes concurrently under conservative synchronisation; 0 or 1
+	// runs sequentially. Results are identical either way.
+	Workers int
+	// Net is the network model; nil uses the paper's link parameters
+	// (1 µs links, 32 GB/s, 256 kB eager threshold) on a torus sized to
+	// Ranks (the paper's 32×32×32 torus when Ranks is 32,768).
+	Net *netmodel.Model
+	// Proc is the processor model; the zero value uses the paper's
+	// (a node 1000× slower than a 1.7 GHz Opteron core).
+	Proc procmodel.Model
+	// Store is the simulated parallel file system shared across runs;
+	// nil means the simulation gets a fresh private one.
+	Store *Store
+	// FSModel is the file-system cost model; the zero value charges
+	// nothing, matching the paper's Table II configuration.
+	FSModel fsmodel.Model
+	// Failures is an explicit failure-injection schedule.
+	Failures Schedule
+	// StartClock initialises the virtual clocks, for restarts (the
+	// restart helpers manage it automatically).
+	StartClock Time
+	// CallOverhead is the per-MPI-call CPU cost (simulated MPI software
+	// overhead); it dominates large linear collectives.
+	CallOverhead Duration
+	// Collectives selects linear (default, as in the paper) or
+	// binomial-tree collective algorithms.
+	Collectives mpi.CollectiveAlgo
+	// NotifyDelay overrides the simulator-internal notification latency
+	// (default: the system link latency).
+	NotifyDelay Duration
+	// Logf, when set, receives the simulator's informational messages
+	// (failure injections, aborts, shutdown statistics).
+	Logf func(format string, args ...any)
+	// Trace, when set, records one event per MPI operation for timeline
+	// analysis (see NewTrace).
+	Trace *TraceBuffer
+}
+
+// DefaultNet returns the paper's network parameters on a torus sized for n
+// ranks: the paper's 32×32×32 torus when it fits n exactly, otherwise a
+// near-cubic torus with exactly n nodes.
+func DefaultNet(n int) *netmodel.Model {
+	net := netmodel.Paper()
+	if n != net.Topo.Nodes() {
+		x, y, z := factor3(n)
+		net.Topo = topology.NewTorus3D(x, y, z)
+	}
+	return net
+}
+
+// factor3 splits n into three factors x >= y >= z as close to cubic as
+// possible: z is the largest divisor at most the cube root, y the largest
+// divisor of the remainder at most its square root.
+func factor3(n int) (x, y, z int) {
+	z = 1
+	for d := 1; d*d*d <= n; d++ {
+		if n%d == 0 {
+			z = d
+		}
+	}
+	rest := n / z
+	y = 1
+	for d := 1; d*d <= rest; d++ {
+		if rest%d == 0 {
+			y = d
+		}
+	}
+	x = rest / y
+	// Order the factors (the remainder split can undercut z, e.g.
+	// 1057 = 151×1×7).
+	if y < z {
+		y, z = z, y
+	}
+	if x < y {
+		x, y = y, x
+	}
+	if y < z {
+		y, z = z, y
+	}
+	return x, y, z
+}
+
+// Sim is one configured simulation run.
+type Sim struct {
+	cfg   Config
+	world *mpi.World
+	store *Store
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	// SimTime is the simulated time of the application exit: the
+	// maximum simulated MPI process time, which restarts persist for
+	// continuous virtual timing.
+	SimTime Time
+	// MinTime and AvgTime complete the per-process timing statistics
+	// (minimum, maximum, average) the simulator prints at shutdown.
+	MinTime, AvgTime Time
+	// Completed, Failed and Aborted count ranks by how they terminated.
+	Completed, Failed, Aborted int
+	// PerRank holds each rank's final virtual clock.
+	PerRank []Time
+	// Busy and Waited hold each rank's virtual time spent executing and
+	// blocked, respectively; the power model turns them into energy.
+	Busy, Waited []Duration
+	// StartClock is the virtual time the run began at (non-zero for
+	// restarts).
+	StartClock Time
+	// WallTime is the native execution time of the simulation itself.
+	WallTime time.Duration
+}
+
+// Energy evaluates a power model over the run: per-node compute/idle
+// draws applied to each rank's busy/wait time — the
+// performance/resilience/power view the paper works toward.
+func (r *Result) Energy(m PowerModel) PowerReport {
+	return m.SystemEnergy(r.Busy, r.Waited, r.SimTime.Sub(r.StartClock))
+}
+
+// Success reports whether every rank finished cleanly.
+func (r *Result) Success() bool { return r.Failed == 0 && r.Aborted == 0 }
+
+// New validates cfg and builds a simulation. A Sim runs exactly once.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("xsim: Ranks must be positive, got %d", cfg.Ranks)
+	}
+	if cfg.Net == nil {
+		cfg.Net = DefaultNet(cfg.Ranks)
+	}
+	if (cfg.Proc == procmodel.Model{}) {
+		cfg.Proc = procmodel.Paper()
+	}
+	if cfg.Store == nil {
+		cfg.Store = NewStore()
+	}
+	lookahead := Duration(0)
+	if cfg.Workers > 1 {
+		lookahead = cfg.Net.System.Latency
+		if cfg.Net.OnNode.Latency < lookahead {
+			lookahead = cfg.Net.OnNode.Latency
+		}
+		if cfg.NotifyDelay > 0 && cfg.NotifyDelay < lookahead {
+			lookahead = cfg.NotifyDelay
+		}
+		if lookahead <= 0 {
+			return nil, fmt.Errorf("xsim: Workers > 1 requires positive network latencies for conservative synchronisation")
+		}
+	}
+	eng, err := core.New(core.Config{
+		NumVPs:     cfg.Ranks,
+		Workers:    cfg.Workers,
+		Lookahead:  lookahead,
+		StartClock: cfg.StartClock,
+		Logf:       cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	wcfg := mpi.WorldConfig{
+		Net:          cfg.Net,
+		Proc:         cfg.Proc,
+		NotifyDelay:  cfg.NotifyDelay,
+		CallOverhead: cfg.CallOverhead,
+		Collectives:  cfg.Collectives,
+		FSStore:      cfg.Store,
+		FSModel:      cfg.FSModel,
+	}
+	if cfg.Trace != nil {
+		wcfg.Tracer = cfg.Trace
+	}
+	world, err := mpi.NewWorld(eng, wcfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := fault.Apply(eng, cfg.Failures); err != nil {
+		return nil, err
+	}
+	return &Sim{cfg: cfg, world: world, store: cfg.Store}, nil
+}
+
+// Store returns the simulation's file system store.
+func (s *Sim) Store() *Store { return s.store }
+
+// Run executes app on every rank and drives the simulation to completion.
+func (s *Sim) Run(app App) (*Result, error) {
+	wallStart := time.Now()
+	res, err := s.world.Run(app)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		SimTime:    res.MaxClock,
+		MinTime:    res.MinClock,
+		AvgTime:    res.AvgClock,
+		Completed:  res.Completed,
+		Failed:     res.Failed,
+		Aborted:    res.Aborted,
+		PerRank:    res.FinalClocks,
+		Busy:       res.Busy,
+		Waited:     res.Waited,
+		StartClock: s.cfg.StartClock,
+		WallTime:   time.Since(wallStart),
+	}, nil
+}
+
+// HeatConfig is the heat-equation application configuration (the paper's
+// targeted application), re-exported.
+type HeatConfig = heat.Config
+
+// HeatTracker records the heat application's per-rank progress and
+// phases, re-exported.
+type HeatTracker = heat.Tracker
+
+// PaperHeatWorkload returns the paper's Table II workload (512³ grid,
+// 32,768 ranks, 1,000 iterations); see HeatWorkloadFor for scaled-down
+// variants.
+func PaperHeatWorkload() HeatConfig { return heat.PaperWorkload() }
+
+// HeatWorkloadFor scales the paper's workload to n ranks, keeping 16³
+// grid points per rank so the per-rank compute and checkpoint sizes match
+// the paper's.
+func HeatWorkloadFor(n int) (HeatConfig, error) {
+	if n <= 0 {
+		return HeatConfig{}, fmt.Errorf("xsim: rank count %d must be positive", n)
+	}
+	cfg := heat.PaperWorkload()
+	x, y, z := factor3(n)
+	cfg.PX, cfg.PY, cfg.PZ = x, y, z
+	cfg.NX, cfg.NY, cfg.NZ = 16*x, 16*y, 16*z
+	return cfg, nil
+}
+
+// RunHeat executes the heat application under cfg; it is the App used by
+// the Table II experiments.
+func RunHeat(hc HeatConfig) App {
+	return func(e *Env) { heat.Run(e, hc) }
+}
+
+// NewHeatTracker sizes a tracker for n ranks.
+func NewHeatTracker(n int) *HeatTracker { return heat.NewTracker(n) }
