@@ -1,0 +1,27 @@
+#!/bin/sh
+# ci.sh — the tier-1 gate for this repository.
+#
+# Every change must pass this script before it lands. It runs, in order:
+#   1. go vet        (static checks)
+#   2. go build      (everything compiles, including examples and cmds)
+#   3. go test       (full unit/integration suite, includes the
+#                     Workers ∈ {1,2,4} determinism cross-check)
+#   4. go test -race (engine + MPI layer under the race detector; the
+#                     parallel window protocol must be data-race free)
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (core + mpi)"
+go test -race ./internal/core/ ./internal/mpi/
+
+echo "CI OK"

@@ -7,7 +7,10 @@ import (
 )
 
 // BenchmarkHandoff measures the raw VP block/wake cycle: the cost of one
-// simulated context switch.
+// simulated context switch. ReportAllocs guards the steady-state event
+// path: with the event pool, field-based wakes, and the hand-rolled heaps
+// the per-iteration cost must amortise to 0 allocs/op (the only
+// allocations are one-time engine setup).
 func BenchmarkHandoff(b *testing.B) {
 	eng, err := New(Config{NumVPs: 2})
 	if err != nil {
@@ -15,6 +18,7 @@ func BenchmarkHandoff(b *testing.B) {
 	}
 	registerPingBench(eng)
 	rounds := b.N
+	b.ReportAllocs()
 	b.ResetTimer()
 	if _, err := eng.Run(func(c *Ctx) {
 		peer := 1 - c.Rank()
@@ -49,11 +53,26 @@ func BenchmarkEventHeap(b *testing.B) {
 	for i := range evs {
 		evs[i] = &Event{Time: vclock.Time(i * 7919 % 1024), Src: i % 16, Seq: uint64(i)}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev := evs[i%1024]
 		h.push(ev)
-		if h.Len() > 512 {
+		if h.len() > 512 {
+			h.pop()
+		}
+	}
+}
+
+// BenchmarkReadyHeap measures the ready queue the same way; entries are
+// plain values, so pushes must not box.
+func BenchmarkReadyHeap(b *testing.B) {
+	var h readyHeap
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.push(readyEntry{at: vclock.Time(i * 7919 % 1024), rank: i % 4096})
+		if h.len() > 512 {
 			h.pop()
 		}
 	}
@@ -70,5 +89,42 @@ func BenchmarkEngineStartup(b *testing.B) {
 		if _, err := eng.Run(func(c *Ctx) {}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelWindows measures the parallel window protocol under
+// cross-partition ping traffic: 8 VPs over 4 workers, every rank paired
+// with a rank in another partition, so each round all traffic crosses
+// partitions and each window carries mailbox exchanges plus two barriers.
+func BenchmarkParallelWindows(b *testing.B) {
+	const (
+		vps       = 8
+		workers   = 4
+		lookahead = vclock.Microsecond
+	)
+	eng, err := New(Config{NumVPs: vps, Workers: workers, Lookahead: lookahead})
+	if err != nil {
+		b.Fatal(err)
+	}
+	registerPingBench(eng)
+	rounds := b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := eng.Run(func(c *Ctx) {
+		// Pair ranks across partitions: with 2 VPs per partition, rank r
+		// partners with (r+4)%8, which always lives in another partition.
+		peer := (c.Rank() + vps/2) % vps
+		initiator := c.Rank() < vps/2
+		for i := 0; i < rounds; i++ {
+			if initiator {
+				c.Emit(Event{Time: c.NowQuiet().Add(lookahead), Kind: kindPingBench, Target: peer})
+				c.Block("pong")
+			} else {
+				c.Block("ping")
+				c.Emit(Event{Time: c.NowQuiet().Add(lookahead), Kind: kindPingBench, Target: peer})
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -54,12 +54,20 @@ type Handler func(*SchedCtx, *Event)
 
 // Engine drives one simulation run.
 type Engine struct {
-	cfg      Config
-	vps      []*vp
-	parts    []*partition
-	handlers map[Kind]Handler
+	cfg   Config
+	vps   []*vp
+	parts []*partition
+	// handlers is indexed by Kind — a dense slice instead of a map keeps
+	// the per-event dispatch to a bounds check and a load.
+	handlers []Handler
 	onDeath  func(*Ctx, DeathReason)
 	ran      bool
+
+	// next and bar coordinate the parallel window protocol (parallel.go):
+	// next[i] is partition i's published next-item time, bar the reusable
+	// round barrier.
+	next []nextSlot
+	bar  barrier
 }
 
 // New validates cfg and builds an engine.
@@ -83,10 +91,9 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("core: StartClock must be non-negative, got %v", cfg.StartClock)
 	}
 	eng := &Engine{
-		cfg:      cfg,
-		vps:      make([]*vp, cfg.NumVPs),
-		parts:    make([]*partition, cfg.Workers),
-		handlers: make(map[Kind]Handler),
+		cfg:   cfg,
+		vps:   make([]*vp, cfg.NumVPs),
+		parts: make([]*partition, cfg.Workers),
 	}
 	// Contiguous block partitioning: neighbouring ranks usually
 	// communicate most, so blocks minimise cross-partition traffic.
@@ -103,10 +110,11 @@ func New(cfg Config) (*Engine, error) {
 			eng:      eng,
 			lo:       lo,
 			hi:       hi,
-			yield:    make(chan yieldKind),
 			crossOut: make([][]*Event, cfg.Workers),
+			inbox:    make([][]*Event, cfg.Workers),
 			live:     hi - lo,
 		}
+		p.sctx = SchedCtx{eng: eng, part: p}
 		eng.parts[i] = p
 		for r := lo; r < hi; r++ {
 			eng.vps[r] = &vp{
@@ -115,7 +123,7 @@ func New(cfg Config) (*Engine, error) {
 				clock:   cfg.StartClock,
 				tof:     vclock.Never,
 				abortAt: vclock.Never,
-				wake:    make(chan wakeAction),
+				gate:    make(chan yieldKind),
 			}
 		}
 		lo = hi
@@ -130,7 +138,10 @@ func (e *Engine) RegisterHandler(kind Kind, h Handler) {
 	if kind < reservedKinds {
 		panic(fmt.Sprintf("core: kind %d is reserved by the engine", kind))
 	}
-	if _, dup := e.handlers[kind]; dup {
+	for len(e.handlers) <= int(kind) {
+		e.handlers = append(e.handlers, nil)
+	}
+	if e.handlers[kind] != nil {
 		panic(fmt.Sprintf("core: duplicate handler for kind %d", kind))
 	}
 	e.handlers[kind] = h
@@ -203,7 +214,7 @@ func (e *Engine) Run(body func(*Ctx)) (*Result, error) {
 
 	for _, v := range e.vps {
 		go v.run(e, body)
-		v.pendingWake = &wakeAction{at: e.cfg.StartClock}
+		v.wakeAt = e.cfg.StartClock
 		v.part.ready.push(readyEntry{at: e.cfg.StartClock, rank: v.rank})
 		v.state = vpReady
 	}
@@ -276,56 +287,6 @@ func (e *Engine) Run(body func(*Ctx)) (*Result, error) {
 			len(res.Blocked), strings.Join(res.Blocked, "\n"))
 	}
 	return res, nil
-}
-
-// runParallel drives the partitions through conservative safe windows: in
-// each round the coordinator finds the globally earliest pending item and
-// lets every partition process items strictly before that time plus the
-// lookahead; cross-partition events generated during the round necessarily
-// land at or beyond the horizon and are merged at the barrier.
-func (e *Engine) runParallel() {
-	for _, p := range e.parts {
-		p.work = make(chan vclock.Time)
-		p.done = make(chan struct{})
-		go func(p *partition) {
-			for h := range p.work {
-				p.processWindow(h)
-				p.done <- struct{}{}
-			}
-		}(p)
-	}
-	for {
-		globalMin := vclock.Never
-		for _, p := range e.parts {
-			if n := p.localNext(); n < globalMin {
-				globalMin = n
-			}
-		}
-		if globalMin == vclock.Never {
-			break
-		}
-		horizon := globalMin.Add(e.cfg.Lookahead)
-		for _, p := range e.parts {
-			p.work <- horizon
-		}
-		for _, p := range e.parts {
-			<-p.done
-		}
-		// Barrier reached: merge cross-partition buffers. The heap
-		// orders merged events by the deterministic key, so insertion
-		// order does not matter.
-		for _, p := range e.parts {
-			for q, evs := range p.crossOut {
-				for _, ev := range evs {
-					e.parts[q].eventQ.push(ev)
-				}
-				p.crossOut[q] = nil
-			}
-		}
-	}
-	for _, p := range e.parts {
-		close(p.work)
-	}
 }
 
 // route delivers an event emitted at senderClock by from's current VP or

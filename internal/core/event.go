@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"xsim/internal/vclock"
 )
 
@@ -31,13 +29,18 @@ const EngineSrc = -1
 
 // BroadcastTarget addresses an event to a partition as a whole rather than
 // to a single VP; the handler may then touch every VP local to that
-// partition. Use Engine.EmitBroadcast to deliver one copy per partition.
+// partition. Use Ctx.EmitBroadcast to deliver one copy per partition.
 const BroadcastTarget = -1
 
 // Event is a timestamped occurrence delivered to the partition owning its
 // target VP. Events are processed in deterministic global virtual-time
 // order; the ordering key is (Time, Src, Seq), which is unique because each
 // source numbers its events sequentially.
+//
+// Events are pooled: the engine recycles an event into the dispatching
+// partition's free list as soon as its handler returns. Handlers must not
+// retain the *Event pointer (or aliases of it) past the handler call;
+// retaining the Payload value is safe, since payloads are never recycled.
 type Event struct {
 	// Time is the virtual time at which the event takes effect.
 	Time vclock.Time
@@ -52,6 +55,10 @@ type Event struct {
 	Target int
 	// Payload carries handler-specific data.
 	Payload any
+
+	// stamp carries the engine's internal timer generation (Ctx.Sleep)
+	// without boxing it through Payload.
+	stamp uint64
 }
 
 // before reports whether e is ordered before o under the deterministic
@@ -66,34 +73,79 @@ func (e *Event) before(o *Event) bool {
 	return e.Seq < o.Seq
 }
 
-// eventHeap is a min-heap of events ordered by the deterministic key.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].before(h[j]) }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// eventHeap is a hand-rolled 4-ary min-heap of events ordered by the
+// deterministic key. A 4-ary layout halves the tree depth of a binary heap
+// and keeps the four children of a node on one cache line; compared to
+// container/heap it avoids the interface{} indirection and per-push
+// boxing, so push and pop inline into the scheduler loop.
+type eventHeap struct {
+	a []*Event
 }
 
+// len returns the number of queued events.
+func (h *eventHeap) len() int { return len(h.a) }
+
 // push inserts an event.
-func (h *eventHeap) push(ev *Event) { heap.Push(h, ev) }
+func (h *eventHeap) push(ev *Event) {
+	a := append(h.a, ev)
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !ev.before(a[parent]) {
+			break
+		}
+		a[i] = a[parent]
+		i = parent
+	}
+	a[i] = ev
+	h.a = a
+}
 
 // pop removes and returns the earliest event; it panics on an empty heap.
-func (h *eventHeap) pop() *Event { return heap.Pop(h).(*Event) }
+// The vacated tail slot is nilled so the heap's backing array never retains
+// a reference to a popped (and possibly recycled) event.
+func (h *eventHeap) pop() *Event {
+	a := h.a
+	n := len(a) - 1
+	root := a[0]
+	moved := a[n]
+	a[n] = nil
+	a = a[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			min := c
+			for j := c + 1; j < end; j++ {
+				if a[j].before(a[min]) {
+					min = j
+				}
+			}
+			if !a[min].before(moved) {
+				break
+			}
+			a[i] = a[min]
+			i = min
+		}
+		a[i] = moved
+	}
+	h.a = a
+	return root
+}
 
 // peek returns the earliest event without removing it, or nil if empty.
 func (h *eventHeap) peek() *Event {
-	if len(*h) == 0 {
+	if len(h.a) == 0 {
 		return nil
 	}
-	return (*h)[0]
+	return h.a[0]
 }
 
 // readyEntry is a VP that can resume execution at a known virtual time.
@@ -102,32 +154,84 @@ type readyEntry struct {
 	rank int
 }
 
-// readyHeap is a min-heap of resumable VPs ordered by (wake time, rank),
-// which is unique because a VP is ready at most once.
-type readyHeap []readyEntry
-
-func (h readyHeap) Len() int { return len(h) }
-func (h readyHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// entryBefore reports whether x is ordered before y under the (wake time,
+// rank) key, which is unique because a VP is ready at most once.
+func entryBefore(x, y readyEntry) bool {
+	if x.at != y.at {
+		return x.at < y.at
 	}
-	return h[i].rank < h[j].rank
-}
-func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(readyEntry)) }
-func (h *readyHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return x.rank < y.rank
 }
 
-func (h *readyHeap) push(e readyEntry) { heap.Push(h, e) }
-func (h *readyHeap) pop() readyEntry   { return heap.Pop(h).(readyEntry) }
+// readyHeap is a hand-rolled 4-ary min-heap of resumable VPs ordered by
+// (wake time, rank). Entries are plain values, so unlike the old
+// container/heap version nothing is boxed on push.
+type readyHeap struct {
+	a []readyEntry
+}
+
+// len returns the number of ready VPs.
+func (h *readyHeap) len() int { return len(h.a) }
+
+// push inserts an entry.
+func (h *readyHeap) push(e readyEntry) {
+	a := append(h.a, e)
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !entryBefore(e, a[parent]) {
+			break
+		}
+		a[i] = a[parent]
+		i = parent
+	}
+	a[i] = e
+	h.a = a
+}
+
+// pop removes and returns the earliest entry; it panics on an empty heap.
+// The vacated tail slot is zeroed, mirroring eventHeap.pop, so the backing
+// array holds no stale entries.
+func (h *readyHeap) pop() readyEntry {
+	a := h.a
+	n := len(a) - 1
+	root := a[0]
+	moved := a[n]
+	a[n] = readyEntry{}
+	a = a[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			min := c
+			for j := c + 1; j < end; j++ {
+				if entryBefore(a[j], a[min]) {
+					min = j
+				}
+			}
+			if !entryBefore(a[min], moved) {
+				break
+			}
+			a[i] = a[min]
+			i = min
+		}
+		a[i] = moved
+	}
+	h.a = a
+	return root
+}
+
+// peek returns the earliest entry without removing it.
 func (h *readyHeap) peek() (readyEntry, bool) {
-	if len(*h) == 0 {
+	if len(h.a) == 0 {
 		return readyEntry{}, false
 	}
-	return (*h)[0], true
+	return h.a[0], true
 }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xsim/internal/vclock"
+)
+
+// TestEventHeapOrder drains a randomly filled event heap and checks that
+// events come out in deterministic (Time, Src, Seq) order.
+func TestEventHeapOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h eventHeap
+	const n = 2000
+	for i := 0; i < n; i++ {
+		h.push(&Event{
+			Time: vclock.Time(rng.Intn(50)),
+			Src:  rng.Intn(8),
+			Seq:  uint64(i),
+		})
+	}
+	prev := h.pop()
+	for i := 1; i < n; i++ {
+		ev := h.pop()
+		if ev.before(prev) {
+			t.Fatalf("pop %d out of order: %+v after %+v", i, ev, prev)
+		}
+		prev = ev
+	}
+	if h.len() != 0 {
+		t.Fatalf("heap not empty after draining: len=%d", h.len())
+	}
+}
+
+// TestEventHeapPopClearsSlots checks that popping leaves no stale *Event
+// references in the heap's backing array. With event pooling this is a
+// correctness property, not just a GC nicety: a retained pointer to a
+// recycled event would alias a live queued event.
+func TestEventHeapPopClearsSlots(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h eventHeap
+	for i := 0; i < 100; i++ {
+		h.push(&Event{Time: vclock.Time(rng.Intn(40)), Src: 0, Seq: uint64(i)})
+	}
+	for i := 0; i < 60; i++ {
+		h.pop()
+	}
+	// The backing array beyond len must hold only nil slots.
+	full := h.a[:cap(h.a)]
+	for i := h.len(); i < len(full); i++ {
+		if full[i] != nil {
+			t.Fatalf("slot %d (len=%d, cap=%d) retains %+v after pop", i, h.len(), cap(h.a), full[i])
+		}
+	}
+}
+
+// TestReadyHeapOrder drains a randomly filled ready heap and checks
+// (wake time, rank) order.
+func TestReadyHeapOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var h readyHeap
+	const n = 2000
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		h.push(readyEntry{at: vclock.Time(rng.Intn(50)), rank: perm[i]})
+	}
+	prev := h.pop()
+	for i := 1; i < n; i++ {
+		e := h.pop()
+		if entryBefore(e, prev) {
+			t.Fatalf("pop %d out of order: %+v after %+v", i, e, prev)
+		}
+		prev = e
+	}
+}
+
+// TestReadyHeapPopClearsSlots mirrors the event-heap test: vacated slots
+// must be zeroed so the backing array holds no stale entries.
+func TestReadyHeapPopClearsSlots(t *testing.T) {
+	var h readyHeap
+	for i := 0; i < 100; i++ {
+		h.push(readyEntry{at: vclock.Time((i * 31) % 40), rank: i})
+	}
+	for i := 0; i < 60; i++ {
+		h.pop()
+	}
+	full := h.a[:cap(h.a)]
+	for i := h.len(); i < len(full); i++ {
+		if full[i] != (readyEntry{}) {
+			t.Fatalf("slot %d (len=%d, cap=%d) retains %+v after pop", i, h.len(), cap(h.a), full[i])
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sync"
+
+	"xsim/internal/vclock"
+)
+
+// This file implements the parallel (Workers > 1) execution protocol: a
+// coordinator-free round structure in which every partition worker derives
+// its own safe window from a shared table of next-item times.
+//
+// Each round has two barriers:
+//
+//	publish own localNext → barrier A → read all next times, derive
+//	horizon → processWindow → swap crossOut buffers into destination
+//	inboxes → barrier B → drain own inboxes into the event queue
+//
+// Compared to the previous coordinator design (which polled partitions
+// sequentially, merged all cross-partition buffers in a serial section,
+// and paid two channel round-trips per partition per window), the workers
+// never exchange channel messages in steady state: the next-time fan-in is
+// a shared padded array, the cross-partition exchange is a pair of
+// pointer-slice swaps per partition pair, and the only synchronisation is
+// the reusable barrier.
+//
+// Horizon extension: partition i's window is bounded by the earliest
+// event that can still reach it. A lower bound on any future item at
+// partition j is L(j) = min(next[j], globalMin+lookahead): j's own queue
+// holds nothing below next[j], and anything j can still receive was (or
+// will be) emitted at a clock at or after the global minimum, hence
+// arrives at or after globalMin+lookahead. (The bound is a fixpoint:
+// multi-hop chains pay the lookahead once per hop, so two hops already
+// exceed it.) Partition i may therefore process every item strictly below
+//
+//	horizon(i) = min over j≠i of L(j) + lookahead
+//	           = min(otherMin(i), globalMin+lookahead) + lookahead
+//
+// For partitions that do not hold the global minimum this equals the old
+// coordinator horizon (globalMin+lookahead); for the partition that does —
+// the bottleneck of the round — it extends the window to up to two
+// lookaheads, batching what the coordinator design handled as two
+// consecutive windows (two channel round-trips per partition) into one.
+type nextSlot struct {
+	t vclock.Time
+	// Pad to a cache line so the per-partition slots don't false-share.
+	_ [56]byte
+}
+
+// barrier is a reusable counter barrier. Broadcast wakeups through a
+// sync.Cond keep each round allocation-free.
+type barrier struct {
+	mu    sync.Mutex
+	cond  sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func (b *barrier) init(n int) {
+	b.n = n
+	b.cond.L = &b.mu
+}
+
+// wait blocks until all n workers have arrived.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// runParallel drives the partitions through conservative safe windows
+// until every partition is idle (termination or deadlock). All workers
+// compute the same global minimum each round, so they observe termination
+// in the same round and the barrier population stays consistent.
+func (e *Engine) runParallel() {
+	e.next = make([]nextSlot, len(e.parts))
+	e.bar.init(len(e.parts))
+	var wg sync.WaitGroup
+	wg.Add(len(e.parts))
+	for _, p := range e.parts {
+		go func(p *partition) {
+			defer wg.Done()
+			p.workerLoop()
+		}(p)
+	}
+	wg.Wait()
+}
+
+// workerLoop is one partition's side of the round protocol.
+func (p *partition) workerLoop() {
+	e := p.eng
+	for {
+		e.next[p.id].t = p.localNext()
+		e.bar.wait() // barrier A: all next times published
+		own := e.next[p.id].t
+		otherMin := vclock.Never
+		for i := range e.next {
+			if i == p.id {
+				continue
+			}
+			if t := e.next[i].t; t < otherMin {
+				otherMin = t
+			}
+		}
+		if otherMin == vclock.Never && own == vclock.Never {
+			return // global termination: everyone computes this identically
+		}
+		globalMin := own
+		if otherMin < globalMin {
+			globalMin = otherMin
+		}
+		// horizon = min(otherMin, globalMin+lookahead) + lookahead; see the
+		// derivation at the top of this file.
+		bound := globalMin.Add(e.cfg.Lookahead)
+		if otherMin < bound {
+			bound = otherMin
+		}
+		p.processWindow(bound.Add(e.cfg.Lookahead))
+		p.publishCross()
+		e.bar.wait() // barrier B: all cross buffers published
+		p.collectCross()
+	}
+}
+
+// publishCross swaps this partition's outgoing buffers into the
+// destination partitions' inbox slots, taking back the buffers it
+// published last round (already drained and truncated by the
+// destination). The swap transfers ownership without copying; the barrier
+// that follows makes it visible.
+func (p *partition) publishCross() {
+	for q, evs := range p.crossOut {
+		if q == p.id {
+			continue
+		}
+		dst := p.eng.parts[q]
+		p.crossOut[q], dst.inbox[p.id] = dst.inbox[p.id], evs
+	}
+}
+
+// collectCross drains the inbox buffers other partitions published this
+// round into the event queue, then truncates them (clearing references)
+// for their owners to reuse. The heap orders merged events by the
+// deterministic key, so drain order does not matter.
+func (p *partition) collectCross() {
+	for q, evs := range p.inbox {
+		if len(evs) == 0 {
+			continue
+		}
+		for i, ev := range evs {
+			p.eventQ.push(ev)
+			evs[i] = nil
+		}
+		p.inbox[q] = evs[:0]
+	}
+}

@@ -6,12 +6,16 @@ import (
 	"xsim/internal/vclock"
 )
 
-// yieldKind is the VP→scheduler handoff message.
+// yieldKind is the VP→scheduler handoff message. The scheduler→VP resume
+// token travels on the same per-VP gate channel (see vp.gate), so a full
+// block/wake cycle costs exactly one channel operation pair per direction
+// and allocates nothing.
 type yieldKind int
 
 const (
 	yieldBlocked yieldKind = iota // VP parked in Block
 	yieldDead                     // VP terminated
+	gateResume                    // scheduler→VP: resume (wake data in vp fields)
 )
 
 // partition owns a contiguous range of VPs and executes them one at a time,
@@ -28,12 +32,26 @@ type partition struct {
 	eventQ eventHeap
 	ready  readyHeap
 
-	// yield receives the handoff when the running VP blocks or dies.
-	yield chan yieldKind
+	// free is the partition's event free list: dispatched events are
+	// recycled here and handed back out by Emit, so the steady-state
+	// event path allocates nothing. Events that cross partitions simply
+	// migrate from the emitter's pool to the dispatcher's.
+	free []*Event
+
+	// sctx is the partition's reusable handler context; it is passed to
+	// every handler invocation, valid only for the duration of the call.
+	sctx SchedCtx
 
 	// crossOut buffers events destined for other partitions during a
-	// window; the coordinator merges them at the window barrier.
+	// window. At the window barrier each buffer is swapped (not copied)
+	// into the destination partition's inbox slot.
 	crossOut [][]*Event
+
+	// inbox[src] is the buffer partition src published for this
+	// partition in the current round; it is drained into eventQ after
+	// the exchange barrier. Buffers ping-pong between crossOut and inbox
+	// so the steady-state exchange allocates nothing.
+	inbox [][]*Event
 
 	// watermark is the virtual time of the item currently being
 	// processed; wakes and handler emissions must not go backwards past
@@ -49,10 +67,6 @@ type partition struct {
 	// statistics.
 	events  uint64
 	resumes uint64
-
-	// work/done drive the worker goroutine in parallel mode.
-	work chan vclock.Time
-	done chan struct{}
 }
 
 // partitionSrc returns the deterministic event source id for handler
@@ -65,6 +79,26 @@ func (p *partition) owns(rank int) bool { return rank >= p.lo && rank < p.hi }
 func (p *partition) nextSeq() uint64 {
 	p.seq++
 	return p.seq
+}
+
+// newEvent returns a zeroed event from the partition's free list, or a
+// fresh allocation if the list is empty. Must only be called from the
+// partition's own execution context (its scheduler or its running VP).
+func (p *partition) newEvent() *Event {
+	if n := len(p.free) - 1; n >= 0 {
+		ev := p.free[n]
+		p.free[n] = nil
+		p.free = p.free[:n]
+		return ev
+	}
+	return new(Event)
+}
+
+// recycle zeroes a dispatched event and returns it to the free list. The
+// event must no longer be referenced by any queue or handler.
+func (p *partition) recycle(ev *Event) {
+	*ev = Event{}
+	p.free = append(p.free, ev)
 }
 
 // localNext returns the earliest pending work item's virtual time, or
@@ -84,7 +118,8 @@ func (p *partition) localNext() vclock.Time {
 // processWindow processes all pending items with virtual time strictly
 // before horizon, in deterministic (time, src, seq) order, preferring
 // events over VP resumes on equal times. Items generated during the window
-// that still fall before the horizon are processed too.
+// that still fall before the horizon are processed too. Dispatched events
+// are recycled into the partition's free list once their handler returns.
 func (p *partition) processWindow(horizon vclock.Time) {
 	for {
 		ev := p.eventQ.peek()
@@ -95,6 +130,7 @@ func (p *partition) processWindow(horizon vclock.Time) {
 			p.watermark = ev.Time
 			p.events++
 			p.dispatch(ev)
+			p.recycle(ev)
 		case haveReady && re.at < horizon:
 			p.ready.pop()
 			p.watermark = re.at
@@ -114,16 +150,15 @@ func (p *partition) dispatch(ev *Event) {
 		return
 	case kindTimer:
 		v := p.eng.vps[ev.Target]
-		if v.state == vpBlocked && v.sleeping && ev.Payload == v.sleepSeq {
+		if v.state == vpBlocked && v.sleeping && ev.stamp == v.sleepSeq {
 			p.wake(v, ev.Time, nil)
 		}
 		return
 	}
-	h := p.eng.handlers[ev.Kind]
-	if h == nil {
+	if int(ev.Kind) >= len(p.eng.handlers) || p.eng.handlers[ev.Kind] == nil {
 		panic(fmt.Sprintf("core: no handler registered for event kind %d", ev.Kind))
 	}
-	h(&SchedCtx{eng: p.eng, part: p}, ev)
+	p.eng.handlers[ev.Kind](&p.sctx, ev)
 }
 
 // handleFailureEvent activates a scheduled process failure. If the target
@@ -147,7 +182,8 @@ func (p *partition) handleFailureEvent(ev *Event) {
 
 // wake moves a blocked VP to the ready heap. at is the logical wake time;
 // the effective resume time also respects the VP's own clock and the
-// partition watermark.
+// partition watermark. The wake data is parked in the VP's own fields —
+// nothing is allocated.
 func (p *partition) wake(v *vp, at vclock.Time, val any) {
 	if v.part != p {
 		panic(fmt.Sprintf("core: partition %d woke rank %d owned by partition %d", p.id, v.rank, v.part.id))
@@ -159,17 +195,18 @@ func (p *partition) wake(v *vp, at vclock.Time, val any) {
 		at = p.watermark
 	}
 	v.state = vpReady
-	v.pendingWake = &wakeAction{at: at, val: val}
+	v.wakeAt = at
+	v.wakeVal = val
 	p.ready.push(readyEntry{at: vclock.Max(at, v.clock), rank: v.rank})
 }
 
-// resume hands execution to a ready VP and waits for it to block or die.
+// resume hands execution to a ready VP and waits for it to block or die:
+// one send on the VP's gate (the wake data already sits in the VP's
+// fields) and one receive of the yield notification.
 func (p *partition) resume(rank int) {
 	v := p.eng.vps[rank]
-	act := *v.pendingWake
-	v.pendingWake = nil
-	v.wake <- act
-	if k := <-p.yield; k == yieldDead {
+	v.gate <- gateResume
+	if k := <-v.gate; k == yieldDead {
 		p.live--
 	}
 }
@@ -179,15 +216,14 @@ func (p *partition) kill(v *vp) {
 	switch v.state {
 	case vpDead:
 		return
-	case vpBlocked, vpCreated:
-		v.wake <- wakeAction{kill: true}
-	case vpReady:
-		v.pendingWake = nil
-		v.wake <- wakeAction{kill: true}
+	case vpBlocked, vpCreated, vpReady:
+		v.wakeVal = nil
+		v.killed = true
+		v.gate <- gateResume
 	default:
 		panic(fmt.Sprintf("core: kill of running rank %d", v.rank))
 	}
-	if k := <-p.yield; k != yieldDead {
+	if k := <-v.gate; k != yieldDead {
 		panic("core: killed VP yielded without dying")
 	}
 	p.live--
@@ -208,7 +244,9 @@ func (p *partition) blockedReport() []string {
 
 // SchedCtx is the engine handle passed to event handlers. Handlers run in
 // scheduler context: no VP of this partition is executing, so the handler
-// may inspect and mutate the per-VP state of local VPs.
+// may inspect and mutate the per-VP state of local VPs. The context is
+// only valid for the duration of the handler call — handlers must not
+// retain it (the engine reuses one SchedCtx per partition).
 type SchedCtx struct {
 	eng  *Engine
 	part *partition
@@ -263,14 +301,17 @@ func (s *SchedCtx) SetAbortAt(rank int, t vclock.Time) {
 
 // Emit schedules an event from handler context. Its Time must not precede
 // the current event time, and cross-partition targets must respect the
-// engine lookahead.
+// engine lookahead. The event value is copied into a pooled event, so the
+// argument never escapes.
 func (s *SchedCtx) Emit(ev Event) {
 	if ev.Time < s.part.watermark {
 		panic(fmt.Sprintf("core: handler emitted event at %v before current time %v", ev.Time, s.part.watermark))
 	}
-	ev.Src = partitionSrc(s.part.id)
-	ev.Seq = s.part.nextSeq()
-	s.eng.route(s.part, s.part.watermark, &ev)
+	pe := s.part.newEvent()
+	*pe = ev
+	pe.Src = partitionSrc(s.part.id)
+	pe.Seq = s.part.nextSeq()
+	s.eng.route(s.part, s.part.watermark, pe)
 }
 
 // Logf writes an informational message through the engine's logger.

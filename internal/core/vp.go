@@ -60,13 +60,6 @@ const (
 	vpDead                   // terminated
 )
 
-// wakeAction is the scheduler→VP resume message.
-type wakeAction struct {
-	at   vclock.Time // VP clock becomes max(clock, at)
-	val  any         // returned from Block
-	kill bool        // tear the VP down instead of resuming it
-}
-
 // vp is one simulated MPI process (virtual process). All fields are owned
 // by the VP's partition: they are touched either by the VP goroutine while
 // it runs (its partition's scheduler is parked) or by the partition
@@ -86,8 +79,23 @@ type vp struct {
 
 	state       vpState
 	blockReason string
-	wake        chan wakeAction
-	pendingWake *wakeAction // set while in the ready heap
+
+	// gate is the bidirectional handoff channel: the scheduler sends
+	// gateResume to hand control to the VP, and the VP sends its
+	// yieldKind back on the same channel when it blocks or dies. Strict
+	// alternation (only the running VP communicates with its scheduler)
+	// makes the shared use race-free, and the channel ordering makes the
+	// field-based resume data below safely visible on both sides.
+	gate chan yieldKind
+
+	// wakeAt, wakeVal, killed carry the resume data while the VP sits in
+	// the ready heap: clock becomes max(clock, wakeAt), wakeVal is
+	// returned from Block, and killed tears the VP down instead of
+	// resuming it. Plain fields instead of a heap-allocated message keep
+	// the block/wake cycle allocation-free.
+	wakeAt  vclock.Time
+	wakeVal any
+	killed  bool
 
 	death     DeathReason
 	deathTime vclock.Time
@@ -199,7 +207,7 @@ func (c *Ctx) Sleep(d vclock.Duration) {
 		return
 	}
 	v.sleepSeq++
-	c.Emit(Event{Time: v.clock.Add(d), Kind: kindTimer, Target: v.rank, Payload: v.sleepSeq})
+	c.Emit(Event{Time: v.clock.Add(d), Kind: kindTimer, Target: v.rank, stamp: v.sleepSeq})
 	v.sleeping = true
 	c.Block("sleep")
 	v.sleeping = false
@@ -231,33 +239,39 @@ func (c *Ctx) Block(reason string) any {
 	v := c.vp
 	v.state = vpBlocked
 	v.blockReason = reason
-	v.part.yield <- yieldBlocked
-	act := <-v.wake
+	v.gate <- yieldBlocked // hand control to the scheduler
+	<-v.gate               // wait for SchedCtx.Wake's resume
 	v.state = vpRunning
 	v.blockReason = ""
-	if act.kill {
+	if v.killed {
 		panic(unwindSentinel{DeathKilled})
 	}
-	if act.at > v.clock {
-		v.waited += act.at.Sub(v.clock)
-		v.clock = act.at
+	val := v.wakeVal
+	v.wakeVal = nil // don't retain the value past this resume
+	if v.wakeAt > v.clock {
+		v.waited += v.wakeAt.Sub(v.clock)
+		v.clock = v.wakeAt
 	}
 	v.checkUnwind()
-	return act.val
+	return val
 }
 
 // Emit schedules an event. The event's Src and Seq are assigned by the
 // engine; its Time must not be before the VP's current clock, and events
 // that cross partitions must respect the engine's lookahead (Time at least
-// clock+lookahead) — both are programming errors that panic.
+// clock+lookahead) — both are programming errors that panic. The event
+// value is copied into a pooled event drawn from the VP's partition, so
+// the argument never escapes and steady-state emission allocates nothing.
 func (c *Ctx) Emit(ev Event) {
 	v := c.vp
 	if ev.Time < v.clock {
 		panic(fmt.Sprintf("core: rank %d emitted event at %v before its clock %v", v.rank, ev.Time, v.clock))
 	}
-	ev.Src = v.rank
-	ev.Seq = v.nextSeq()
-	c.eng.route(v.part, v.clock, &ev)
+	pe := v.part.newEvent()
+	*pe = ev
+	pe.Src = v.rank
+	pe.Seq = v.nextSeq()
+	c.eng.route(v.part, v.clock, pe)
 }
 
 // EmitBroadcast schedules one copy of ev per partition with Target set to
@@ -269,10 +283,11 @@ func (c *Ctx) EmitBroadcast(ev Event) {
 	}
 	ev.Target = BroadcastTarget
 	for _, p := range c.eng.parts {
-		copyEv := ev
-		copyEv.Src = v.rank
-		copyEv.Seq = v.nextSeq()
-		c.eng.routeToPartition(v.part, v.clock, p, &copyEv)
+		pe := v.part.newEvent()
+		*pe = ev
+		pe.Src = v.rank
+		pe.Seq = v.nextSeq()
+		c.eng.routeToPartition(v.part, v.clock, p, pe)
 	}
 }
 
@@ -313,9 +328,9 @@ func (c *Ctx) Lookahead() vclock.Duration { return c.eng.cfg.Lookahead }
 
 // run is the VP goroutine body.
 func (v *vp) run(eng *Engine, body func(*Ctx)) {
-	act := <-v.wake // initial resume from the scheduler
+	<-v.gate // initial resume from the scheduler
 	v.state = vpRunning
-	v.clock = vclock.Max(v.clock, act.at)
+	v.clock = vclock.Max(v.clock, v.wakeAt)
 	defer func() {
 		r := recover()
 		switch s := r.(type) {
@@ -347,9 +362,9 @@ func (v *vp) run(eng *Engine, body func(*Ctx)) {
 				eng.onDeath(&Ctx{eng: eng, vp: v}, v.death)
 			}()
 		}
-		v.part.yield <- yieldDead
+		v.gate <- yieldDead
 	}()
-	if act.kill {
+	if v.killed {
 		panic(unwindSentinel{DeathKilled})
 	}
 	v.checkUnwind()

@@ -22,6 +22,11 @@ const (
 	TagULFMBase = -100
 )
 
+// Collectives are built from the same point-to-point primitives the
+// application uses, so they inherit the pooled-event discipline for free:
+// sendTag/recvTag emit by value and only envelope payloads cross the
+// engine boundary.
+
 // sendTag performs a blocking internal send (raw error, no handler).
 func (c *Comm) sendTag(dst, tag, size int, data []byte) error {
 	return c.env.wait(c.isendTag(dst, tag, size, data))

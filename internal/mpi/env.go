@@ -180,6 +180,8 @@ func (w *World) onDeath(c *core.Ctx, reason core.DeathReason) {
 	at := c.NowQuiet()
 	c.Logf("simulated MPI process failure injected (rank %d, time of failure %v)", c.Rank(), at)
 	w.traceEvent(c.Rank(), at, "failure", "")
+	// EmitBroadcast copies the event value into one pooled event per
+	// partition; the shared failNotify payload is never recycled.
 	c.EmitBroadcast(core.Event{
 		Time:    at.Add(w.cfg.NotifyDelay),
 		Kind:    kindFailNotify,

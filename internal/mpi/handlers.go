@@ -5,6 +5,13 @@ import (
 	"xsim/internal/vclock"
 )
 
+// Event handlers in this file receive pooled *core.Event pointers: the
+// engine recycles the event as soon as the handler returns, so handlers
+// read what they need (Time, Payload) during the call and never store the
+// event itself. Payload values (*envelope, ctsMsg, notifications, ...) are
+// independent allocations and may be retained — the unexpected-message
+// queue and pending-request tables do exactly that.
+
 // localState returns the procState of a local, still-alive rank, or nil.
 func localState(s *core.SchedCtx, rank int) *procState {
 	if !s.Alive(rank) {

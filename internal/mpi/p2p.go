@@ -218,6 +218,12 @@ func (ps *procState) takeUnexpected(req *Request) *envelope {
 // emitter abstracts the two contexts that can emit events and read the
 // current virtual time: a running VP (its own Ctx) and an event handler
 // (SchedCtx). Message matching runs in both.
+//
+// Pooled-event discipline: emit takes the core.Event by value and the
+// engine copies it into a pooled event, so the MPI layer never holds a
+// *core.Event of its own. Anything that must outlive the emit call or the
+// handler invocation — envelopes, CTS records, notifications — travels as
+// a Payload, which the engine never recycles.
 type emitter interface {
 	emit(ev core.Event)
 	now() vclock.Time
