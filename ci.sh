@@ -2,15 +2,26 @@
 # ci.sh — the tier-1 gate for this repository.
 #
 # Every change must pass this script before it lands. It runs, in order:
-#   1. go vet        (static checks)
-#   2. go build      (everything compiles, including examples and cmds)
-#   3. go test       (full unit/integration suite, includes the
+#   1. gofmt -l      (formatting)
+#   2. go vet        (static checks)
+#   3. go build      (everything compiles, including examples and cmds)
+#   4. go test       (full unit/integration suite, includes the
 #                     Workers ∈ {1,2,4} determinism cross-check)
-#   4. go test -race (engine + MPI layer under the race detector; the
+#   5. go test -race (engine + MPI layer under the race detector; the
 #                     parallel window protocol must be data-race free)
+#   6. BenchmarkHandoff allocation gate (the context-switch hot path
+#                     must stay at 0 allocs/op)
 set -eu
 
 cd "$(dirname "$0")"
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -23,5 +34,21 @@ go test ./...
 
 echo "== go test -race (core + mpi)"
 go test -race ./internal/core/ ./internal/mpi/
+
+echo "== BenchmarkHandoff allocation gate"
+bench=$(go test -run '^$' -bench '^BenchmarkHandoff$' -benchmem -benchtime 1000x ./internal/core/)
+echo "$bench"
+echo "$bench" | awk '
+	/^BenchmarkHandoff/ {
+		seen = 1
+		for (i = 1; i <= NF; i++) {
+			if ($i == "allocs/op" && $(i-1) != "0") {
+				print "FAIL: handoff hot path allocates (" $(i-1) " allocs/op, want 0)" > "/dev/stderr"
+				exit 1
+			}
+		}
+	}
+	END { if (!seen) { print "FAIL: BenchmarkHandoff did not run" > "/dev/stderr"; exit 1 } }
+'
 
 echo "CI OK"

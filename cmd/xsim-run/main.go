@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"xsim"
 )
@@ -24,7 +26,8 @@ func main() {
 		workers  = flag.Int("workers", 1, "engine partitions executing in parallel")
 		rounds   = flag.Int("rounds", 3, "communication rounds")
 		failures = flag.String("failures", os.Getenv("XSIM_FAILURES"), "failure schedule as rank@seconds,...")
-		traceOut = flag.String("trace", "", "write a per-operation event trace to this CSV file")
+		traceOut = flag.String("trace", "", "write a per-operation event timeline to this file (.json for Chrome trace-event format, anything else for CSV)")
+		metrics  = flag.Bool("metrics", false, "print engine and MPI counters (and the per-rank trace summary when -trace is set)")
 		verbose  = flag.Bool("v", false, "print simulator informational messages")
 	)
 	flag.Parse()
@@ -38,7 +41,7 @@ func main() {
 		cfg.Logf = log.Printf
 	}
 	var tr *xsim.TraceBuffer
-	if *traceOut != "" {
+	if *traceOut != "" || *metrics {
 		tr = xsim.NewTrace(1 << 20)
 		cfg.Trace = tr
 	}
@@ -69,17 +72,38 @@ func main() {
 	rep := res.Energy(xsim.PaperPower())
 	fmt.Printf("energy: %s\n", rep)
 
-	if tr != nil {
-		f, err := os.Create(*traceOut)
-		if err != nil {
+	if *metrics {
+		fmt.Print(res.MetricsReport())
+		if err := tr.WriteSummary(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		if err := tr.WriteCSV(f); err != nil {
+	}
+	if *traceOut != "" {
+		if err := writeTrace(tr, *traceOut); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("trace: %d events written to %s (%d dropped)\n", tr.Len(), *traceOut, tr.Dropped())
 	}
+}
+
+// writeTrace exports the timeline, picking the format from the file
+// extension: .json gets the Chrome trace-event format (load it in
+// chrome://tracing or Perfetto), everything else CSV.
+func writeTrace(tr *xsim.TraceBuffer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		err = tr.WriteChromeTrace(f)
+	} else {
+		err = tr.WriteCSV(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // ringApp circulates a token around the rank ring, computing between hops.

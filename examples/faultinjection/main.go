@@ -16,14 +16,24 @@ package main
 
 import (
 	"encoding/binary"
+	"flag"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"xsim"
 )
 
+var (
+	traceOut = flag.String("trace", "", "write the detection demo's event timeline to this file (.json for Chrome trace-event format, anything else for CSV)")
+	metrics  = flag.Bool("metrics", false, "print the detection demo's engine and MPI counters")
+)
+
 func main() {
+	flag.Parse()
 	detectionDemo()
 	fmt.Println()
 	sdcDemo()
@@ -37,7 +47,13 @@ func detectionDemo() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim, err := xsim.New(xsim.Config{Ranks: 4, Failures: sched, Logf: log.Printf})
+	cfg := xsim.Config{Ranks: 4, Failures: sched, Logf: log.Printf}
+	var tr *xsim.TraceBuffer
+	if *traceOut != "" || *metrics {
+		tr = xsim.NewTrace(1 << 16)
+		cfg.Trace = tr
+	}
+	sim, err := xsim.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,6 +83,36 @@ func detectionDemo() {
 		log.Fatal(err)
 	}
 	fmt.Printf("run ended with %d completed, %d failed\n", res.Completed, res.Failed)
+	if *metrics {
+		fmt.Print(res.MetricsReport())
+		if err := tr.WriteSummary(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(tr, *traceOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d events written to %s\n", tr.Len(), *traceOut)
+	}
+}
+
+// writeTrace exports the timeline in the format implied by the extension.
+func writeTrace(tr *xsim.TraceBuffer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		err = tr.WriteChromeTrace(f)
+	} else {
+		err = tr.WriteCSV(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // sdcDemo: a bit flip lands in one rank's data; neighbour exchanges spread

@@ -19,6 +19,20 @@ type TraceBuffer = trace.Buffer
 // TraceEvent is one recorded trace event.
 type TraceEvent = trace.Event
 
+// TraceKind classifies a trace event.
+type TraceKind = trace.Kind
+
+// Trace event kinds, re-exported for OfKind queries.
+const (
+	TraceUser     = trace.KindUser
+	TraceSend     = trace.KindSend
+	TraceRecvPost = trace.KindRecvPost
+	TraceComplete = trace.KindComplete
+	TraceFailure  = trace.KindFailure
+	TraceDetect   = trace.KindDetect
+	TraceAbort    = trace.KindAbort
+)
+
 // NewTrace returns a trace buffer retaining at most max events (<= 0 for
 // unbounded).
 func NewTrace(max int) *TraceBuffer { return trace.New(max) }

@@ -309,6 +309,7 @@ func (e *Engine) routeToPartition(from *partition, senderClock vclock.Time, to *
 		panic(fmt.Sprintf("core: cross-partition event at %v violates lookahead %v from clock %v",
 			ev.Time, e.cfg.Lookahead, senderClock))
 	}
+	from.crossEvents++
 	from.crossOut[to.id] = append(from.crossOut[to.id], ev)
 }
 

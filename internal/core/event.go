@@ -80,6 +80,8 @@ func (e *Event) before(o *Event) bool {
 // boxing, so push and pop inline into the scheduler loop.
 type eventHeap struct {
 	a []*Event
+	// hi is the high-water depth, for Engine.Metrics.
+	hi int
 }
 
 // len returns the number of queued events.
@@ -88,6 +90,9 @@ func (h *eventHeap) len() int { return len(h.a) }
 // push inserts an event.
 func (h *eventHeap) push(ev *Event) {
 	a := append(h.a, ev)
+	if len(a) > h.hi {
+		h.hi = len(a)
+	}
 	i := len(a) - 1
 	for i > 0 {
 		parent := (i - 1) >> 2
@@ -168,6 +173,8 @@ func entryBefore(x, y readyEntry) bool {
 // container/heap version nothing is boxed on push.
 type readyHeap struct {
 	a []readyEntry
+	// hi is the high-water depth, for Engine.Metrics.
+	hi int
 }
 
 // len returns the number of ready VPs.
@@ -176,6 +183,9 @@ func (h *readyHeap) len() int { return len(h.a) }
 // push inserts an entry.
 func (h *readyHeap) push(e readyEntry) {
 	a := append(h.a, e)
+	if len(a) > h.hi {
+		h.hi = len(a)
+	}
 	i := len(a) - 1
 	for i > 0 {
 		parent := (i - 1) >> 2

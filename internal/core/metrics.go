@@ -1,0 +1,66 @@
+package core
+
+import "xsim/internal/vclock"
+
+// MetricsSnapshot exposes the engine's internal counters, making the
+// scheduler's performance claims (pooled events, coordinator-free windows)
+// continuously observable instead of one-off benchmark lore. Counters are
+// accumulated per partition without synchronisation — each is only touched
+// by its partition's worker — and aggregated here after Run.
+type MetricsSnapshot struct {
+	// EventsDispatched and Resumes count the processed work items (same
+	// quantities as Result.EventsProcessed/Resumes).
+	EventsDispatched uint64
+	Resumes          uint64
+	// PoolHits and PoolMisses count event allocations served from the
+	// per-partition free list vs fresh heap allocations. After warm-up,
+	// PoolMisses stops growing — that is the 0 allocs/op steady state.
+	PoolHits   uint64
+	PoolMisses uint64
+	// CrossEvents counts events routed between partitions (always 0 with
+	// Workers = 1).
+	CrossEvents uint64
+	// EventHeapHighWater and ReadyHeapHighWater are the deepest any
+	// partition's queues got — the working-set measure for the heaps.
+	EventHeapHighWater int
+	ReadyHeapHighWater int
+	// BarrierRounds counts parallel window rounds summed over partitions
+	// (0 with Workers = 1; every partition runs the same number of
+	// rounds, so this is rounds × Workers).
+	BarrierRounds uint64
+	// WindowWidthSum accumulates each partition round's safe-window width
+	// (horizon − global minimum); WindowWidthSum / BarrierRounds is the
+	// mean width, which the horizon extension pushes past one lookahead.
+	WindowWidthSum vclock.Duration
+}
+
+// AvgWindowWidth returns the mean safe-window width per partition round,
+// or 0 for sequential runs.
+func (m MetricsSnapshot) AvgWindowWidth() vclock.Duration {
+	if m.BarrierRounds == 0 {
+		return 0
+	}
+	return m.WindowWidthSum / vclock.Duration(m.BarrierRounds)
+}
+
+// Metrics aggregates the per-partition counters. Call it after Run
+// returns; it is not synchronised against running workers.
+func (e *Engine) Metrics() MetricsSnapshot {
+	var m MetricsSnapshot
+	for _, p := range e.parts {
+		m.EventsDispatched += p.events
+		m.Resumes += p.resumes
+		m.PoolHits += p.poolHits
+		m.PoolMisses += p.poolMisses
+		m.CrossEvents += p.crossEvents
+		if p.eventQ.hi > m.EventHeapHighWater {
+			m.EventHeapHighWater = p.eventQ.hi
+		}
+		if p.ready.hi > m.ReadyHeapHighWater {
+			m.ReadyHeapHighWater = p.ready.hi
+		}
+		m.BarrierRounds += p.rounds
+		m.WindowWidthSum += p.widthSum
+	}
+	return m
+}

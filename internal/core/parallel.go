@@ -127,7 +127,10 @@ func (p *partition) workerLoop() {
 		if otherMin < bound {
 			bound = otherMin
 		}
-		p.processWindow(bound.Add(e.cfg.Lookahead))
+		horizon := bound.Add(e.cfg.Lookahead)
+		p.rounds++
+		p.widthSum += horizon.Sub(globalMin)
+		p.processWindow(horizon)
 		p.publishCross()
 		e.bar.wait() // barrier B: all cross buffers published
 		p.collectCross()

@@ -64,9 +64,15 @@ type partition struct {
 	live int // VPs not yet dead
 
 	// events and resumes count processed work items for the engine's
-	// statistics.
-	events  uint64
-	resumes uint64
+	// statistics; the remaining counters feed Engine.Metrics. All are
+	// touched only by the partition's own worker.
+	events      uint64
+	resumes     uint64
+	poolHits    uint64
+	poolMisses  uint64
+	crossEvents uint64
+	rounds      uint64
+	widthSum    vclock.Duration
 }
 
 // partitionSrc returns the deterministic event source id for handler
@@ -89,8 +95,10 @@ func (p *partition) newEvent() *Event {
 		ev := p.free[n]
 		p.free[n] = nil
 		p.free = p.free[:n]
+		p.poolHits++
 		return ev
 	}
+	p.poolMisses++
 	return new(Event)
 }
 

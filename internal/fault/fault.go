@@ -8,6 +8,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -120,8 +121,23 @@ func RandomFailure(rng *rand.Rand, n int, mttf vclock.Duration, start vclock.Tim
 		panic(fmt.Sprintf("fault: invalid MTTF %v", mttf))
 	}
 	rank := rng.Intn(n)
-	offset := vclock.Duration(rng.Int63n(int64(2 * mttf)))
-	return Injection{Rank: rank, At: start.Add(offset)}
+	// 2×mttf overflows int64 for mttf > MaxInt64/2 (Int63n would then be
+	// handed a negative bound and panic, or a wrapped positive one and
+	// draw from the wrong window); clamp the window to the representable
+	// range.
+	span := int64(mttf)
+	if span > math.MaxInt64/2 {
+		span = math.MaxInt64
+	} else {
+		span *= 2
+	}
+	offset := vclock.Duration(rng.Int63n(span))
+	at := start.Add(offset)
+	if at < start {
+		// start + offset overflowed Time; saturate below "fail never".
+		at = vclock.Never - 1
+	}
+	return Injection{Rank: rank, At: at}
 }
 
 // Campaign generates failures for repeated application runs

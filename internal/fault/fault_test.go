@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -122,6 +123,39 @@ func TestRandomFailureUniformish(t *testing.T) {
 	// Uniform over [0, 2000): mean should be near 1000 s (= the MTTF).
 	if mean < 950 || mean > 1050 {
 		t.Fatalf("mean failure time = %v, want ~1000", mean)
+	}
+}
+
+// TestRandomFailureHugeMTTF is the overflow regression: 2×MTTF used to
+// wrap int64 for MTTF > MaxInt64/2, handing Int63n a negative bound
+// (panic). The window now clamps to the representable range and the drawn
+// time saturates below vclock.Never, staying a valid future failure.
+func TestRandomFailureHugeMTTF(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	start := vclock.TimeFromSeconds(500)
+	for _, mttf := range []vclock.Duration{
+		math.MaxInt64/2 + 1,
+		math.MaxInt64 - 1,
+		math.MaxInt64,
+	} {
+		for i := 0; i < 100; i++ {
+			inj := RandomFailure(rng, 16, mttf, start)
+			if inj.At < start {
+				t.Fatalf("mttf %d: failure at %d precedes start", mttf, inj.At)
+			}
+			if inj.At >= vclock.Never {
+				t.Fatalf("mttf %d: failure at Never (fail-never sentinel)", mttf)
+			}
+		}
+	}
+	// Exactly at the boundary the doubled window still fits and the old
+	// arithmetic must keep working.
+	boundary := vclock.Duration(math.MaxInt64 / 2)
+	for i := 0; i < 100; i++ {
+		inj := RandomFailure(rng, 16, boundary, 0)
+		if inj.At < 0 || int64(inj.At) >= math.MaxInt64/2*2 {
+			t.Fatalf("boundary mttf: failure at %d outside window", inj.At)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"xsim/internal/core"
 	"xsim/internal/procmodel"
+	"xsim/internal/trace"
 	"xsim/internal/vclock"
 )
 
@@ -28,6 +29,43 @@ func benchWorld(b *testing.B, n int) *World {
 func BenchmarkSendRecv(b *testing.B) {
 	msgs := b.N
 	w := benchWorld(b, 2)
+	b.ResetTimer()
+	if _, err := w.Run(func(e *Env) {
+		defer e.Finalize()
+		c := e.World()
+		for i := 0; i < msgs; i++ {
+			if e.Rank() == 0 {
+				if err := c.SendN(1, 0, 64); err != nil {
+					b.Error(err)
+				}
+			} else {
+				if _, err := c.Recv(0, 0); err != nil {
+					b.Error(err)
+				}
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSendRecvTraced is BenchmarkSendRecv with a tracer attached:
+// the delta against the untraced run is the tracer's per-operation cost
+// through the full stack (each send/recv pair records several events).
+func BenchmarkSendRecvTraced(b *testing.B) {
+	msgs := b.N
+	eng, err := core.New(core.Config{NumVPs: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := NewWorld(eng, WorldConfig{
+		Net:    testNet(2),
+		Proc:   procmodel.Paper(),
+		Tracer: trace.New(1 << 16),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	if _, err := w.Run(func(e *Env) {
 		defer e.Finalize()

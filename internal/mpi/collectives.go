@@ -45,7 +45,10 @@ func (c *Comm) recvTag(src, tag int) (*Message, error) {
 // algorithm, every rank reports to rank 0, which then releases every rank;
 // a failure anywhere is detected here by timeout — the paper's "failure
 // during the checkpoint phase is detected in the following barrier".
-func (c *Comm) Barrier() error { return c.handleError(c.barrier()) }
+func (c *Comm) Barrier() error {
+	c.env.w.m.countCollective(c.env.Rank())
+	return c.handleError(c.barrier())
+}
 
 func (c *Comm) barrier() error {
 	if err := c.checkRevoked("barrier"); err != nil {
@@ -86,6 +89,7 @@ func (c *Comm) barrier() error {
 // Bcast broadcasts root's data to every member; every rank returns the
 // broadcast payload. Non-root callers pass nil.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	c.env.w.m.countCollective(c.env.Rank())
 	out, err := c.bcast(root, data, len(data), tagBcast)
 	return out, c.handleError(err)
 }
@@ -147,6 +151,7 @@ var (
 // Reduce folds every member's contribution at root with op. The root
 // returns the reduction, others return nil.
 func (c *Comm) Reduce(root int, contrib []float64, op ReduceOp) ([]float64, error) {
+	c.env.w.m.countCollective(c.env.Rank())
 	out, err := c.reduce(root, contrib, op)
 	return out, c.handleError(err)
 }
@@ -217,6 +222,7 @@ func (c *Comm) treeReduce(root int, contrib []float64, op ReduceOp) ([]float64, 
 // to every member (implemented as a reduce to rank 0 plus a broadcast,
 // matching linear-algorithm MPI implementations).
 func (c *Comm) Allreduce(contrib []float64, op ReduceOp) ([]float64, error) {
+	c.env.w.m.countCollective(c.env.Rank())
 	out, err := c.allreduce(contrib, op)
 	return out, c.handleError(err)
 }
@@ -240,6 +246,7 @@ func (c *Comm) allreduce(contrib []float64, op ReduceOp) ([]float64, error) {
 // Gather collects every member's data at root in rank order. The root
 // returns one slice per rank, others return nil.
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	c.env.w.m.countCollective(c.env.Rank())
 	out, err := c.gather(root, data, tagGather)
 	return out, c.handleError(err)
 }
@@ -270,6 +277,7 @@ func (c *Comm) gather(root int, data []byte, tag int) ([][]byte, error) {
 // Scatter distributes parts[i] from root to rank i; every rank returns its
 // part. Non-root callers pass nil.
 func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	c.env.w.m.countCollective(c.env.Rank())
 	out, err := c.scatter(root, parts)
 	return out, c.handleError(err)
 }
@@ -303,6 +311,7 @@ func (c *Comm) scatter(root int, parts [][]byte) ([]byte, error) {
 // Allgather collects every member's data at every member, in rank order
 // (gather to rank 0 plus a broadcast of the framed result).
 func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	c.env.w.m.countCollective(c.env.Rank())
 	out, err := c.allgather(data)
 	return out, c.handleError(err)
 }
@@ -327,6 +336,7 @@ func (c *Comm) allgather(data []byte) ([][]byte, error) {
 // rank. Receives are posted before sends so the exchange cannot deadlock
 // under the rendezvous protocol.
 func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
+	c.env.w.m.countCollective(c.env.Rank())
 	out, err := c.alltoall(parts)
 	return out, c.handleError(err)
 }

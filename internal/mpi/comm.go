@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"xsim/internal/core"
+	"xsim/internal/trace"
 )
 
 // ErrorHandler selects how a communicator reacts to operation errors,
@@ -146,7 +147,7 @@ func (c *Comm) Abort(code int) {
 	e := c.env
 	at := e.ctx.NowQuiet()
 	e.Logf("MPI_Abort invoked (rank %d, time %v, code %d)", e.Rank(), at, code)
-	e.w.traceEvent(e.Rank(), at, "abort", fmt.Sprintf("code=%d", code))
+	e.w.trace(trace.Event{At: at, Kind: trace.KindAbort, Rank: int32(e.Rank()), Peer: -1, Aux: int64(code)})
 	e.ctx.EmitBroadcast(core.Event{
 		Time:    at.Add(e.w.cfg.NotifyDelay),
 		Kind:    kindAbortNotify,

@@ -7,6 +7,7 @@ import (
 	"xsim/internal/fsmodel"
 	"xsim/internal/netmodel"
 	"xsim/internal/procmodel"
+	"xsim/internal/trace"
 	"xsim/internal/vclock"
 )
 
@@ -51,22 +52,24 @@ type WorldConfig struct {
 	// FSModel is the file-system cost model (zero value = free I/O,
 	// matching the paper's Table II configuration).
 	FSModel fsmodel.Model
-	// Tracer, when set, receives one event per MPI operation (sends,
-	// receive posts, completions, failures, aborts) for timeline
-	// analysis. It must be safe for concurrent use (partitions record
-	// in parallel).
+	// Tracer, when set, receives one typed event per MPI operation
+	// (sends, receive posts, completions, failures, detections, aborts)
+	// for timeline analysis. It must be safe for concurrent use
+	// (partitions record in parallel).
 	Tracer Tracer
 }
 
-// Tracer receives simulator events; internal/trace.Buffer implements it.
+// Tracer receives typed simulator events; internal/trace.Buffer implements
+// it. Events carry fixed fields only — no strings are formatted on the
+// record path.
 type Tracer interface {
-	Record(rank int, at vclock.Time, kind, detail string)
+	Record(ev trace.Event)
 }
 
-// traceEvent records an event if tracing is enabled.
-func (w *World) traceEvent(rank int, at vclock.Time, kind, detail string) {
+// trace records an event if tracing is enabled.
+func (w *World) trace(ev trace.Event) {
 	if w.cfg.Tracer != nil {
-		w.cfg.Tracer.Record(rank, at, kind, detail)
+		w.cfg.Tracer.Record(ev)
 	}
 }
 
@@ -75,6 +78,7 @@ func (w *World) traceEvent(rank int, at vclock.Time, kind, detail string) {
 type World struct {
 	cfg WorldConfig
 	eng *core.Engine
+	m   metrics
 }
 
 // Event kinds registered by the MPI layer.
@@ -128,6 +132,7 @@ func NewWorld(eng *core.Engine, cfg WorldConfig) (*World, error) {
 		}
 	}
 	w := &World{cfg: cfg, eng: eng}
+	w.m.init(eng.NumVPs())
 	eng.RegisterHandler(kindEnvelope, w.handleEnvelope)
 	eng.RegisterHandler(kindCts, w.handleCts)
 	eng.RegisterHandler(kindData, w.handleData)
@@ -179,7 +184,8 @@ func (w *World) onDeath(c *core.Ctx, reason core.DeathReason) {
 	}
 	at := c.NowQuiet()
 	c.Logf("simulated MPI process failure injected (rank %d, time of failure %v)", c.Rank(), at)
-	w.traceEvent(c.Rank(), at, "failure", "")
+	w.trace(trace.Event{At: at, Kind: trace.KindFailure, Rank: int32(c.Rank()), Peer: -1})
+	w.m.recordFailure(c.Rank(), at, at.Add(w.cfg.NotifyDelay))
 	// EmitBroadcast copies the event value into one pooled event per
 	// partition; the shared failNotify payload is never recycled.
 	c.EmitBroadcast(core.Event{

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"xsim/internal/core"
+	"xsim/internal/trace"
 	"xsim/internal/vclock"
 )
 
@@ -144,6 +145,8 @@ func (w *World) handleReqTimeout(s *core.SchedCtx, ev *core.Event) {
 		return
 	}
 	completeRequest(ps, req, ev.Time, &ProcFailedError{Rank: to.peer, FailedAt: to.failedAt, Op: req.opName()})
+	w.trace(trace.Event{At: ev.Time, Kind: trace.KindDetect, Rank: int32(ev.Target), Peer: int32(to.peer), Aux: int64(to.failedAt)})
+	w.m.recordDetection(ev.Target, to.peer, ev.Time)
 	wakeIfWaiting(s, ps, req, req.completeAt)
 }
 

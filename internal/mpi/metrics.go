@@ -1,0 +1,204 @@
+package mpi
+
+import (
+	"sort"
+	"sync"
+
+	"xsim/internal/vclock"
+)
+
+// The MPI layer counts its own traffic the way the paper's performance-tool
+// half reports it: messages and bytes by protocol, collective operations,
+// unexpected-queue pressure, and — the Section V quantity — failure
+// detection latency (time of failure → last surviving rank's detection).
+//
+// Per-rank counters are partition-confined: each rank's counters are only
+// touched by the VP itself or its partition's handlers, so increments need
+// no atomics and no locks — the aggregation in Metrics runs after the
+// engine has joined its workers. Failure records are shared across
+// partitions and guarded by a mutex; failures are rare, so the lock is off
+// every message path.
+
+// rankCounters is one rank's partition-confined traffic counters.
+type rankCounters struct {
+	eagerMsgs   uint64
+	eagerBytes  uint64
+	rdvMsgs     uint64
+	rdvBytes    uint64
+	collectives uint64
+	unexpNow    int
+	unexpMax    int
+}
+
+// metrics is the world's counter state.
+type metrics struct {
+	perRank []rankCounters
+
+	mu       sync.Mutex
+	failures map[int]*failureRec // by failed world rank
+}
+
+// failureRec accumulates one failure's detection behaviour.
+type failureRec struct {
+	failedAt     vclock.Time
+	notifiedAt   vclock.Time
+	lastDetectAt vclock.Time
+	detectors    map[int]bool
+}
+
+func (m *metrics) init(n int) {
+	m.perRank = make([]rankCounters, n)
+	m.failures = make(map[int]*failureRec)
+}
+
+// counters returns rank's counter block (nil for simulator-level ranks).
+func (m *metrics) counters(rank int) *rankCounters {
+	if rank < 0 || rank >= len(m.perRank) {
+		return nil
+	}
+	return &m.perRank[rank]
+}
+
+// countSend tallies one point-to-point send on the sender.
+func (m *metrics) countSend(rank, size int, rendezvous bool) {
+	c := m.counters(rank)
+	if c == nil {
+		return
+	}
+	if rendezvous {
+		c.rdvMsgs++
+		c.rdvBytes += uint64(size)
+	} else {
+		c.eagerMsgs++
+		c.eagerBytes += uint64(size)
+	}
+}
+
+// countCollective tallies one collective call at its public entry point
+// (composite collectives count once, not once per building block).
+func (m *metrics) countCollective(rank int) {
+	if c := m.counters(rank); c != nil {
+		c.collectives++
+	}
+}
+
+// unexpectedDelta tracks the unexpected-queue depth and its high-water
+// mark at one rank.
+func (m *metrics) unexpectedDelta(rank, delta int) {
+	c := m.counters(rank)
+	if c == nil {
+		return
+	}
+	c.unexpNow += delta
+	if c.unexpNow > c.unexpMax {
+		c.unexpMax = c.unexpNow
+	}
+}
+
+// recordFailure opens the detection record for a failed rank.
+func (m *metrics) recordFailure(rank int, failedAt, notifiedAt vclock.Time) {
+	m.mu.Lock()
+	if _, ok := m.failures[rank]; !ok {
+		m.failures[rank] = &failureRec{
+			failedAt:   failedAt,
+			notifiedAt: notifiedAt,
+			detectors:  make(map[int]bool),
+		}
+	}
+	m.mu.Unlock()
+}
+
+// recordDetection notes that detector first observed failed's failure (an
+// operation completed with ProcFailedError) at virtual time at. Only the
+// first detection per surviving rank counts; the record keeps the latest
+// such first detection — the moment the last surviving rank learned.
+func (m *metrics) recordDetection(detector, failed int, at vclock.Time) {
+	m.mu.Lock()
+	rec := m.failures[failed]
+	if rec != nil && !rec.detectors[detector] {
+		rec.detectors[detector] = true
+		if at > rec.lastDetectAt {
+			rec.lastDetectAt = at
+		}
+	}
+	m.mu.Unlock()
+}
+
+// FailureMetric reports one injected failure's detection behaviour.
+type FailureMetric struct {
+	// Rank is the failed world rank.
+	Rank int
+	// FailedAt is the time of failure.
+	FailedAt vclock.Time
+	// NotifiedAt is when the simulator-internal failure notification
+	// reached the surviving processes (FailedAt + NotifyDelay).
+	NotifiedAt vclock.Time
+	// LastDetectAt is the virtual time the last surviving rank first
+	// detected the failure (a pending operation completed with
+	// ProcFailedError). Zero if no rank detected it.
+	LastDetectAt vclock.Time
+	// Detections is the number of distinct ranks that detected the failure.
+	Detections int
+}
+
+// DetectionLatency is the paper's Section V quantity: time of failure to
+// the last surviving rank's detection. It returns -1 if nothing detected
+// the failure (no surviving rank communicated with the failed one).
+func (f FailureMetric) DetectionLatency() vclock.Duration {
+	if f.Detections == 0 {
+		return -1
+	}
+	return f.LastDetectAt.Sub(f.FailedAt)
+}
+
+// MetricsSnapshot aggregates the world's MPI-layer counters. Values are
+// totals across ranks except UnexpectedMax, which is the maximum per-rank
+// high-water mark.
+type MetricsSnapshot struct {
+	// EagerMsgs and EagerBytes count point-to-point sends below the eager
+	// threshold.
+	EagerMsgs  uint64
+	EagerBytes uint64
+	// RendezvousMsgs and RendezvousBytes count rendezvous-protocol sends.
+	RendezvousMsgs  uint64
+	RendezvousBytes uint64
+	// CollectiveOps counts collective calls at their public entry points,
+	// summed over participating ranks.
+	CollectiveOps uint64
+	// UnexpectedMax is the deepest any rank's unexpected-message queue got.
+	UnexpectedMax int
+	// Failures describes each injected failure's detection, ordered by
+	// failed rank.
+	Failures []FailureMetric
+}
+
+// Metrics aggregates the per-rank counters into a snapshot. Call it after
+// Run returns; it is not synchronised against a running engine's
+// partitions.
+func (w *World) Metrics() MetricsSnapshot {
+	var s MetricsSnapshot
+	for i := range w.m.perRank {
+		c := &w.m.perRank[i]
+		s.EagerMsgs += c.eagerMsgs
+		s.EagerBytes += c.eagerBytes
+		s.RendezvousMsgs += c.rdvMsgs
+		s.RendezvousBytes += c.rdvBytes
+		s.CollectiveOps += c.collectives
+		if c.unexpMax > s.UnexpectedMax {
+			s.UnexpectedMax = c.unexpMax
+		}
+	}
+	w.m.mu.Lock()
+	for rank, rec := range w.m.failures {
+		s.Failures = append(s.Failures, FailureMetric{
+			Rank:         rank,
+			FailedAt:     rec.failedAt,
+			NotifiedAt:   rec.notifiedAt,
+			LastDetectAt: rec.lastDetectAt,
+			Detections:   len(rec.detectors),
+		})
+	}
+	w.m.mu.Unlock()
+	sort.Slice(s.Failures, func(i, j int) bool { return s.Failures[i].Rank < s.Failures[j].Rank })
+	return s
+}

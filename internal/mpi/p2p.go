@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"xsim/internal/core"
+	"xsim/internal/trace"
 	"xsim/internal/vclock"
 )
 
@@ -153,6 +154,7 @@ func (ps *procState) addUnexpected(env *envelope) {
 	env.arriveSeq = ps.arriveSeq
 	k := matchKey{env.commID, env.src}
 	ps.unexpBySrc[k] = append(ps.unexpBySrc[k], env)
+	ps.env.w.m.unexpectedDelta(env.dst, 1)
 }
 
 // takeUnexpected finds and removes the earliest-arrived envelope a freshly
@@ -177,6 +179,7 @@ func (ps *procState) takeUnexpected(req *Request) *envelope {
 				} else {
 					ps.unexpBySrc[k] = list
 				}
+				ps.env.w.m.unexpectedDelta(env.dst, -1)
 				return env
 			}
 		}
@@ -212,6 +215,7 @@ func (ps *procState) takeUnexpected(req *Request) *envelope {
 	} else {
 		ps.unexpBySrc[bestKey] = list
 	}
+	ps.env.w.m.unexpectedDelta(best.dst, -1)
 	return best
 }
 
@@ -289,14 +293,16 @@ func (c *Comm) isendTag(dstCommRank, tag, size int, data []byte) *Request {
 		size:        size,
 	}
 	t0 := e.ctx.NowQuiet()
+	eager := net.Eager(size)
+	e.w.m.countSend(src, size, !eager)
 	if e.w.cfg.Tracer != nil {
-		proto := "eager"
-		if !net.Eager(size) {
-			proto = "rendezvous"
+		ev := trace.Event{At: t0, Kind: trace.KindSend, Rank: int32(src), Peer: int32(dst), Tag: int32(tag), Size: int64(size)}
+		if !eager {
+			ev.Flags = trace.FlagRendezvous
 		}
-		e.w.traceEvent(src, t0, "send", fmt.Sprintf("dst=%d tag=%d size=%d %s", dst, tag, size, proto))
+		e.w.cfg.Tracer.Record(ev)
 	}
-	if net.Eager(size) {
+	if eager {
 		// Endpoint contention: the payload queues behind earlier
 		// injections at this node's NIC.
 		inject := t0
@@ -358,7 +364,7 @@ func (c *Comm) irecvTag(srcCommRank, tag int) *Request {
 		postClock: e.ctx.NowQuiet(),
 	}
 	e.ps.pending[req.id] = req
-	e.w.traceEvent(e.Rank(), req.postClock, "recv-post", fmt.Sprintf("src=%d tag=%d", src, tag))
+	e.w.trace(trace.Event{At: req.postClock, Kind: trace.KindRecvPost, Rank: int32(e.Rank()), Peer: int32(src), Tag: int32(tag)})
 	// Match the earliest compatible unexpected envelope first (arrival
 	// order preserves MPI's non-overtaking rule).
 	if env := e.ps.takeUnexpected(req); env != nil {
@@ -437,11 +443,17 @@ func (e *Env) wait(reqs ...*Request) error {
 			e.ctx.AdvanceTo(latest)
 			if e.w.cfg.Tracer != nil {
 				for _, r := range reqs {
-					detail := fmt.Sprintf("%s peer=%d", r.opName(), r.peer())
-					if r.err != nil {
-						detail += " err=" + r.err.Error()
+					ev := trace.Event{At: r.completeAt, Kind: trace.KindComplete, Rank: int32(e.Rank()), Peer: int32(r.peer()), Size: int64(r.size)}
+					if r.kind == sendReq {
+						ev.Flags |= trace.FlagSendOp
+					} else if r.msg != nil {
+						ev.Size = int64(r.msg.Size)
 					}
-					e.w.traceEvent(e.Rank(), r.completeAt, "complete", detail)
+					if r.err != nil {
+						ev.Flags |= trace.FlagError
+						ev.Detail = r.opName() + " err=" + r.err.Error()
+					}
+					e.w.cfg.Tracer.Record(ev)
 				}
 			}
 			for _, r := range reqs {

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"xsim/internal/trace"
 	"xsim/internal/vclock"
 )
 
@@ -103,7 +104,10 @@ func (c *Comm) Probe(src, tag int) (*Message, error) {
 		// error after the detection timeout, like a receive would.
 		if peer, tof, ok := e.ps.relevantFailure(worldSrc); ok {
 			at := vclock.Max(postClock, tof).Add(e.w.cfg.Net.Timeout(e.Rank(), peer))
-			e.ctx.AdvanceTo(vclock.Max(at, e.ctx.NowQuiet()))
+			now := vclock.Max(at, e.ctx.NowQuiet())
+			e.ctx.AdvanceTo(now)
+			e.w.trace(trace.Event{At: now, Kind: trace.KindDetect, Rank: int32(e.Rank()), Peer: int32(peer), Aux: int64(tof)})
+			e.w.m.recordDetection(e.Rank(), peer, now)
 			return nil, c.handleError(&ProcFailedError{Rank: peer, FailedAt: tof, Op: "probe"})
 		}
 		pr := &probeRec{comm: c.id, src: worldSrc, tag: tag}

@@ -33,6 +33,7 @@ package xsim
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"xsim/internal/core"
@@ -42,6 +43,7 @@ import (
 	"xsim/internal/mpi"
 	"xsim/internal/netmodel"
 	"xsim/internal/procmodel"
+	"xsim/internal/stats"
 	"xsim/internal/topology"
 	"xsim/internal/vclock"
 )
@@ -227,7 +229,24 @@ type Result struct {
 	StartClock Time
 	// WallTime is the native execution time of the simulation itself.
 	WallTime time.Duration
+	// Engine holds the discrete-event engine's counters (events
+	// dispatched, pool hits/misses, heap high-water depths, parallel
+	// window statistics).
+	Engine EngineMetrics
+	// MPI holds the simulated MPI layer's counters (traffic by protocol,
+	// collectives, unexpected-queue high-water, failure detection
+	// latencies).
+	MPI MPIMetrics
 }
+
+// EngineMetrics is the discrete-event engine's counter snapshot.
+type EngineMetrics = core.MetricsSnapshot
+
+// MPIMetrics is the simulated MPI layer's counter snapshot.
+type MPIMetrics = mpi.MetricsSnapshot
+
+// FailureMetric reports one injected failure's detection behaviour.
+type FailureMetric = mpi.FailureMetric
 
 // Energy evaluates a power model over the run: per-node compute/idle
 // draws applied to each rank's busy/wait time — the
@@ -320,7 +339,64 @@ func (s *Sim) Run(app App) (*Result, error) {
 		Waited:     res.Waited,
 		StartClock: s.cfg.StartClock,
 		WallTime:   time.Since(wallStart),
+		Engine:     s.world.Engine().Metrics(),
+		MPI:        s.world.Metrics(),
 	}, nil
+}
+
+// MetricsReport renders the run's engine and MPI counters as fixed-width
+// tables in the style of the simulator's shutdown statistics.
+func (r *Result) MetricsReport() string {
+	var sb strings.Builder
+	sb.WriteString("engine:\n")
+	sb.WriteString(stats.Table(
+		[]string{"events", "resumes", "pool-hits", "pool-misses", "cross-events", "eventq-hi", "ready-hi", "rounds", "avg-window"},
+		[][]string{{
+			fmt.Sprint(r.Engine.EventsDispatched),
+			fmt.Sprint(r.Engine.Resumes),
+			fmt.Sprint(r.Engine.PoolHits),
+			fmt.Sprint(r.Engine.PoolMisses),
+			fmt.Sprint(r.Engine.CrossEvents),
+			fmt.Sprint(r.Engine.EventHeapHighWater),
+			fmt.Sprint(r.Engine.ReadyHeapHighWater),
+			fmt.Sprint(r.Engine.BarrierRounds),
+			r.Engine.AvgWindowWidth().String(),
+		}},
+	))
+	sb.WriteString("mpi:\n")
+	sb.WriteString(stats.Table(
+		[]string{"eager-msgs", "eager-bytes", "rdv-msgs", "rdv-bytes", "collectives", "unexpected-hi"},
+		[][]string{{
+			fmt.Sprint(r.MPI.EagerMsgs),
+			fmt.Sprint(r.MPI.EagerBytes),
+			fmt.Sprint(r.MPI.RendezvousMsgs),
+			fmt.Sprint(r.MPI.RendezvousBytes),
+			fmt.Sprint(r.MPI.CollectiveOps),
+			fmt.Sprint(r.MPI.UnexpectedMax),
+		}},
+	))
+	if len(r.MPI.Failures) > 0 {
+		sb.WriteString("failures:\n")
+		rows := make([][]string, 0, len(r.MPI.Failures))
+		for _, f := range r.MPI.Failures {
+			lat := "undetected"
+			if f.Detections > 0 {
+				lat = f.DetectionLatency().String()
+			}
+			rows = append(rows, []string{
+				fmt.Sprint(f.Rank),
+				f.FailedAt.String(),
+				f.NotifiedAt.String(),
+				fmt.Sprint(f.Detections),
+				lat,
+			})
+		}
+		sb.WriteString(stats.Table(
+			[]string{"rank", "failed-at", "notified-at", "detections", "detection-latency"},
+			rows,
+		))
+	}
+	return sb.String()
 }
 
 // HeatConfig is the heat-equation application configuration (the paper's

@@ -532,7 +532,7 @@ func TestTraceRecordsOperations(t *testing.T) {
 	}
 	// The failed receive's completion carries the error detail.
 	found := false
-	for _, ev := range tr.OfKind("complete") {
+	for _, ev := range tr.OfKind(TraceComplete) {
 		if strings.Contains(ev.Detail, "err=") {
 			found = true
 		}
