@@ -7,10 +7,15 @@
 #   3. go build      (everything compiles, including examples and cmds)
 #   4. go test       (full unit/integration suite, includes the
 #                     Workers ∈ {1,2,4} determinism cross-check)
-#   5. go test -race (engine + MPI layer under the race detector; the
-#                     parallel window protocol must be data-race free)
-#   6. BenchmarkHandoff allocation gate (the context-switch hot path
-#                     must stay at 0 allocs/op)
+#   5. go test -race (whole module under the race detector; the parallel
+#                     window protocol must be data-race free)
+#   6. differential harness (50 random MPI workloads, sequential vs
+#                     Workers ∈ {2,4}, engine/MPI invariants enabled)
+#   7. fuzz smoke     (10s of coverage-guided fuzzing per parsing surface;
+#                     checked-in corpora already ran as regressions in 4)
+#   8. BenchmarkHandoff allocation gate (the context-switch hot path
+#                     must stay at 0 allocs/op — Validate must cost nothing
+#                     when off)
 set -eu
 
 cd "$(dirname "$0")"
@@ -32,8 +37,18 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (core + mpi)"
-go test -race ./internal/core/ ./internal/mpi/
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== differential harness (50 seeds, Validate on)"
+XSIM_DIFF_SEEDS=50 go test -count=1 -run '^TestDifferentialSeqVsParallel$' ./internal/mpitest/
+
+echo "== fuzz smoke (10s per target)"
+go test -run '^$' -fuzz '^FuzzUnframe$' -fuzztime 10s ./internal/mpi/
+go test -run '^$' -fuzz '^FuzzDecodeF64s$' -fuzztime 10s ./internal/mpi/
+go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/checkpoint/
+go test -run '^$' -fuzz '^FuzzLoadExitTime$' -fuzztime 10s ./internal/checkpoint/
+go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/fault/
 
 echo "== BenchmarkHandoff allocation gate"
 bench=$(go test -run '^$' -bench '^BenchmarkHandoff$' -benchmem -benchtime 1000x ./internal/core/)

@@ -1,0 +1,45 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"xsim/internal/vclock"
+)
+
+func TestFailfPanicsWithViolation(t *testing.T) {
+	defer func() {
+		v, ok := AsViolation(recover())
+		if !ok {
+			t.Fatalf("recover did not yield a *Violation")
+		}
+		if v.Invariant != "clock-monotonic" || v.Rank != 3 {
+			t.Fatalf("wrong violation fields: %+v", v)
+		}
+		msg := v.Error()
+		for _, want := range []string{"clock-monotonic", "rank 3", "event: kind=7", "went backwards"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("dump %q missing %q", msg, want)
+			}
+		}
+	}()
+	Failf("clock-monotonic", 3, vclock.Time(42), "kind=7", "clock went backwards by %d", 5)
+	t.Fatal("Failf returned")
+}
+
+func TestDumpOmitsNegativeRankAndEmptyEvent(t *testing.T) {
+	v := &Violation{Invariant: "window-horizon", Rank: -1, Time: 7, Detail: "d"}
+	msg := v.Error()
+	if strings.Contains(msg, "rank") || strings.Contains(msg, "event:") {
+		t.Fatalf("dump should omit rank/event: %q", msg)
+	}
+}
+
+func TestAsViolationRejectsOtherPanics(t *testing.T) {
+	if _, ok := AsViolation("boom"); ok {
+		t.Fatal("AsViolation accepted a string")
+	}
+	if _, ok := AsViolation(nil); ok {
+		t.Fatal("AsViolation accepted nil")
+	}
+}

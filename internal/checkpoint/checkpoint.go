@@ -233,6 +233,13 @@ func decode(data []byte, complete bool) (Meta, []byte, error) {
 		Synthetic:     flags&flagSynthetic != 0,
 		Incremental:   flags&flagIncremental != 0,
 	}
+	// All header counters are non-negative by construction; a corrupt file
+	// with a top bit set decodes to a negative int, and a negative
+	// PayloadSize on a synthetic checkpoint would otherwise reach
+	// ReadCost() as a negative size and charge a negative read time.
+	if meta.Iteration < 0 || meta.Rank < 0 || meta.PayloadSize < 0 || meta.BaseIteration < 0 {
+		return Meta{}, nil, fmt.Errorf("%w (negative header field)", ErrCorrupted)
+	}
 	payload := data[headerLen:]
 	if meta.Synthetic {
 		if len(payload) != 0 {
@@ -405,7 +412,14 @@ func LoadExitTime(store *fsmodel.Store) (t vclock.Time, ok bool) {
 	if err != nil || !complete || len(data) != 8 {
 		return 0, false
 	}
-	return vclock.Time(binary.LittleEndian.Uint64(data)), true
+	t = vclock.Time(binary.LittleEndian.Uint64(data))
+	if t < 0 {
+		// A corrupt (or hostile) exit-time file with the top bit set would
+		// decode as a negative start clock, which the engine rejects;
+		// treat it as no saved exit time.
+		return 0, false
+	}
+	return t, true
 }
 
 // ClearExitTime removes the persisted exit time (fresh experiment).

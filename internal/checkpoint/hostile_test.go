@@ -1,0 +1,43 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"xsim/internal/fsmodel"
+)
+
+// Regression: a synthetic checkpoint header with the payload-size top bit
+// set decodes to a negative PayloadSize; before validation it reached
+// ReadCost() as a negative size and charged a negative read time.
+func TestDecodeRejectsNegativeHeaderFields(t *testing.T) {
+	cases := map[string][]byte{
+		"payload-size":   header(flagSynthetic, 10, 0, 1<<63, 0),
+		"iteration":      header(0, 1<<63, 0, 0, 0),
+		"rank":           header(0, 0, 1<<63, 0, 0),
+		"base-iteration": header(flagSynthetic|flagIncremental, 10, 0, 0, 1<<63),
+	}
+	for name, data := range cases {
+		if _, _, err := decode(data, true); !errors.Is(err, ErrCorrupted) {
+			t.Errorf("%s: decode = %v, want ErrCorrupted", name, err)
+		}
+	}
+}
+
+// Regression: an exit-time file with the top bit set decoded to a
+// negative start clock, which the engine rejects at the next restart;
+// LoadExitTime must treat it as corrupt instead.
+func TestLoadExitTimeRejectsNegativeTime(t *testing.T) {
+	store := fsmodel.NewStore()
+	w := store.Create(exitTimeFile)
+	if _, err := w.Write(binary.LittleEndian.AppendUint64(nil, 1<<63)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tm, ok := LoadExitTime(store); ok {
+		t.Fatalf("LoadExitTime accepted negative time %d", tm)
+	}
+}

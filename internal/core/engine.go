@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"strings"
 
+	"xsim/internal/check"
 	"xsim/internal/vclock"
 )
 
@@ -47,6 +48,13 @@ type Config struct {
 	// Logf, when non-nil, receives the simulator's informational
 	// messages (failure injections, aborts, shutdown statistics).
 	Logf func(format string, args ...any)
+	// Validate compiles the engine's internal invariant checks into the
+	// run: per-VP clock monotonicity across resumes, monotonic partition
+	// watermarks, wake ordering, and parallel-window horizon safety.
+	// A violation panics with a *check.Violation naming the VP, event and
+	// virtual time. When false the checks reduce to an untaken branch on
+	// the hot paths (no allocation, no work).
+	Validate bool
 }
 
 // Handler processes events of a registered kind in scheduler context.
@@ -113,6 +121,7 @@ func New(cfg Config) (*Engine, error) {
 			crossOut: make([][]*Event, cfg.Workers),
 			inbox:    make([][]*Event, cfg.Workers),
 			live:     hi - lo,
+			validate: cfg.Validate,
 		}
 		p.sctx = SchedCtx{eng: eng, part: p}
 		eng.parts[i] = p
@@ -306,8 +315,9 @@ func (e *Engine) routeToPartition(from *partition, senderClock vclock.Time, to *
 		return
 	}
 	if ev.Time < senderClock.Add(e.cfg.Lookahead) {
-		panic(fmt.Sprintf("core: cross-partition event at %v violates lookahead %v from clock %v",
-			ev.Time, e.cfg.Lookahead, senderClock))
+		check.Failf("lookahead", ev.Target, ev.Time, eventDesc(ev),
+			"cross-partition event from partition %d to %d violates lookahead %v from sender clock %v",
+			from.id, to.id, e.cfg.Lookahead, senderClock)
 	}
 	from.crossEvents++
 	from.crossOut[to.id] = append(from.crossOut[to.id], ev)
@@ -321,6 +331,11 @@ func (e *Engine) Lookahead() vclock.Duration { return e.cfg.Lookahead }
 
 // Workers returns the number of partitions.
 func (e *Engine) Workers() int { return len(e.parts) }
+
+// ValidateEnabled reports whether the engine's invariant checks are
+// compiled in; higher layers (MPI) inherit their own Validate mode from
+// it.
+func (e *Engine) ValidateEnabled() bool { return e.cfg.Validate }
 
 func (e *Engine) logf(format string, args ...any) {
 	if e.cfg.Logf != nil {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"xsim/internal/vclock"
 )
 
@@ -59,6 +61,12 @@ type Event struct {
 	// stamp carries the engine's internal timer generation (Ctx.Sleep)
 	// without boxing it through Payload.
 	stamp uint64
+}
+
+// eventDesc renders an event for invariant-violation dumps. Only called
+// on failure paths — never on the steady-state event path.
+func eventDesc(ev *Event) string {
+	return fmt.Sprintf("kind=%d time=%v src=%d seq=%d target=%d", ev.Kind, ev.Time, ev.Src, ev.Seq, ev.Target)
 }
 
 // before reports whether e is ordered before o under the deterministic

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"xsim/internal/check"
 	"xsim/internal/vclock"
 )
 
@@ -162,6 +163,13 @@ func (p *partition) collectCross() {
 			continue
 		}
 		for i, ev := range evs {
+			if p.validate && ev.Time < p.watermark {
+				// Horizon safety: the window protocol promises that no
+				// cross-partition event can arrive in a partition's past.
+				check.Failf("window-horizon", ev.Target, ev.Time, eventDesc(ev),
+					"cross-partition event from partition %d arrived in partition %d's past (watermark %v)",
+					q, p.id, p.watermark)
+			}
 			p.eventQ.push(ev)
 			evs[i] = nil
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"xsim/internal/check"
 	"xsim/internal/vclock"
 )
 
@@ -58,10 +59,15 @@ type partition struct {
 	// it (that would break deterministic global time order).
 	watermark vclock.Time
 
-	// seq numbers handler-context emissions (Src = partitionSrc(id)).
+	// seq numbers the engine's own pre-run events (ScheduleFailure).
 	seq uint64
 
 	live int // VPs not yet dead
+
+	// validate mirrors Config.Validate: when set, the invariant checks in
+	// this file and parallel.go are live; when clear they are single
+	// untaken branches.
+	validate bool
 
 	// events and resumes count processed work items for the engine's
 	// statistics; the remaining counters feed Engine.Metrics. All are
@@ -75,10 +81,15 @@ type partition struct {
 	widthSum    vclock.Duration
 }
 
-// partitionSrc returns the deterministic event source id for handler
-// emissions from partition id (distinct from any VP rank and from
-// EngineSrc... engine events use EngineSrc=-1, partitions use -2, -3, ...).
-func partitionSrc(id int) int { return -2 - id }
+// handlerSrc returns the deterministic event source id for handler
+// emissions on behalf of a rank (distinct from VP emissions, which use
+// the rank itself, and from EngineSrc=-1): rank r maps to -2-r. Deriving
+// the source from the rank rather than from the emitting partition keeps
+// same-virtual-time tie-breaks identical at every worker count — with a
+// partition-derived source, two handler emissions meeting in one queue at
+// the same time would order by partition layout, which differs between
+// the sequential and parallel engines.
+func handlerSrc(rank int) int { return -2 - rank }
 
 func (p *partition) owns(rank int) bool { return rank >= p.lo && rank < p.hi }
 
@@ -135,12 +146,20 @@ func (p *partition) processWindow(horizon vclock.Time) {
 		switch {
 		case ev != nil && ev.Time < horizon && (!haveReady || ev.Time <= re.at):
 			p.eventQ.pop()
+			if p.validate && ev.Time < p.watermark {
+				check.Failf("watermark-monotonic", ev.Target, ev.Time, eventDesc(ev),
+					"partition %d dispatched an event before its watermark %v", p.id, p.watermark)
+			}
 			p.watermark = ev.Time
 			p.events++
 			p.dispatch(ev)
 			p.recycle(ev)
 		case haveReady && re.at < horizon:
 			p.ready.pop()
+			if p.validate && re.at < p.watermark {
+				check.Failf("watermark-monotonic", re.rank, re.at, "",
+					"partition %d resumed rank %d before its watermark %v", p.id, re.rank, p.watermark)
+			}
 			p.watermark = re.at
 			p.resumes++
 			p.resume(re.rank)
@@ -199,6 +218,10 @@ func (p *partition) wake(v *vp, at vclock.Time, val any) {
 	if v.state != vpBlocked {
 		panic(fmt.Sprintf("core: wake of rank %d in state %d", v.rank, v.state))
 	}
+	if p.validate && at < p.watermark {
+		check.Failf("wake-monotonic", v.rank, at, "",
+			"wake of rank %d at %v precedes partition %d's watermark %v", v.rank, at, p.id, p.watermark)
+	}
 	if at < p.watermark {
 		at = p.watermark
 	}
@@ -213,8 +236,14 @@ func (p *partition) wake(v *vp, at vclock.Time, val any) {
 // fields) and one receive of the yield notification.
 func (p *partition) resume(rank int) {
 	v := p.eng.vps[rank]
+	clockBefore := v.clock
 	v.gate <- gateResume
-	if k := <-v.gate; k == yieldDead {
+	k := <-v.gate
+	if p.validate && v.clock < clockBefore {
+		check.Failf("clock-monotonic", rank, v.clock, "",
+			"rank %d's clock moved backwards across a resume: %v -> %v", rank, clockBefore, v.clock)
+	}
+	if k == yieldDead {
 		p.live--
 	}
 }
@@ -307,18 +336,25 @@ func (s *SchedCtx) SetAbortAt(rank int, t vclock.Time) {
 	}
 }
 
-// Emit schedules an event from handler context. Its Time must not precede
-// the current event time, and cross-partition targets must respect the
-// engine lookahead. The event value is copied into a pooled event, so the
-// argument never escapes.
-func (s *SchedCtx) Emit(ev Event) {
+// EmitFor schedules an event from handler context on behalf of a local
+// rank — the rank whose simulated activity (a matched receive, a
+// rendezvous transfer, a timeout) the handler is performing. The event's
+// deterministic ordering key derives from that rank (Src = handlerSrc,
+// Seq from the rank's own sequence counter), never from the emitting
+// partition, so same-virtual-time tie-breaks are identical at every
+// worker count. Its Time must not precede the current event time, and
+// cross-partition targets must respect the engine lookahead. The event
+// value is copied into a pooled event, so the argument never escapes.
+func (s *SchedCtx) EmitFor(onBehalf int, ev Event) {
+	v := s.local(onBehalf)
 	if ev.Time < s.part.watermark {
-		panic(fmt.Sprintf("core: handler emitted event at %v before current time %v", ev.Time, s.part.watermark))
+		check.Failf("emit-before-now", onBehalf, ev.Time, eventDesc(&ev),
+			"handler on partition %d emitted an event before the current event time %v", s.part.id, s.part.watermark)
 	}
 	pe := s.part.newEvent()
 	*pe = ev
-	pe.Src = partitionSrc(s.part.id)
-	pe.Seq = s.part.nextSeq()
+	pe.Src = handlerSrc(onBehalf)
+	pe.Seq = v.nextSeq()
 	s.eng.route(s.part, s.part.watermark, pe)
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"xsim/internal/check"
 	"xsim/internal/vclock"
 )
 
@@ -265,7 +266,8 @@ func (c *Ctx) Block(reason string) any {
 func (c *Ctx) Emit(ev Event) {
 	v := c.vp
 	if ev.Time < v.clock {
-		panic(fmt.Sprintf("core: rank %d emitted event at %v before its clock %v", v.rank, ev.Time, v.clock))
+		check.Failf("emit-before-now", v.rank, ev.Time, eventDesc(&ev),
+			"rank %d emitted an event before its clock %v", v.rank, v.clock)
 	}
 	pe := v.part.newEvent()
 	*pe = ev
@@ -279,7 +281,8 @@ func (c *Ctx) Emit(ev Event) {
 func (c *Ctx) EmitBroadcast(ev Event) {
 	v := c.vp
 	if ev.Time < v.clock {
-		panic(fmt.Sprintf("core: rank %d broadcast event at %v before its clock %v", v.rank, ev.Time, v.clock))
+		check.Failf("emit-before-now", v.rank, ev.Time, eventDesc(&ev),
+			"rank %d broadcast an event before its clock %v", v.rank, v.clock)
 	}
 	ev.Target = BroadcastTarget
 	for _, p := range c.eng.parts {

@@ -67,8 +67,17 @@ func Parse(s string) (Schedule, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fault: bad time in %q: %v", part, err)
 		}
-		if secs < 0 {
+		// ParseFloat accepts "NaN" and "Inf", and `secs < 0` is false for
+		// both NaN and +Inf; a float64→int64 conversion of either (or of
+		// any value at or beyond 2^63 nanoseconds) is implementation-
+		// defined, so reject everything the virtual clock cannot represent.
+		// float64(math.MaxInt64) is exactly 2^63, so ns < that bound
+		// guarantees a safe conversion.
+		if secs < 0 || math.IsNaN(secs) {
 			return nil, fmt.Errorf("fault: negative time in %q", part)
+		}
+		if ns := secs * 1e9; math.IsInf(ns, 0) || ns >= float64(math.MaxInt64) {
+			return nil, fmt.Errorf("fault: time in %q overflows the virtual clock", part)
 		}
 		out = append(out, Injection{Rank: rank, At: vclock.TimeFromSeconds(secs)})
 	}

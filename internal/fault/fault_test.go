@@ -43,6 +43,21 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// Regression: ParseFloat accepts "NaN"/"Inf" (which sneak past a plain
+// `secs < 0` check) and times at or beyond 2^63 ns make the float→int64
+// conversion implementation-defined; all must be rejected.
+func TestParseRejectsNonFiniteAndOverflow(t *testing.T) {
+	for _, s := range []string{"0@NaN", "0@nan", "0@+Inf", "0@Inf", "0@-Inf", "0@1e300", "0@9.3e9", "0@0x1p62"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+	// The largest representable whole-second schedule still parses.
+	if _, err := Parse("0@9.2e9"); err != nil {
+		t.Errorf("Parse(0@9.2e9) = %v, want ok", err)
+	}
+}
+
 func TestStringRoundTrip(t *testing.T) {
 	orig := Schedule{{Rank: 3, At: vclock.TimeFromSeconds(1.5)}, {Rank: 0, At: 0}}
 	back, err := Parse(orig.String())

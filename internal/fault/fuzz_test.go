@@ -1,0 +1,64 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"xsim/internal/vclock"
+)
+
+// FuzzParse exercises the failure-schedule parser: it must never panic,
+// everything it accepts must be representable on the virtual clock, and
+// the schedule must survive a String/Parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("12@350.5,99@1200")
+	f.Add(" 0@0 , 1@0.000001 ")
+	f.Add("0@NaN")
+	f.Add("0@+Inf")
+	f.Add("0@-Inf")
+	f.Add("0@1e300")
+	f.Add("0@9.3e9")
+	f.Add("0@-1")
+	f.Add("-1@5")
+	f.Add("1@@5")
+	f.Add("@")
+	f.Add("0@0x1p62")
+	f.Add(strings.Repeat("1@1,", 40))
+	f.Fuzz(func(t *testing.T, s string) {
+		sched, err := Parse(s)
+		if err != nil {
+			return
+		}
+		nearClockEdge := false
+		for _, inj := range sched {
+			if inj.Rank < 0 {
+				t.Fatalf("Parse(%q) accepted negative rank %d", s, inj.Rank)
+			}
+			if inj.At < 0 || inj.At >= vclock.Never {
+				t.Fatalf("Parse(%q) accepted unrepresentable time %d", s, inj.At)
+			}
+			// Within a few µs of the clock's end, the Seconds()→%g→ParseFloat
+			// round trip can round just past the overflow bound; exact
+			// re-parsing is only promised away from the edge.
+			if inj.At > vclock.Never-vclock.Time(1)<<42 {
+				nearClockEdge = true
+			}
+		}
+		if nearClockEdge {
+			return
+		}
+		again, err := Parse(sched.String())
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", s, sched.String(), err)
+		}
+		if len(again) != len(sched) {
+			t.Fatalf("round trip changed schedule length: %d vs %d", len(again), len(sched))
+		}
+		for i := range sched {
+			if again[i].Rank != sched[i].Rank {
+				t.Fatalf("round trip changed entry %d rank: %d vs %d", i, again[i].Rank, sched[i].Rank)
+			}
+		}
+	})
+}

@@ -446,10 +446,12 @@ func encodeF64s(vals []float64) []byte {
 	return buf
 }
 
-// decodeF64s decodes exactly n floats.
+// decodeF64s decodes exactly n floats. The n bound is checked before the
+// 8*n multiply: for huge n the product wraps, which would let a corrupt
+// count slip past the length comparison into a giant allocation.
 func decodeF64s(buf []byte, n int) ([]float64, error) {
-	if len(buf) != 8*n {
-		return nil, fmt.Errorf("mpi: reduce payload is %d bytes, want %d", len(buf), 8*n)
+	if n < 0 || n > len(buf)/8 || len(buf) != 8*n {
+		return nil, fmt.Errorf("mpi: reduce payload is %d bytes, want %d floats", len(buf), n)
 	}
 	out := make([]float64, n)
 	for i := range out {
@@ -480,6 +482,13 @@ func unframe(buf []byte) ([][]byte, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
 	buf = buf[4:]
+	// Each part carries at least its own 4-byte length prefix, so a count
+	// beyond len(buf)/4 cannot be satisfied; reject it before sizing the
+	// output (a hostile count field would otherwise drive a multi-gigabyte
+	// allocation).
+	if n < 0 || n > len(buf)/4 {
+		return nil, fmt.Errorf("mpi: framed buffer claims %d parts in %d bytes", n, len(buf))
+	}
 	out := make([][]byte, n)
 	for i := 0; i < n; i++ {
 		if len(buf) < 4 {

@@ -57,6 +57,13 @@ type WorldConfig struct {
 	// for timeline analysis. It must be safe for concurrent use
 	// (partitions record in parallel).
 	Tracer Tracer
+	// Validate compiles the MPI layer's internal invariant checks into
+	// the run: posted-receive index consistency, unexpected-queue
+	// conservation, and a pending-request sweep at Finalize. It is forced
+	// on when the engine itself was built with Validate. Violations panic
+	// with a *check.Violation naming the rank, operation and virtual
+	// time.
+	Validate bool
 }
 
 // Tracer receives typed simulator events; internal/trace.Buffer implements
@@ -118,6 +125,9 @@ func NewWorld(eng *core.Engine, cfg WorldConfig) (*World, error) {
 	if cfg.Net.Topo.Nodes() < eng.NumVPs() {
 		return nil, fmt.Errorf("mpi: topology has %d nodes for %d ranks (one rank per node)",
 			cfg.Net.Topo.Nodes(), eng.NumVPs())
+	}
+	if eng.ValidateEnabled() {
+		cfg.Validate = true
 	}
 	if eng.Workers() > 1 {
 		la := eng.Lookahead()
@@ -278,8 +288,16 @@ func (e *Env) Compute(ops float64) { e.ctx.Elapse(e.w.cfg.Proc.ComputeTime(ops))
 func (e *Env) Sleep(d vclock.Duration) { e.ctx.Sleep(d) }
 
 // Finalize marks a clean MPI exit. Applications that return without
-// calling it are treated as failed processes.
-func (e *Env) Finalize() { e.finalized = true }
+// calling it are treated as failed processes. In Validate mode it also
+// runs the conservation sweep: a clean exit must leave no pending
+// requests, no posted receives, no outstanding probes, and an unexpected
+// queue consistent with its depth gauge.
+func (e *Env) Finalize() {
+	if e.w.cfg.Validate && !e.finalized {
+		e.ps.checkFinalize()
+	}
+	e.finalized = true
+}
 
 // Finalized reports whether Finalize was called.
 func (e *Env) Finalized() bool { return e.finalized }

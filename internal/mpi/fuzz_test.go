@@ -1,0 +1,80 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzUnframe exercises the collective payload deframer with arbitrary
+// bytes: it must never panic or over-allocate, and anything it accepts
+// must survive a frame/unframe round trip unchanged.
+func FuzzUnframe(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(frame(nil))
+	f.Add(frame([][]byte{nil}))
+	f.Add(frame([][]byte{[]byte("a"), {}, []byte("bcd")}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                   // hostile part count
+	f.Add([]byte{2, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0, 0}) // hostile part length
+	f.Add([]byte{1, 0, 0, 0})                               // count without part
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parts, err := unframe(data)
+		if err != nil {
+			return
+		}
+		again, err := unframe(frame(parts))
+		if err != nil {
+			t.Fatalf("re-framed buffer rejected: %v", err)
+		}
+		if len(again) != len(parts) {
+			t.Fatalf("round trip changed part count: %d vs %d", len(again), len(parts))
+		}
+		for i := range parts {
+			if !bytes.Equal(again[i], parts[i]) {
+				t.Fatalf("round trip changed part %d: %q vs %q", i, again[i], parts[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeF64s exercises the reduction payload decoder: it must accept
+// exactly the buffers encodeF64s produces and reproduce them bitwise.
+func FuzzDecodeF64s(f *testing.F) {
+	f.Add([]byte{}, 0)
+	f.Add(encodeF64s([]float64{1.5, -2.25}), 2)
+	f.Add(encodeF64s([]float64{0}), 2) // length mismatch
+	f.Add([]byte{1, 2, 3}, 1)
+	f.Add([]byte{}, -1)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		vals, err := decodeF64s(data, n)
+		if (err == nil) != (n >= 0 && n <= len(data)/8 && len(data) == 8*n) {
+			t.Fatalf("decodeF64s(%d bytes, n=%d) err=%v", len(data), n, err)
+		}
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeF64s(vals), data) {
+			t.Fatalf("encode/decode round trip changed %d-float payload", n)
+		}
+	})
+}
+
+// sanity check used by the fuzz seeds above.
+func TestFrameLayout(t *testing.T) {
+	buf := frame([][]byte{[]byte("xy")})
+	if binary.LittleEndian.Uint32(buf) != 1 {
+		t.Fatalf("frame header = %v", buf)
+	}
+}
+
+// Regression: a framed buffer whose count field claims 2^32-1 parts used
+// to size the output slice before reading a single part, driving a
+// multi-gigabyte allocation from a 4-byte input.
+func TestUnframeRejectsHostileCount(t *testing.T) {
+	if _, err := unframe([]byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("hostile part count should be rejected")
+	}
+	if _, err := unframe([]byte{2, 0, 0, 0, 1, 0, 0, 0}); err == nil {
+		t.Fatal("count beyond available prefixes should be rejected")
+	}
+}

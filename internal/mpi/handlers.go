@@ -57,13 +57,19 @@ func (w *World) handleEnvelope(s *core.SchedCtx, ev *core.Event) {
 		}
 	}
 	if req := ps.takePosted(env); req != nil {
-		matchEnvelope(w, ps, req, env, schedEmitter{s})
+		matchEnvelope(w, ps, req, env, schedEmitter{s, env.dst})
+		if w.cfg.Validate {
+			ps.checkIndexes("envelope-match")
+		}
 		if req.done {
 			wakeIfWaiting(s, ps, req, req.completeAt)
 		}
 		return
 	}
 	ps.addUnexpected(env)
+	if w.cfg.Validate {
+		ps.checkIndexes("envelope-unexpected")
+	}
 	// A blocked probe matching this envelope wakes to inspect it.
 	for _, pr := range ps.probes {
 		if pr.matchesEnvelope(env) && s.Blocked(env.dst) {
@@ -96,13 +102,16 @@ func (w *World) handleCts(s *core.SchedCtx, ev *core.Event) {
 		start = vclock.Max(start, ps.injectFreeAt)
 		ps.injectFreeAt = start.Add(occ)
 	}
-	s.Emit(core.Event{
+	s.EmitFor(sender, core.Event{
 		Time:    start.Add(net.TransferTime(req.src, req.dst, req.size)),
 		Kind:    kindData,
 		Target:  cts.recvRank,
 		Payload: &dataMsg{recvReqID: cts.recvReqID, data: req.data},
 	})
 	completeRequest(ps, req, start.Add(net.SendOverhead(req.src, req.dst, req.size)), nil)
+	if w.cfg.Validate {
+		ps.checkIndexes("cts")
+	}
 	wakeIfWaiting(s, ps, req, req.completeAt)
 }
 
@@ -127,6 +136,9 @@ func (w *World) handleData(s *core.SchedCtx, ev *core.Event) {
 	}
 	req.msg.Data = dm.data
 	completeRequest(ps, req, at, nil)
+	if w.cfg.Validate {
+		ps.checkIndexes("data")
+	}
 	wakeIfWaiting(s, ps, req, req.completeAt)
 }
 
@@ -147,6 +159,9 @@ func (w *World) handleReqTimeout(s *core.SchedCtx, ev *core.Event) {
 	completeRequest(ps, req, ev.Time, &ProcFailedError{Rank: to.peer, FailedAt: to.failedAt, Op: req.opName()})
 	w.trace(trace.Event{At: ev.Time, Kind: trace.KindDetect, Rank: int32(ev.Target), Peer: int32(to.peer), Aux: int64(to.failedAt)})
 	w.m.recordDetection(ev.Target, to.peer, ev.Time)
+	if w.cfg.Validate {
+		ps.checkIndexes("timeout")
+	}
 	wakeIfWaiting(s, ps, req, req.completeAt)
 }
 
@@ -169,7 +184,7 @@ func (w *World) handleFailNotify(s *core.SchedCtx, ev *core.Event) {
 		}
 		for _, req := range ps.pendingInOrder() {
 			if req.involves(fn.rank) {
-				ps.armTimeout(w, req, schedEmitter{s})
+				ps.armTimeout(w, req, schedEmitter{s, rank})
 			}
 		}
 		// A blocked probe on the failed rank (or a wildcard probe) wakes

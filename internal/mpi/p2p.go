@@ -71,8 +71,14 @@ type abortNotify struct {
 type matchKey struct{ comm, src int }
 
 // tagOK reports whether a posted receive's tag accepts an envelope's tag.
+// AnyTag only spans the application tag space: internal messages (negative
+// tags — barriers, collectives, ULFM) must never be intercepted by user
+// wildcards, mirroring MPI's separate collective context.
 func tagOK(r *Request, env *envelope) bool {
-	return r.tag == AnyTag || r.tag == env.tag
+	if r.tag == AnyTag {
+		return env.tag >= 0
+	}
+	return r.tag == env.tag
 }
 
 // addPosted files a receive request into the posted index.
@@ -239,10 +245,16 @@ type vpEmitter struct{ ctx *core.Ctx }
 func (v vpEmitter) emit(ev core.Event) { v.ctx.Emit(ev) }
 func (v vpEmitter) now() vclock.Time   { return v.ctx.NowQuiet() }
 
-// schedEmitter adapts a handler context.
-type schedEmitter struct{ s *core.SchedCtx }
+// schedEmitter adapts a handler context. rank is the local rank the
+// handler is acting for; the engine derives the emitted event's
+// deterministic ordering key from it (see core.SchedCtx.EmitFor), keeping
+// same-virtual-time tie-breaks independent of the partition layout.
+type schedEmitter struct {
+	s    *core.SchedCtx
+	rank int
+}
 
-func (h schedEmitter) emit(ev core.Event) { h.s.Emit(ev) }
+func (h schedEmitter) emit(ev core.Event) { h.s.EmitFor(h.rank, ev) }
 func (h schedEmitter) now() vclock.Time   { return h.s.Now() }
 
 // isend posts a nonblocking send and returns its request. Internal: the
@@ -369,9 +381,15 @@ func (c *Comm) irecvTag(srcCommRank, tag int) *Request {
 	// order preserves MPI's non-overtaking rule).
 	if env := e.ps.takeUnexpected(req); env != nil {
 		matchEnvelope(e.w, e.ps, req, env, vpEmitter{e.ctx})
+		if e.w.cfg.Validate {
+			e.ps.checkIndexes("irecv-match")
+		}
 		return req
 	}
 	e.ps.addPosted(req)
+	if e.w.cfg.Validate {
+		e.ps.checkIndexes("irecv-post")
+	}
 	return req
 }
 

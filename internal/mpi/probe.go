@@ -29,7 +29,10 @@ func (p *probeRec) matchesEnvelope(env *envelope) bool {
 	if p.src != AnySource && p.src != env.src {
 		return false
 	}
-	return p.tag == AnyTag || p.tag == env.tag
+	if p.tag == AnyTag {
+		return env.tag >= 0 // wildcards never see internal traffic
+	}
+	return p.tag == env.tag
 }
 
 // peekUnexpected finds (without consuming) the earliest-arrived unexpected
@@ -37,7 +40,11 @@ func (p *probeRec) matchesEnvelope(env *envelope) bool {
 func (ps *procState) peekUnexpected(comm, src, tag int) *envelope {
 	var best *envelope
 	consider := func(env *envelope) {
-		if tag != AnyTag && tag != env.tag {
+		if tag == AnyTag {
+			if env.tag < 0 {
+				return // wildcards never see internal traffic
+			}
+		} else if tag != env.tag {
 			return
 		}
 		if best == nil || env.arriveSeq < best.arriveSeq {

@@ -1,0 +1,144 @@
+package mpi
+
+// Validate-mode invariant checks for the MPI matching state, compiled in
+// behind WorldConfig.Validate. Each mutation of the posted-receive index
+// or the unexpected queue is followed by a full consistency sweep; a
+// clean Finalize additionally runs the conservation sweep (no pending
+// requests, no posted receives, no outstanding probes). Violations panic
+// with a *check.Violation; in VP context the engine surfaces it as the
+// run's error with the diagnostic dump.
+
+import (
+	"fmt"
+
+	"xsim/internal/check"
+)
+
+// fail raises a violation attributed to this process at its current
+// virtual clock.
+func (ps *procState) fail(invariant, where, format string, args ...any) {
+	rank := ps.env.Rank()
+	check.Failf(invariant, rank, ps.env.ctx.NowQuiet(), where, format, args...)
+}
+
+// checkIndexes verifies the posted-receive index and unexpected-queue
+// invariants:
+//
+//   - every request filed under (comm, src) is an incomplete, posted,
+//     exact-source receive for that key, present in the pending table;
+//   - every wildcard entry is an incomplete, posted AnySource receive,
+//     present in the pending table;
+//   - both structures are ordered by post sequence (MPI's
+//     first-match-in-post-order rule depends on it);
+//   - every unexpected envelope is filed under its own (comm, src) key,
+//     addressed to this rank, in arrival order, and the total count
+//     matches the metrics layer's queue-depth gauge;
+//   - the pending table holds only incomplete requests under their own
+//     ids.
+//
+// where names the operation just performed, for the violation dump.
+func (ps *procState) checkIndexes(where string) {
+	rank := ps.env.Rank()
+	for k, list := range ps.postedBySrc {
+		if len(list) == 0 {
+			ps.fail("posted-index", where, "empty posted-receive list retained for key %+v", k)
+		}
+		var lastSeq uint64
+		for i, r := range list {
+			switch {
+			case r == nil:
+				ps.fail("posted-index", where, "nil request in posted list %+v", k)
+			case r.kind != recvReq || !r.posted || r.wild:
+				ps.fail("posted-index", where, "request %d filed under %+v is not an exact-source posted receive (kind=%d posted=%v wild=%v)",
+					r.id, k, r.kind, r.posted, r.wild)
+			case r.done:
+				ps.fail("posted-index", where, "completed request %d (%s) still filed under %+v", r.id, r.opName(), k)
+			case r.postKey != k || r.comm.id != k.comm || r.src != k.src:
+				ps.fail("posted-index", where, "request %d filed under %+v has key %+v (comm %d, src %d)",
+					r.id, k, r.postKey, r.comm.id, r.src)
+			case ps.pending[r.id] != r:
+				ps.fail("posted-index", where, "posted receive %d missing from the pending table", r.id)
+			case i > 0 && r.postSeq <= lastSeq:
+				ps.fail("posted-index", where, "posted list %+v out of post order: seq %d after %d", k, r.postSeq, lastSeq)
+			}
+			lastSeq = r.postSeq
+		}
+	}
+	var lastWild uint64
+	for i, r := range ps.postedWild {
+		switch {
+		case r == nil:
+			ps.fail("posted-index", where, "nil request in wildcard posted list")
+		case r.kind != recvReq || !r.posted || !r.wild || r.src != AnySource:
+			ps.fail("posted-index", where, "request %d in wildcard list is not a posted AnySource receive (kind=%d posted=%v wild=%v src=%d)",
+				r.id, r.kind, r.posted, r.wild, r.src)
+		case r.done:
+			ps.fail("posted-index", where, "completed request %d still in wildcard posted list", r.id)
+		case ps.pending[r.id] != r:
+			ps.fail("posted-index", where, "wildcard posted receive %d missing from the pending table", r.id)
+		case i > 0 && r.postSeq <= lastWild:
+			ps.fail("posted-index", where, "wildcard posted list out of post order: seq %d after %d", r.postSeq, lastWild)
+		}
+		lastWild = r.postSeq
+	}
+	total := 0
+	for k, list := range ps.unexpBySrc {
+		if len(list) == 0 {
+			ps.fail("unexpected-queue", where, "empty unexpected list retained for key %+v", k)
+		}
+		var lastArrive uint64
+		for i, env := range list {
+			switch {
+			case env == nil:
+				ps.fail("unexpected-queue", where, "nil envelope in unexpected list %+v", k)
+			case env.commID != k.comm || env.src != k.src:
+				ps.fail("unexpected-queue", where, "envelope (comm %d, src %d, tag %d) filed under key %+v",
+					env.commID, env.src, env.tag, k)
+			case env.dst != rank:
+				ps.fail("unexpected-queue", where, "envelope for rank %d queued at rank %d", env.dst, rank)
+			case i > 0 && env.arriveSeq <= lastArrive:
+				ps.fail("unexpected-queue", where, "unexpected list %+v out of arrival order: seq %d after %d",
+					k, env.arriveSeq, lastArrive)
+			}
+			lastArrive = env.arriveSeq
+			total++
+		}
+	}
+	if c := ps.env.w.m.counters(rank); c != nil && c.unexpNow != total {
+		ps.fail("unexpected-conservation", where,
+			"unexpected queue holds %d envelopes but the depth gauge reads %d", total, c.unexpNow)
+	}
+	for id, r := range ps.pending {
+		switch {
+		case r == nil:
+			ps.fail("pending-index", where, "nil request pending under id %d", id)
+		case r.id != id:
+			ps.fail("pending-index", where, "request %d pending under id %d", r.id, id)
+		case r.done:
+			ps.fail("pending-index", where, "completed request %d (%s) still pending", r.id, r.opName())
+		}
+	}
+}
+
+// checkFinalize is the conservation sweep run by a clean Finalize: after
+// a correct application quiesces, nothing may remain in flight at this
+// process.
+func (ps *procState) checkFinalize() {
+	ps.checkIndexes("finalize")
+	if n := len(ps.pending); n > 0 {
+		detail := ""
+		for _, r := range ps.pendingInOrder() {
+			detail += fmt.Sprintf("\n    request %d: %s peer %d tag %d (comm %d)", r.id, r.opName(), r.peer(), r.tag, r.comm.id)
+		}
+		ps.fail("finalize-pending", "finalize", "%d requests still pending at Finalize:%s", n, detail)
+	}
+	if n := len(ps.postedWild); n > 0 {
+		ps.fail("finalize-pending", "finalize", "%d wildcard receives still posted at Finalize", n)
+	}
+	for k, list := range ps.postedBySrc {
+		ps.fail("finalize-pending", "finalize", "%d receives still posted for key %+v at Finalize", len(list), k)
+	}
+	if n := len(ps.probes); n > 0 {
+		ps.fail("finalize-pending", "finalize", "%d probes still outstanding at Finalize", n)
+	}
+}

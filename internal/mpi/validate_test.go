@@ -1,0 +1,67 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+)
+
+func withValidate() worldOpt { return func(c *WorldConfig) { c.Validate = true } }
+
+// Finalize with a receive still pending is an application protocol bug;
+// under Validate it fails the run with a dump naming the leaked request.
+func TestValidateFinalizePendingReceive(t *testing.T) {
+	_, err := runWorldErr(t, 2, 1, nil, func(e *Env) {
+		if e.Rank() == 0 {
+			if _, err := e.World().Irecv(1, 7); err != nil {
+				t.Error(err)
+			}
+		}
+	}, withValidate())
+	if err == nil {
+		t.Fatal("finalizing with a pending receive should fail under Validate")
+	}
+	for _, want := range []string{"invariant violation [finalize-pending]", "rank 0", "recv"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// Without Validate the same leak passes silently (checking is opt-in and
+// must not change semantics).
+func TestFinalizePendingReceiveWithoutValidate(t *testing.T) {
+	runWorld(t, 2, 1, func(e *Env) {
+		if e.Rank() == 0 {
+			if _, err := e.World().Irecv(1, 7); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+}
+
+// Corrupting the posted-receive index from inside (a stand-in for a future
+// matching bug) is caught by the next index sweep.
+func TestValidateDetectsPostedIndexCorruption(t *testing.T) {
+	_, err := runWorldErr(t, 2, 1, nil, func(e *Env) {
+		if e.Rank() != 0 {
+			return
+		}
+		c := e.World()
+		r, err := c.Irecv(AnySource, 3)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Simulate a bug: the request completes but stays filed as posted.
+		r.done = true
+		if _, err := c.Irecv(AnySource, 4); err != nil { // triggers the sweep
+			t.Error(err)
+		}
+	}, withValidate())
+	if err == nil {
+		t.Fatal("corrupted posted index should fail the run under Validate")
+	}
+	if !strings.Contains(err.Error(), "invariant violation [posted-index]") {
+		t.Errorf("error %q does not mention the posted-index invariant", err)
+	}
+}

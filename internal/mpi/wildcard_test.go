@@ -1,0 +1,78 @@
+package mpi
+
+import (
+	"testing"
+
+	"xsim/internal/vclock"
+)
+
+// Regression: a fully-wild (AnySource, AnyTag) receive must never
+// intercept simulator-internal traffic (negative tags — barriers,
+// collectives, ULFM). Found by the differential harness: rank 0's wild
+// receive stole rank 1's barrier-entry message, deadlocking the barrier
+// while the real user message sat in the unexpected queue forever.
+func TestWildcardRecvIgnoresInternalTags(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		var got *Message
+		runWorld(t, 2, workers, func(e *Env) {
+			c := e.World()
+			switch c.Rank() {
+			case 0:
+				req, err := c.Irecv(AnySource, AnyTag)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// The barrier's internal message from rank 1 arrives while
+				// the wild receive is the oldest posted request.
+				if err := c.Barrier(); err != nil {
+					t.Error(err)
+					return
+				}
+				msg, err := c.Wait(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got = msg
+			case 1:
+				if err := c.Barrier(); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := c.Send(0, 5, []byte("user")); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+		if got == nil || got.Src != 1 || got.Tag != 5 || string(got.Data) != "user" {
+			t.Fatalf("workers=%d: wild recv matched %+v, want user message tag 5 from rank 1", workers, got)
+		}
+	}
+}
+
+// Regression companion: probes with AnyTag must not observe internal
+// envelopes sitting in the unexpected queue.
+func TestWildcardProbeIgnoresInternalTags(t *testing.T) {
+	runWorld(t, 2, 1, func(e *Env) {
+		c := e.World()
+		switch c.Rank() {
+		case 0:
+			// Rank 1 enters the barrier immediately, so its internal
+			// barrier-entry envelope is queued unexpected here by now.
+			e.Elapse(50 * vclock.Microsecond)
+			if msg, ok, err := c.Iprobe(AnySource, AnyTag); err != nil {
+				t.Error(err)
+			} else if ok {
+				t.Errorf("wild Iprobe saw internal envelope %+v", msg)
+			}
+			if err := c.Barrier(); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			if err := c.Barrier(); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+}

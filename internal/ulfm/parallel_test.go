@@ -1,0 +1,147 @@
+package ulfm
+
+import (
+	"testing"
+
+	"xsim/internal/core"
+	"xsim/internal/fault"
+	"xsim/internal/mpi"
+	"xsim/internal/netmodel"
+	"xsim/internal/procmodel"
+	"xsim/internal/topology"
+	"xsim/internal/vclock"
+)
+
+// parallelWorld builds a world on a windowed parallel engine with
+// invariant checking enabled.
+func parallelWorld(t *testing.T, n, workers int, failures fault.Schedule) *mpi.World {
+	t.Helper()
+	eng, err := core.New(core.Config{
+		NumVPs: n, Workers: workers, Lookahead: vclock.Microsecond, Validate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &netmodel.Model{
+		Topo:           topology.NewFullyConnected(n),
+		System:         netmodel.LinkParams{Latency: vclock.Microsecond, Bandwidth: 1e9, DetectionTimeout: 10 * vclock.Millisecond},
+		OnNode:         netmodel.LinkParams{Latency: vclock.Microsecond, Bandwidth: 1e9, DetectionTimeout: 10 * vclock.Millisecond},
+		EagerThreshold: 256 * 1024,
+	}
+	w, err := mpi.NewWorld(eng, mpi.WorldConfig{Net: net, Proc: procmodel.Paper()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Apply(w.Engine(), failures); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestRevokeParallel runs the revoke-releases-blocked-operations scenario
+// on the windowed engine: outcomes (terminations and final clocks) must
+// match the sequential run at every worker count.
+func TestRevokeParallel(t *testing.T) {
+	const n = 4
+	scenario := func(workers int) *core.Result {
+		w := parallelWorld(t, n, workers, nil)
+		res, err := w.Run(func(e *mpi.Env) {
+			defer e.Finalize()
+			c := e.World()
+			c.SetErrorHandler(mpi.ErrorsReturn)
+			if e.Rank() == 0 {
+				e.Elapse(vclock.Millisecond)
+				c.Revoke()
+				return
+			}
+			if _, err := c.Recv(0, 99); !IsRevoked(err) {
+				t.Errorf("workers=%d rank %d recv err = %v, want RevokedError", workers, e.Rank(), err)
+			}
+			if err := c.SendN(0, 1, 8); !IsRevoked(err) {
+				t.Errorf("workers=%d rank %d send err = %v, want RevokedError", workers, e.Rank(), err)
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Completed != n {
+			t.Fatalf("workers=%d completed = %d (%+v)", workers, res.Completed, res)
+		}
+		return res
+	}
+	ref := scenario(1)
+	for _, workers := range []int{2, 4} {
+		got := scenario(workers)
+		for r := 0; r < n; r++ {
+			if got.FinalClocks[r] != ref.FinalClocks[r] || got.Deaths[r] != ref.Deaths[r] {
+				t.Fatalf("workers=%d rank %d diverges: %v/%v vs sequential %v/%v",
+					workers, r, got.FinalClocks[r], got.Deaths[r], ref.FinalClocks[r], ref.Deaths[r])
+			}
+		}
+	}
+}
+
+// TestShrinkRecoveryParallel runs the full ULFM recovery sequence —
+// failure, detection, revoke, shrink, collective on the shrunk
+// communicator — on the windowed engine at several worker counts and
+// requires sequential-identical outcomes.
+func TestShrinkRecoveryParallel(t *testing.T) {
+	const n = 5
+	const deadRank = 2
+	scenario := func(workers int) *core.Result {
+		w := parallelWorld(t, n, workers, fault.Schedule{{Rank: deadRank, At: vclock.Time(vclock.Millisecond)}})
+		res, err := w.Run(func(e *mpi.Env) {
+			c := e.World()
+			c.SetErrorHandler(mpi.ErrorsReturn)
+			if e.Rank() == deadRank {
+				e.Elapse(vclock.Hour)
+				return
+			}
+			defer e.Finalize()
+			if e.Rank() == 0 {
+				if _, err := c.Recv(deadRank, 0); err == nil {
+					t.Errorf("workers=%d: recv from dead rank should fail", workers)
+				}
+				c.Revoke()
+			} else {
+				if _, err := c.Recv(0, 99); !IsRevoked(err) {
+					t.Errorf("workers=%d rank %d: %v", workers, e.Rank(), err)
+				}
+			}
+			shrunk, err := c.Shrink()
+			if err != nil {
+				t.Errorf("workers=%d rank %d shrink: %v", workers, e.Rank(), err)
+				return
+			}
+			if shrunk.Size() != n-1 {
+				t.Errorf("workers=%d rank %d shrunk size = %d", workers, e.Rank(), shrunk.Size())
+			}
+			shrunk.SetErrorHandler(mpi.ErrorsReturn)
+			sum, err := shrunk.Allreduce([]float64{1}, mpi.OpSum)
+			if err != nil {
+				t.Errorf("workers=%d rank %d allreduce: %v", workers, e.Rank(), err)
+				return
+			}
+			if sum[0] != float64(n-1) {
+				t.Errorf("workers=%d rank %d allreduce = %v", workers, e.Rank(), sum[0])
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Failed != 1 || res.Completed != n-1 {
+			t.Fatalf("workers=%d result = %+v", workers, res)
+		}
+		return res
+	}
+	ref := scenario(1)
+	for _, workers := range []int{2, 4} {
+		got := scenario(workers)
+		for r := 0; r < n; r++ {
+			if got.FinalClocks[r] != ref.FinalClocks[r] || got.Deaths[r] != ref.Deaths[r] {
+				t.Fatalf("workers=%d rank %d diverges: %v/%v vs sequential %v/%v",
+					workers, r, got.FinalClocks[r], got.Deaths[r], ref.FinalClocks[r], ref.Deaths[r])
+			}
+		}
+	}
+}

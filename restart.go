@@ -154,8 +154,11 @@ func (c Campaign) Run() (*CampaignResult, error) {
 			Failed:    res.Failed,
 			Aborted:   res.Aborted,
 		}
-		if len(cfg.Failures) > 0 {
-			inj := cfg.Failures[0]
+		// Report the run's earliest injection. The schedule must be sorted
+		// first: on run 0 it is Base.Failures carry-overs followed by the
+		// drawn failure, and neither part is ordered by time.
+		if sorted := cfg.Failures.Sorted(); len(sorted) > 0 {
+			inj := sorted[0]
 			summary.Injected = &inj
 		}
 		result.Runs = append(result.Runs, summary)

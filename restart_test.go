@@ -1,0 +1,42 @@
+package xsim
+
+import "testing"
+
+// Regression: RunSummary.Injected used to report cfg.Failures[0], which on
+// run 0 is the first Base.Failures carry-over — not the run's earliest
+// injection once a drawn failure lands before it.
+func TestCampaignInjectedReportsEarliestInjection(t *testing.T) {
+	hc, err := HeatWorkloadFor(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc.Iterations = 50
+	hc.ExchangeInterval = 25
+	hc.CheckpointInterval = 25
+	camp := Campaign{
+		// The base schedule's failure is listed first but happens last.
+		Base: Config{Ranks: 8, Failures: Schedule{{Rank: 2, At: Time(500 * Second)}}},
+		DrawFailures: func(run int, start Time) Schedule {
+			if run == 0 {
+				return Schedule{{Rank: 0, At: Time(30 * Second)}}
+			}
+			return nil
+		},
+		CheckpointPrefix: "heat",
+		AppFor:           func(int) App { return RunHeat(hc) },
+	}
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) < 2 || !res.Done {
+		t.Fatalf("result = %+v", res)
+	}
+	inj := res.Runs[0].Injected
+	if inj == nil || inj.Rank != 0 || inj.At != Time(30*Second) {
+		t.Fatalf("run 0 Injected = %+v, want rank 0 at 30s", inj)
+	}
+	if res.Runs[1].Injected != nil {
+		t.Fatalf("run 1 Injected = %+v, want nil", res.Runs[1].Injected)
+	}
+}

@@ -155,6 +155,14 @@ type Config struct {
 	// Trace, when set, records one event per MPI operation for timeline
 	// analysis (see NewTrace).
 	Trace *TraceBuffer
+	// Validate compiles the simulator's internal invariant checks into
+	// the run: engine-level (per-VP clock monotonicity, no event emitted
+	// before its emitter's current time, parallel-window horizon safety)
+	// and MPI-level (posted-receive index consistency, unexpected-queue
+	// conservation, pending-request sweep at Finalize). A violation stops
+	// the run with a diagnostic naming the rank, event, and virtual time.
+	// When false — the default — the checks cost nothing.
+	Validate bool
 }
 
 // DefaultNet returns the paper's network parameters on a torus sized for n
@@ -221,6 +229,9 @@ type Result struct {
 	Completed, Failed, Aborted int
 	// PerRank holds each rank's final virtual clock.
 	PerRank []Time
+	// Deaths holds each rank's termination reason ("completed", "failed",
+	// "aborted", "killed", "panicked"), indexed by rank.
+	Deaths []string
 	// Busy and Waited hold each rank's virtual time spent executing and
 	// blocked, respectively; the power model turns them into energy.
 	Busy, Waited []Duration
@@ -291,6 +302,7 @@ func New(cfg Config) (*Sim, error) {
 		Lookahead:  lookahead,
 		StartClock: cfg.StartClock,
 		Logf:       cfg.Logf,
+		Validate:   cfg.Validate,
 	})
 	if err != nil {
 		return nil, err
@@ -303,6 +315,7 @@ func New(cfg Config) (*Sim, error) {
 		Collectives:  cfg.Collectives,
 		FSStore:      cfg.Store,
 		FSModel:      cfg.FSModel,
+		Validate:     cfg.Validate,
 	}
 	if cfg.Trace != nil {
 		wcfg.Tracer = cfg.Trace
@@ -327,6 +340,10 @@ func (s *Sim) Run(app App) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	deaths := make([]string, len(res.Deaths))
+	for i, d := range res.Deaths {
+		deaths[i] = d.String()
+	}
 	return &Result{
 		SimTime:    res.MaxClock,
 		MinTime:    res.MinClock,
@@ -335,6 +352,7 @@ func (s *Sim) Run(app App) (*Result, error) {
 		Failed:     res.Failed,
 		Aborted:    res.Aborted,
 		PerRank:    res.FinalClocks,
+		Deaths:     deaths,
 		Busy:       res.Busy,
 		Waited:     res.Waited,
 		StartClock: s.cfg.StartClock,
