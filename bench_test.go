@@ -12,6 +12,7 @@
 package xsim
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -36,7 +37,7 @@ func benchRanks() int {
 func BenchmarkTableI(b *testing.B) {
 	var mean, median, max float64
 	for i := 0; i < b.N; i++ {
-		res, err := RunTableI(TableIConfig{Seed: 2013})
+		res, err := RunTableI(TableIConfig{RunSpec: RunSpec{Seed: 2013}})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func BenchmarkTableII(b *testing.B) {
 	var tab *TableII
 	for i := 0; i < b.N; i++ {
 		var err error
-		tab, err = RunTableII(TableIIConfig{Ranks: ranks, Seed: 133})
+		tab, err = RunTableII(TableIIConfig{RunSpec: RunSpec{Ranks: ranks, Seed: 133}})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +78,8 @@ func BenchmarkFirstImpressions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var err error
 		fi, err = RunFirstImpressions(FirstImpressionsConfig{
-			Ranks: 64, Trials: 8, Seed: 1, Iterations: 200, Interval: 25,
+			RunSpec: RunSpec{Ranks: 64, Seed: 1},
+			Trials:  8, Iterations: 200, Interval: 25,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -87,6 +89,49 @@ func BenchmarkFirstImpressions(b *testing.B) {
 	b.ReportMetric(float64(fi.FailedIn["compute"]), "failed-in-compute")
 	b.ReportMetric(float64(fi.DetectedIn["halo-exchange"]), "detected-in-halo")
 	b.ReportMetric(float64(fi.DetectedIn["barrier"]), "detected-in-barrier")
+}
+
+// BenchmarkCampaign measures the campaign-orchestration layer: a 16-seed
+// failure/restart campaign set over a small heat workload, sequential
+// (pool=1) vs four campaigns in flight (pool=4). pool=1 is the
+// orchestration-overhead floor; on a multi-core host the pooled run
+// approaches pool× throughput (on a single-processor host the two are
+// equal — the pool buys nothing without processors to spread over). The
+// simulated virtual seconds per run are attached as a metric.
+func BenchmarkCampaign(b *testing.B) {
+	hc, err := HeatWorkloadFor(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hc.Iterations = 50
+	hc.ExchangeInterval = 10
+	hc.CheckpointInterval = 10
+	tpl := Campaign{
+		Base:             Config{Ranks: 8},
+		MTTF:             100 * Second,
+		CheckpointPrefix: "heat",
+		AppFor:           func(int) App { return RunHeat(hc) },
+	}
+	for _, pool := range []int{1, 4} {
+		b.Run(fmt.Sprintf("pool=%d", pool), func(b *testing.B) {
+			var simSecs float64
+			for i := 0; i < b.N; i++ {
+				set, err := RunCampaigns(context.Background(), CampaignSetConfig{
+					RunSpec:  RunSpec{Seed: 42, Pool: pool},
+					Template: tpl,
+					Count:    16,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if set.Stats.Runner.Completed != 16 {
+					b.Fatalf("completed = %d", set.Stats.Runner.Completed)
+				}
+				simSecs = set.Stats.SimTime.Seconds()
+			}
+			b.ReportMetric(simSecs, "simsec")
+		})
+	}
 }
 
 // BenchmarkAblationDetectionTimeout sweeps the configurable network
@@ -240,8 +285,7 @@ func BenchmarkAblationCheckpointIO(b *testing.B) {
 			var e1 float64
 			for i := 0; i < b.N; i++ {
 				cfg := TableIIConfig{
-					Ranks:     64,
-					Seed:      133,
+					RunSpec:   RunSpec{Ranks: 64, Seed: 133},
 					Intervals: []int{125},
 					MTTFs:     []Duration{6000 * Second},
 				}
@@ -315,7 +359,7 @@ func BenchmarkIntervalSweep(b *testing.B) {
 	var s *IntervalSweep
 	for i := 0; i < b.N; i++ {
 		var err error
-		s, err = RunIntervalSweep(IntervalSweepConfig{Ranks: 64, Seeds: []int64{133, 134}})
+		s, err = RunIntervalSweep(IntervalSweepConfig{RunSpec: RunSpec{Ranks: 64}, Seeds: []int64{133, 134}})
 		if err != nil {
 			b.Fatal(err)
 		}

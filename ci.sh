@@ -16,6 +16,10 @@
 #   8. BenchmarkHandoff allocation gate (the context-switch hot path
 #                     must stay at 0 allocs/op — Validate must cost nothing
 #                     when off)
+#   9. campaign-parallelism smoke (a pooled campaign under -race must
+#                     produce bit-identical results to the sequential one:
+#                     pool=4 vs pool=1 digests for the Table II grid and a
+#                     50-seed campaign set)
 set -eu
 
 cd "$(dirname "$0")"
@@ -65,5 +69,8 @@ echo "$bench" | awk '
 	}
 	END { if (!seen) { print "FAIL: BenchmarkHandoff did not run" > "/dev/stderr"; exit 1 } }
 '
+
+echo "== campaign-parallelism smoke (pool=4 vs pool=1 digests, -race)"
+go test -race -count=1 -run '^(TestRunCampaignsDeterministicAcrossPools|TestTableIIPoolMatchesSequential|TestTableIPoolMatchesSequential)$' .
 
 echo "CI OK"

@@ -7,9 +7,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"xsim"
 )
@@ -20,13 +23,17 @@ func main() {
 		victims = flag.Int("victims", 100, "victim application instances (Table I: 100)")
 		max     = flag.Int("max", 100, "injection cap per victim (Table I: 100)")
 		seed    = flag.Int64("seed", 2013, "random seed")
+		pool    = flag.Int("pool", 0, "victims injected concurrently (0 = one per processor)")
 	)
 	flag.Parse()
 
-	res, err := xsim.RunTableI(xsim.TableIConfig{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := xsim.RunTableIContext(ctx, xsim.TableIConfig{
+		RunSpec:       xsim.RunSpec{Seed: *seed, Pool: *pool},
 		Victims:       *victims,
 		MaxInjections: *max,
-		Seed:          *seed,
 	})
 	if err != nil {
 		log.Fatal(err)

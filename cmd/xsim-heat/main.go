@@ -4,19 +4,24 @@
 //
 //	xsim-heat -table2                 # Table II (scaled to -ranks)
 //	xsim-heat -table2 -ranks 32768    # Table II at the paper's full scale
+//	xsim-heat -table2 -pool 4         # four grid cells simulated at once
 //	xsim-heat -phases                 # §V-D failure-mode classification
 //	xsim-heat -mttf 3000 -interval 125
 //	xsim-heat -failures "12@350,99@1200"
 //
 // The failure schedule can also come from the XSIM_FAILURES environment
 // variable, mirroring xSim's command-line/environment injection interface.
+// SIGINT cancels the run at the next simulation window; partial results
+// are discarded.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"xsim"
 )
@@ -26,6 +31,7 @@ func main() {
 	var (
 		ranks      = flag.Int("ranks", 512, "simulated MPI ranks (32768 = the paper's scale)")
 		workers    = flag.Int("workers", 1, "engine partitions executing in parallel")
+		pool       = flag.Int("pool", 0, "independent simulations in flight (0 = GOMAXPROCS/workers)")
 		iterations = flag.Int("iterations", 1000, "total iteration count")
 		interval   = flag.Int("interval", 0, "checkpoint/halo-exchange interval (default: iterations)")
 		mttfSecs   = flag.Float64("mttf", 0, "system MTTF in seconds for random failure injection (0 = none)")
@@ -40,65 +46,67 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var logf func(string, ...any)
 	if *verbose {
 		logf = log.Printf
+	}
+	spec := xsim.RunSpec{
+		Ranks:   *ranks,
+		Workers: *workers,
+		Pool:    *pool,
+		Seed:    *seed,
+		Logf:    logf,
 	}
 
 	switch {
 	case *table2:
 		cfg := xsim.TableIIConfig{
-			Ranks:      *ranks,
-			Workers:    *workers,
+			RunSpec:    spec,
 			Iterations: *iterations,
-			Seed:       *seed,
-			Logf:       logf,
 		}
 		if *withIO {
 			cfg.FSModel = xsim.PaperPFS()
 		}
 		fmt.Printf("Table II: varying the checkpoint interval and system MTTF\n")
 		fmt.Printf("(%d simulated MPI ranks, %d iterations, seed %d)\n\n", *ranks, *iterations, *seed)
-		tab, err := xsim.RunTableII(cfg)
+		tab, err := xsim.RunTableIIContext(ctx, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(tab.Render())
 	case *sweep:
 		cfg := xsim.IntervalSweepConfig{
-			Ranks:      *ranks,
-			Workers:    *workers,
+			RunSpec:    spec,
 			Iterations: *iterations,
 			MTTF:       xsim.Seconds(*mttfSecs),
-			Logf:       logf,
 		}
-		s, err := xsim.RunIntervalSweep(cfg)
+		s, err := xsim.RunIntervalSweepContext(ctx, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(s.Render())
 	case *phases:
-		fi, err := xsim.RunFirstImpressions(xsim.FirstImpressionsConfig{
-			Ranks:      *ranks,
-			Workers:    *workers,
+		fi, err := xsim.RunFirstImpressionsContext(ctx, xsim.FirstImpressionsConfig{
+			RunSpec:    spec,
 			Iterations: *iterations,
 			Interval:   *interval,
 			Trials:     *trials,
-			Seed:       *seed,
-			Logf:       logf,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(fi.Render())
 	default:
-		runSingle(*ranks, *workers, *iterations, *interval, *mttfSecs, *seed, *failures, *withIO, logf)
+		runSingle(ctx, *ranks, *workers, *iterations, *interval, *mttfSecs, *seed, *failures, *withIO, logf)
 	}
 }
 
 // runSingle runs one heat campaign (with restarts if failures strike) and
 // reports the paper's per-row metrics.
-func runSingle(ranks, workers, iterations, interval int, mttfSecs float64, seed int64, failures string, withIO bool, logf func(string, ...any)) {
+func runSingle(ctx context.Context, ranks, workers, iterations, interval int, mttfSecs float64, seed int64, failures string, withIO bool, logf func(string, ...any)) {
 	if interval == 0 {
 		interval = iterations
 	}
@@ -131,7 +139,7 @@ func runSingle(ranks, workers, iterations, interval int, mttfSecs float64, seed 
 		CheckpointPrefix: "heat",
 		AppFor:           func(int) xsim.App { return xsim.RunHeat(hc) },
 	}
-	res, err := camp.Run()
+	res, err := camp.RunContext(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

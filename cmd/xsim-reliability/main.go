@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
 
 	"xsim"
 	"xsim/internal/reliability"
@@ -27,6 +30,9 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	sys := reliability.System{Nodes: *nodes, Node: reliability.PaperNode()}
 	if err := sys.Validate(); err != nil {
@@ -60,6 +66,9 @@ func main() {
 		fmt.Printf("\nfirst-failure schedules (rank@seconds, for xsim-heat -failures / $%s):\n", "XSIM_FAILURES")
 		src := sys.CampaignSource(*seed)
 		for run := 0; run < *schedule; run++ {
+			if ctx.Err() != nil {
+				log.Fatal(ctx.Err())
+			}
 			s := src(run, vclock.Time(0))
 			f := sys.FirstFailure(rand.New(rand.NewSource(*seed+int64(run))), 0)
 			fmt.Printf("  run %d: %s (component: %s)\n", run, xsim.Schedule(s).String(), f.Component)

@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -62,7 +64,9 @@ func main() {
 		log.Fatalf("unknown app %q (ring, allreduce, ulfm)", *app)
 	}
 
-	res, err := sim.Run(body)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := sim.RunContext(ctx, body)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,11 +1,14 @@
 package xsim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
 	"xsim/internal/checkpoint"
 	"xsim/internal/fsmodel"
+	"xsim/internal/runner"
 	"xsim/internal/softerror"
 	"xsim/internal/stats"
 	"xsim/internal/vclock"
@@ -22,33 +25,43 @@ const PaperCallOverhead = Duration(2900 * Microsecond)
 // --- Table I: fault (bit flip) injection ---------------------------------
 
 // TableIConfig parameterises the Table I reproduction (the Finject bit
-// flip campaign the paper reports).
+// flip campaign the paper reports). Only the RunSpec's Seed, Logf, and
+// Pool apply: the victims are process-image models, not simulations.
 type TableIConfig struct {
+	RunSpec
 	// Victims is the number of victim application instances (paper: 100).
 	Victims int
 	// MaxInjections is the per-victim cap (paper: an arbitrary 100).
 	MaxInjections int
-	// Seed makes the campaign repeatable.
-	Seed int64
 }
 
 // TableIResult is the campaign result, re-exported.
 type TableIResult = softerror.CampaignResult
 
-// RunTableI reproduces Table I: bit flips are injected into victim
-// process images until the victims fail, and the injections-to-failure
-// distribution is summarised.
+// RunTableI reproduces Table I; it is RunTableIContext without
+// cancellation.
 func RunTableI(cfg TableIConfig) (*TableIResult, error) {
+	return RunTableIContext(context.Background(), cfg)
+}
+
+// RunTableIContext reproduces Table I: bit flips are injected into victim
+// process images until the victims fail, and the injections-to-failure
+// distribution is summarised. Victims fan out across the campaign pool;
+// each victim's random sequence depends only on Seed and its index, so
+// the distribution is identical at any pool size.
+func RunTableIContext(ctx context.Context, cfg TableIConfig) (*TableIResult, error) {
 	if cfg.Victims == 0 {
 		cfg.Victims = 100
 	}
 	if cfg.MaxInjections == 0 {
 		cfg.MaxInjections = 100
 	}
-	return softerror.RunCampaign(softerror.CampaignConfig{
+	return softerror.RunCampaignContext(ctx, softerror.CampaignConfig{
 		Victims:       cfg.Victims,
 		MaxInjections: cfg.MaxInjections,
 		Seed:          cfg.Seed,
+		Pool:          cfg.Pool,
+		Logf:          cfg.Logf,
 	})
 }
 
@@ -56,10 +69,9 @@ func RunTableI(cfg TableIConfig) (*TableIResult, error) {
 
 // TableIIConfig parameterises the Table II reproduction.
 type TableIIConfig struct {
-	// Ranks is the number of simulated MPI processes (paper: 32,768).
-	Ranks int
-	// Workers is the engine parallelism (0/1 = sequential).
-	Workers int
+	// RunSpec carries the shared simulation parameters (Ranks defaults to
+	// the paper's 32,768) and the campaign-pool controls.
+	RunSpec
 	// Iterations is the total iteration count (paper: 1,000; always
 	// fixed per the paper).
 	Iterations int
@@ -71,10 +83,6 @@ type TableIIConfig struct {
 	// MTTFs are the system mean-time-to-failure values to sweep
 	// (paper: 6,000 s and 3,000 s).
 	MTTFs []Duration
-	// Seed drives the random failure injection.
-	Seed int64
-	// CallOverhead defaults to PaperCallOverhead.
-	CallOverhead Duration
 	// FSModel is the file-system cost model. The paper's Table II
 	// excludes checkpoint I/O overhead (its file system model was a work
 	// in progress), so the zero value charges nothing; the checkpoint-I/O
@@ -82,8 +90,6 @@ type TableIIConfig struct {
 	FSModel fsmodel.Model
 	// MaxRuns caps failure/restart cycles per cell.
 	MaxRuns int
-	// Logf receives simulator progress messages.
-	Logf func(format string, args ...any)
 }
 
 // TableIIRow is one row of Table II.
@@ -110,13 +116,14 @@ type TableIIRow struct {
 type TableII struct {
 	Config TableIIConfig
 	Rows   []TableIIRow
+	// Stats pools the grid's execution accounting and simulation metrics
+	// across every E1 run and campaign cell.
+	Stats CampaignStats
 }
 
 // paperTableIIDefaults fills the paper's parameters.
 func (cfg *TableIIConfig) defaults() {
-	if cfg.Ranks == 0 {
-		cfg.Ranks = 32768
-	}
+	cfg.RunSpec.defaults(32768)
 	if cfg.Iterations == 0 {
 		cfg.Iterations = 1000
 	}
@@ -126,16 +133,47 @@ func (cfg *TableIIConfig) defaults() {
 	if len(cfg.MTTFs) == 0 {
 		cfg.MTTFs = []Duration{6000 * Second, 3000 * Second}
 	}
-	if cfg.CallOverhead == 0 {
-		cfg.CallOverhead = PaperCallOverhead
-	}
 }
 
-// RunTableII reproduces Table II: the heat application runs at Ranks
-// simulated MPI processes with the checkpoint interval and the system MTTF
-// varied; each cell reports E1 (no failures), E2 (with failures and
-// restarts), F, and MTTFa.
+// expCell is one fanned-out unit of an experiment grid: either a single
+// no-failure run (res) or a failure/restart campaign (camp).
+type expCell struct {
+	res  *Result
+	camp *CampaignResult
+}
+
+// runHeatE1 executes one no-failure heat run and returns its Result.
+func runHeatE1(ctx context.Context, simCfg Config, hc HeatConfig) (*Result, error) {
+	sim, err := New(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.RunContext(ctx, RunHeat(hc))
+	if err != nil {
+		return res, err
+	}
+	if err := res.Err(); err != nil {
+		return res, fmt.Errorf("xsim: E1 run with interval %d: %w", hc.CheckpointInterval, err)
+	}
+	return res, nil
+}
+
+// RunTableII reproduces Table II; it is RunTableIIContext without
+// cancellation.
 func RunTableII(cfg TableIIConfig) (*TableII, error) {
+	return RunTableIIContext(context.Background(), cfg)
+}
+
+// RunTableIIContext reproduces Table II: the heat application runs at
+// Ranks simulated MPI processes with the checkpoint interval and the
+// system MTTF varied; each cell reports E1 (no failures), E2 (with
+// failures and restarts), F, and MTTFa. The baseline, the per-interval E1
+// runs, and every (MTTF, interval) campaign cell are independent and fan
+// out across the campaign pool; each cell's failure draws depend only on
+// Seed and its MTTF, so the table is identical at any pool size. On error
+// (a failed cell, or cancellation) the partial table keeps its pooled
+// Stats but no Rows.
+func RunTableIIContext(ctx context.Context, cfg TableIIConfig) (*TableII, error) {
 	cfg.defaults()
 	base, err := HeatWorkloadFor(cfg.Ranks)
 	if err != nil {
@@ -143,74 +181,81 @@ func RunTableII(cfg TableIIConfig) (*TableII, error) {
 	}
 	base.Iterations = cfg.Iterations
 
-	runE1 := func(interval int) (Time, error) {
+	simCfg := cfg.baseConfig()
+	simCfg.FSModel = cfg.FSModel
+
+	heatAt := func(interval int) HeatConfig {
 		hc := base
 		hc.ExchangeInterval = interval
 		hc.CheckpointInterval = interval
-		sim, err := New(Config{
-			Ranks:        cfg.Ranks,
-			Workers:      cfg.Workers,
-			CallOverhead: cfg.CallOverhead,
-			FSModel:      cfg.FSModel,
-			Logf:         cfg.Logf,
-		})
-		if err != nil {
-			return 0, err
+		return hc
+	}
+	e1Task := func(index, interval int) runner.Task[expCell] {
+		return runner.Task[expCell]{
+			Spec: runner.Spec{Index: index, Label: fmt.Sprintf("E1 c=%d", interval)},
+			Run: func(ctx context.Context) (expCell, error) {
+				res, err := runHeatE1(ctx, simCfg, heatAt(interval))
+				return expCell{res: res}, err
+			},
 		}
-		res, err := sim.Run(RunHeat(hc))
-		if err != nil {
-			return 0, err
-		}
-		if !res.Success() {
-			return 0, fmt.Errorf("xsim: E1 run with interval %d did not complete: %d failed, %d aborted",
-				interval, res.Failed, res.Aborted)
-		}
-		return res.SimTime, nil
 	}
 
-	table := &TableII{Config: cfg}
-
-	// Baseline: no failures, a single checkpoint after the last
-	// iteration.
-	e1, err := runE1(cfg.Iterations)
-	if err != nil {
-		return nil, err
-	}
-	table.Rows = append(table.Rows, TableIIRow{C: cfg.Iterations, E1: e1, Runs: 1})
-
-	e1ByC := make(map[int]Time)
+	// Task order: baseline E1, per-interval E1s, then the campaign grid in
+	// row order. Rows are assembled from this fixed order, never from
+	// completion order.
+	tasks := []runner.Task[expCell]{e1Task(0, cfg.Iterations)}
 	for _, c := range cfg.Intervals {
-		if e1, err = runE1(c); err != nil {
-			return nil, err
-		}
-		e1ByC[c] = e1
+		tasks = append(tasks, e1Task(len(tasks), c))
 	}
-
+	campStart := len(tasks)
 	for _, mttf := range cfg.MTTFs {
 		for _, c := range cfg.Intervals {
-			hc := base
-			hc.ExchangeInterval = c
-			hc.CheckpointInterval = c
-			camp := Campaign{
-				Base: Config{
-					Ranks:        cfg.Ranks,
-					Workers:      cfg.Workers,
-					CallOverhead: cfg.CallOverhead,
-					FSModel:      cfg.FSModel,
-					Logf:         cfg.Logf,
+			hc := heatAt(c)
+			// Mix the MTTF into the seed so different MTTF sweeps draw
+			// independent failure sequences.
+			seed := cfg.Seed + int64(mttf)
+			tasks = append(tasks, runner.Task[expCell]{
+				Spec: runner.Spec{
+					Index: len(tasks),
+					Label: fmt.Sprintf("mttf=%.0fs c=%d", mttf.Seconds(), c),
+					Seed:  seed,
 				},
-				MTTF: mttf,
-				// Mix the MTTF into the seed so different MTTF sweeps
-				// draw independent failure sequences.
-				Seed:             cfg.Seed + int64(mttf),
-				MaxRuns:          cfg.MaxRuns,
-				CheckpointPrefix: "heat",
-				AppFor:           func(int) App { return RunHeat(hc) },
-			}
-			res, err := camp.Run()
-			if err != nil {
-				return nil, err
-			}
+				Run: func(ctx context.Context) (expCell, error) {
+					camp := Campaign{
+						Base:             simCfg,
+						MTTF:             mttf,
+						Seed:             seed,
+						MaxRuns:          cfg.MaxRuns,
+						CheckpointPrefix: "heat",
+						AppFor:           func(int) App { return RunHeat(hc) },
+					}
+					res, err := camp.RunContext(ctx)
+					return expCell{camp: res}, err
+				},
+			})
+		}
+	}
+
+	cells, rstats, err := runner.Run(ctx, cfg.runnerConfig(), tasks)
+	table := &TableII{Config: cfg, Stats: CampaignStats{Runner: rstats}}
+	for _, c := range cells {
+		table.Stats.absorb(c.res)
+		table.Stats.absorbCampaign(c.camp)
+	}
+	if err != nil {
+		return table, err
+	}
+
+	table.Rows = append(table.Rows, TableIIRow{C: cfg.Iterations, E1: cells[0].res.SimTime, Runs: 1})
+	e1ByC := make(map[int]Time, len(cfg.Intervals))
+	for i, c := range cfg.Intervals {
+		e1ByC[c] = cells[1+i].res.SimTime
+	}
+	i := campStart
+	for _, mttf := range cfg.MTTFs {
+		for _, c := range cfg.Intervals {
+			res := cells[i].camp
+			i++
 			table.Rows = append(table.Rows, TableIIRow{
 				MTTFs: mttf,
 				C:     c,
@@ -258,21 +303,16 @@ func (t *TableII) Render() string {
 // the failure struck, in which phase the survivors detected it (and
 // aborted), and the state the checkpoint files were left in.
 type FirstImpressionsConfig struct {
-	// Ranks, Workers, Iterations, Interval describe the workload.
-	Ranks      int
-	Workers    int
+	// RunSpec carries the shared simulation parameters (Ranks defaults to
+	// 512) and the campaign-pool controls.
+	RunSpec
+	// Iterations and Interval describe the workload.
 	Iterations int
 	Interval   int
 	// Trials is the number of independent single-failure runs.
 	Trials int
 	// MTTF spreads the random failure times (default 6,000 s).
 	MTTF Duration
-	// Seed makes the study repeatable.
-	Seed int64
-	// CallOverhead defaults to PaperCallOverhead.
-	CallOverhead Duration
-	// Logf receives simulator progress messages.
-	Logf func(format string, args ...any)
 }
 
 // FirstImpressions aggregates the failure-mode study.
@@ -288,17 +328,34 @@ type FirstImpressions struct {
 	// "corrupted-file" (present but incomplete), "incomplete-set"
 	// (files missing), "partially-deleted-old-set", "clean".
 	CheckpointOutcomes map[string]int
+	// Stats pools the study's execution accounting and simulation metrics.
+	Stats CampaignStats
 }
 
-// RunFirstImpressions reproduces the paper's §V-D observations: because
-// the computation phase dominates, failures usually strike during
+// firstImpressionsTrial is one trial's classification.
+type firstImpressionsTrial struct {
+	activated  bool
+	failedIn   string
+	detectedIn map[string]int
+	checkpoint string
+	camp       *CampaignResult
+}
+
+// RunFirstImpressions reproduces the paper's §V-D observations; it is
+// RunFirstImpressionsContext without cancellation.
+func RunFirstImpressions(cfg FirstImpressionsConfig) (*FirstImpressions, error) {
+	return RunFirstImpressionsContext(context.Background(), cfg)
+}
+
+// RunFirstImpressionsContext reproduces the paper's §V-D observations:
+// because the computation phase dominates, failures usually strike during
 // computation and are detected in the halo exchange; failures during the
 // checkpoint phase are detected in the following barrier; aborts leave
 // incomplete or corrupted checkpoints, or partially deleted old sets.
-func RunFirstImpressions(cfg FirstImpressionsConfig) (*FirstImpressions, error) {
-	if cfg.Ranks == 0 {
-		cfg.Ranks = 512
-	}
+// Trials are independent (each owns a private store and tracker) and fan
+// out across the campaign pool; histograms merge in trial order.
+func RunFirstImpressionsContext(ctx context.Context, cfg FirstImpressionsConfig) (*FirstImpressions, error) {
+	cfg.RunSpec.defaults(512)
 	if cfg.Iterations == 0 {
 		cfg.Iterations = 1000
 	}
@@ -315,9 +372,6 @@ func RunFirstImpressions(cfg FirstImpressionsConfig) (*FirstImpressions, error) 
 		// activates within the run.
 		cfg.MTTF = Duration(cfg.Iterations) * Seconds(5.25) / 4
 	}
-	if cfg.CallOverhead == 0 {
-		cfg.CallOverhead = PaperCallOverhead
-	}
 	base, err := HeatWorkloadFor(cfg.Ranks)
 	if err != nil {
 		return nil, err
@@ -326,51 +380,77 @@ func RunFirstImpressions(cfg FirstImpressionsConfig) (*FirstImpressions, error) 
 	base.ExchangeInterval = cfg.Interval
 	base.CheckpointInterval = cfg.Interval
 
+	tasks := make([]runner.Task[firstImpressionsTrial], cfg.Trials)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		seed := cfg.Seed + int64(trial)*1000
+		tasks[trial] = runner.Task[firstImpressionsTrial]{
+			Spec: runner.Spec{Index: trial, Label: fmt.Sprintf("trial=%d", trial), Seed: seed},
+			Run: func(ctx context.Context) (firstImpressionsTrial, error) {
+				store := NewStore()
+				tracker := NewHeatTracker(cfg.Ranks)
+				hc := base
+				hc.Tracker = tracker
+				simCfg := cfg.baseConfig()
+				simCfg.Store = store
+				camp := Campaign{
+					Base:    simCfg,
+					MTTF:    cfg.MTTF,
+					Seed:    seed,
+					MaxRuns: 1, // observe the first failure only
+					AppFor:  func(int) App { return RunHeat(hc) },
+				}
+				res, err := camp.RunContext(ctx)
+				out := firstImpressionsTrial{camp: res}
+				// The single run usually aborts; that is the point. Only
+				// cancellation is a real failure of the trial itself.
+				if err != nil && errors.Is(err, ErrCancelled) {
+					return out, err
+				}
+				if res == nil || len(res.Runs) == 0 {
+					return out, nil
+				}
+				run := res.Runs[0]
+				if run.Failed == 0 {
+					// The drawn failure time was beyond the application's end.
+					return out, nil
+				}
+				out.activated = true
+				failedRank := run.Injected.Rank
+				out.failedIn = tracker.PhaseOf(failedRank).String()
+				out.detectedIn = make(map[string]int)
+				for r := 0; r < cfg.Ranks; r++ {
+					if r == failedRank {
+						continue
+					}
+					out.detectedIn[tracker.PhaseOf(r).String()]++
+				}
+				out.checkpoint = classifyCheckpoints(store, "heat", cfg.Ranks)
+				return out, nil
+			},
+		}
+	}
+
+	trials, rstats, err := runner.Run(ctx, cfg.runnerConfig(), tasks)
 	out := &FirstImpressions{
 		Config:             cfg,
 		FailedIn:           make(map[string]int),
 		DetectedIn:         make(map[string]int),
 		CheckpointOutcomes: make(map[string]int),
+		Stats:              CampaignStats{Runner: rstats},
 	}
-	for trial := 0; trial < cfg.Trials; trial++ {
-		store := NewStore()
-		tracker := NewHeatTracker(cfg.Ranks)
-		hc := base
-		hc.Tracker = tracker
-		camp := Campaign{
-			Base: Config{
-				Ranks:        cfg.Ranks,
-				Workers:      cfg.Workers,
-				Store:        store,
-				CallOverhead: cfg.CallOverhead,
-				Logf:         cfg.Logf,
-			},
-			MTTF:    cfg.MTTF,
-			Seed:    cfg.Seed + int64(trial)*1000,
-			MaxRuns: 1, // observe the first failure only
-			AppFor:  func(int) App { return RunHeat(hc) },
-		}
-		res, _ := camp.Run() // the single run usually aborts; that is the point
-		if res == nil || len(res.Runs) == 0 {
-			continue
-		}
-		run := res.Runs[0]
-		if run.Failed == 0 {
-			// The drawn failure time was beyond the application's end.
+	for _, t := range trials {
+		out.Stats.absorbCampaign(t.camp)
+		if !t.activated {
 			continue
 		}
 		out.Trials++
-		failedRank := run.Injected.Rank
-		out.FailedIn[tracker.PhaseOf(failedRank).String()]++
-		for r := 0; r < cfg.Ranks; r++ {
-			if r == failedRank {
-				continue
-			}
-			out.DetectedIn[tracker.PhaseOf(r).String()]++
+		out.FailedIn[t.failedIn]++
+		for phase, n := range t.detectedIn {
+			out.DetectedIn[phase] += n
 		}
-		out.CheckpointOutcomes[classifyCheckpoints(store, "heat", cfg.Ranks)]++
+		out.CheckpointOutcomes[t.checkpoint]++
 	}
-	return out, nil
+	return out, err
 }
 
 // classifyCheckpoints inspects the post-abort checkpoint state.

@@ -23,10 +23,20 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"xsim/internal/check"
 	"xsim/internal/vclock"
 )
+
+// ErrStopped is wrapped by the error Run returns when the run was cut
+// short by Cancel: the engine stopped at a window boundary, tore down the
+// surviving VPs, and the Result holds the partial state.
+var ErrStopped = errors.New("core: run cancelled")
+
+// ErrDeadlock is wrapped by the error Run returns when the simulation
+// ended with live VPs blocked forever.
+var ErrDeadlock = errors.New("core: deadlock detected")
 
 // Config parameterises an Engine.
 type Config struct {
@@ -76,7 +86,23 @@ type Engine struct {
 	// round barrier.
 	next []nextSlot
 	bar  barrier
+
+	// stop is the cooperative cancellation flag (Cancel). Partitions poll
+	// it at window boundaries and every stopStride processed items, so a
+	// cancelled run returns within one simulation window. stopRound is
+	// the per-round consensus derived from it by partition 0 under the
+	// round barrier, so every worker observes the same decision in the
+	// same round.
+	stop      atomic.Bool
+	stopRound bool
 }
+
+// Cancel requests a cooperative stop of a running simulation. It is safe
+// to call from any goroutine, before, during, or after Run; the engine
+// observes it at the next window boundary (or every stopStride processed
+// items within a window), tears down the surviving VPs, and Run returns
+// an error wrapping ErrStopped alongside the partial Result.
+func (e *Engine) Cancel() { e.stop.Store(true) }
 
 // New validates cfg and builds an engine.
 func New(cfg Config) (*Engine, error) {
@@ -234,17 +260,23 @@ func (e *Engine) Run(body func(*Ctx)) (*Result, error) {
 		e.runParallel()
 	}
 
-	// Termination or deadlock: any VP still alive is blocked forever.
+	// Termination, cancellation, or deadlock: any VP still alive either
+	// was cut short by Cancel or is blocked forever.
+	cancelled := e.stop.Load()
 	res := &Result{
 		FinalClocks: make([]vclock.Time, len(e.vps)),
 		Deaths:      make([]DeathReason, len(e.vps)),
 		Busy:        make([]vclock.Duration, len(e.vps)),
 		Waited:      make([]vclock.Duration, len(e.vps)),
 	}
+	alive := 0
 	for _, p := range e.parts {
 		if p.live > 0 {
-			res.Deadlocked = true
-			res.Blocked = append(res.Blocked, p.blockedReport()...)
+			alive += p.live
+			if !cancelled {
+				res.Deadlocked = true
+				res.Blocked = append(res.Blocked, p.blockedReport()...)
+			}
 		}
 		res.EventsProcessed += p.events
 		res.Resumes += p.resumes
@@ -291,9 +323,12 @@ func (e *Engine) Run(body func(*Ctx)) (*Result, error) {
 	if firstPanic != "" {
 		return res, fmt.Errorf("core: %s", firstPanic)
 	}
+	if cancelled && alive > 0 {
+		return res, fmt.Errorf("%w with %d VPs still alive at %v", ErrStopped, alive, res.MaxClock)
+	}
 	if res.Deadlocked {
-		return res, fmt.Errorf("core: deadlock detected with %d blocked VPs:\n%s",
-			len(res.Blocked), strings.Join(res.Blocked, "\n"))
+		return res, fmt.Errorf("%w with %d blocked VPs:\n%s",
+			ErrDeadlock, len(res.Blocked), strings.Join(res.Blocked, "\n"))
 	}
 	return res, nil
 }

@@ -34,6 +34,24 @@ type MetricsSnapshot struct {
 	WindowWidthSum vclock.Duration
 }
 
+// Add accumulates other into m: counters sum, high-water marks take the
+// maximum. The campaign layer uses it to pool metrics across many runs.
+func (m *MetricsSnapshot) Add(other MetricsSnapshot) {
+	m.EventsDispatched += other.EventsDispatched
+	m.Resumes += other.Resumes
+	m.PoolHits += other.PoolHits
+	m.PoolMisses += other.PoolMisses
+	m.CrossEvents += other.CrossEvents
+	if other.EventHeapHighWater > m.EventHeapHighWater {
+		m.EventHeapHighWater = other.EventHeapHighWater
+	}
+	if other.ReadyHeapHighWater > m.ReadyHeapHighWater {
+		m.ReadyHeapHighWater = other.ReadyHeapHighWater
+	}
+	m.BarrierRounds += other.BarrierRounds
+	m.WindowWidthSum += other.WindowWidthSum
+}
+
 // AvgWindowWidth returns the mean safe-window width per partition round,
 // or 0 for sequential runs.
 func (m MetricsSnapshot) AvgWindowWidth() vclock.Duration {

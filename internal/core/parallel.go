@@ -103,8 +103,19 @@ func (e *Engine) runParallel() {
 func (p *partition) workerLoop() {
 	e := p.eng
 	for {
+		// Cancellation consensus: partition 0 samples the stop flag before
+		// barrier A and every worker reads the same decision after it (the
+		// barrier's mutex orders the plain write), so all workers leave the
+		// round loop in the same round and the barrier population stays
+		// consistent.
+		if p.id == 0 {
+			e.stopRound = e.stop.Load()
+		}
 		e.next[p.id].t = p.localNext()
 		e.bar.wait() // barrier A: all next times published
+		if e.stopRound {
+			return
+		}
 		own := e.next[p.id].t
 		otherMin := vclock.Never
 		for i := range e.next {

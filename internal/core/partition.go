@@ -134,13 +134,25 @@ func (p *partition) localNext() vclock.Time {
 	return next
 }
 
+// stopStrideMask throttles the cancellation poll inside a window: the
+// atomic stop flag is read once per stopStrideMask+1 processed items, so
+// the hot path pays one local counter increment and a predictable branch,
+// while a cancelled sequential run (whose single window spans the whole
+// simulation) still stops promptly.
+const stopStrideMask = 1<<10 - 1
+
 // processWindow processes all pending items with virtual time strictly
 // before horizon, in deterministic (time, src, seq) order, preferring
 // events over VP resumes on equal times. Items generated during the window
 // that still fall before the horizon are processed too. Dispatched events
 // are recycled into the partition's free list once their handler returns.
+// A Cancel observed mid-window returns early; the run is being torn down,
+// so the unprocessed remainder of the window is irrelevant.
 func (p *partition) processWindow(horizon vclock.Time) {
-	for {
+	for n := uint(0); ; n++ {
+		if n&stopStrideMask == 0 && p.eng.stop.Load() {
+			return
+		}
 		ev := p.eventQ.peek()
 		re, haveReady := p.ready.peek()
 		switch {

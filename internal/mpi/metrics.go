@@ -172,6 +172,21 @@ type MetricsSnapshot struct {
 	Failures []FailureMetric
 }
 
+// Add accumulates other into s: traffic counters sum, UnexpectedMax takes
+// the maximum, and failure records are concatenated. The campaign layer
+// uses it to pool metrics across many runs.
+func (s *MetricsSnapshot) Add(other MetricsSnapshot) {
+	s.EagerMsgs += other.EagerMsgs
+	s.EagerBytes += other.EagerBytes
+	s.RendezvousMsgs += other.RendezvousMsgs
+	s.RendezvousBytes += other.RendezvousBytes
+	s.CollectiveOps += other.CollectiveOps
+	if other.UnexpectedMax > s.UnexpectedMax {
+		s.UnexpectedMax = other.UnexpectedMax
+	}
+	s.Failures = append(s.Failures, other.Failures...)
+}
+
 // Metrics aggregates the per-rank counters into a snapshot. Call it after
 // Run returns; it is not synchronised against a running engine's
 // partitions.

@@ -1,0 +1,375 @@
+// Package runner is the campaign-orchestration engine: it executes many
+// independent simulation runs across a bounded worker pool, the way the
+// paper's evaluation is actually built — Table II's rank×failure grid, the
+// checkpoint-interval sweep, and the restart chains are all campaigns of
+// hundreds of runs that share nothing but a seed-derivation rule.
+//
+// The runner owns the concerns every driver used to reimplement (or skip):
+//
+//   - a bounded pool (default GOMAXPROCS, composing with each run's own
+//     engine parallelism via PoolSize),
+//   - context.Context cancellation and per-run deadlines,
+//   - panic isolation — a crashing run becomes a typed *RunError carrying
+//     the run's Spec instead of killing the whole campaign,
+//   - bounded retry for transient harness errors,
+//   - deterministic seed derivation (campaign seed + run index), so a
+//     campaign's results are identical regardless of pool size or
+//     completion order,
+//   - streaming progress callbacks and aggregate Stats.
+//
+// Results are returned indexed by task position, never by completion
+// order, which is what makes pool-size-independent digests possible.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Spec identifies one run of a campaign. It travels with every progress
+// report and error so a failure deep in a grid names the cell it came
+// from.
+type Spec struct {
+	// Index is the run's position in the campaign (0-based); results are
+	// returned in Index order.
+	Index int
+	// Label names the run for humans ("mttf=3000s c=125 seed=2").
+	Label string
+	// Seed is the run's derived seed (informational; the task closure has
+	// already captured it).
+	Seed int64
+}
+
+// String renders the spec for error messages.
+func (s Spec) String() string {
+	if s.Label == "" {
+		return fmt.Sprintf("run %d", s.Index)
+	}
+	return fmt.Sprintf("run %d (%s)", s.Index, s.Label)
+}
+
+// Task is one unit of campaign work: an independent run producing a T.
+type Task[T any] struct {
+	Spec Spec
+	// Run executes the task. It must honour ctx (the simulator's engine
+	// does, at window boundaries) and be safe to run concurrently with
+	// other tasks — tasks must not share mutable state.
+	Run func(ctx context.Context) (T, error)
+}
+
+// State is a run's lifecycle stage, as seen by progress callbacks.
+type State int
+
+const (
+	// StateStarted means the run was handed to a pool worker.
+	StateStarted State = iota
+	// StateRetrying means an attempt failed with a transient error and
+	// the run will be attempted again.
+	StateRetrying
+	// StateCompleted means the run finished successfully.
+	StateCompleted
+	// StateFailed means the run failed terminally (error, panic, or
+	// cancellation).
+	StateFailed
+)
+
+// String returns a human-readable state.
+func (s State) String() string {
+	switch s {
+	case StateStarted:
+		return "started"
+	case StateRetrying:
+		return "retrying"
+	case StateCompleted:
+		return "completed"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Progress is one streaming progress report. Callbacks are invoked
+// serially (never concurrently), but from pool worker goroutines.
+type Progress struct {
+	Spec    Spec
+	State   State
+	Attempt int // 1-based attempt number
+	// Err is the attempt's error for StateRetrying/StateFailed.
+	Err error
+	// Elapsed is the attempt's wall time (zero for StateStarted).
+	Elapsed time.Duration
+	// Done, Failed, Total summarise the campaign so far: Done counts
+	// finished runs (completed or failed), Failed the terminal failures.
+	Done, Failed, Total int
+}
+
+// Stats aggregates a campaign's execution counters.
+type Stats struct {
+	// Started, Completed, Failed count runs by outcome; Started includes
+	// runs that later failed. Skipped counts runs never started because
+	// the campaign was cancelled first.
+	Started, Completed, Failed, Skipped int
+	// Retries counts extra attempts beyond each run's first.
+	Retries int
+	// Panics counts attempts that ended in a recovered panic.
+	Panics int
+	// Wall is the campaign's total wall-clock time.
+	Wall time.Duration
+	// RunWall sums every attempt's wall time — the serial-equivalent
+	// cost; RunWall/Wall approximates the achieved pool speedup.
+	RunWall time.Duration
+}
+
+// Config parameterises a campaign execution.
+type Config struct {
+	// Pool is the maximum number of runs in flight (default: PoolSize's
+	// composition of GOMAXPROCS with EngineWorkers).
+	Pool int
+	// EngineWorkers is each run's internal engine parallelism; the
+	// default pool budget divides GOMAXPROCS by it so pool × engine
+	// workers stays at the machine's parallelism.
+	EngineWorkers int
+	// RunTimeout, when positive, is each run's deadline; a run that
+	// exceeds it fails with a cancellation error.
+	RunTimeout time.Duration
+	// Retries is the number of extra attempts for runs failing with a
+	// transient error (see MarkTransient); terminal errors never retry.
+	Retries int
+	// OnProgress, when set, receives serialized progress reports.
+	OnProgress func(Progress)
+	// Logf, when set, receives a one-line summary per completed or
+	// failed run (a convenience when no OnProgress is installed).
+	Logf func(format string, args ...any)
+}
+
+// PoolSize composes the campaign pool budget with each run's engine
+// parallelism: an explicit pool wins; otherwise GOMAXPROCS is divided by
+// the per-run engine workers so the total parallelism (pool × engine
+// workers) matches the machine.
+func PoolSize(pool, engineWorkers int) int {
+	if pool > 0 {
+		return pool
+	}
+	if engineWorkers < 1 {
+		engineWorkers = 1
+	}
+	n := runtime.GOMAXPROCS(0) / engineWorkers
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// DeriveSeed maps a campaign seed and a run index to the run's seed with
+// a splitmix64 finalizer: consecutive indexes land far apart, and the
+// derivation depends only on (campaign seed, index) — never on pool size
+// or completion order — so campaigns are repeatable at any parallelism.
+func DeriveSeed(campaignSeed int64, index int) int64 {
+	z := uint64(campaignSeed) + uint64(index+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// RunError is the typed error a failing run becomes: it carries the run's
+// spec, the attempt count, and the underlying cause, so a campaign error
+// names the grid cell instead of killing the campaign anonymously.
+type RunError struct {
+	Spec     Spec
+	Attempts int
+	// Err is the final attempt's error; for a recovered panic it is a
+	// *PanicError.
+	Err error
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("runner: %s failed after %d attempt(s): %v", e.Spec, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// PanicError is a run panic converted into an error by the pool's panic
+// isolation.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("run panicked: %v", e.Value) }
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string { return t.err.Error() }
+func (t *transientError) Unwrap() error { return t.err }
+
+// MarkTransient wraps err so the pool's bounded retry applies to it.
+// Deterministic simulation errors should stay terminal; this is for
+// harness-level failures (resource exhaustion, flaky I/O) that a retry
+// can plausibly clear.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked
+// transient.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// Run executes the tasks across the pool and returns their results in
+// task order. Individual run failures do not stop the campaign: the
+// failed slots hold T's zero value and the returned error joins one
+// *RunError per failure. Cancellation stops new launches, cancels
+// in-flight runs, and is reported as a *RunError wrapping the context's
+// error for every unfinished run it affected; already-completed results
+// are kept.
+func Run[T any](ctx context.Context, cfg Config, tasks []Task[T]) ([]T, Stats, error) {
+	start := time.Now()
+	results := make([]T, len(tasks))
+	errs := make([]error, len(tasks))
+
+	pool := PoolSize(cfg.Pool, cfg.EngineWorkers)
+	if pool > len(tasks) {
+		pool = len(tasks)
+	}
+
+	var (
+		mu    sync.Mutex // guards stats, done/failed counters, progress serialization
+		stats Stats
+		done  int
+	)
+	report := func(p Progress) {
+		if cfg.OnProgress == nil && cfg.Logf == nil {
+			return
+		}
+		mu.Lock()
+		p.Done = done
+		p.Failed = stats.Failed
+		p.Total = len(tasks)
+		if cfg.OnProgress != nil {
+			cfg.OnProgress(p)
+		}
+		if cfg.Logf != nil && (p.State == StateCompleted || p.State == StateFailed) {
+			status := "ok"
+			if p.State == StateFailed {
+				status = fmt.Sprintf("FAILED: %v", p.Err)
+			}
+			cfg.Logf("[campaign %d/%d] %s: %s (%v)", p.Done, p.Total, p.Spec, status, p.Elapsed.Round(time.Millisecond))
+		}
+		mu.Unlock()
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(pool)
+	for w := 0; w < pool; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t := &tasks[i]
+				mu.Lock()
+				stats.Started++
+				mu.Unlock()
+				res, attempts, runWall, err := runOne(ctx, cfg, t, report)
+				mu.Lock()
+				stats.RunWall += runWall
+				stats.Retries += attempts - 1
+				if _, isPanic := asPanic(err); isPanic {
+					stats.Panics++
+				}
+				if err != nil {
+					stats.Failed++
+					errs[i] = &RunError{Spec: t.Spec, Attempts: attempts, Err: err}
+				} else {
+					stats.Completed++
+					results[i] = res
+				}
+				done++
+				mu.Unlock()
+				state := StateCompleted
+				if err != nil {
+					state = StateFailed
+				}
+				report(Progress{Spec: t.Spec, State: state, Attempt: attempts, Err: err, Elapsed: runWall})
+			}
+		}()
+	}
+
+feed:
+	for i := range tasks {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			// Unstarted tasks become skipped; their error names the
+			// cancellation so callers can errors.Is(err, context.Canceled).
+			mu.Lock()
+			for j := i; j < len(tasks); j++ {
+				stats.Skipped++
+				errs[j] = &RunError{Spec: tasks[j].Spec, Attempts: 0, Err: context.Cause(ctx)}
+			}
+			mu.Unlock()
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	stats.Wall = time.Since(start)
+	return results, stats, errors.Join(errs...)
+}
+
+// runOne executes one task with per-attempt panic isolation, deadline,
+// and bounded transient retry. It returns the result, the number of
+// attempts, the summed attempt wall time, and the final error.
+func runOne[T any](ctx context.Context, cfg Config, t *Task[T], report func(Progress)) (res T, attempts int, wall time.Duration, err error) {
+	for attempts = 1; ; attempts++ {
+		report(Progress{Spec: t.Spec, State: StateStarted, Attempt: attempts})
+		attemptStart := time.Now()
+		res, err = runAttempt(ctx, cfg.RunTimeout, t)
+		wall += time.Since(attemptStart)
+		if err == nil || ctx.Err() != nil || !IsTransient(err) || attempts > cfg.Retries {
+			return res, attempts, wall, err
+		}
+		report(Progress{Spec: t.Spec, State: StateRetrying, Attempt: attempts, Err: err, Elapsed: time.Since(attemptStart)})
+	}
+}
+
+// runAttempt is one attempt: it applies the per-run deadline and converts
+// a panic into a *PanicError instead of unwinding the pool worker.
+func runAttempt[T any](ctx context.Context, timeout time.Duration, t *Task[T]) (res T, err error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, timeout,
+			fmt.Errorf("runner: %s exceeded its %v deadline", t.Spec, timeout))
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return t.Run(ctx)
+}
+
+// asPanic extracts a *PanicError from err, if any.
+func asPanic(err error) (*PanicError, bool) {
+	var p *PanicError
+	if errors.As(err, &p) {
+		return p, true
+	}
+	return nil, false
+}

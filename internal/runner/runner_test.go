@@ -1,0 +1,254 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunReturnsResultsInTaskOrder(t *testing.T) {
+	const n = 50
+	tasks := make([]Task[int], n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{
+			Spec: Spec{Index: i},
+			Run: func(ctx context.Context) (int, error) {
+				// Finish in scrambled order.
+				time.Sleep(time.Duration((n-i)%7) * time.Millisecond)
+				return i * i, nil
+			},
+		}
+	}
+	for _, pool := range []int{1, 3, 8} {
+		res, stats, err := Run(context.Background(), Config{Pool: pool}, tasks)
+		if err != nil {
+			t.Fatalf("pool %d: %v", pool, err)
+		}
+		for i, v := range res {
+			if v != i*i {
+				t.Fatalf("pool %d: result[%d] = %d, want %d", pool, i, v, i*i)
+			}
+		}
+		if stats.Completed != n || stats.Failed != 0 || stats.Started != n {
+			t.Fatalf("pool %d: stats %+v", pool, stats)
+		}
+	}
+}
+
+func TestRunIsolatesPanics(t *testing.T) {
+	tasks := []Task[string]{
+		{Spec: Spec{Index: 0, Label: "ok"}, Run: func(ctx context.Context) (string, error) { return "fine", nil }},
+		{Spec: Spec{Index: 1, Label: "boom"}, Run: func(ctx context.Context) (string, error) { panic("kaboom") }},
+		{Spec: Spec{Index: 2, Label: "ok2"}, Run: func(ctx context.Context) (string, error) { return "also fine", nil }},
+	}
+	res, stats, err := Run(context.Background(), Config{Pool: 2}, tasks)
+	if err == nil {
+		t.Fatal("want an error for the panicking run")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not a *RunError", err)
+	}
+	if re.Spec.Index != 1 {
+		t.Fatalf("RunError names index %d, want 1", re.Spec.Index)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "kaboom" {
+		t.Fatalf("want a *PanicError carrying the panic value, got %v", err)
+	}
+	if res[0] != "fine" || res[2] != "also fine" {
+		t.Fatalf("surviving results lost: %q", res)
+	}
+	if stats.Completed != 2 || stats.Failed != 1 || stats.Panics != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestRunRetriesTransientErrors(t *testing.T) {
+	var attempts atomic.Int32
+	tasks := []Task[int]{{
+		Spec: Spec{Index: 0},
+		Run: func(ctx context.Context) (int, error) {
+			if attempts.Add(1) < 3 {
+				return 0, MarkTransient(errors.New("flaky"))
+			}
+			return 42, nil
+		},
+	}}
+	res, stats, err := Run(context.Background(), Config{Retries: 3}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 42 || attempts.Load() != 3 || stats.Retries != 2 {
+		t.Fatalf("res %v attempts %d stats %+v", res, attempts.Load(), stats)
+	}
+}
+
+func TestRunDoesNotRetryTerminalErrors(t *testing.T) {
+	var attempts atomic.Int32
+	terminal := errors.New("deterministic failure")
+	tasks := []Task[int]{{
+		Spec: Spec{Index: 0},
+		Run: func(ctx context.Context) (int, error) {
+			attempts.Add(1)
+			return 0, terminal
+		},
+	}}
+	_, _, err := Run(context.Background(), Config{Retries: 5}, tasks)
+	if !errors.Is(err, terminal) {
+		t.Fatalf("err %v does not wrap the terminal cause", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("terminal error was attempted %d times, want 1", attempts.Load())
+	}
+}
+
+func TestRunRetryBudgetIsBounded(t *testing.T) {
+	var attempts atomic.Int32
+	tasks := []Task[int]{{
+		Spec: Spec{Index: 0},
+		Run: func(ctx context.Context) (int, error) {
+			attempts.Add(1)
+			return 0, MarkTransient(errors.New("always flaky"))
+		},
+	}}
+	_, stats, err := Run(context.Background(), Config{Retries: 2}, tasks)
+	if err == nil {
+		t.Fatal("want failure after the retry budget")
+	}
+	if attempts.Load() != 3 || stats.Retries != 2 || stats.Failed != 1 {
+		t.Fatalf("attempts %d stats %+v", attempts.Load(), stats)
+	}
+}
+
+func TestRunCancellationSkipsAndCancels(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var startedRuns atomic.Int32
+	tasks := make([]Task[int], 20)
+	for i := range tasks {
+		tasks[i] = Task[int]{
+			Spec: Spec{Index: i},
+			Run: func(ctx context.Context) (int, error) {
+				if startedRuns.Add(1) == 1 {
+					close(started)
+				}
+				<-ctx.Done()
+				return 0, context.Cause(ctx)
+			},
+		}
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, stats, err := Run(ctx, Config{Pool: 2}, tasks)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v does not wrap context.Canceled", err)
+	}
+	if stats.Skipped == 0 {
+		t.Fatalf("expected skipped runs, stats %+v", stats)
+	}
+	if stats.Completed != 0 {
+		t.Fatalf("no run should complete, stats %+v", stats)
+	}
+}
+
+func TestRunTimeoutAppliesPerRun(t *testing.T) {
+	tasks := []Task[int]{{
+		Spec: Spec{Index: 0, Label: "slow"},
+		Run: func(ctx context.Context) (int, error) {
+			select {
+			case <-ctx.Done():
+				return 0, context.Cause(ctx)
+			case <-time.After(5 * time.Second):
+				return 1, nil
+			}
+		},
+	}}
+	start := time.Now()
+	_, _, err := Run(context.Background(), Config{RunTimeout: 20 * time.Millisecond}, tasks)
+	if err == nil {
+		t.Fatal("want a deadline error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline did not cut the run short (%v)", elapsed)
+	}
+}
+
+func TestRunProgressIsSerializedAndComplete(t *testing.T) {
+	const n = 16
+	var completed, started int
+	tasks := make([]Task[int], n)
+	for i := range tasks {
+		tasks[i] = Task[int]{Spec: Spec{Index: i}, Run: func(ctx context.Context) (int, error) { return 0, nil }}
+	}
+	_, _, err := Run(context.Background(), Config{
+		Pool: 4,
+		OnProgress: func(p Progress) {
+			// No mutex here: the runner promises serialized callbacks, so
+			// -race flags any violation.
+			switch p.State {
+			case StateStarted:
+				started++
+			case StateCompleted:
+				completed++
+				if p.Total != n {
+					t.Errorf("Total = %d, want %d", p.Total, n)
+				}
+			}
+		},
+	}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started != n || completed != n {
+		t.Fatalf("progress saw %d started, %d completed, want %d each", started, completed, n)
+	}
+}
+
+func TestDeriveSeedDeterministicAndSpread(t *testing.T) {
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		s1 := DeriveSeed(133, i)
+		s2 := DeriveSeed(133, i)
+		if s1 != s2 {
+			t.Fatalf("DeriveSeed not deterministic at index %d", i)
+		}
+		if seen[s1] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s1] = true
+	}
+	if DeriveSeed(133, 0) == DeriveSeed(134, 0) {
+		t.Fatal("different campaign seeds should derive different run seeds")
+	}
+}
+
+func TestPoolSizeComposition(t *testing.T) {
+	if got := PoolSize(7, 4); got != 7 {
+		t.Fatalf("explicit pool ignored: %d", got)
+	}
+	maxprocs := runtime.GOMAXPROCS(0)
+	if got := PoolSize(0, 1); got != maxprocs {
+		t.Fatalf("default pool = %d, want GOMAXPROCS (%d)", got, maxprocs)
+	}
+	if got := PoolSize(0, 2*maxprocs); got != 1 {
+		t.Fatalf("oversubscribed engine workers should clamp the pool to 1, got %d", got)
+	}
+}
+
+func TestRunErrorNamesTheSpec(t *testing.T) {
+	err := &RunError{Spec: Spec{Index: 3, Label: "mttf=3000 c=125"}, Attempts: 2, Err: errors.New("boom")}
+	msg := err.Error()
+	for _, want := range []string{"run 3", "mttf=3000 c=125", "2 attempt"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}

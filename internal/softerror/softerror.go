@@ -20,10 +20,12 @@
 package softerror
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"xsim/internal/runner"
 	"xsim/internal/stats"
 )
 
@@ -143,6 +145,12 @@ type CampaignConfig struct {
 	Seed int64
 	// Model is the victim model (DefaultVictim when zero).
 	Model VictimModel
+	// Pool caps the number of victims injected concurrently (0 = one per
+	// processor); each victim's random sequence depends only on Seed and
+	// its index, so the result is identical at any pool size.
+	Pool int
+	// Logf receives campaign progress messages (nil discards them).
+	Logf func(format string, args ...any)
 }
 
 // CampaignResult summarises an injection campaign in Table I's terms.
@@ -162,8 +170,27 @@ type CampaignResult struct {
 	Summary stats.Summary
 }
 
-// RunCampaign executes the injection campaign.
+// RunCampaign executes the injection campaign; it is RunCampaignContext
+// without cancellation.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	return RunCampaignContext(context.Background(), cfg)
+}
+
+// victimOutcome is one victim's campaign contribution. A zero value marks
+// a victim that never ran (campaign cancelled first).
+type victimOutcome struct {
+	injections int
+	killed     bool
+	region     string
+}
+
+// RunCampaignContext executes the injection campaign, fanning the
+// independent victims out across the campaign pool. Each victim draws
+// from its own rand.Rand seeded by Seed and the victim index, and the
+// summary merges outcomes in victim order, so the result is identical to
+// the sequential campaign at any pool size. Cancellation returns the
+// outcomes of the victims that finished.
+func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
 	if cfg.Victims <= 0 {
 		return nil, fmt.Errorf("softerror: Victims must be positive")
 	}
@@ -177,30 +204,47 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
+
+	tasks := make([]runner.Task[victimOutcome], cfg.Victims)
+	for i := 0; i < cfg.Victims; i++ {
+		seed := cfg.Seed + int64(i)
+		tasks[i] = runner.Task[victimOutcome]{
+			Spec: runner.Spec{Index: i, Label: fmt.Sprintf("victim=%d", i), Seed: seed},
+			Run: func(ctx context.Context) (victimOutcome, error) {
+				v := NewVictim(model, rand.New(rand.NewSource(seed)))
+				var out victimOutcome
+				for out.injections < cfg.MaxInjections {
+					out.injections++
+					killed, region := v.Inject()
+					if killed {
+						out.killed, out.region = true, region
+						break
+					}
+				}
+				return out, nil
+			},
+		}
+	}
+	outcomes, _, err := runner.Run(ctx, runner.Config{Pool: cfg.Pool, Logf: cfg.Logf}, tasks)
+
 	res := &CampaignResult{
 		Victims:       cfg.Victims,
 		KillsByRegion: make(map[string]int),
 	}
-	for i := 0; i < cfg.Victims; i++ {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
-		v := NewVictim(model, rng)
-		n := 0
-		for n < cfg.MaxInjections {
-			n++
-			res.Injections++
-			killed, region := v.Inject()
-			if killed {
-				res.KillsByRegion[region]++
-				break
-			}
+	for _, out := range outcomes {
+		if out.injections == 0 {
+			continue // cancelled before this victim ran
 		}
-		if !v.Dead() {
+		res.Injections += out.injections
+		if out.killed {
+			res.KillsByRegion[out.region]++
+		} else {
 			res.Survived++
 		}
-		res.ToFailure = append(res.ToFailure, n)
+		res.ToFailure = append(res.ToFailure, out.injections)
 	}
 	res.Summary = stats.SummarizeInts(res.ToFailure)
-	return res, nil
+	return res, err
 }
 
 // Table renders the campaign in the layout of the paper's Table I.

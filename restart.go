@@ -1,6 +1,7 @@
 package xsim
 
 import (
+	"context"
 	"fmt"
 
 	"xsim/internal/checkpoint"
@@ -75,6 +76,14 @@ type CampaignResult struct {
 	// virtual time across all runs of the campaign, for energy
 	// accounting.
 	Busy, Waited []Duration
+	// SimTime sums each run's virtual clock advance; restarts resume
+	// from the previous exit time, so over a whole chain this equals the
+	// E2 completion time minus the campaign's start clock.
+	SimTime Duration
+	// Engine and MPI pool the per-run engine and MPI counters across the
+	// whole restart chain.
+	Engine EngineMetrics
+	MPI    MPIMetrics
 }
 
 // Energy evaluates a power model over the whole campaign: every run's
@@ -90,8 +99,19 @@ func (r *CampaignResult) MTTFa() Duration {
 	return Duration(r.E2) / Duration(r.Failures+1)
 }
 
-// Run executes the campaign.
+// Run executes the campaign; it is RunContext without cancellation.
 func (c Campaign) Run() (*CampaignResult, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext executes the campaign's failure/restart chain. The chain is
+// inherently ordered — each restart resumes from the previous run's
+// persisted exit time — so its runs execute sequentially; fan campaigns
+// of independent seeds out with RunCampaigns instead. ctx cancels the
+// chain between runs and, through Sim.RunContext, within a run at the
+// next simulation window; the partial CampaignResult accompanies an
+// error wrapping ErrCancelled.
+func (c Campaign) RunContext(ctx context.Context) (*CampaignResult, error) {
 	if c.AppFor == nil && c.AppForPredicted == nil {
 		return nil, fmt.Errorf("xsim: Campaign.AppFor is required")
 	}
@@ -123,6 +143,9 @@ func (c Campaign) Run() (*CampaignResult, error) {
 		}
 		cfg.Failures = append(cfg.Failures, drawn...)
 
+		if err := ctx.Err(); err != nil {
+			return result, fmt.Errorf("%w before run %d: %v", ErrCancelled, run, context.Cause(ctx))
+		}
 		sim, err := New(cfg)
 		if err != nil {
 			return result, err
@@ -142,10 +165,13 @@ func (c Campaign) Run() (*CampaignResult, error) {
 		} else {
 			app = c.AppFor(run)
 		}
-		res, err := sim.Run(app)
+		res, err := sim.RunContext(ctx, app)
 		if err != nil {
 			return result, err
 		}
+		result.SimTime += res.SimTime.Sub(res.StartClock)
+		result.Engine.Add(res.Engine)
+		result.MPI.Add(res.MPI)
 		summary := RunSummary{
 			Run:       run,
 			Start:     start,
@@ -188,7 +214,8 @@ func (c Campaign) Run() (*CampaignResult, error) {
 		start = res.SimTime
 	}
 	result.E2 = start
-	return result, fmt.Errorf("xsim: campaign did not complete within %d runs (%d failures)", maxRuns, result.Failures)
+	return result, fmt.Errorf("%w: campaign did not complete within %d runs (%d failures)",
+		ErrAborted, maxRuns, result.Failures)
 }
 
 // SavedExitTime reads the exit time a previous aborted run persisted in

@@ -1,0 +1,116 @@
+package xsim
+
+import (
+	"xsim/internal/netmodel"
+	"xsim/internal/runner"
+)
+
+// RunSpec is the shared trunk of every Run-family configuration
+// (TableIConfig, TableIIConfig, IntervalSweepConfig,
+// FirstImpressionsConfig, CampaignSetConfig): the simulation parameters
+// the drivers used to copy-paste into five divergent config structs.
+// Embedding it gives every driver the same field names, the same defaults
+// path, and the same campaign-pool controls. Field access is unchanged
+// from the old per-struct fields (cfg.Ranks still works via promotion);
+// keyed composite literals set the embedded struct explicitly:
+//
+//	xsim.TableIIConfig{RunSpec: xsim.RunSpec{Ranks: 512, Workers: 2}}
+type RunSpec struct {
+	// Ranks is the number of simulated MPI processes; each driver fills
+	// its own default (the paper's scale for Table II, 512 elsewhere).
+	Ranks int
+	// Workers is each run's engine parallelism (0/1 = sequential). It
+	// composes with Pool: the default pool budget is GOMAXPROCS/Workers.
+	Workers int
+	// Seed drives the driver's random draws; per-run seeds derive
+	// deterministically from it and the run index, so results are
+	// identical at any pool size.
+	Seed int64
+	// CallOverhead is the per-MPI-call CPU cost; experiment drivers
+	// default it to PaperCallOverhead.
+	CallOverhead Duration
+	// Net is the network model; nil uses the paper's parameters sized to
+	// Ranks.
+	Net *netmodel.Model
+	// Logf receives simulator and campaign progress messages; nil
+	// discards them (every driver treats nil the same way).
+	Logf func(format string, args ...any)
+	// Pool caps the number of simulation runs in flight (0 = the
+	// GOMAXPROCS/Workers composition; 1 = sequential execution).
+	Pool int
+}
+
+// defaults fills the spec's zero fields: the driver-specific default rank
+// count and the paper's calibrated per-call overhead. It is the single
+// defaults path all Run-family configs share.
+func (s *RunSpec) defaults(defaultRanks int) {
+	if s.Ranks == 0 {
+		s.Ranks = defaultRanks
+	}
+	if s.CallOverhead == 0 {
+		s.CallOverhead = PaperCallOverhead
+	}
+}
+
+// logf returns the spec's logger, never nil.
+func (s *RunSpec) logf() func(format string, args ...any) {
+	if s.Logf != nil {
+		return s.Logf
+	}
+	return func(string, ...any) {}
+}
+
+// baseConfig returns the per-run simulation Config the spec describes.
+func (s *RunSpec) baseConfig() Config {
+	return Config{
+		Ranks:        s.Ranks,
+		Workers:      s.Workers,
+		Net:          s.Net,
+		CallOverhead: s.CallOverhead,
+		Logf:         s.Logf,
+	}
+}
+
+// runnerConfig returns the campaign-pool configuration for this spec:
+// the pool budget composes with the per-run engine workers, and run
+// completions stream through the spec's logger.
+func (s *RunSpec) runnerConfig() runner.Config {
+	return runner.Config{Pool: s.Pool, EngineWorkers: s.Workers, Logf: s.Logf}
+}
+
+// CampaignStats aggregates a concurrent campaign's execution: the pool's
+// run accounting plus the pooled simulation metrics — wall time vs
+// simulated virtual time, and the engine/MPI counter sums across every
+// run of the campaign.
+type CampaignStats struct {
+	// Runner is the pool's run accounting (started/completed/failed,
+	// wall time, summed per-run wall time).
+	Runner runner.Stats
+	// SimTime sums the virtual time simulated across all runs.
+	SimTime Duration
+	// Engine and MPI sum the per-run engine and MPI counters.
+	Engine EngineMetrics
+	// MPI sums the per-run MPI-layer counters; FailureMetric records are
+	// concatenated.
+	MPI MPIMetrics
+}
+
+// absorb accumulates one run's result into the campaign stats.
+func (cs *CampaignStats) absorb(res *Result) {
+	if res == nil {
+		return
+	}
+	cs.SimTime += res.SimTime.Sub(res.StartClock)
+	cs.Engine.Add(res.Engine)
+	cs.MPI.Add(res.MPI)
+}
+
+// absorbCampaign accumulates a whole restart chain's pooled metrics.
+func (cs *CampaignStats) absorbCampaign(res *CampaignResult) {
+	if res == nil {
+		return
+	}
+	cs.SimTime += res.SimTime
+	cs.Engine.Add(res.Engine)
+	cs.MPI.Add(res.MPI)
+}

@@ -1,10 +1,12 @@
 package xsim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"xsim/internal/daly"
+	"xsim/internal/runner"
 	"xsim/internal/stats"
 )
 
@@ -15,10 +17,10 @@ import (
 // cites) — locating the empirical optimum and the crossover between
 // checkpointing too often and losing too much work.
 type IntervalSweepConfig struct {
-	// Ranks is the number of simulated MPI processes.
-	Ranks int
-	// Workers is the engine parallelism.
-	Workers int
+	// RunSpec carries the shared simulation parameters (Ranks defaults to
+	// 512) and the campaign-pool controls. RunSpec.Seed is unused: the
+	// sweep averages over the explicit Seeds list.
+	RunSpec
 	// Iterations is the total iteration count (default 1,000).
 	Iterations int
 	// Intervals are the checkpoint intervals to sweep (default
@@ -29,10 +31,6 @@ type IntervalSweepConfig struct {
 	// Seeds are averaged per interval to smooth the random failure
 	// draws (default 3 seeds starting at 133).
 	Seeds []int64
-	// CallOverhead defaults to PaperCallOverhead.
-	CallOverhead Duration
-	// Logf receives simulator progress messages.
-	Logf func(format string, args ...any)
 }
 
 // IntervalSweepPoint is one measured point of the sweep.
@@ -65,14 +63,26 @@ type IntervalSweep struct {
 	// BestMeasured is the interval (in iterations) with the lowest
 	// measured mean E2.
 	BestMeasured int
+	// Stats pools the sweep's execution accounting and simulation
+	// metrics across every E1 run and seed campaign.
+	Stats CampaignStats
 }
 
-// RunIntervalSweep measures E2 across checkpoint intervals and fits Daly's
-// model to the same scenario.
+// RunIntervalSweep measures E2 across checkpoint intervals; it is
+// RunIntervalSweepContext without cancellation.
 func RunIntervalSweep(cfg IntervalSweepConfig) (*IntervalSweep, error) {
-	if cfg.Ranks == 0 {
-		cfg.Ranks = 512
-	}
+	return RunIntervalSweepContext(context.Background(), cfg)
+}
+
+// RunIntervalSweepContext measures E2 across checkpoint intervals and fits
+// Daly's model to the same scenario. The baseline, the per-interval E1
+// runs, and every (interval, seed) campaign are independent and fan out
+// across the campaign pool; each campaign's failure draws depend only on
+// its seed, so the sweep is identical at any pool size. On error (a
+// failed point, or cancellation) the partial sweep keeps its pooled Stats
+// but no Points.
+func RunIntervalSweepContext(ctx context.Context, cfg IntervalSweepConfig) (*IntervalSweep, error) {
+	cfg.RunSpec.defaults(512)
 	if cfg.Iterations == 0 {
 		cfg.Iterations = 1000
 	}
@@ -85,60 +95,79 @@ func RunIntervalSweep(cfg IntervalSweepConfig) (*IntervalSweep, error) {
 	if len(cfg.Seeds) == 0 {
 		cfg.Seeds = []int64{133, 134, 135}
 	}
-	if cfg.CallOverhead == 0 {
-		cfg.CallOverhead = PaperCallOverhead
-	}
 	base, err := HeatWorkloadFor(cfg.Ranks)
 	if err != nil {
 		return nil, err
 	}
 	base.Iterations = cfg.Iterations
 
-	runE1 := func(interval int) (Time, error) {
+	simCfg := cfg.baseConfig()
+	heatAt := func(interval int) HeatConfig {
 		hc := base
 		hc.ExchangeInterval = interval
 		hc.CheckpointInterval = interval
-		sim, err := New(Config{Ranks: cfg.Ranks, Workers: cfg.Workers, CallOverhead: cfg.CallOverhead, Logf: cfg.Logf})
-		if err != nil {
-			return 0, err
+		return hc
+	}
+	e1Task := func(index, interval int) runner.Task[expCell] {
+		return runner.Task[expCell]{
+			Spec: runner.Spec{Index: index, Label: fmt.Sprintf("E1 c=%d", interval)},
+			Run: func(ctx context.Context) (expCell, error) {
+				res, err := runHeatE1(ctx, simCfg, heatAt(interval))
+				return expCell{res: res}, err
+			},
 		}
-		res, err := sim.Run(RunHeat(hc))
-		if err != nil {
-			return 0, err
-		}
-		if !res.Success() {
-			return 0, fmt.Errorf("xsim: sweep E1 run failed at interval %d", interval)
-		}
-		return res.SimTime, nil
 	}
 
-	sweep := &IntervalSweep{Config: cfg}
-	if sweep.Baseline, err = runE1(cfg.Iterations); err != nil {
-		return nil, err
-	}
-
+	// Task order: baseline E1, per-interval E1s, then interval-major
+	// (interval, seed) campaigns. Points are assembled from this fixed
+	// order, never from completion order.
+	tasks := []runner.Task[expCell]{e1Task(0, cfg.Iterations)}
 	for _, c := range cfg.Intervals {
-		e1, err := runE1(c)
-		if err != nil {
-			return nil, err
-		}
-		point := IntervalSweepPoint{C: c, E1: e1}
-		var sumE2, sumF float64
+		tasks = append(tasks, e1Task(len(tasks), c))
+	}
+	campStart := len(tasks)
+	for _, c := range cfg.Intervals {
 		for _, seed := range cfg.Seeds {
-			hc := base
-			hc.ExchangeInterval = c
-			hc.CheckpointInterval = c
-			camp := Campaign{
-				Base:             Config{Ranks: cfg.Ranks, Workers: cfg.Workers, CallOverhead: cfg.CallOverhead, Logf: cfg.Logf},
-				MTTF:             cfg.MTTF,
-				Seed:             seed,
-				CheckpointPrefix: "heat",
-				AppFor:           func(int) App { return RunHeat(hc) },
-			}
-			res, err := camp.Run()
-			if err != nil {
-				return nil, err
-			}
+			hc := heatAt(c)
+			tasks = append(tasks, runner.Task[expCell]{
+				Spec: runner.Spec{
+					Index: len(tasks),
+					Label: fmt.Sprintf("c=%d seed=%d", c, seed),
+					Seed:  seed,
+				},
+				Run: func(ctx context.Context) (expCell, error) {
+					camp := Campaign{
+						Base:             simCfg,
+						MTTF:             cfg.MTTF,
+						Seed:             seed,
+						CheckpointPrefix: "heat",
+						AppFor:           func(int) App { return RunHeat(hc) },
+					}
+					res, err := camp.RunContext(ctx)
+					return expCell{camp: res}, err
+				},
+			})
+		}
+	}
+
+	cells, rstats, err := runner.Run(ctx, cfg.runnerConfig(), tasks)
+	sweep := &IntervalSweep{Config: cfg, Stats: CampaignStats{Runner: rstats}}
+	for _, c := range cells {
+		sweep.Stats.absorb(c.res)
+		sweep.Stats.absorbCampaign(c.camp)
+	}
+	if err != nil {
+		return sweep, err
+	}
+
+	sweep.Baseline = cells[0].res.SimTime
+	i := campStart
+	for ci, c := range cfg.Intervals {
+		point := IntervalSweepPoint{C: c, E1: cells[1+ci].res.SimTime}
+		var sumE2, sumF float64
+		for range cfg.Seeds {
+			res := cells[i].camp
+			i++
 			sumE2 += Duration(res.E2).Seconds()
 			sumF += float64(res.Failures)
 		}

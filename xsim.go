@@ -32,6 +32,8 @@
 package xsim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -334,17 +336,45 @@ func New(cfg Config) (*Sim, error) {
 func (s *Sim) Store() *Store { return s.store }
 
 // Run executes app on every rank and drives the simulation to completion.
+// It is RunContext without cancellation.
 func (s *Sim) Run(app App) (*Result, error) {
+	return s.RunContext(context.Background(), app)
+}
+
+// RunContext executes app on every rank and drives the simulation to
+// completion, honouring ctx: when the context is cancelled (or a deadline
+// passes), the discrete-event engine stops cooperatively at the next
+// simulation window boundary, tears the surviving virtual processes down,
+// and RunContext returns the partial Result alongside an error wrapping
+// ErrCancelled. A deadlocked simulation likewise returns its partial
+// Result with an error wrapping ErrDeadlock.
+func (s *Sim) RunContext(ctx context.Context, app App) (*Result, error) {
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("%w before the run started: %v", ErrCancelled, context.Cause(ctx))
+	}
 	wallStart := time.Now()
+	if ctx.Done() != nil {
+		// The watcher forwards the context's cancellation to the engine's
+		// cooperative stop flag; closing watchDone on return reclaims it.
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.world.Engine().Cancel()
+			case <-watchDone:
+			}
+		}()
+	}
 	res, err := s.world.Run(app)
-	if err != nil {
+	if err != nil && res == nil {
 		return nil, err
 	}
 	deaths := make([]string, len(res.Deaths))
 	for i, d := range res.Deaths {
 		deaths[i] = d.String()
 	}
-	return &Result{
+	result := &Result{
 		SimTime:    res.MaxClock,
 		MinTime:    res.MinClock,
 		AvgTime:    res.AvgClock,
@@ -359,7 +389,17 @@ func (s *Sim) Run(app App) (*Result, error) {
 		WallTime:   time.Since(wallStart),
 		Engine:     s.world.Engine().Metrics(),
 		MPI:        s.world.Metrics(),
-	}, nil
+	}
+	switch {
+	case err == nil:
+		return result, nil
+	case errors.Is(err, core.ErrStopped):
+		return result, fmt.Errorf("%w at %v: %v", ErrCancelled, result.SimTime, context.Cause(ctx))
+	default:
+		// Deadlocks (wrapping ErrDeadlock) and VP panics pass through
+		// with the partial result attached.
+		return result, err
+	}
 }
 
 // MetricsReport renders the run's engine and MPI counters as fixed-width

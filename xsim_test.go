@@ -223,7 +223,7 @@ func TestSavedExitTime(t *testing.T) {
 }
 
 func TestRunTableIShape(t *testing.T) {
-	res, err := RunTableI(TableIConfig{Seed: 2013})
+	res, err := RunTableI(TableIConfig{RunSpec: RunSpec{Seed: 2013}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestRunTableIShape(t *testing.T) {
 // the documented seed.
 func runSmallTableII(t *testing.T) *TableII {
 	t.Helper()
-	tab, err := RunTableII(TableIIConfig{Ranks: 64, Seed: 133})
+	tab, err := RunTableII(TableIIConfig{RunSpec: RunSpec{Ranks: 64, Seed: 133}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +320,8 @@ func TestRunTableIIDeterministic(t *testing.T) {
 
 func TestFirstImpressions(t *testing.T) {
 	fi, err := RunFirstImpressions(FirstImpressionsConfig{
-		Ranks: 64, Trials: 6, Seed: 1, Iterations: 200, Interval: 25,
+		RunSpec: RunSpec{Ranks: 64, Seed: 1},
+		Trials:  6, Iterations: 200, Interval: 25,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -350,7 +351,8 @@ func TestFirstImpressions(t *testing.T) {
 
 func TestIntervalSweepShape(t *testing.T) {
 	s, err := RunIntervalSweep(IntervalSweepConfig{
-		Ranks: 64, Seeds: []int64{133, 134}, Intervals: []int{500, 125, 31},
+		RunSpec: RunSpec{Ranks: 64},
+		Seeds:   []int64{133, 134}, Intervals: []int{500, 125, 31},
 	})
 	if err != nil {
 		t.Fatal(err)
