@@ -9,13 +9,19 @@
 #                     Workers ∈ {1,2,4} determinism cross-check)
 #   5. go test -race (whole module under the race detector; the parallel
 #                     window protocol must be data-race free)
-#   6. differential harness (50 random MPI workloads, sequential vs
-#                     Workers ∈ {2,4}, engine/MPI invariants enabled)
+#   6. differential harness (500 random MPI workloads under -race,
+#                     sequential vs Workers ∈ {2,4}, engine/MPI invariants
+#                     enabled; payload digests double as a check that
+#                     data-plane pooling never leaks one message's bytes
+#                     into another)
 #   7. fuzz smoke     (10s of coverage-guided fuzzing per parsing surface;
 #                     checked-in corpora already ran as regressions in 4)
 #   8. BenchmarkHandoff allocation gate (the context-switch hot path
 #                     must stay at 0 allocs/op — Validate must cost nothing
 #                     when off)
+#   8b. BenchmarkPingPong allocation gate (the MPI data plane recycles
+#                     envelopes/requests/payload buffers; a regression that
+#                     reintroduces per-message allocation fails here)
 #   9. campaign-parallelism smoke (a pooled campaign under -race must
 #                     produce bit-identical results to the sequential one:
 #                     pool=4 vs pool=1 digests for the Table II grid and a
@@ -44,8 +50,8 @@ go test ./...
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== differential harness (50 seeds, Validate on)"
-XSIM_DIFF_SEEDS=50 go test -count=1 -run '^TestDifferentialSeqVsParallel$' ./internal/mpitest/
+echo "== differential harness (500 seeds, Validate on, -race)"
+XSIM_DIFF_SEEDS=500 go test -race -count=1 -run '^TestDifferentialSeqVsParallel$' ./internal/mpitest/
 
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzUnframe$' -fuzztime 10s ./internal/mpi/
@@ -68,6 +74,27 @@ echo "$bench" | awk '
 		}
 	}
 	END { if (!seen) { print "FAIL: BenchmarkHandoff did not run" > "/dev/stderr"; exit 1 } }
+'
+
+echo "== BenchmarkPingPong allocation gate"
+# Pre-pooling the round-trip cost 20 (eager) / 26 (rendezvous) allocs/op;
+# the pooled data plane runs at 6/6. Gate at half the old numbers so noise
+# cannot flake the build but a real regression cannot hide.
+bench=$(go test -run '^$' -bench '^BenchmarkPingPong$' -benchmem -benchtime 1000x ./internal/mpi/)
+echo "$bench"
+echo "$bench" | awk '
+	/^BenchmarkPingPong\/eager/    { kind = "eager"; limit = 10 }
+	/^BenchmarkPingPong\/rendezvous/ { kind = "rendezvous"; limit = 13 }
+	/^BenchmarkPingPong\// {
+		seen++
+		for (i = 1; i <= NF; i++) {
+			if ($i == "allocs/op" && $(i-1) + 0 > limit) {
+				print "FAIL: ping-pong " kind " path allocates (" $(i-1) " allocs/op, want <= " limit ")" > "/dev/stderr"
+				exit 1
+			}
+		}
+	}
+	END { if (seen != 2) { print "FAIL: BenchmarkPingPong sub-benchmarks did not run" > "/dev/stderr"; exit 1 } }
 '
 
 echo "== campaign-parallelism smoke (pool=4 vs pool=1 digests, -race)"

@@ -278,6 +278,23 @@ func (p *partition) kill(v *vp) {
 	p.live--
 }
 
+// blockReasonString renders a Block reason for a deadlock report: plain
+// strings pass through, and hot-path callers that parked with a lazy
+// reason (anything implementing BlockReason() string) are formatted only
+// here — never on the block fast path.
+func blockReasonString(r any) string {
+	switch x := r.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case interface{ BlockReason() string }:
+		return x.BlockReason()
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
 // blockedReport describes the blocked VPs of this partition for deadlock
 // diagnostics.
 func (p *partition) blockedReport() []string {
@@ -285,7 +302,7 @@ func (p *partition) blockedReport() []string {
 	for r := p.lo; r < p.hi; r++ {
 		v := p.eng.vps[r]
 		if v.state == vpBlocked {
-			out = append(out, fmt.Sprintf("rank %d blocked at %v: %s", v.rank, v.clock, v.blockReason))
+			out = append(out, fmt.Sprintf("rank %d blocked at %v: %s", v.rank, v.clock, blockReasonString(v.blockReason)))
 		}
 	}
 	return out
@@ -309,6 +326,9 @@ func (s *SchedCtx) N() int { return len(s.eng.vps) }
 
 // LocalRanks returns the rank range [lo, hi) owned by this partition.
 func (s *SchedCtx) LocalRanks() (lo, hi int) { return s.part.lo, s.part.hi }
+
+// Partition returns this partition's id (see Ctx.Partition).
+func (s *SchedCtx) Partition() int { return s.part.id }
 
 // Alive reports whether rank has not terminated. rank must be local.
 func (s *SchedCtx) Alive(rank int) bool { return s.local(rank).state != vpDead }

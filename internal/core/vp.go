@@ -78,8 +78,12 @@ type vp struct {
 	// abortAt is the time of a pending simulated MPI abort, or Never.
 	abortAt vclock.Time
 
-	state       vpState
-	blockReason string
+	state vpState
+	// blockReason is the value passed to Block, rendered only if a
+	// deadlock report is ever printed: a string, or a value implementing
+	// BlockReason() string for callers that want to avoid formatting a
+	// reason on every block (see blockReasonString).
+	blockReason any
 
 	// gate is the bidirectional handoff channel: the scheduler sends
 	// gateResume to hand control to the VP, and the VP sends its
@@ -234,16 +238,19 @@ func (c *Ctx) AbortNow() {
 
 // Block parks the VP until a handler wakes it via SchedCtx.Wake. It
 // returns the value passed to Wake after advancing the clock to the wake
-// time; the resume is an activation point. The reason string appears in
-// deadlock reports.
-func (c *Ctx) Block(reason string) any {
+// time; the resume is an activation point. The reason appears in deadlock
+// reports: pass a string, or — on hot paths that must not pay for
+// formatting a reason that is almost never read — any value implementing
+// BlockReason() string, which is rendered lazily only if a report is
+// printed.
+func (c *Ctx) Block(reason any) any {
 	v := c.vp
 	v.state = vpBlocked
 	v.blockReason = reason
 	v.gate <- yieldBlocked // hand control to the scheduler
 	<-v.gate               // wait for SchedCtx.Wake's resume
 	v.state = vpRunning
-	v.blockReason = ""
+	v.blockReason = nil
 	if v.killed {
 		panic(unwindSentinel{DeathKilled})
 	}
@@ -328,6 +335,11 @@ func (c *Ctx) Logf(format string, args ...any) {
 // Lookahead returns the engine's cross-partition lookahead. Higher layers
 // must delay cross-partition events by at least this much.
 func (c *Ctx) Lookahead() vclock.Duration { return c.eng.cfg.Lookahead }
+
+// Partition returns the id of the partition that owns this VP. Partition
+// assignment is fixed for the run, so higher layers may key
+// partition-local storage (free lists, scratch buffers) by it.
+func (c *Ctx) Partition() int { return c.vp.part.id }
 
 // run is the VP goroutine body.
 func (v *vp) run(eng *Engine, body func(*Ctx)) {

@@ -1,0 +1,202 @@
+package mpi
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkPingPong measures a full payload round-trip between two ranks:
+// rank 0 sends, rank 1 receives and echoes, rank 0 receives. One iteration
+// is one round-trip. The eager case stays under testNet's 1 KiB threshold;
+// the rendezvous case goes through the envelope/CTS/data exchange. Both
+// are the data plane's allocation hot path, so allocs/op is the headline
+// number (ci.sh gates it).
+func BenchmarkPingPong(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		size int
+	}{
+		{"eager", 64},
+		{"rendezvous", 4096},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			rounds := b.N
+			w := benchWorld(b, 2)
+			payload := make([]byte, bc.size)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := w.Run(func(e *Env) {
+				defer e.Finalize()
+				c := e.World()
+				for i := 0; i < rounds; i++ {
+					if e.Rank() == 0 {
+						if err := c.Send(1, 0, payload); err != nil {
+							b.Error(err)
+						}
+						msg, err := c.Recv(1, 0)
+						if err != nil {
+							b.Error(err)
+						}
+						msg.Release()
+					} else {
+						msg, err := c.Recv(0, 0)
+						if err != nil {
+							b.Error(err)
+						}
+						if err := c.Send(0, 0, payload); err != nil {
+							b.Error(err)
+						}
+						msg.Release()
+					}
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkAllreduce measures the linear allreduce (reduce to 0 plus
+// broadcast) with an 8-double contribution across 16 ranks — the
+// encode/decode scratch path in the collectives.
+func BenchmarkAllreduce(b *testing.B) {
+	const n = 16
+	rounds := b.N
+	w := benchWorld(b, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := w.Run(func(e *Env) {
+		defer e.Finalize()
+		contrib := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+		for i := 0; i < rounds; i++ {
+			if _, err := e.World().Allreduce(contrib, OpSum); err != nil {
+				b.Error(err)
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWildcardStorm measures MPI_ANY_SOURCE matching under pressure:
+// several senders flood one receiver, which drains everything with fully
+// wild receives. One iteration is one message received.
+func BenchmarkWildcardStorm(b *testing.B) {
+	const senders = 4
+	total := b.N
+	w := benchWorld(b, senders+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := w.Run(func(e *Env) {
+		defer e.Finalize()
+		c := e.World()
+		if e.Rank() == senders {
+			for i := 0; i < total; i++ {
+				msg, err := c.Recv(AnySource, AnyTag)
+				if err != nil {
+					b.Error(err)
+				}
+				msg.Release()
+			}
+			return
+		}
+		share := total / senders
+		if e.Rank() < total%senders {
+			share++
+		}
+		for i := 0; i < share; i++ {
+			if err := c.SendN(senders, i%8, 32); err != nil {
+				b.Error(err)
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkHeatStep runs one Jacobi-style halo exchange step over a 1-D
+// ring of 4096 ranks per iteration: each rank exchanges a fixed-size halo
+// with both neighbours (Irecv/Irecv/Send/Send/Waitall) and "computes".
+// This is the oversubscription shape the paper targets: thousands of
+// virtual processes per host, dominated by data-plane throughput.
+func BenchmarkHeatStep(b *testing.B) {
+	const n = 4096
+	steps := b.N
+	w := benchWorld(b, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := w.Run(func(e *Env) {
+		defer e.Finalize()
+		c := e.World()
+		left := (e.Rank() + n - 1) % n
+		right := (e.Rank() + 1) % n
+		for i := 0; i < steps; i++ {
+			rl, err := c.Irecv(left, 0)
+			if err != nil {
+				b.Error(err)
+			}
+			rr, err := c.Irecv(right, 0)
+			if err != nil {
+				b.Error(err)
+			}
+			if err := c.SendN(left, 0, 512); err != nil {
+				b.Error(err)
+			}
+			if err := c.SendN(right, 0, 512); err != nil {
+				b.Error(err)
+			}
+			if err := c.Waitall([]*Request{rl, rr}); err != nil {
+				b.Error(err)
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(n)*float64(steps)/b.Elapsed().Seconds(), "rankstep/s")
+}
+
+// BenchmarkBytesPerVP measures the resident memory cost of one virtual
+// process at oversubscription scale: it builds an n-rank world, runs one
+// neighbour-exchange step so every VP has touched its data-plane state,
+// and reports (heap+goroutine stack growth)/n. This is the paper's
+// headline scaling dimension — how many virtual MPI processes fit on one
+// host.
+func BenchmarkBytesPerVP(b *testing.B) {
+	for _, n := range []int{4096, 65536} {
+		b.Run(fmt.Sprintf("ranks=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var before, after runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				w := benchWorld(b, n)
+				if _, err := w.Run(func(e *Env) {
+					defer e.Finalize()
+					c := e.World()
+					right := (e.Rank() + 1) % n
+					left := (e.Rank() + n - 1) % n
+					r, err := c.Irecv(left, 0)
+					if err != nil {
+						b.Error(err)
+					}
+					if err := c.SendN(right, 0, 512); err != nil {
+						b.Error(err)
+					}
+					if _, err := c.Wait(r); err != nil {
+						b.Error(err)
+					}
+				}); err != nil {
+					b.Fatal(err)
+				}
+				runtime.GC()
+				runtime.ReadMemStats(&after)
+				grew := (after.HeapInuse + after.StackInuse) - (before.HeapInuse + before.StackInuse)
+				b.ReportMetric(float64(grew)/float64(n), "bytes/vp")
+				runtime.KeepAlive(w)
+			}
+		})
+	}
+}

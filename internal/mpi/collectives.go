@@ -25,20 +25,55 @@ const (
 // Collectives are built from the same point-to-point primitives the
 // application uses, so they inherit the pooled-event discipline for free:
 // sendTag/recvTag emit by value and only envelope payloads cross the
-// engine boundary.
+// engine boundary. Their requests never escape to the application, so
+// they are recycled on return, and every hop's message is released (or
+// its payload detached) once consumed — a long reduction chain runs on a
+// handful of pooled objects.
 
-// sendTag performs a blocking internal send (raw error, no handler).
+// sendTag performs a blocking internal send (raw error, no handler),
+// recycling the request.
 func (c *Comm) sendTag(dst, tag, size int, data []byte) error {
-	return c.env.wait(c.isendTag(dst, tag, size, data))
+	req := c.isendTag(dst, tag, size, data)
+	err := c.env.wait(req)
+	c.env.ps.dp.putReq(req)
+	return err
 }
 
-// recvTag performs a blocking internal receive (raw error, no handler).
+// sendTagOwned is sendTag for a pooled buffer whose ownership transfers to
+// the MPI layer: the payload travels with no copy at either end.
+func (c *Comm) sendTagOwned(dst, tag, size int, data []byte) error {
+	req := c.isendOwned(dst, tag, size, data)
+	err := c.env.wait(req)
+	c.env.ps.dp.putReq(req)
+	return err
+}
+
+// recvTag performs a blocking internal receive (raw error, no handler),
+// recycling the request. The caller owns the returned message: it must
+// Release it (or detach its Data) once consumed.
 func (c *Comm) recvTag(src, tag int) (*Message, error) {
 	req := c.irecvTag(src, tag)
-	if err := c.env.wait(req); err != nil {
+	err := c.env.wait(req)
+	msg := req.msg
+	req.msg = nil
+	c.env.ps.dp.putReq(req)
+	if err != nil {
+		if msg != nil {
+			msg.Release()
+		}
 		return nil, err
 	}
-	return req.msg, nil
+	return msg, nil
+}
+
+// detachData takes the payload out of a message that is about to escape to
+// the caller and releases the header: the buffer leaves the pool's custody,
+// the header is recycled.
+func detachData(msg *Message) []byte {
+	data := msg.Data
+	msg.Data = nil
+	msg.Release()
+	return data
 }
 
 // Barrier blocks until every member reaches it. With the paper's linear
@@ -68,9 +103,11 @@ func (c *Comm) barrier() error {
 	n := c.Size()
 	if c.rank == 0 {
 		for r := 1; r < n; r++ {
-			if _, err := c.recvTag(r, tagBarrierIn); err != nil {
+			m, err := c.recvTag(r, tagBarrierIn)
+			if err != nil {
 				return err
 			}
+			m.Release()
 		}
 		for r := 1; r < n; r++ {
 			if err := c.sendTag(r, tagBarrierOut, 0, nil); err != nil {
@@ -82,8 +119,12 @@ func (c *Comm) barrier() error {
 	if err := c.sendTag(0, tagBarrierIn, 0, nil); err != nil {
 		return err
 	}
-	_, err := c.recvTag(0, tagBarrierOut)
-	return err
+	m, err := c.recvTag(0, tagBarrierOut)
+	if err != nil {
+		return err
+	}
+	m.Release()
+	return nil
 }
 
 // Bcast broadcasts root's data to every member; every rank returns the
@@ -120,7 +161,7 @@ func (c *Comm) bcast(root int, data []byte, size, tag int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return msg.Data, nil
+	return detachData(msg), nil
 }
 
 // ReduceOp folds src into dst elementwise; both slices have equal length.
@@ -168,11 +209,13 @@ func (c *Comm) reduce(root int, contrib []float64, op ReduceOp) ([]float64, erro
 		return c.treeReduce(root, contrib, op)
 	}
 	if c.rank != root {
-		return nil, c.sendTag(root, tagReduce, 8*len(contrib), encodeF64s(contrib))
+		return nil, c.sendTagOwned(root, tagReduce, 8*len(contrib), encodeF64sPool(c.env.ps.dp, contrib))
 	}
 	acc := append([]float64(nil), contrib...)
 	// Linear: fold contributions in rank order, which keeps the result
-	// deterministic even for non-associative floating-point ops.
+	// deterministic even for non-associative floating-point ops. Each hop
+	// decodes into the per-process scratch and releases its message — the
+	// whole fold reuses one buffer and one float slice.
 	for r := 0; r < c.Size(); r++ {
 		if r == root {
 			continue
@@ -181,11 +224,12 @@ func (c *Comm) reduce(root int, contrib []float64, op ReduceOp) ([]float64, erro
 		if err != nil {
 			return nil, err
 		}
-		vals, err := decodeF64s(msg.Data, len(contrib))
-		if err != nil {
+		vals := c.env.ps.scratchF64(len(contrib))
+		if err := decodeF64sInto(vals, msg.Data); err != nil {
 			return nil, err
 		}
 		op(acc, vals)
+		msg.Release()
 	}
 	return acc, nil
 }
@@ -201,18 +245,19 @@ func (c *Comm) treeReduce(root int, contrib []float64, op ReduceOp) ([]float64, 
 	for mask := 1; mask < n; mask <<= 1 {
 		if vrank&mask != 0 {
 			parent := (vrank - mask + root) % n
-			return nil, c.sendTag(parent, tagReduce, 8*len(acc), encodeF64s(acc))
+			return nil, c.sendTagOwned(parent, tagReduce, 8*len(acc), encodeF64sPool(c.env.ps.dp, acc))
 		}
 		if child := vrank | mask; child < n {
 			msg, err := c.recvTag((child+root)%n, tagReduce)
 			if err != nil {
 				return nil, err
 			}
-			vals, err := decodeF64s(msg.Data, len(acc))
-			if err != nil {
+			vals := c.env.ps.scratchF64(len(acc))
+			if err := decodeF64sInto(vals, msg.Data); err != nil {
 				return nil, err
 			}
 			op(acc, vals)
+			msg.Release()
 		}
 	}
 	return acc, nil
@@ -232,15 +277,25 @@ func (c *Comm) allreduce(contrib []float64, op ReduceOp) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	dp := c.env.ps.dp
 	var buf []byte
 	if c.rank == 0 {
-		buf = encodeF64s(acc)
+		buf = encodeF64sPool(dp, acc)
 	}
 	buf, err = c.bcast(0, buf, 8*len(contrib), tagBcast)
 	if err != nil {
 		return nil, err
 	}
-	return decodeF64s(buf, len(contrib))
+	if c.rank == 0 {
+		// The root already holds the reduction, and decode(encode(x)) is
+		// bit-identical for float64: skip the round-trip and release the
+		// broadcast buffer (bcast copied it per send).
+		dp.putBuf(buf)
+		return acc, nil
+	}
+	out, err := decodeF64s(buf, len(contrib))
+	dp.putBuf(buf)
+	return out, err
 }
 
 // Gather collects every member's data at root in rank order. The root
@@ -269,7 +324,7 @@ func (c *Comm) gather(root int, data []byte, tag int) ([][]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		out[r] = msg.Data
+		out[r] = detachData(msg)
 	}
 	return out, nil
 }
@@ -305,7 +360,7 @@ func (c *Comm) scatter(root int, parts [][]byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return msg.Data, nil
+	return detachData(msg), nil
 }
 
 // Allgather collects every member's data at every member, in rank order
@@ -321,15 +376,25 @@ func (c *Comm) allgather(data []byte) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	dp := c.env.ps.dp
 	var framed []byte
 	if c.rank == 0 {
-		framed = frame(parts)
+		framed = framePool(dp, parts)
+		// The gathered per-rank buffers are folded into the frame now;
+		// release the pooled ones (rank 0's own part is a fresh copy).
+		for r, p := range parts {
+			if r != c.rank {
+				dp.putBuf(p)
+			}
+		}
 	}
 	framed, err = c.bcast(0, framed, len(framed), tagAllgather)
 	if err != nil {
 		return nil, err
 	}
-	return unframe(framed)
+	out, err := unframe(framed)
+	dp.putBuf(framed)
+	return out, err
 }
 
 // Alltoall sends parts[i] to rank i and returns one received slice per
@@ -376,8 +441,14 @@ func (c *Comm) alltoall(parts [][]byte) ([][]byte, error) {
 		if r == c.rank {
 			continue
 		}
-		out[r] = recvs[i].msg.Data
+		out[r] = detachData(recvs[i].msg)
+		recvs[i].msg = nil
 		i++
+	}
+	// None of the requests escaped; recycle them all.
+	dp := c.env.ps.dp
+	for _, req := range reqs {
+		dp.putReq(req)
 	}
 	return out, nil
 }
@@ -397,7 +468,7 @@ func (c *Comm) treeBcast(root int, data []byte, size, tag int) ([]byte, error) {
 			if err != nil {
 				return nil, err
 			}
-			data = msg.Data
+			data = detachData(msg)
 			break
 		}
 	}
@@ -429,9 +500,11 @@ func (c *Comm) treeGatherSignal(tag int) error {
 			return c.sendTag(vrank-mask, tag, 0, nil)
 		}
 		if child := vrank | mask; child < n {
-			if _, err := c.recvTag(child, tag); err != nil {
+			m, err := c.recvTag(child, tag)
+			if err != nil {
 				return err
 			}
+			m.Release()
 		}
 	}
 	return nil
@@ -444,6 +517,36 @@ func encodeF64s(vals []float64) []byte {
 		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
 	}
 	return buf
+}
+
+// encodeF64sPool is encodeF64s into a pooled buffer; the caller owns it
+// (transfer it with sendTagOwned or release it with putBuf).
+func encodeF64sPool(dp *dpPool, vals []float64) []byte {
+	buf := dp.getBuf(8 * len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// decodeF64sInto decodes len(dst) floats into dst, the in-place variant of
+// decodeF64s for the collectives' scratch slice.
+func decodeF64sInto(dst []float64, buf []byte) error {
+	if len(buf) != 8*len(dst) {
+		return fmt.Errorf("mpi: reduce payload is %d bytes, want %d floats", len(buf), len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}
+
+// scratchF64 returns the process's reusable n-float scratch slice.
+func (ps *procState) scratchF64(n int) []float64 {
+	if cap(ps.f64s) < n {
+		ps.f64s = make([]float64, n)
+	}
+	return ps.f64s[:n]
 }
 
 // decodeF64s decodes exactly n floats. The n bound is checked before the
@@ -467,6 +570,23 @@ func frame(parts [][]byte) []byte {
 		total += 4 + len(p)
 	}
 	buf := make([]byte, 0, total)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(parts)))
+	for _, p := range parts {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// framePool is frame into a pooled buffer; the caller owns it. The appends
+// stay within the buffer's capacity, so the pooled backing array survives
+// for a later putBuf.
+func framePool(dp *dpPool, parts [][]byte) []byte {
+	total := 4
+	for _, p := range parts {
+		total += 4 + len(p)
+	}
+	buf := dp.getBuf(total)[:0]
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(parts)))
 	for _, p := range parts {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p)))

@@ -205,11 +205,13 @@ func (c *Comm) FailedInComm() []int {
 
 // Send sends data to dst with tag and blocks until the send completes
 // (eager sends complete locally; larger-than-threshold sends use the
-// rendezvous protocol and wait for the receiver).
+// rendezvous protocol and wait for the receiver). The request never
+// escapes, so it is recycled on return.
 func (c *Comm) Send(dst, tag int, data []byte) error {
 	req, err := c.isend(dst, tag, len(data), data)
 	if err == nil {
 		err = c.env.wait(req)
+		c.env.ps.dp.putReq(req)
 	}
 	return c.handleError(err)
 }
@@ -220,6 +222,7 @@ func (c *Comm) SendN(dst, tag, size int) error {
 	req, err := c.isend(dst, tag, size, nil)
 	if err == nil {
 		err = c.env.wait(req)
+		c.env.ps.dp.putReq(req)
 	}
 	return c.handleError(err)
 }
@@ -241,13 +244,22 @@ func (c *Comm) IsendN(dst, tag, size int) (*Request, error) {
 // simulated network communication timeout.
 func (c *Comm) Recv(src, tag int) (*Message, error) {
 	req, err := c.irecv(src, tag)
-	if err == nil {
-		err = c.env.wait(req)
-	}
 	if err != nil {
 		return nil, c.handleError(err)
 	}
-	return req.msg, nil
+	err = c.env.wait(req)
+	// The request never escapes; the message does (the caller owns it and
+	// may hand its buffer back with Message.Release).
+	msg := req.msg
+	req.msg = nil
+	c.env.ps.dp.putReq(req)
+	if err != nil {
+		if msg != nil {
+			msg.Release()
+		}
+		return nil, c.handleError(err)
+	}
+	return msg, nil
 }
 
 // Irecv posts a nonblocking receive; complete it with Wait or Waitall.

@@ -86,6 +86,9 @@ type World struct {
 	cfg WorldConfig
 	eng *core.Engine
 	m   metrics
+	// pools holds one data-plane pool per engine partition; a pool is
+	// only touched by its partition's execution context (see pool.go).
+	pools []*dpPool
 }
 
 // Event kinds registered by the MPI layer.
@@ -143,6 +146,10 @@ func NewWorld(eng *core.Engine, cfg WorldConfig) (*World, error) {
 	}
 	w := &World{cfg: cfg, eng: eng}
 	w.m.init(eng.NumVPs())
+	w.pools = make([]*dpPool, eng.Workers())
+	for i := range w.pools {
+		w.pools[i] = new(dpPool)
+	}
 	eng.RegisterHandler(kindEnvelope, w.handleEnvelope)
 	eng.RegisterHandler(kindCts, w.handleCts)
 	eng.RegisterHandler(kindData, w.handleData)
@@ -167,10 +174,13 @@ func (w *World) Config() WorldConfig { return w.cfg }
 func (w *World) Run(app func(*Env)) (*core.Result, error) {
 	return w.eng.Run(func(c *core.Ctx) {
 		ps := &procState{
-			postedBySrc: make(map[matchKey][]*Request),
-			unexpBySrc:  make(map[matchKey][]*envelope),
+			postedBySrc: make(map[matchKey]*reqQ),
+			postedWild:  new(reqQ),
+			unexpBySrc:  make(map[matchKey]*envSrcQ),
+			unexpByComm: make(map[int]*envArrQ),
 			pending:     make(map[uint64]*Request),
 			failedPeers: make(map[int]vclock.Time),
+			dp:          w.pools[c.Partition()],
 		}
 		env := &Env{w: w, ctx: c, ps: ps}
 		ps.env = env
@@ -189,6 +199,11 @@ func (w *World) Run(app func(*Env)) (*core.Result, error) {
 // every simulated process is notified of the failed rank and its time of
 // failure so that it can maintain its own list of failed peers.
 func (w *World) onDeath(c *core.Ctx, reason core.DeathReason) {
+	// Whatever the death reason, the rank's queued unexpected envelopes
+	// are unreachable now — release them and their payload buffers.
+	if ps, ok := c.Data().(*procState); ok {
+		ps.drainUnexpected()
+	}
 	if reason != core.DeathFailed {
 		return
 	}
@@ -211,18 +226,29 @@ func (w *World) onDeath(c *core.Ctx, reason core.DeathReason) {
 type procState struct {
 	env *Env
 
+	// dp is the data-plane pool of the partition this VP lives on,
+	// shared by every local rank (only one of them executes at a time).
+	dp *dpPool
+
 	// Posted receives are indexed by (communicator, source) with
-	// wildcard-source receives in a separate ordered list; postSeq
-	// establishes MPI's first-match-in-post-order rule across the two.
-	postedBySrc map[matchKey][]*Request
-	postedWild  []*Request
+	// wildcard-source receives in a separate ordered intrusive list;
+	// postSeq establishes MPI's first-match-in-post-order rule across
+	// the two.
+	postedBySrc map[matchKey]*reqQ
+	postedWild  *reqQ
 	postSeq     uint64
-	// Unexpected envelopes are indexed the same way; arriveSeq
-	// establishes arrival order for wildcard receives.
-	unexpBySrc map[matchKey][]*envelope
-	arriveSeq  uint64
-	// pending indexes all incomplete requests by id for handler lookup.
-	pending map[uint64]*Request
+	// Unexpected envelopes sit in a per-(comm, src) FIFO and, at the
+	// same time, in their communicator's arrival-order list; arriveSeq
+	// stamps arrival order (used by validation and probes).
+	unexpBySrc  map[matchKey]*envSrcQ
+	unexpByComm map[int]*envArrQ
+	arriveSeq   uint64
+	// pending indexes all incomplete requests by id for handler lookup;
+	// pendHead/pendTail thread them in id order for deterministic
+	// iteration (ids are monotonic, so appends keep the order).
+	pending  map[uint64]*Request
+	pendHead *Request
+	pendTail *Request
 	// failedPeers is this process's own list of failed simulated MPI
 	// processes and their times of failure (the paper's per-process
 	// failed list, filled in by notification events).
@@ -237,6 +263,10 @@ type procState struct {
 
 	// revoked communicator ids (ULFM extension).
 	revoked map[int]bool
+
+	// f64s is the collectives' per-process scratch for decoded operands
+	// (see scratchF64); reused across reduction hops.
+	f64s []float64
 
 	// injectFreeAt and ejectFreeAt model endpoint contention: the
 	// virtual times this node's NIC finishes its current injection and
@@ -295,6 +325,11 @@ func (e *Env) Sleep(d vclock.Duration) { e.ctx.Sleep(d) }
 func (e *Env) Finalize() {
 	if e.w.cfg.Validate && !e.finalized {
 		e.ps.checkFinalize()
+	}
+	if !e.finalized {
+		// Unmatched messages are unreachable after a clean exit: release
+		// the envelopes and their payload buffers back to the pool.
+		e.ps.drainUnexpected()
 	}
 	e.finalized = true
 }

@@ -44,6 +44,7 @@ func (w *World) handleEnvelope(s *core.SchedCtx, ev *core.Event) {
 	env := ev.Payload.(*envelope)
 	ps := localState(s, env.dst)
 	if ps == nil {
+		dropEnvelope(w.pools[s.Partition()], env)
 		return
 	}
 	// Endpoint contention: eager payloads serialise through the
@@ -58,6 +59,7 @@ func (w *World) handleEnvelope(s *core.SchedCtx, ev *core.Event) {
 	}
 	if req := ps.takePosted(env); req != nil {
 		matchEnvelope(w, ps, req, env, schedEmitter{s, env.dst})
+		ps.releaseEnvelope(env)
 		if w.cfg.Validate {
 			ps.checkIndexes("envelope-match")
 		}
@@ -84,14 +86,16 @@ func (w *World) handleEnvelope(s *core.SchedCtx, ev *core.Event) {
 // injected. A clear-to-send reaching a failed sender is dropped; the
 // receiver's request is released by the failure notification timeout.
 func (w *World) handleCts(s *core.SchedCtx, ev *core.Event) {
-	cts := ev.Payload.(ctsMsg)
+	cts := ev.Payload.(*ctsMsg)
 	sender := ev.Target
 	ps := localState(s, sender)
 	if ps == nil {
+		w.pools[s.Partition()].putCts(cts)
 		return
 	}
 	req := ps.pending[cts.sendReqID]
 	if req == nil || req.done {
+		ps.dp.putCts(cts)
 		return
 	}
 	net := w.cfg.Net
@@ -102,12 +106,30 @@ func (w *World) handleCts(s *core.SchedCtx, ev *core.Event) {
 		start = vclock.Max(start, ps.injectFreeAt)
 		ps.injectFreeAt = start.Add(occ)
 	}
+	// The payload is read now, at clear-to-send time — the copy elided
+	// at post. An owned buffer transfers outright; the caller's buffer
+	// is copied into a pooled one (the sender is either blocked in Wait
+	// or, for Isend, has promised not to touch it — MPI's contract).
+	dm := ps.dp.getDm()
+	dm.recvReqID = cts.recvReqID
+	if req.data != nil {
+		if req.ownedData {
+			dm.data = req.data
+		} else {
+			buf := ps.dp.getBuf(len(req.data))
+			copy(buf, req.data)
+			dm.data = buf
+		}
+		req.data = nil
+		req.ownedData = false
+	}
 	s.EmitFor(sender, core.Event{
 		Time:    start.Add(net.TransferTime(req.src, req.dst, req.size)),
 		Kind:    kindData,
 		Target:  cts.recvRank,
-		Payload: &dataMsg{recvReqID: cts.recvReqID, data: req.data},
+		Payload: dm,
 	})
+	ps.dp.putCts(cts)
 	completeRequest(ps, req, start.Add(net.SendOverhead(req.src, req.dst, req.size)), nil)
 	if w.cfg.Validate {
 		ps.checkIndexes("cts")
@@ -120,12 +142,19 @@ func (w *World) handleData(s *core.SchedCtx, ev *core.Event) {
 	dm := ev.Payload.(*dataMsg)
 	ps := localState(s, ev.Target)
 	if ps == nil {
+		dp := w.pools[s.Partition()]
+		dp.putBuf(dm.data)
+		dm.data = nil
+		dp.putDm(dm)
 		return
 	}
 	req := ps.pending[dm.recvReqID]
 	if req == nil || req.done || !req.awaitingData {
 		// The request already completed in error (failure detection
 		// timed out first); drop the late payload.
+		ps.dp.putBuf(dm.data)
+		dm.data = nil
+		ps.dp.putDm(dm)
 		return
 	}
 	at := ev.Time
@@ -135,6 +164,8 @@ func (w *World) handleData(s *core.SchedCtx, ev *core.Event) {
 		at = ps.ejectFreeAt
 	}
 	req.msg.Data = dm.data
+	dm.data = nil
+	ps.dp.putDm(dm)
 	completeRequest(ps, req, at, nil)
 	if w.cfg.Validate {
 		ps.checkIndexes("data")
@@ -182,7 +213,9 @@ func (w *World) handleFailNotify(s *core.SchedCtx, ev *core.Event) {
 		if old, ok := ps.failedPeers[fn.rank]; !ok || fn.at < old {
 			ps.failedPeers[fn.rank] = fn.at
 		}
-		for _, req := range ps.pendingInOrder() {
+		// The pending list is id-ordered and armTimeout never unlinks,
+		// so walking it directly is deterministic and allocation-free.
+		for req := ps.pendHead; req != nil; req = req.nNext {
 			if req.involves(fn.rank) {
 				ps.armTimeout(w, req, schedEmitter{s, rank})
 			}

@@ -167,6 +167,21 @@ type MetricsSnapshot struct {
 	CollectiveOps uint64
 	// UnexpectedMax is the deepest any rank's unexpected-message queue got.
 	UnexpectedMax int
+
+	// Data-plane pool behaviour (see internal/mpi/pool.go), summed across
+	// partitions. PoolHits/PoolMisses count object free-list reuse
+	// (envelopes, requests, messages, rendezvous control records);
+	// BufHits/BufMisses count payload-buffer reuse. Counters are run
+	// totals, not digest material: they vary with the partition layout.
+	PoolHits   uint64
+	PoolMisses uint64
+	BufHits    uint64
+	BufMisses  uint64
+	// BufHighWater is the peak of pooled payload bytes checked out at
+	// once, summed across partitions within a run — the resident cost of
+	// in-flight payloads. Add keeps the maximum across runs.
+	BufHighWater int64
+
 	// Failures describes each injected failure's detection, ordered by
 	// failed rank.
 	Failures []FailureMetric
@@ -183,6 +198,13 @@ func (s *MetricsSnapshot) Add(other MetricsSnapshot) {
 	s.CollectiveOps += other.CollectiveOps
 	if other.UnexpectedMax > s.UnexpectedMax {
 		s.UnexpectedMax = other.UnexpectedMax
+	}
+	s.PoolHits += other.PoolHits
+	s.PoolMisses += other.PoolMisses
+	s.BufHits += other.BufHits
+	s.BufMisses += other.BufMisses
+	if other.BufHighWater > s.BufHighWater {
+		s.BufHighWater = other.BufHighWater
 	}
 	s.Failures = append(s.Failures, other.Failures...)
 }
@@ -202,6 +224,13 @@ func (w *World) Metrics() MetricsSnapshot {
 		if c.unexpMax > s.UnexpectedMax {
 			s.UnexpectedMax = c.unexpMax
 		}
+	}
+	for _, p := range w.pools {
+		s.PoolHits += p.objHits
+		s.PoolMisses += p.objMisses
+		s.BufHits += p.bufHits
+		s.BufMisses += p.bufMisses
+		s.BufHighWater += p.bufHighWater
 	}
 	w.m.mu.Lock()
 	for rank, rec := range w.m.failures {

@@ -35,8 +35,35 @@ type Message struct {
 	// carry a Size but nil Data, which lets large-scale experiments
 	// model traffic without allocating it.
 	Size int
-	// Data is the payload, or nil for payload-free messages.
+	// Data is the payload, or nil for payload-free messages. The
+	// receiving process owns it; see Release.
 	Data []byte
+
+	// pool points back to the receiving partition's data-plane pool so
+	// Release can recycle the header and payload; nil for messages that
+	// did not come from a pool (probe results).
+	pool *dpPool
+}
+
+// Release hands the message and its payload buffer back to the simulated
+// MPI layer's buffer pool. It is optional — an unreleased message simply
+// falls to the garbage collector — but releasing keeps oversubscribed
+// runs allocation-free. After Release the message and its Data must not
+// be used: the buffer will back a future message. Call it only from the
+// process (simulated rank) that received the message.
+func (m *Message) Release() {
+	if m == nil {
+		return
+	}
+	p := m.pool
+	if p == nil {
+		return
+	}
+	m.pool = nil
+	data := m.Data
+	m.Data = nil
+	p.putBuf(data)
+	p.putMsg(m)
 }
 
 // ProcFailedError reports that an operation involved a failed simulated MPI
@@ -101,12 +128,24 @@ type Request struct {
 	awaitingData bool
 	// timeoutScheduled dedupes failure-detection timeout events.
 	timeoutScheduled bool
+	// ownedData marks a send whose data buffer the MPI layer owns (a
+	// pooled buffer transferred by an internal sender): it travels
+	// without copying and is released if the send dies early.
+	ownedData bool
 
-	// Posted-receive index bookkeeping.
-	posted  bool
-	wild    bool
-	postKey matchKey
-	postSeq uint64
+	// Posted-receive index bookkeeping: an intrusive doubly-linked list
+	// per (comm, src) key (or the wildcard list), in post order.
+	posted       bool
+	wild         bool
+	postKey      matchKey
+	postSeq      uint64
+	postQ        *reqQ
+	pNext, pPrev *Request
+
+	// Pending-table links: every incomplete request sits in the
+	// id-ordered pending list (ids are monotonic, so appending keeps the
+	// order) alongside the id-keyed map.
+	nNext, nPrev *Request
 }
 
 // Done reports whether the request has completed (successfully or not).

@@ -2,7 +2,6 @@ package mpi
 
 import (
 	"fmt"
-	"sort"
 
 	"xsim/internal/core"
 	"xsim/internal/trace"
@@ -14,6 +13,14 @@ import (
 // envelopes from one sender arrive in send order and MPI's non-overtaking
 // matching rule holds; an eager payload becomes available at dataAt, while
 // a rendezvous payload is transferred only after the receiver matches.
+//
+// Envelopes are pooled (dpPool): the sender's partition allocates one per
+// message, and the receiver's partition recycles it when it is matched,
+// dropped at a dead rank, or drained at finalize. While unexpected, an
+// envelope sits in two intrusive lists at once — its (comm, src) FIFO
+// (sNext/sPrev) and its communicator's arrival-order list (aNext/aPrev) —
+// so wildcard matching walks arrivals directly instead of scanning every
+// source.
 type envelope struct {
 	commID      int
 	src, dst    int // world ranks
@@ -21,7 +28,8 @@ type envelope struct {
 	tag         int
 	size        int
 
-	// Eager fields.
+	// Eager fields. data is a pooled buffer owned by the envelope until
+	// matching transfers it to the receiver's Message.
 	data   []byte
 	dataAt vclock.Time
 
@@ -31,22 +39,31 @@ type envelope struct {
 
 	// arriveSeq orders unexpected envelopes at the receiver.
 	arriveSeq uint64
+
+	// Unexpected-queue links: per-(comm, src) FIFO and per-communicator
+	// arrival list.
+	sNext, sPrev *envelope
+	aNext, aPrev *envelope
 }
 
 // ctsMsg is the rendezvous clear-to-send control message (receiver→sender).
+// Pooled: allocated by the receiver's partition, recycled by the sender's
+// once consumed.
 type ctsMsg struct {
 	sendReqID uint64
 	recvReqID uint64
 	recvRank  int // world rank of the receiver
 }
 
-// dataMsg is the rendezvous payload delivery (sender→receiver).
+// dataMsg is the rendezvous payload delivery (sender→receiver). Pooled
+// like ctsMsg; its data buffer transfers to the receiver's Message.
 type dataMsg struct {
 	recvReqID uint64
 	data      []byte
 }
 
 // reqTimeout fires the failure-detection timeout of a pending request.
+// Carried by value: timeouts only exist on the failure path.
 type reqTimeout struct {
 	reqID    uint64
 	peer     int
@@ -70,6 +87,92 @@ type abortNotify struct {
 // communicator and source world rank.
 type matchKey struct{ comm, src int }
 
+// reqQ is an intrusive list of posted receives in post order. The queue
+// structs live in the posted index maps and are retained when emptied, so
+// a rank that keeps receiving from the same peers never re-allocates them.
+type reqQ struct{ head, tail *Request }
+
+func (q *reqQ) push(r *Request) {
+	r.pPrev = q.tail
+	r.pNext = nil
+	if q.tail != nil {
+		q.tail.pNext = r
+	} else {
+		q.head = r
+	}
+	q.tail = r
+}
+
+func (q *reqQ) unlink(r *Request) {
+	if r.pPrev != nil {
+		r.pPrev.pNext = r.pNext
+	} else {
+		q.head = r.pNext
+	}
+	if r.pNext != nil {
+		r.pNext.pPrev = r.pPrev
+	} else {
+		q.tail = r.pPrev
+	}
+	r.pNext, r.pPrev = nil, nil
+}
+
+// envSrcQ is the per-(comm, src) unexpected FIFO (sNext/sPrev links).
+type envSrcQ struct{ head, tail *envelope }
+
+func (q *envSrcQ) push(e *envelope) {
+	e.sPrev = q.tail
+	e.sNext = nil
+	if q.tail != nil {
+		q.tail.sNext = e
+	} else {
+		q.head = e
+	}
+	q.tail = e
+}
+
+func (q *envSrcQ) unlink(e *envelope) {
+	if e.sPrev != nil {
+		e.sPrev.sNext = e.sNext
+	} else {
+		q.head = e.sNext
+	}
+	if e.sNext != nil {
+		e.sNext.sPrev = e.sPrev
+	} else {
+		q.tail = e.sPrev
+	}
+	e.sNext, e.sPrev = nil, nil
+}
+
+// envArrQ is the per-communicator arrival-order list (aNext/aPrev links).
+type envArrQ struct{ head, tail *envelope }
+
+func (q *envArrQ) push(e *envelope) {
+	e.aPrev = q.tail
+	e.aNext = nil
+	if q.tail != nil {
+		q.tail.aNext = e
+	} else {
+		q.head = e
+	}
+	q.tail = e
+}
+
+func (q *envArrQ) unlink(e *envelope) {
+	if e.aPrev != nil {
+		e.aPrev.aNext = e.aNext
+	} else {
+		q.head = e.aNext
+	}
+	if e.aNext != nil {
+		e.aNext.aPrev = e.aPrev
+	} else {
+		q.tail = e.aPrev
+	}
+	e.aNext, e.aPrev = nil, nil
+}
+
 // tagOK reports whether a posted receive's tag accepts an envelope's tag.
 // AnyTag only spans the application tag space: internal messages (negative
 // tags — barriers, collectives, ULFM) must never be intercepted by user
@@ -87,60 +190,47 @@ func (ps *procState) addPosted(r *Request) {
 	r.postSeq = ps.postSeq
 	r.posted = true
 	r.wild = r.src == AnySource
-	if r.wild {
-		ps.postedWild = append(ps.postedWild, r)
-		return
+	q := ps.postedWild
+	if !r.wild {
+		r.postKey = matchKey{r.comm.id, r.src}
+		q = ps.postedBySrc[r.postKey]
+		if q == nil {
+			q = new(reqQ)
+			ps.postedBySrc[r.postKey] = q
+		}
 	}
-	r.postKey = matchKey{r.comm.id, r.src}
-	ps.postedBySrc[r.postKey] = append(ps.postedBySrc[r.postKey], r)
+	q.push(r)
+	r.postQ = q
 }
 
-// removePosted unfiles a receive request; it is a no-op for requests that
-// already matched.
+// removePosted unfiles a receive request in O(1) via its intrusive links
+// (both the exact-source and wildcard lists unlink the same way); it is a
+// no-op for requests that already matched.
 func (ps *procState) removePosted(r *Request) {
 	if !r.posted {
 		return
 	}
 	r.posted = false
-	if r.wild {
-		for i, q := range ps.postedWild {
-			if q == r {
-				ps.postedWild = append(ps.postedWild[:i], ps.postedWild[i+1:]...)
-				return
-			}
-		}
-		return
-	}
-	list := ps.postedBySrc[r.postKey]
-	for i, q := range list {
-		if q == r {
-			if i == 0 {
-				list = list[1:]
-			} else {
-				list = append(list[:i], list[i+1:]...)
-			}
-			break
-		}
-	}
-	if len(list) == 0 {
-		delete(ps.postedBySrc, r.postKey)
-	} else {
-		ps.postedBySrc[r.postKey] = list
-	}
+	r.postQ.unlink(r)
+	r.postQ = nil
 }
 
 // takePosted finds and unfiles the posted receive an arriving envelope
 // matches: the earliest-posted compatible request, considering both the
-// exact-source list and wildcard receives (MPI's matching rule).
+// exact-source list and wildcard receives (MPI's matching rule). Each list
+// is in post order, so the first compatible entry of each is its
+// candidate; the lower post sequence of the two wins.
 func (ps *procState) takePosted(env *envelope) *Request {
 	var best *Request
-	for _, r := range ps.postedBySrc[matchKey{env.commID, env.src}] {
-		if tagOK(r, env) {
-			best = r
-			break
+	if q := ps.postedBySrc[matchKey{env.commID, env.src}]; q != nil {
+		for r := q.head; r != nil; r = r.pNext {
+			if tagOK(r, env) {
+				best = r
+				break
+			}
 		}
 	}
-	for _, r := range ps.postedWild {
+	for r := ps.postedWild.head; r != nil; r = r.pNext {
 		if r.comm.id == env.commID && tagOK(r, env) {
 			if best == nil || r.postSeq < best.postSeq {
 				best = r
@@ -154,75 +244,129 @@ func (ps *procState) takePosted(env *envelope) *Request {
 	return best
 }
 
-// addUnexpected queues an envelope that matched no posted receive.
+// addUnexpected queues an envelope that matched no posted receive: into
+// its (comm, src) FIFO and its communicator's arrival list.
 func (ps *procState) addUnexpected(env *envelope) {
 	ps.arriveSeq++
 	env.arriveSeq = ps.arriveSeq
 	k := matchKey{env.commID, env.src}
-	ps.unexpBySrc[k] = append(ps.unexpBySrc[k], env)
+	sq := ps.unexpBySrc[k]
+	if sq == nil {
+		sq = new(envSrcQ)
+		ps.unexpBySrc[k] = sq
+	}
+	sq.push(env)
+	aq := ps.unexpByComm[env.commID]
+	if aq == nil {
+		aq = new(envArrQ)
+		ps.unexpByComm[env.commID] = aq
+	}
+	aq.push(env)
 	ps.env.w.m.unexpectedDelta(env.dst, 1)
 }
 
+// removeUnexpected unlinks an envelope from both unexpected lists.
+func (ps *procState) removeUnexpected(env *envelope) {
+	ps.unexpBySrc[matchKey{env.commID, env.src}].unlink(env)
+	ps.unexpByComm[env.commID].unlink(env)
+	ps.env.w.m.unexpectedDelta(env.dst, -1)
+}
+
 // takeUnexpected finds and removes the earliest-arrived envelope a freshly
-// posted receive matches. For wildcard receives the earliest arrival
-// across all sources wins (a deterministic min-scan, immune to map
-// iteration order).
+// posted receive matches. Both branches are head-pops in the common case:
+// each list is in arrival order, so the first compatible entry is the
+// earliest arrival — the exact-source branch walks the (comm, src) FIFO,
+// and the wildcard branch walks the communicator's arrival list directly,
+// making MPI_ANY_SOURCE matching O(compatible-head) instead of a scan over
+// every source.
 func (ps *procState) takeUnexpected(req *Request) *envelope {
 	if req.src != AnySource {
-		k := matchKey{req.comm.id, req.src}
-		list := ps.unexpBySrc[k]
-		for i, env := range list {
+		if q := ps.unexpBySrc[matchKey{req.comm.id, req.src}]; q != nil {
+			for env := q.head; env != nil; env = env.sNext {
+				if tagOK(req, env) {
+					ps.removeUnexpected(env)
+					return env
+				}
+			}
+		}
+		return nil
+	}
+	if q := ps.unexpByComm[req.comm.id]; q != nil {
+		for env := q.head; env != nil; env = env.aNext {
 			if tagOK(req, env) {
-				// The match is usually the head: slice it off without
-				// copying the (possibly long) tail.
-				if i == 0 {
-					list = list[1:]
-				} else {
-					list = append(list[:i], list[i+1:]...)
-				}
-				if len(list) == 0 {
-					delete(ps.unexpBySrc, k)
-				} else {
-					ps.unexpBySrc[k] = list
-				}
-				ps.env.w.m.unexpectedDelta(env.dst, -1)
+				ps.removeUnexpected(env)
 				return env
 			}
 		}
-		return nil
 	}
-	var best *envelope
-	var bestKey matchKey
-	var bestIdx int
-	for k, list := range ps.unexpBySrc {
-		if k.comm != req.comm.id {
-			continue
+	return nil
+}
+
+// releaseEnvelope recycles a consumed envelope whose payload (if any) was
+// transferred elsewhere.
+func (ps *procState) releaseEnvelope(env *envelope) {
+	env.data = nil
+	ps.dp.putEnv(env)
+}
+
+// dropEnvelope releases an envelope and its payload buffer (unmatched
+// paths: dead receiver, finalize drain).
+func dropEnvelope(dp *dpPool, env *envelope) {
+	dp.putBuf(env.data)
+	env.data = nil
+	dp.putEnv(env)
+}
+
+// drainUnexpected releases every queued unexpected envelope and its
+// buffer — the unmatched-message release path, run at a clean Finalize
+// and at process death.
+func (ps *procState) drainUnexpected() {
+	for _, q := range ps.unexpByComm {
+		for env := q.head; env != nil; {
+			next := env.aNext
+			ps.env.w.m.unexpectedDelta(env.dst, -1)
+			dropEnvelope(ps.dp, env)
+			env = next
 		}
-		for i, env := range list {
-			if tagOK(req, env) {
-				if best == nil || env.arriveSeq < best.arriveSeq {
-					best, bestKey, bestIdx = env, k, i
-				}
-				break
-			}
-		}
+		q.head, q.tail = nil, nil
 	}
-	if best == nil {
-		return nil
+	for _, q := range ps.unexpBySrc {
+		q.head, q.tail = nil, nil
 	}
-	list := ps.unexpBySrc[bestKey]
-	if bestIdx == 0 {
-		list = list[1:]
+}
+
+// addPending files an incomplete request into the pending table and the
+// id-ordered pending list (ids are monotonic, so tail-append preserves the
+// order the failure-notification scan depends on).
+func (ps *procState) addPending(r *Request) {
+	ps.pending[r.id] = r
+	r.nPrev = ps.pendTail
+	r.nNext = nil
+	if ps.pendTail != nil {
+		ps.pendTail.nNext = r
 	} else {
-		list = append(list[:bestIdx], list[bestIdx+1:]...)
+		ps.pendHead = r
 	}
-	if len(list) == 0 {
-		delete(ps.unexpBySrc, bestKey)
+	ps.pendTail = r
+}
+
+// unlinkPending removes a request from the pending table and list.
+func (ps *procState) unlinkPending(r *Request) {
+	if ps.pending[r.id] != r {
+		return
+	}
+	delete(ps.pending, r.id)
+	if r.nPrev != nil {
+		r.nPrev.nNext = r.nNext
 	} else {
-		ps.unexpBySrc[bestKey] = list
+		ps.pendHead = r.nNext
 	}
-	ps.env.w.m.unexpectedDelta(best.dst, -1)
-	return best
+	if r.nNext != nil {
+		r.nNext.nPrev = r.nPrev
+	} else {
+		ps.pendTail = r.nPrev
+	}
+	r.nNext, r.nPrev = nil, nil
 }
 
 // emitter abstracts the two contexts that can emit events and read the
@@ -233,7 +377,8 @@ func (ps *procState) takeUnexpected(req *Request) *envelope {
 // engine copies it into a pooled event, so the MPI layer never holds a
 // *core.Event of its own. Anything that must outlive the emit call or the
 // handler invocation — envelopes, CTS records, notifications — travels as
-// a Payload, which the engine never recycles.
+// a Payload; the engine never recycles payloads, but the MPI layer
+// recycles its own pooled payload objects at their consumption points.
 type emitter interface {
 	emit(ev core.Event)
 	now() vclock.Time
@@ -275,36 +420,44 @@ func (c *Comm) isend(dstCommRank, tag, size int, data []byte) (*Request, error) 
 }
 
 // isendTag posts a send with any tag value (internal tags are negative).
+// The caller keeps ownership of data; the eager path copies it into a
+// pooled buffer at post time, the rendezvous path reads it when the
+// clear-to-send arrives (the MPI contract: the buffer is untouched until
+// the send completes).
 func (c *Comm) isendTag(dstCommRank, tag, size int, data []byte) *Request {
+	return c.isendDP(dstCommRank, tag, size, data, false)
+}
+
+// isendOwned posts a send whose data is a pooled buffer the caller
+// transfers to the MPI layer: no copy at post or transfer time. Internal
+// senders (encoded reductions, framed gathers) use it for zero-copy hops.
+func (c *Comm) isendOwned(dstCommRank, tag, size int, data []byte) *Request {
+	return c.isendDP(dstCommRank, tag, size, data, true)
+}
+
+func (c *Comm) isendDP(dstCommRank, tag, size int, data []byte, owned bool) *Request {
 	e := c.env
+	dp := e.ps.dp
 	net := e.w.cfg.Net
 	src := e.Rank()
 	dst := c.WorldRank(dstCommRank)
-	// Snapshot the payload: MPI owns the buffer until completion, and a
-	// broadcast root reuses one buffer across many sends.
-	if data != nil {
-		data = append([]byte(nil), data...)
-	}
-	req := &Request{
-		id:        e.ps.newReqID(),
-		kind:      sendReq,
-		comm:      c,
-		src:       src,
-		dst:       dst,
-		tag:       tag,
-		size:      size,
-		data:      data,
-		postClock: e.ctx.NowQuiet(),
-	}
-	env := &envelope{
-		commID:      c.id,
-		src:         src,
-		dst:         dst,
-		srcCommRank: c.rank,
-		tag:         tag,
-		size:        size,
-	}
-	t0 := e.ctx.NowQuiet()
+	req := dp.getReq()
+	req.id = e.ps.newReqID()
+	req.kind = sendReq
+	req.comm = c
+	req.src = src
+	req.dst = dst
+	req.tag = tag
+	req.size = size
+	req.postClock = e.ctx.NowQuiet()
+	env := dp.getEnv()
+	env.commID = c.id
+	env.src = src
+	env.dst = dst
+	env.srcCommRank = c.rank
+	env.tag = tag
+	env.size = size
+	t0 := req.postClock
 	eager := net.Eager(size)
 	e.w.m.countSend(src, size, !eager)
 	if e.w.cfg.Tracer != nil {
@@ -315,6 +468,19 @@ func (c *Comm) isendTag(dstCommRank, tag, size int, data []byte) *Request {
 		e.w.cfg.Tracer.Record(ev)
 	}
 	if eager {
+		// The payload travels with the envelope: transfer an owned
+		// buffer outright, or copy the caller's bytes into a pooled one
+		// (the caller may reuse its buffer immediately — a broadcast
+		// root does exactly that).
+		if data != nil {
+			if owned {
+				env.data = data
+			} else {
+				buf := dp.getBuf(len(data))
+				copy(buf, data)
+				env.data = buf
+			}
+		}
 		// Endpoint contention: the payload queues behind earlier
 		// injections at this node's NIC.
 		inject := t0
@@ -322,7 +488,6 @@ func (c *Comm) isendTag(dstCommRank, tag, size int, data []byte) *Request {
 			inject = vclock.Max(t0, e.ps.injectFreeAt)
 			e.ps.injectFreeAt = inject.Add(occ)
 		}
-		env.data = data
 		env.dataAt = inject.Add(net.TransferTime(src, dst, size))
 		// An eager send completes locally once the message is injected;
 		// it never waits on the receiver (fire-and-forget buffering).
@@ -332,10 +497,13 @@ func (c *Comm) isendTag(dstCommRank, tag, size int, data []byte) *Request {
 		req.completeAt = e.ctx.NowQuiet()
 	} else {
 		// Rendezvous: send the ready-to-send envelope and wait for the
-		// receiver's clear-to-send before transferring the payload.
+		// receiver's clear-to-send before transferring the payload. No
+		// snapshot is taken here — the payload is read at CTS time.
 		env.rendezvous = true
 		env.sendReqID = req.id
-		e.ps.pending[req.id] = req
+		req.data = data
+		req.ownedData = owned
+		e.ps.addPending(req)
 		e.ctx.Emit(core.Event{Time: t0.Add(net.ControlTime(src, dst)), Kind: kindEnvelope, Target: dst, Payload: env})
 		e.ctx.Elapse(net.SendOverhead(src, dst, 0))
 	}
@@ -366,21 +534,21 @@ func (c *Comm) irecvTag(srcCommRank, tag int) *Request {
 	if srcCommRank != AnySource {
 		src = c.WorldRank(srcCommRank)
 	}
-	req := &Request{
-		id:        e.ps.newReqID(),
-		kind:      recvReq,
-		comm:      c,
-		src:       src,
-		dst:       e.Rank(),
-		tag:       tag,
-		postClock: e.ctx.NowQuiet(),
-	}
-	e.ps.pending[req.id] = req
+	req := e.ps.dp.getReq()
+	req.id = e.ps.newReqID()
+	req.kind = recvReq
+	req.comm = c
+	req.src = src
+	req.dst = e.Rank()
+	req.tag = tag
+	req.postClock = e.ctx.NowQuiet()
+	e.ps.addPending(req)
 	e.w.trace(trace.Event{At: req.postClock, Kind: trace.KindRecvPost, Rank: int32(e.Rank()), Peer: int32(src), Tag: int32(tag)})
 	// Match the earliest compatible unexpected envelope first (arrival
 	// order preserves MPI's non-overtaking rule).
 	if env := e.ps.takeUnexpected(req); env != nil {
 		matchEnvelope(e.w, e.ps, req, env, vpEmitter{e.ctx})
+		e.ps.releaseEnvelope(env)
 		if e.w.cfg.Validate {
 			e.ps.checkIndexes("irecv-match")
 		}
@@ -394,15 +562,26 @@ func (c *Comm) irecvTag(srcCommRank, tag int) *Request {
 }
 
 // matchEnvelope binds a receive request to an envelope. For eager
-// envelopes the request completes when the payload has arrived; for
-// rendezvous envelopes a clear-to-send goes back to the sender and the
-// request completes when the payload delivery event fires.
+// envelopes the request completes when the payload has arrived (the
+// envelope's pooled payload buffer transfers to the request's Message);
+// for rendezvous envelopes a clear-to-send goes back to the sender and the
+// request completes when the payload delivery event fires. The caller
+// recycles the envelope afterwards (releaseEnvelope).
 func matchEnvelope(w *World, ps *procState, req *Request, env *envelope, em emitter) {
 	req.src = env.src
-	req.msg = &Message{Src: env.srcCommRank, Tag: env.tag, Size: env.size}
+	msg := ps.dp.getMsg()
+	msg.Src = env.srcCommRank
+	msg.Tag = env.tag
+	msg.Size = env.size
+	msg.pool = ps.dp
+	req.msg = msg
 	if env.rendezvous {
 		req.awaitingData = true
 		net := w.cfg.Net
+		cts := ps.dp.getCts()
+		cts.sendReqID = env.sendReqID
+		cts.recvReqID = req.id
+		cts.recvRank = env.dst
 		// The clear-to-send leaves once both the envelope has arrived
 		// (em.now() when matching on arrival) and the receive is posted
 		// (postClock when the envelope waited in the unexpected queue).
@@ -410,25 +589,35 @@ func matchEnvelope(w *World, ps *procState, req *Request, env *envelope, em emit
 			Time:    vclock.Max(em.now(), req.postClock).Add(net.ControlTime(env.dst, env.src)),
 			Kind:    kindCts,
 			Target:  env.src,
-			Payload: ctsMsg{sendReqID: env.sendReqID, recvReqID: req.id, recvRank: env.dst},
+			Payload: cts,
 		})
 		return
 	}
-	req.msg.Data = env.data
+	msg.Data = env.data
+	env.data = nil
 	completeRequest(ps, req, vclock.Max(req.postClock, env.dataAt), nil)
 }
 
-// completeRequest finalises a request at virtual time at.
+// completeRequest finalises a request at virtual time at. A send still
+// owning a pooled buffer (an owned rendezvous send dying before its
+// clear-to-send) releases it here.
 func completeRequest(ps *procState, req *Request, at vclock.Time, err error) {
 	req.done = true
 	req.completeAt = at
 	req.err = err
 	req.awaitingData = false
-	delete(ps.pending, req.id)
+	if req.data != nil {
+		if req.ownedData {
+			ps.dp.putBuf(req.data)
+		}
+		req.data = nil
+	}
+	ps.unlinkPending(req)
 	ps.removePosted(req)
 }
 
-// waitReason describes a wait for deadlock reports.
+// waitReason describes a wait for deadlock reports. It is only called if
+// a report is actually printed (see procState.BlockReason).
 func waitReason(reqs []*Request) string {
 	if len(reqs) == 1 {
 		r := reqs[0]
@@ -438,6 +627,20 @@ func waitReason(reqs []*Request) string {
 		return fmt.Sprintf("MPI wait: send to %d tag %d (comm %d)", r.dst, r.tag, r.comm.id)
 	}
 	return fmt.Sprintf("MPI waitall: %d requests", len(reqs))
+}
+
+// BlockReason renders the process's block reason lazily for deadlock
+// reports: the wait fast path parks with the procState itself instead of
+// formatting a string per block.
+func (ps *procState) BlockReason() string {
+	if len(ps.waitingOn) > 0 {
+		return waitReason(ps.waitingOn)
+	}
+	if n := len(ps.probes); n > 0 {
+		pr := ps.probes[n-1]
+		return fmt.Sprintf("MPI probe: src %d tag %d (comm %d)", pr.src, pr.tag, pr.comm)
+	}
+	return "MPI: blocked"
 }
 
 // wait blocks until every request completes, advancing the clock to the
@@ -490,7 +693,7 @@ func (e *Env) wait(reqs ...*Request) error {
 			}
 		}
 		e.ps.waitingOn = reqs
-		e.ctx.Block(waitReason(reqs))
+		e.ctx.Block(e.ps)
 		e.ps.waitingOn = nil
 	}
 }
@@ -507,10 +710,14 @@ func (ps *procState) armTimeout(w *World, req *Request, em emitter) {
 	self := ps.env.Rank()
 	best := vclock.Never
 	bestPeer := -1
+	var bestTof vclock.Time
+	// consider captures the winning peer's time of failure alongside the
+	// deadline, so the emitted timeout carries the exact value the
+	// deterministic scan chose (no second map lookup).
 	consider := func(peer int, tof vclock.Time) {
 		at := vclock.Max(req.postClock, tof).Add(w.cfg.Net.Timeout(self, peer))
 		if at < best || (at == best && peer < bestPeer) {
-			best, bestPeer = at, peer
+			best, bestPeer, bestTof = at, peer, tof
 		}
 	}
 	if req.kind == recvReq && req.src == AnySource {
@@ -530,17 +737,6 @@ func (ps *procState) armTimeout(w *World, req *Request, em emitter) {
 		Time:    at,
 		Kind:    kindReqTimeout,
 		Target:  self,
-		Payload: reqTimeout{reqID: req.id, peer: bestPeer, failedAt: ps.failedPeers[bestPeer]},
+		Payload: reqTimeout{reqID: req.id, peer: bestPeer, failedAt: bestTof},
 	})
-}
-
-// pendingInOrder returns the process's pending requests sorted by id, for
-// deterministic iteration (map order is randomised).
-func (ps *procState) pendingInOrder() []*Request {
-	out := make([]*Request, 0, len(ps.pending))
-	for _, r := range ps.pending {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
-	return out
 }

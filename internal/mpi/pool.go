@@ -1,0 +1,237 @@
+package mpi
+
+// The data-plane pools. One dpPool per engine partition holds free lists
+// for every object the point-to-point fast path would otherwise allocate
+// per message — envelopes, requests, received-message headers, the
+// rendezvous control records — plus a size-classed payload buffer pool,
+// following the pooled-event discipline the core engine established: a
+// pool is only ever touched by its partition's execution context (the
+// partition worker inside a handler, or the VP goroutine currently running
+// on that partition), so gets and puts need no locks, and objects that
+// travel between ranks simply migrate from the sender's pool to the
+// receiver's, exactly like the core's pooled events.
+//
+// Payload buffers carry ownership-transfer semantics:
+//
+//   - an eager send copies the caller's bytes into a pooled buffer at post
+//     time (the caller may reuse its buffer immediately — the broadcast
+//     root does);
+//   - a rendezvous send keeps only a reference at post time and copies
+//     into a pooled buffer when the clear-to-send arrives, eliding the
+//     defensive snapshot entirely — the sender either is blocked at that
+//     moment (blocking Send) or has promised not to touch the buffer
+//     before Wait (Isend, MPI's contract);
+//   - internal senders that already own a pooled buffer (encoded
+//     reductions, framed gathers) transfer it outright with no copy at
+//     either end;
+//   - the receiver's Message owns its Data buffer and may hand both back
+//     with Message.Release once the payload has been consumed. Unreleased
+//     messages fall to the garbage collector — correct, just slower.
+
+const (
+	// Buffer size classes are powers of two from 64 B to 1 MiB; larger
+	// payloads are allocated exactly and dropped on release.
+	minBufShift = 6
+	maxBufShift = 20
+	nBufClasses = maxBufShift - minBufShift + 1
+
+	// Free-list caps bound how much memory an idle pool pins.
+	maxFreeObjs        = 4096
+	maxFreeBufsPerSize = 64
+)
+
+// dpPool is one partition's data-plane free lists.
+type dpPool struct {
+	envs []*envelope
+	reqs []*Request
+	msgs []*Message
+	cts  []*ctsMsg
+	dms  []*dataMsg
+
+	bufs [nBufClasses][][]byte
+
+	// Counters, partition-confined like the lists; World.Metrics sums
+	// them after the run.
+	objHits   uint64
+	objMisses uint64
+	bufHits   uint64
+	bufMisses uint64
+	// bufOut tracks pooled payload bytes currently checked out;
+	// bufHighWater is its peak — the resident cost of in-flight payloads.
+	bufOut       int64
+	bufHighWater int64
+}
+
+// bufClass returns the size-class index for a payload of the given size,
+// or -1 if the size is above the largest pooled class.
+func bufClass(size int) int {
+	c := 0
+	for s := size - 1; s >= 1<<minBufShift; s >>= 1 {
+		c++
+	}
+	if c >= nBufClasses {
+		return -1
+	}
+	return c
+}
+
+// getBuf returns a buffer of exactly size bytes backed by pooled capacity
+// (its cap is the size class). Oversize requests fall through to the
+// allocator.
+func (p *dpPool) getBuf(size int) []byte {
+	if size <= 0 {
+		return nil
+	}
+	c := bufClass(size)
+	if c < 0 {
+		p.bufMisses++
+		return make([]byte, size)
+	}
+	list := p.bufs[c]
+	if n := len(list) - 1; n >= 0 {
+		b := list[n]
+		list[n] = nil
+		p.bufs[c] = list[:n]
+		p.bufHits++
+		p.bufCheckout(int64(cap(b)))
+		return b[:size]
+	}
+	p.bufMisses++
+	b := make([]byte, size, 1<<(minBufShift+c))
+	p.bufCheckout(int64(cap(b)))
+	return b
+}
+
+// putBuf returns a buffer obtained from getBuf. Buffers whose capacity is
+// not an exact pooled class (oversize allocations, foreign slices) are
+// dropped to the garbage collector.
+func (p *dpPool) putBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	c := bufClass(cap(b))
+	if c < 0 || cap(b) != 1<<(minBufShift+c) {
+		return
+	}
+	p.bufOut -= int64(cap(b))
+	if len(p.bufs[c]) < maxFreeBufsPerSize {
+		p.bufs[c] = append(p.bufs[c], b[:cap(b)])
+	}
+}
+
+func (p *dpPool) bufCheckout(n int64) {
+	p.bufOut += n
+	if p.bufOut > p.bufHighWater {
+		p.bufHighWater = p.bufOut
+	}
+}
+
+// getEnv returns a zeroed envelope from the free list.
+func (p *dpPool) getEnv() *envelope {
+	if n := len(p.envs) - 1; n >= 0 {
+		e := p.envs[n]
+		p.envs[n] = nil
+		p.envs = p.envs[:n]
+		p.objHits++
+		return e
+	}
+	p.objMisses++
+	return new(envelope)
+}
+
+// putEnv recycles an envelope. The caller must have transferred or
+// released env.data first — putEnv drops the reference without returning
+// the buffer.
+func (p *dpPool) putEnv(e *envelope) {
+	*e = envelope{}
+	if len(p.envs) < maxFreeObjs {
+		p.envs = append(p.envs, e)
+	}
+}
+
+// getReq returns a zeroed request from the free list.
+func (p *dpPool) getReq() *Request {
+	if n := len(p.reqs) - 1; n >= 0 {
+		r := p.reqs[n]
+		p.reqs[n] = nil
+		p.reqs = p.reqs[:n]
+		p.objHits++
+		return r
+	}
+	p.objMisses++
+	return new(Request)
+}
+
+// putReq recycles a request. Only internal requests that never escape to
+// the application (blocking Send/Recv wrappers, collective internals) may
+// be recycled: the next getReq hands the same pointer to an unrelated
+// operation. The request must be complete and out of every index — stale
+// in-flight events cannot resurrect it because handlers look requests up
+// by id in the pending table, and a recycled request is reissued under a
+// fresh id.
+func (p *dpPool) putReq(r *Request) {
+	*r = Request{}
+	if len(p.reqs) < maxFreeObjs {
+		p.reqs = append(p.reqs, r)
+	}
+}
+
+// getMsg returns a zeroed message header from the free list.
+func (p *dpPool) getMsg() *Message {
+	if n := len(p.msgs) - 1; n >= 0 {
+		m := p.msgs[n]
+		p.msgs[n] = nil
+		p.msgs = p.msgs[:n]
+		p.objHits++
+		return m
+	}
+	p.objMisses++
+	return new(Message)
+}
+
+// putMsg recycles a message header (not its Data — detach or release that
+// separately).
+func (p *dpPool) putMsg(m *Message) {
+	*m = Message{}
+	if len(p.msgs) < maxFreeObjs {
+		p.msgs = append(p.msgs, m)
+	}
+}
+
+func (p *dpPool) getCts() *ctsMsg {
+	if n := len(p.cts) - 1; n >= 0 {
+		c := p.cts[n]
+		p.cts[n] = nil
+		p.cts = p.cts[:n]
+		p.objHits++
+		return c
+	}
+	p.objMisses++
+	return new(ctsMsg)
+}
+
+func (p *dpPool) putCts(c *ctsMsg) {
+	*c = ctsMsg{}
+	if len(p.cts) < maxFreeObjs {
+		p.cts = append(p.cts, c)
+	}
+}
+
+func (p *dpPool) getDm() *dataMsg {
+	if n := len(p.dms) - 1; n >= 0 {
+		d := p.dms[n]
+		p.dms[n] = nil
+		p.dms = p.dms[:n]
+		p.objHits++
+		return d
+	}
+	p.objMisses++
+	return new(dataMsg)
+}
+
+func (p *dpPool) putDm(d *dataMsg) {
+	*d = dataMsg{}
+	if len(p.dms) < maxFreeObjs {
+		p.dms = append(p.dms, d)
+	}
+}

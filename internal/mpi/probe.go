@@ -37,35 +37,34 @@ func (p *probeRec) matchesEnvelope(env *envelope) bool {
 
 // peekUnexpected finds (without consuming) the earliest-arrived unexpected
 // envelope matching (comm, src, tag); src is a world rank or AnySource.
+// Both branches walk arrival-ordered lists, so the first compatible entry
+// is the answer (the AnySource branch walks the communicator's arrival
+// list directly, like takeUnexpected).
 func (ps *procState) peekUnexpected(comm, src, tag int) *envelope {
-	var best *envelope
-	consider := func(env *envelope) {
+	match := func(env *envelope) bool {
 		if tag == AnyTag {
-			if env.tag < 0 {
-				return // wildcards never see internal traffic
-			}
-		} else if tag != env.tag {
-			return
+			return env.tag >= 0 // wildcards never see internal traffic
 		}
-		if best == nil || env.arriveSeq < best.arriveSeq {
-			best = env
-		}
+		return tag == env.tag
 	}
 	if src != AnySource {
-		for _, env := range ps.unexpBySrc[matchKey{comm, src}] {
-			consider(env)
+		if q := ps.unexpBySrc[matchKey{comm, src}]; q != nil {
+			for env := q.head; env != nil; env = env.sNext {
+				if match(env) {
+					return env
+				}
+			}
 		}
-		return best
+		return nil
 	}
-	for k, list := range ps.unexpBySrc {
-		if k.comm != comm {
-			continue
-		}
-		for _, env := range list {
-			consider(env)
+	if q := ps.unexpByComm[comm]; q != nil {
+		for env := q.head; env != nil; env = env.aNext {
+			if match(env) {
+				return env
+			}
 		}
 	}
-	return best
+	return nil
 }
 
 // Iprobe checks without blocking whether a matching message has arrived
@@ -119,7 +118,9 @@ func (c *Comm) Probe(src, tag int) (*Message, error) {
 		}
 		pr := &probeRec{comm: c.id, src: worldSrc, tag: tag}
 		e.ps.probes = append(e.ps.probes, pr)
-		e.ctx.Block(fmt.Sprintf("MPI probe: src %d tag %d (comm %d)", worldSrc, tag, c.id))
+		// Block with the procState: the reason string is formatted lazily
+		// (procState.BlockReason) only if a deadlock report prints it.
+		e.ctx.Block(e.ps)
 		e.ps.removeProbe(pr)
 	}
 }

@@ -47,11 +47,15 @@ func (w *World) handleRevoke(s *core.SchedCtx, ev *core.Event) {
 			continue
 		}
 		ps.revoked[rn.commID] = true
-		for _, req := range ps.pendingInOrder() {
+		// completeRequest unlinks the request from the pending list, so
+		// capture the successor before completing each one.
+		for req := ps.pendHead; req != nil; {
+			next := req.nNext
 			if req.comm.id == rn.commID {
 				completeRequest(ps, req, ev.Time, &RevokedError{Comm: rn.commID})
 				wakeIfWaiting(s, ps, req, req.completeAt)
 			}
+			req = next
 		}
 	}
 }
@@ -136,6 +140,7 @@ func (c *Comm) Shrink() (*Comm, error) {
 				return nil, err
 			}
 			reported, err := decodeRanks(msg.Data)
+			msg.Release() // decodeRanks copied the payload out
 			if err != nil {
 				return nil, err
 			}
@@ -173,6 +178,7 @@ func (c *Comm) Shrink() (*Comm, error) {
 		return nil, fmt.Errorf("mpi: shrink result from root failed: %w", err)
 	}
 	live, err := decodeRanks(msg.Data)
+	msg.Release()
 	if err != nil {
 		return nil, err
 	}
@@ -228,6 +234,7 @@ func (c *Comm) Agree(flag uint32) (uint32, error) {
 				return 0, fmt.Errorf("mpi: agree report is %d bytes", len(msg.Data))
 			}
 			acc &= binary.LittleEndian.Uint32(msg.Data)
+			msg.Release()
 			live = append(live, cr)
 		}
 		payload := binary.LittleEndian.AppendUint32(nil, acc)
@@ -252,5 +259,7 @@ func (c *Comm) Agree(flag uint32) (uint32, error) {
 	if len(msg.Data) != 4 {
 		return 0, fmt.Errorf("mpi: agree result is %d bytes", len(msg.Data))
 	}
-	return binary.LittleEndian.Uint32(msg.Data), nil
+	out := binary.LittleEndian.Uint32(msg.Data)
+	msg.Release()
+	return out, nil
 }

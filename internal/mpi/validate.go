@@ -24,90 +24,95 @@ func (ps *procState) fail(invariant, where, format string, args ...any) {
 // checkIndexes verifies the posted-receive index and unexpected-queue
 // invariants:
 //
-//   - every request filed under (comm, src) is an incomplete, posted,
-//     exact-source receive for that key, present in the pending table;
+//   - every request linked under (comm, src) is an incomplete, posted,
+//     exact-source receive for that key, present in the pending table,
+//     with its postQ backpointer set to that list;
 //   - every wildcard entry is an incomplete, posted AnySource receive,
 //     present in the pending table;
 //   - both structures are ordered by post sequence (MPI's
 //     first-match-in-post-order rule depends on it);
-//   - every unexpected envelope is filed under its own (comm, src) key,
-//     addressed to this rank, in arrival order, and the total count
-//     matches the metrics layer's queue-depth gauge;
+//   - every unexpected envelope is linked under its own (comm, src) key,
+//     addressed to this rank, in arrival order; the per-communicator
+//     arrival lists are in arrival order and hold exactly the same
+//     envelopes; and the total count matches the metrics layer's
+//     queue-depth gauge;
 //   - the pending table holds only incomplete requests under their own
-//     ids.
+//     ids, and the id-ordered pending list threads exactly the table's
+//     entries in ascending id order.
+//
+// Emptied intrusive queue structs are deliberately retained in their maps
+// (they are reused by later traffic), so an empty list is not a violation.
 //
 // where names the operation just performed, for the violation dump.
 func (ps *procState) checkIndexes(where string) {
 	rank := ps.env.Rank()
-	for k, list := range ps.postedBySrc {
-		if len(list) == 0 {
-			ps.fail("posted-index", where, "empty posted-receive list retained for key %+v", k)
-		}
-		var lastSeq uint64
-		for i, r := range list {
-			switch {
-			case r == nil:
-				ps.fail("posted-index", where, "nil request in posted list %+v", k)
-			case r.kind != recvReq || !r.posted || r.wild:
-				ps.fail("posted-index", where, "request %d filed under %+v is not an exact-source posted receive (kind=%d posted=%v wild=%v)",
-					r.id, k, r.kind, r.posted, r.wild)
-			case r.done:
-				ps.fail("posted-index", where, "completed request %d (%s) still filed under %+v", r.id, r.opName(), k)
-			case r.postKey != k || r.comm.id != k.comm || r.src != k.src:
+	ps.checkPostedList(where, "", ps.postedWild)
+	for k, q := range ps.postedBySrc {
+		ps.checkPostedList(where, fmt.Sprintf("%+v", k), q)
+		for r := q.head; r != nil; r = r.pNext {
+			if r.postKey != k || r.comm.id != k.comm || r.src != k.src {
 				ps.fail("posted-index", where, "request %d filed under %+v has key %+v (comm %d, src %d)",
 					r.id, k, r.postKey, r.comm.id, r.src)
-			case ps.pending[r.id] != r:
-				ps.fail("posted-index", where, "posted receive %d missing from the pending table", r.id)
-			case i > 0 && r.postSeq <= lastSeq:
-				ps.fail("posted-index", where, "posted list %+v out of post order: seq %d after %d", k, r.postSeq, lastSeq)
 			}
-			lastSeq = r.postSeq
 		}
 	}
-	var lastWild uint64
-	for i, r := range ps.postedWild {
-		switch {
-		case r == nil:
-			ps.fail("posted-index", where, "nil request in wildcard posted list")
-		case r.kind != recvReq || !r.posted || !r.wild || r.src != AnySource:
-			ps.fail("posted-index", where, "request %d in wildcard list is not a posted AnySource receive (kind=%d posted=%v wild=%v src=%d)",
-				r.id, r.kind, r.posted, r.wild, r.src)
-		case r.done:
-			ps.fail("posted-index", where, "completed request %d still in wildcard posted list", r.id)
-		case ps.pending[r.id] != r:
-			ps.fail("posted-index", where, "wildcard posted receive %d missing from the pending table", r.id)
-		case i > 0 && r.postSeq <= lastWild:
-			ps.fail("posted-index", where, "wildcard posted list out of post order: seq %d after %d", r.postSeq, lastWild)
-		}
-		lastWild = r.postSeq
-	}
+
 	total := 0
-	for k, list := range ps.unexpBySrc {
-		if len(list) == 0 {
-			ps.fail("unexpected-queue", where, "empty unexpected list retained for key %+v", k)
-		}
+	for k, q := range ps.unexpBySrc {
 		var lastArrive uint64
-		for i, env := range list {
+		var prev *envelope
+		for env := q.head; env != nil; env = env.sNext {
 			switch {
-			case env == nil:
-				ps.fail("unexpected-queue", where, "nil envelope in unexpected list %+v", k)
 			case env.commID != k.comm || env.src != k.src:
 				ps.fail("unexpected-queue", where, "envelope (comm %d, src %d, tag %d) filed under key %+v",
 					env.commID, env.src, env.tag, k)
 			case env.dst != rank:
 				ps.fail("unexpected-queue", where, "envelope for rank %d queued at rank %d", env.dst, rank)
-			case i > 0 && env.arriveSeq <= lastArrive:
+			case prev != nil && env.arriveSeq <= lastArrive:
 				ps.fail("unexpected-queue", where, "unexpected list %+v out of arrival order: seq %d after %d",
 					k, env.arriveSeq, lastArrive)
+			case env.sPrev != prev:
+				ps.fail("unexpected-queue", where, "broken sPrev link in unexpected list %+v at seq %d", k, env.arriveSeq)
 			}
 			lastArrive = env.arriveSeq
+			prev = env
 			total++
 		}
+		if q.tail != prev {
+			ps.fail("unexpected-queue", where, "unexpected list %+v tail does not match last element", k)
+		}
+	}
+	arrTotal := 0
+	for comm, q := range ps.unexpByComm {
+		var lastArrive uint64
+		var prev *envelope
+		for env := q.head; env != nil; env = env.aNext {
+			switch {
+			case env.commID != comm:
+				ps.fail("unexpected-queue", where, "envelope (comm %d) in arrival list of comm %d", env.commID, comm)
+			case prev != nil && env.arriveSeq <= lastArrive:
+				ps.fail("unexpected-queue", where, "arrival list (comm %d) out of order: seq %d after %d",
+					comm, env.arriveSeq, lastArrive)
+			case env.aPrev != prev:
+				ps.fail("unexpected-queue", where, "broken aPrev link in arrival list (comm %d) at seq %d", comm, env.arriveSeq)
+			}
+			lastArrive = env.arriveSeq
+			prev = env
+			arrTotal++
+		}
+		if q.tail != prev {
+			ps.fail("unexpected-queue", where, "arrival list (comm %d) tail does not match last element", comm)
+		}
+	}
+	if arrTotal != total {
+		ps.fail("unexpected-queue", where,
+			"arrival lists hold %d envelopes but the source lists hold %d", arrTotal, total)
 	}
 	if c := ps.env.w.m.counters(rank); c != nil && c.unexpNow != total {
 		ps.fail("unexpected-conservation", where,
 			"unexpected queue holds %d envelopes but the depth gauge reads %d", total, c.unexpNow)
 	}
+
 	for id, r := range ps.pending {
 		switch {
 		case r == nil:
@@ -118,6 +123,60 @@ func (ps *procState) checkIndexes(where string) {
 			ps.fail("pending-index", where, "completed request %d (%s) still pending", r.id, r.opName())
 		}
 	}
+	listed := 0
+	var lastID uint64
+	var prev *Request
+	for r := ps.pendHead; r != nil; r = r.nNext {
+		switch {
+		case prev != nil && r.id <= lastID:
+			ps.fail("pending-index", where, "pending list out of id order: %d after %d", r.id, lastID)
+		case r.nPrev != prev:
+			ps.fail("pending-index", where, "broken nPrev link in pending list at request %d", r.id)
+		case ps.pending[r.id] != r:
+			ps.fail("pending-index", where, "pending-list request %d missing from the pending table", r.id)
+		}
+		lastID = r.id
+		prev = r
+		listed++
+	}
+	if ps.pendTail != prev {
+		ps.fail("pending-index", where, "pending list tail does not match last element")
+	}
+	if listed != len(ps.pending) {
+		ps.fail("pending-index", where, "pending list holds %d requests but the table holds %d", listed, len(ps.pending))
+	}
+}
+
+// checkPostedList sweeps one posted-receive list (key == "" means the
+// wildcard list).
+func (ps *procState) checkPostedList(where, key string, q *reqQ) {
+	wild := key == ""
+	var lastSeq uint64
+	var prev *Request
+	for r := q.head; r != nil; r = r.pNext {
+		switch {
+		case r.kind != recvReq || !r.posted || r.wild != wild:
+			ps.fail("posted-index", where, "request %d in posted list %q is not a posted receive of the right flavour (kind=%d posted=%v wild=%v)",
+				r.id, key, r.kind, r.posted, r.wild)
+		case wild && r.src != AnySource:
+			ps.fail("posted-index", where, "request %d in wildcard list has source %d", r.id, r.src)
+		case r.done:
+			ps.fail("posted-index", where, "completed request %d (%s) still in posted list %q", r.id, r.opName(), key)
+		case r.postQ != q:
+			ps.fail("posted-index", where, "request %d in posted list %q has a stale postQ backpointer", r.id, key)
+		case ps.pending[r.id] != r:
+			ps.fail("posted-index", where, "posted receive %d missing from the pending table", r.id)
+		case prev != nil && r.postSeq <= lastSeq:
+			ps.fail("posted-index", where, "posted list %q out of post order: seq %d after %d", key, r.postSeq, lastSeq)
+		case r.pPrev != prev:
+			ps.fail("posted-index", where, "broken pPrev link in posted list %q at request %d", key, r.id)
+		}
+		lastSeq = r.postSeq
+		prev = r
+	}
+	if q.tail != prev {
+		ps.fail("posted-index", where, "posted list %q tail does not match last element", key)
+	}
 }
 
 // checkFinalize is the conservation sweep run by a clean Finalize: after
@@ -127,16 +186,18 @@ func (ps *procState) checkFinalize() {
 	ps.checkIndexes("finalize")
 	if n := len(ps.pending); n > 0 {
 		detail := ""
-		for _, r := range ps.pendingInOrder() {
+		for r := ps.pendHead; r != nil; r = r.nNext {
 			detail += fmt.Sprintf("\n    request %d: %s peer %d tag %d (comm %d)", r.id, r.opName(), r.peer(), r.tag, r.comm.id)
 		}
 		ps.fail("finalize-pending", "finalize", "%d requests still pending at Finalize:%s", n, detail)
 	}
-	if n := len(ps.postedWild); n > 0 {
-		ps.fail("finalize-pending", "finalize", "%d wildcard receives still posted at Finalize", n)
+	if ps.postedWild.head != nil {
+		ps.fail("finalize-pending", "finalize", "wildcard receives still posted at Finalize")
 	}
-	for k, list := range ps.postedBySrc {
-		ps.fail("finalize-pending", "finalize", "%d receives still posted for key %+v at Finalize", len(list), k)
+	for k, q := range ps.postedBySrc {
+		if q.head != nil {
+			ps.fail("finalize-pending", "finalize", "receives still posted for key %+v at Finalize", k)
+		}
 	}
 	if n := len(ps.probes); n > 0 {
 		ps.fail("finalize-pending", "finalize", "%d probes still outstanding at Finalize", n)

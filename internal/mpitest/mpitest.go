@@ -588,6 +588,10 @@ func (w *Workload) runBurst(e *xsim.Env, d *digest, pi int, ph phase) error {
 		}
 		if recvOf[i] >= 0 {
 			d.msg(msg)
+			// Hand the buffer back once digested: the differential then
+			// also cross-checks that pooled-buffer reuse cannot leak one
+			// receive's bytes into another.
+			msg.Release()
 		}
 	}
 	return nil
@@ -717,6 +721,7 @@ func (w *Workload) runProbe(e *xsim.Env, d *digest, ph phase) error {
 				return err
 			}
 			d.msg(msg)
+			msg.Release()
 		}
 	}
 	return nil
