@@ -22,6 +22,10 @@
 #   8b. BenchmarkPingPong allocation gate (the MPI data plane recycles
 #                     envelopes/requests/payload buffers; a regression that
 #                     reintroduces per-message allocation fails here)
+#   8c. bytes-per-VP budget gate (a 256k-rank program-mode world must
+#                     stay within 1 KiB of resident memory per virtual
+#                     process after one exchange step — the paper's
+#                     oversubscription scaling dimension)
 #   9. campaign-parallelism smoke (a pooled campaign under -race must
 #                     produce bit-identical results to the sequential one:
 #                     pool=4 vs pool=1 digests for the Table II grid and a
@@ -95,6 +99,26 @@ echo "$bench" | awk '
 		}
 	}
 	END { if (seen != 2) { print "FAIL: BenchmarkPingPong sub-benchmarks did not run" > "/dev/stderr"; exit 1 } }
+'
+
+echo "== bytes-per-VP budget gate (program mode, 256k ranks)"
+# PR 6 carried the residual cost of one virtual process from ~2.3 KB to
+# under 1 KB (bounded carriers + program VPs + slimmed per-process MPI
+# state). Gate at 1024 bytes/vp so a regression that reintroduces a
+# per-VP map, goroutine, or unbounded pool fails loudly.
+bench=$(go test -run '^$' -bench '^BenchmarkBytesPerVP/prog/ranks=262144$' -benchtime 1x ./internal/mpi/)
+echo "$bench"
+echo "$bench" | awk '
+	/^BenchmarkBytesPerVP\/prog\/ranks=262144/ {
+		seen = 1
+		for (i = 1; i <= NF; i++) {
+			if ($i == "bytes/vp" && $(i-1) + 0 > 1024) {
+				print "FAIL: program-mode VP footprint is " $(i-1) " bytes/vp, want <= 1024" > "/dev/stderr"
+				exit 1
+			}
+		}
+	}
+	END { if (!seen) { print "FAIL: BenchmarkBytesPerVP/prog/ranks=262144 did not run" > "/dev/stderr"; exit 1 } }
 '
 
 echo "== campaign-parallelism smoke (pool=4 vs pool=1 digests, -race)"

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
 	"xsim/internal/vclock"
@@ -91,6 +92,53 @@ func BenchmarkEngineStartup(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSpawnTeardown measures the per-VP cost of standing up and
+// tearing down a 64k-rank world where every rank runs to completion:
+// carrier borrow + body + recycle in closure mode, a single inline step in
+// program mode. Reported per VP so the numbers stay comparable across
+// scales.
+func BenchmarkSpawnTeardown(b *testing.B) {
+	const n = 65536
+	run := func(b *testing.B, exec func() error) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := exec(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&after)
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/vp")
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N)/n, "allocs/vp")
+	}
+	b.Run("closure", func(b *testing.B) {
+		run(b, func() error {
+			eng, err := New(Config{NumVPs: n})
+			if err != nil {
+				return err
+			}
+			_, err = eng.Run(func(c *Ctx) {})
+			return err
+		})
+	})
+	b.Run("prog", func(b *testing.B) {
+		run(b, func() error {
+			eng, err := New(Config{NumVPs: n})
+			if err != nil {
+				return err
+			}
+			_, err = eng.RunPrograms(func(*Ctx) Program { return doneProg{} })
+			return err
+		})
+	})
+}
+
+type doneProg struct{}
+
+func (doneProg) Step(c *Ctx, wake any) (any, bool) { return nil, true }
 
 // BenchmarkParallelWindows measures the parallel window protocol under
 // cross-partition ping traffic: 8 VPs over 4 workers, every rank paired

@@ -1,0 +1,116 @@
+package core
+
+import "xsim/internal/vclock"
+
+// A carrier is a reusable goroutine that executes VP bodies. VPs no longer
+// each own a goroutine for the whole run: a VP that has never started is
+// pure data, and its first resume borrows a carrier from its partition's
+// pool — spawning one only when the pool is empty. While the VP lives, the
+// carrier's stack is the VP's stack (Block parks the carrier goroutine on
+// the shared gate channel, exactly as the old per-VP goroutine did); when
+// the VP dies, the carrier hands its stack off by looping back to the pool
+// and adopting the next VP the scheduler assigns it.
+//
+// Live goroutine count therefore scales with started-and-not-yet-dead VPs
+// rather than world size, and a run of run-to-completion bodies executes on
+// a single carrier per partition. Bodies that park forever still pin one
+// goroutine each — the Program execution mode (program.go) is the escape
+// hatch that removes the stack entirely.
+type carrier struct {
+	// gate is the handoff channel, owned by the carrier for its lifetime
+	// and recycled across every VP it adopts; vp.gate aliases it while the
+	// VP is assigned.
+	gate chan yieldKind
+	// v is the carrier's current assignment, written by the scheduler
+	// before the resume send that starts the adoption; nil is the shutdown
+	// token (drainCarriers).
+	v *vp
+}
+
+// loop adopts VPs assigned by the scheduler until it receives the shutdown
+// token. Each adoption is bracketed by the same gate protocol a resumed VP
+// uses, so the scheduler cannot tell a fresh carrier from a recycled one.
+func (cr *carrier) loop(e *Engine) {
+	for {
+		<-cr.gate // resume for a fresh assignment (or shutdown)
+		v := cr.v
+		if v == nil {
+			cr.gate <- yieldDead
+			return
+		}
+		v.state = vpRunning
+		v.clock = vclock.Max(v.clock, v.wakeAt)
+		cr.runBody(e, v)
+		cr.gate <- yieldDead
+	}
+}
+
+// runBody executes one VP body to termination, classifying the outcome and
+// running the death hook in the deferred recover (finishDeath).
+func (cr *carrier) runBody(e *Engine, v *vp) {
+	defer func() {
+		v.finishDeath(e, recover())
+	}()
+	if v.killed {
+		panic(unwindSentinel{DeathKilled})
+	}
+	v.checkUnwind()
+	e.body(&v.ctx)
+}
+
+// startVP gives a never-executed VP a carrier: the top of the partition's
+// idle pool, or a freshly spawned goroutine when the pool is empty. Called
+// by the scheduler immediately before the first resume send.
+func (p *partition) startVP(v *vp) {
+	var cr *carrier
+	if n := len(p.idle) - 1; n >= 0 {
+		cr = p.idle[n]
+		p.idle[n] = nil
+		p.idle = p.idle[:n]
+		p.carrierReuses++
+	} else {
+		cr = &carrier{gate: make(chan yieldKind)}
+		p.carriersSpawned++
+		p.carriersLive++
+		if p.carriersLive > p.carriersHi {
+			p.carriersHi = p.carriersLive
+		}
+		go cr.loop(p.eng)
+	}
+	cr.v = v
+	v.car = cr
+	v.gate = cr.gate
+}
+
+// recycleCarrier detaches a dead VP's carrier and returns it to the idle
+// pool for the next startVP.
+func (p *partition) recycleCarrier(v *vp) {
+	cr := v.car
+	if cr == nil {
+		return
+	}
+	v.car = nil
+	v.gate = nil
+	cr.v = nil
+	p.idle = append(p.idle, cr)
+	if len(p.idle) > p.carrierIdleHi {
+		p.carrierIdleHi = len(p.idle)
+	}
+}
+
+// drainCarriers retires every pooled carrier at engine teardown. The
+// handshake is synchronous: when it returns, each carrier has acknowledged
+// the shutdown token and is exiting, and the partition's live-carrier
+// gauge reads zero. Every carrier is guaranteed to be in the pool here —
+// VP death (including the teardown kills) always recycles the carrier.
+func (p *partition) drainCarriers() {
+	for i, cr := range p.idle {
+		cr.gate <- gateResume
+		if k := <-cr.gate; k != yieldDead {
+			panic("core: drained carrier yielded without exiting")
+		}
+		p.carriersLive--
+		p.idle[i] = nil
+	}
+	p.idle = p.idle[:0]
+}

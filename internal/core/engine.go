@@ -72,8 +72,12 @@ type Handler func(*SchedCtx, *Event)
 
 // Engine drives one simulation run.
 type Engine struct {
-	cfg   Config
-	vps   []*vp
+	cfg Config
+	// vps is the flat backing array of all VPs: one contiguous value slab
+	// instead of a pointer-per-VP table, so a million-rank world costs one
+	// allocation and no per-VP pointer chasing. Addresses into it are
+	// stable (the slice is never grown), so &e.vps[r] may be retained.
+	vps   []vp
 	parts []*partition
 	// handlers is indexed by Kind — a dense slice instead of a map keeps
 	// the per-event dispatch to a bounds check and a load.
@@ -81,11 +85,20 @@ type Engine struct {
 	onDeath  func(*Ctx, DeathReason)
 	ran      bool
 
-	// next and bar coordinate the parallel window protocol (parallel.go):
-	// next[i] is partition i's published next-item time, bar the reusable
-	// round barrier.
-	next []nextSlot
-	bar  barrier
+	// body is the closure-mode VP body (Run); progFor the program-mode
+	// factory (RunPrograms). Exactly one is set for a run.
+	body    func(*Ctx)
+	progFor func(*Ctx) Program
+
+	// tree, winGate and reduced coordinate the parallel window protocol
+	// (parallel.go): the combining tree folds per-partition next-item
+	// times into the global (min1, argmin, min2) triple, winGate releases
+	// the round once the root has it, and bar is the reusable barrier for
+	// the cross-event exchange.
+	tree    *reduceTree
+	winGate releaseGate
+	reduced minTriple
+	bar     barrier
 
 	// stop is the cooperative cancellation flag (Cancel). Partitions poll
 	// it at window boundaries and every stopStride processed items, so a
@@ -126,7 +139,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	eng := &Engine{
 		cfg:   cfg,
-		vps:   make([]*vp, cfg.NumVPs),
+		vps:   make([]vp, cfg.NumVPs),
 		parts: make([]*partition, cfg.Workers),
 	}
 	// Contiguous block partitioning: neighbouring ranks usually
@@ -152,19 +165,24 @@ func New(cfg Config) (*Engine, error) {
 		p.sctx = SchedCtx{eng: eng, part: p}
 		eng.parts[i] = p
 		for r := lo; r < hi; r++ {
-			eng.vps[r] = &vp{
-				rank:    r,
-				part:    p,
-				clock:   cfg.StartClock,
-				tof:     vclock.Never,
-				abortAt: vclock.Never,
-				gate:    make(chan yieldKind),
-			}
+			v := &eng.vps[r]
+			v.rank = r
+			v.part = p
+			v.clock = cfg.StartClock
+			v.tof = vclock.Never
+			v.abortAt = vclock.Never
+			// No gate, no goroutine: a VP that has never executed is pure
+			// data. Its first resume borrows a carrier (carrier.go).
+			v.ctx = Ctx{eng: eng, vp: v}
 		}
 		lo = hi
 	}
 	return eng, nil
 }
+
+// vpAt returns the VP for a rank. The pointer is stable for the engine's
+// lifetime.
+func (e *Engine) vpAt(rank int) *vp { return &e.vps[rank] }
 
 // RegisterHandler installs the handler for an event kind. Kinds below the
 // engine-reserved range or duplicate registrations panic (programming
@@ -199,7 +217,7 @@ func (e *Engine) ScheduleFailure(rank int, t vclock.Time) error {
 	if t < e.cfg.StartClock {
 		return fmt.Errorf("core: failure time %v precedes start clock %v", t, e.cfg.StartClock)
 	}
-	v := e.vps[rank]
+	v := &e.vps[rank]
 	if t < v.tof {
 		v.tof = t
 	}
@@ -241,17 +259,40 @@ type Result struct {
 // It returns an error if the configuration was already consumed, a VP
 // panicked, or the simulation deadlocked (the deadlock Result is still
 // returned for inspection).
+//
+// No goroutine is spawned per VP up front: every VP starts as pure data in
+// the ready heap, and its first resume borrows a carrier goroutine from
+// its partition's pool (carrier.go). Live goroutine count therefore scales
+// with the VPs that have started and not yet died, not with world size.
 func (e *Engine) Run(body func(*Ctx)) (*Result, error) {
 	if e.ran {
 		return nil, errors.New("core: engine can only run once")
 	}
 	e.ran = true
+	e.body = body
+	return e.run()
+}
 
-	for _, v := range e.vps {
-		go v.run(e, body)
+// RunPrograms executes one Program per VP and drives the simulation to
+// completion. progFor is called once per VP, in VP context, at the VP's
+// first execution. Program VPs never own a goroutine or a stack: a parked
+// program is pure data, so this is the execution mode that scales to
+// millions of VPs (see Program).
+func (e *Engine) RunPrograms(progFor func(*Ctx) Program) (*Result, error) {
+	if e.ran {
+		return nil, errors.New("core: engine can only run once")
+	}
+	e.ran = true
+	e.progFor = progFor
+	return e.run()
+}
+
+// run is the shared driver behind Run and RunPrograms.
+func (e *Engine) run() (*Result, error) {
+	for i := range e.vps {
+		v := &e.vps[i]
 		v.wakeAt = e.cfg.StartClock
 		v.part.ready.push(readyEntry{at: e.cfg.StartClock, rank: v.rank})
-		v.state = vpReady
 	}
 
 	if len(e.parts) == 1 {
@@ -281,17 +322,21 @@ func (e *Engine) Run(body func(*Ctx)) (*Result, error) {
 		res.EventsProcessed += p.events
 		res.Resumes += p.resumes
 	}
-	// Tear down surviving VPs so no goroutines leak.
+	// Tear down surviving VPs, then retire the idle carrier goroutines so
+	// nothing leaks. Both are synchronous: when run returns, every VP is
+	// dead and every carrier has been handed its shutdown token.
 	for _, p := range e.parts {
 		for r := p.lo; r < p.hi; r++ {
-			p.kill(e.vps[r])
+			p.kill(&e.vps[r])
 		}
+		p.drainCarriers()
 	}
 
 	var firstPanic string
 	var sum vclock.Time
 	res.MinClock = vclock.Never
-	for i, v := range e.vps {
+	for i := range e.vps {
+		v := &e.vps[i]
 		res.FinalClocks[i] = v.clock
 		res.Deaths[i] = v.death
 		res.Busy[i] = v.busy
@@ -340,6 +385,12 @@ func (e *Engine) route(from *partition, senderClock vclock.Time, ev *Event) {
 		panic(fmt.Sprintf("core: event target %d out of range", ev.Target))
 	}
 	e.routeToPartition(from, senderClock, e.vps[ev.Target].part, ev)
+}
+
+// progMode reports whether this run executes Programs (RunPrograms) rather
+// than goroutine bodies.
+func (e *Engine) progMode() bool {
+	return e.progFor != nil
 }
 
 // routeToPartition delivers an event to an explicit partition, enforcing

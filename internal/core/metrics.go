@@ -22,8 +22,27 @@ type MetricsSnapshot struct {
 	CrossEvents uint64
 	// EventHeapHighWater and ReadyHeapHighWater are the deepest any
 	// partition's queues got — the working-set measure for the heaps.
+	// ReadyHeapHighWater doubles as the peak-runnable-VPs gauge: every
+	// runnable (woken or not-yet-started) VP sits in a ready heap.
 	EventHeapHighWater int
 	ReadyHeapHighWater int
+	// VP-lifecycle gauges for the carrier execution model (carrier.go).
+	// CarriersSpawned counts carrier goroutines created over the run and
+	// CarrierReuses counts VP starts served by an already-pooled carrier;
+	// their sum is the number of VP starts in closure mode. CarriersHighWater
+	// is the live-goroutine high-water over partitions (the bounded-execution
+	// claim: it tracks peak concurrently-live VPs, not world size), and
+	// CarrierIdleHighWater the deepest any partition's idle pool got.
+	// CarriersLive is the number of carrier goroutines still alive when the
+	// snapshot was taken — 0 after a clean teardown, making it the leak
+	// gauge.
+	CarriersSpawned      uint64
+	CarrierReuses        uint64
+	CarriersHighWater    int
+	CarrierIdleHighWater int
+	CarriersLive         int
+	// ProgramSteps counts Program.Step invocations (0 in closure mode).
+	ProgramSteps uint64
 	// BarrierRounds counts parallel window rounds summed over partitions
 	// (0 with Workers = 1; every partition runs the same number of
 	// rounds, so this is rounds × Workers).
@@ -48,6 +67,16 @@ func (m *MetricsSnapshot) Add(other MetricsSnapshot) {
 	if other.ReadyHeapHighWater > m.ReadyHeapHighWater {
 		m.ReadyHeapHighWater = other.ReadyHeapHighWater
 	}
+	m.CarriersSpawned += other.CarriersSpawned
+	m.CarrierReuses += other.CarrierReuses
+	if other.CarriersHighWater > m.CarriersHighWater {
+		m.CarriersHighWater = other.CarriersHighWater
+	}
+	if other.CarrierIdleHighWater > m.CarrierIdleHighWater {
+		m.CarrierIdleHighWater = other.CarrierIdleHighWater
+	}
+	m.CarriersLive += other.CarriersLive
+	m.ProgramSteps += other.ProgramSteps
 	m.BarrierRounds += other.BarrierRounds
 	m.WindowWidthSum += other.WindowWidthSum
 }
@@ -77,6 +106,16 @@ func (e *Engine) Metrics() MetricsSnapshot {
 		if p.ready.hi > m.ReadyHeapHighWater {
 			m.ReadyHeapHighWater = p.ready.hi
 		}
+		m.CarriersSpawned += p.carriersSpawned
+		m.CarrierReuses += p.carrierReuses
+		if p.carriersHi > m.CarriersHighWater {
+			m.CarriersHighWater = p.carriersHi
+		}
+		if p.carrierIdleHi > m.CarrierIdleHighWater {
+			m.CarrierIdleHighWater = p.carrierIdleHi
+		}
+		m.CarriersLive += p.carriersLive
+		m.ProgramSteps += p.progSteps
 		m.BarrierRounds += p.rounds
 		m.WindowWidthSum += p.widthSum
 	}

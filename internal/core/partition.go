@@ -64,6 +64,10 @@ type partition struct {
 
 	live int // VPs not yet dead
 
+	// idle is the carrier pool: goroutines whose previous VP died, parked
+	// on their gate awaiting the next startVP assignment (carrier.go).
+	idle []*carrier
+
 	// validate mirrors Config.Validate: when set, the invariant checks in
 	// this file and parallel.go are live; when clear they are single
 	// untaken branches.
@@ -79,6 +83,14 @@ type partition struct {
 	crossEvents uint64
 	rounds      uint64
 	widthSum    vclock.Duration
+
+	// Carrier-pool and program-mode lifecycle gauges (Engine.Metrics).
+	carriersSpawned uint64
+	carrierReuses   uint64
+	carriersLive    int
+	carriersHi      int
+	carrierIdleHi   int
+	progSteps       uint64
 }
 
 // handlerSrc returns the deterministic event source id for handler
@@ -113,11 +125,19 @@ func (p *partition) newEvent() *Event {
 	return new(Event)
 }
 
+// maxFreeEvents bounds the event free list so one burst (every rank
+// emitting at a window edge) does not pin its peak working set forever;
+// the cap comfortably covers steady-state traffic, and surplus recycles
+// fall to the garbage collector.
+const maxFreeEvents = 4096
+
 // recycle zeroes a dispatched event and returns it to the free list. The
 // event must no longer be referenced by any queue or handler.
 func (p *partition) recycle(ev *Event) {
 	*ev = Event{}
-	p.free = append(p.free, ev)
+	if len(p.free) < maxFreeEvents {
+		p.free = append(p.free, ev)
+	}
 }
 
 // localNext returns the earliest pending work item's virtual time, or
@@ -188,7 +208,7 @@ func (p *partition) dispatch(ev *Event) {
 		p.handleFailureEvent(ev)
 		return
 	case kindTimer:
-		v := p.eng.vps[ev.Target]
+		v := &p.eng.vps[ev.Target]
 		if v.state == vpBlocked && v.sleeping && ev.stamp == v.sleepSeq {
 			p.wake(v, ev.Time, nil)
 		}
@@ -207,7 +227,7 @@ func (p *partition) dispatch(ev *Event) {
 // time is when the simulator regains control, at or after the scheduled
 // time, exactly as in the paper.
 func (p *partition) handleFailureEvent(ev *Event) {
-	v := p.eng.vps[ev.Target]
+	v := &p.eng.vps[ev.Target]
 	if v.state == vpDead {
 		return
 	}
@@ -243,19 +263,32 @@ func (p *partition) wake(v *vp, at vclock.Time, val any) {
 	p.ready.push(readyEntry{at: vclock.Max(at, v.clock), rank: v.rank})
 }
 
-// resume hands execution to a ready VP and waits for it to block or die:
-// one send on the VP's gate (the wake data already sits in the VP's
-// fields) and one receive of the yield notification.
+// resume hands execution to a ready VP and waits for it to block or die.
+// In program mode the step runs inline on the scheduler stack; in closure
+// mode it is one send on the VP's gate (the wake data already sits in the
+// VP's fields) and one receive of the yield notification, with a carrier
+// attached lazily on the VP's first resume.
 func (p *partition) resume(rank int) {
-	v := p.eng.vps[rank]
+	v := &p.eng.vps[rank]
 	clockBefore := v.clock
-	v.gate <- gateResume
-	k := <-v.gate
+	var dead bool
+	if p.eng.progMode() {
+		dead = p.stepProgram(v)
+	} else {
+		if v.state == vpCreated {
+			p.startVP(v)
+		}
+		v.gate <- gateResume
+		if k := <-v.gate; k == yieldDead {
+			p.recycleCarrier(v)
+			dead = true
+		}
+	}
 	if p.validate && v.clock < clockBefore {
 		check.Failf("clock-monotonic", rank, v.clock, "",
 			"rank %d's clock moved backwards across a resume: %v -> %v", rank, clockBefore, v.clock)
 	}
-	if k == yieldDead {
+	if dead {
 		p.live--
 	}
 }
@@ -266,15 +299,30 @@ func (p *partition) kill(v *vp) {
 	case vpDead:
 		return
 	case vpBlocked, vpCreated, vpReady:
-		v.wakeVal = nil
-		v.killed = true
-		v.gate <- gateResume
 	default:
 		panic(fmt.Sprintf("core: kill of running rank %d", v.rank))
 	}
+	if v.state == vpCreated || p.eng.progMode() {
+		// No stack to unwind: a never-started VP has no carrier (lazy
+		// spawn) and a parked program is pure data. Mark it dead directly;
+		// DeathKilled skips the death hook, so the outcome matches the
+		// unwind path exactly.
+		v.killed = true
+		v.wakeVal = nil
+		v.blockReason = nil
+		v.death = DeathKilled
+		v.deathTime = v.clock
+		v.state = vpDead
+		p.live--
+		return
+	}
+	v.wakeVal = nil
+	v.killed = true
+	v.gate <- gateResume
 	if k := <-v.gate; k != yieldDead {
 		panic("core: killed VP yielded without dying")
 	}
+	p.recycleCarrier(v)
 	p.live--
 }
 
@@ -300,7 +348,7 @@ func blockReasonString(r any) string {
 func (p *partition) blockedReport() []string {
 	var out []string
 	for r := p.lo; r < p.hi; r++ {
-		v := p.eng.vps[r]
+		v := &p.eng.vps[r]
 		if v.state == vpBlocked {
 			out = append(out, fmt.Sprintf("rank %d blocked at %v: %s", v.rank, v.clock, blockReasonString(v.blockReason)))
 		}
@@ -390,13 +438,17 @@ func (s *SchedCtx) EmitFor(onBehalf int, ev Event) {
 	s.eng.route(s.part, s.part.watermark, pe)
 }
 
-// Logf writes an informational message through the engine's logger.
+// Logf writes an informational message through the engine's logger. The
+// formatting cost is only paid when a logger is configured.
 func (s *SchedCtx) Logf(format string, args ...any) {
+	if s.eng.cfg.Logf == nil {
+		return
+	}
 	s.eng.logf("[sim @ %v] %s", s.part.watermark, fmt.Sprintf(format, args...))
 }
 
 func (s *SchedCtx) local(rank int) *vp {
-	v := s.eng.vps[rank]
+	v := &s.eng.vps[rank]
 	if v.part != s.part {
 		panic(fmt.Sprintf("core: partition %d accessed rank %d owned by partition %d", s.part.id, rank, v.part.id))
 	}

@@ -1,0 +1,85 @@
+package core
+
+import "xsim/internal/vclock"
+
+// Program is the resumable state-machine execution mode: an alternative to
+// a closure body for VPs whose control flow can be expressed as explicit
+// steps between blocking points. A parked Program VP is pure data — no
+// goroutine, no stack — which is what makes million-rank worlds fit in
+// memory.
+//
+// Step is called on the scheduler's own stack every time the VP is resumed
+// (and once for the initial start, with wake == nil). It runs the VP's
+// logic up to the next blocking point and returns:
+//
+//   - (park, false) to block: the VP parks with park as its block reason
+//     (rendered by deadlock reports exactly like a Block argument), and the
+//     next Step receives the waker's wake value.
+//   - (_, true) when the VP's work is complete (DeathCompleted).
+//
+// Inside Step the full Ctx API is available except Block itself — a
+// Program parks by returning, and Ctx.Block panics with a diagnostic if
+// called without a carrier. Ctx.Sleep and every MPI call that blocks via
+// Block are therefore closure-mode-only; Program-based layers expose
+// step-shaped equivalents instead. FailNow/Exitf/Abort work unchanged:
+// they unwind via panic, which the scheduler recovers and classifies
+// exactly as it does for carrier-run bodies.
+type Program interface {
+	Step(c *Ctx, wake any) (park any, done bool)
+}
+
+// stepProgram advances a Program VP by one Step on the scheduler stack,
+// replicating the bookkeeping a carrier resume performs around Block.
+// Returns true when the VP died (completed, failed, killed, or panicked).
+func (p *partition) stepProgram(v *vp) bool {
+	var wake any
+	if v.state == vpCreated {
+		// First entry: mirror the carrier-loop preamble.
+		v.state = vpRunning
+		v.clock = vclock.Max(v.clock, v.wakeAt)
+	} else {
+		// Resume from a park: mirror Block's wake-side bookkeeping.
+		v.state = vpRunning
+		v.blockReason = nil
+		wake = v.wakeVal
+		v.wakeVal = nil
+		if v.wakeAt > v.clock {
+			v.waited += v.wakeAt.Sub(v.clock)
+			v.clock = v.wakeAt
+		}
+	}
+	p.progSteps++
+	park, done, died := p.runStep(v, wake)
+	if died {
+		return true
+	}
+	if done {
+		v.finishDeath(p.eng, nil)
+		return true
+	}
+	v.state = vpBlocked
+	v.blockReason = park
+	return false
+}
+
+// runStep invokes Program.Step under the same recover/classify wrapper a
+// carrier's runBody uses, so kills, failures, and stray panics inside a
+// step land in the identical death taxonomy. died reports that the step
+// unwound; park/done are only meaningful when it did not.
+func (p *partition) runStep(v *vp, wake any) (park any, done bool, died bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			v.finishDeath(p.eng, r)
+			died = true
+		}
+	}()
+	if v.killed {
+		panic(unwindSentinel{DeathKilled})
+	}
+	v.checkUnwind()
+	if v.prog == nil {
+		v.prog = p.eng.progFor(&v.ctx)
+	}
+	park, done = v.prog.Step(&v.ctx, wake)
+	return park, done, false
+}

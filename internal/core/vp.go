@@ -54,7 +54,7 @@ type unwindSentinel struct{ reason DeathReason }
 type vpState int
 
 const (
-	vpCreated vpState = iota // goroutine not yet started running body
+	vpCreated vpState = iota // never executed: pure data, no carrier
 	vpRunning                // currently executing (its partition's turn)
 	vpReady                  // resumable, waiting in the ready heap
 	vpBlocked                // waiting for a Wake
@@ -91,7 +91,17 @@ type vp struct {
 	// alternation (only the running VP communicates with its scheduler)
 	// makes the shared use race-free, and the channel ordering makes the
 	// field-based resume data below safely visible on both sides.
+	//
+	// The channel is owned by the VP's carrier (carrier.go) and aliased
+	// here only while the VP is assigned one: nil for VPs that have never
+	// executed and for program VPs, which park as pure data.
 	gate chan yieldKind
+	// car is the carrier currently executing this VP's body, nil when the
+	// VP has none (never started, program-mode, or dead).
+	car *carrier
+	// prog is the VP's resumable program in RunPrograms mode, created
+	// lazily at the first step.
+	prog Program
 
 	// wakeAt, wakeVal, killed carry the resume data while the VP sits in
 	// the ready heap: clock becomes max(clock, wakeAt), wakeVal is
@@ -123,6 +133,12 @@ type vp struct {
 	seq uint64
 	// userData holds the higher layer's (MPI) per-VP state.
 	userData any
+
+	// ctx is the VP's durable simulator handle (it only holds the engine
+	// and a self-pointer, both fixed for the run); keeping it in the flat
+	// VP slab means bodies, programs and death hooks share one Ctx without
+	// a per-call allocation.
+	ctx Ctx
 }
 
 func (v *vp) nextSeq() uint64 {
@@ -245,6 +261,12 @@ func (c *Ctx) AbortNow() {
 // printed.
 func (c *Ctx) Block(reason any) any {
 	v := c.vp
+	if v.gate == nil {
+		// Program VPs have no goroutine to park: they must park by
+		// returning from Step. A blocking call reaching here is a
+		// programming error, not a deadlock waiting on a nil channel.
+		panic(fmt.Sprintf("core: rank %d called Block from a program VP (park by returning from Program.Step)", v.rank))
+	}
 	v.state = vpBlocked
 	v.blockReason = reason
 	v.gate <- yieldBlocked // hand control to the scheduler
@@ -327,8 +349,13 @@ func (c *Ctx) Data() any { return c.vp.userData }
 func (c *Ctx) SetData(d any) { c.vp.userData = d }
 
 // Logf writes an informational message through the engine's logger,
-// prefixed with the VP's rank and clock.
+// prefixed with the VP's rank and clock. With no logger configured it
+// returns before formatting anything — mirroring the lazy BlockReason
+// discipline, callers may log on hot paths without paying for Sprintf.
 func (c *Ctx) Logf(format string, args ...any) {
+	if c.eng.cfg.Logf == nil {
+		return
+	}
 	c.eng.logf("[rank %d @ %v] %s", c.vp.rank, c.vp.clock, fmt.Sprintf(format, args...))
 }
 
@@ -341,47 +368,39 @@ func (c *Ctx) Lookahead() vclock.Duration { return c.eng.cfg.Lookahead }
 // partition-local storage (free lists, scratch buffers) by it.
 func (c *Ctx) Partition() int { return c.vp.part.id }
 
-// run is the VP goroutine body.
-func (v *vp) run(eng *Engine, body func(*Ctx)) {
-	<-v.gate // initial resume from the scheduler
-	v.state = vpRunning
-	v.clock = vclock.Max(v.clock, v.wakeAt)
-	defer func() {
-		r := recover()
-		switch s := r.(type) {
-		case nil:
-			v.death = DeathCompleted
-		case unwindSentinel:
-			v.death = s.reason
-		default:
-			v.death = DeathPanicked
-			v.panicVal = r
-			v.panicMsg = fmt.Sprintf("rank %d panicked: %v\n%s", v.rank, r, debug.Stack())
-		}
-		v.deathTime = v.clock
-		v.state = vpDead
-		if v.death != DeathKilled && eng.onDeath != nil {
-			// Death bookkeeping (dropping queued messages, broadcasting
-			// the failure notification) runs in VP context so it can
-			// emit events on the VP's behalf.
-			func() {
-				defer func() {
-					if r2 := recover(); r2 != nil {
-						v.panicMsg = fmt.Sprintf("rank %d death hook panicked: %v\n%s", v.rank, r2, debug.Stack())
-						if v.death != DeathPanicked {
-							v.death = DeathPanicked
-							v.panicVal = r2
-						}
-					}
-				}()
-				eng.onDeath(&Ctx{eng: eng, vp: v}, v.death)
-			}()
-		}
-		v.gate <- yieldDead
-	}()
-	if v.killed {
-		panic(unwindSentinel{DeathKilled})
+// finishDeath classifies a VP's termination from the recover() outcome r
+// (nil for a normal return) and runs the death hook. It is the single
+// death path shared by carrier-executed bodies (carrier.go) and scheduler-
+// stepped programs (program.go).
+func (v *vp) finishDeath(eng *Engine, r any) {
+	switch s := r.(type) {
+	case nil:
+		v.death = DeathCompleted
+	case unwindSentinel:
+		v.death = s.reason
+	default:
+		v.death = DeathPanicked
+		v.panicVal = r
+		v.panicMsg = fmt.Sprintf("rank %d panicked: %v\n%s", v.rank, r, debug.Stack())
 	}
-	v.checkUnwind()
-	body(&Ctx{eng: eng, vp: v})
+	v.deathTime = v.clock
+	v.state = vpDead
+	v.blockReason = nil
+	if v.death != DeathKilled && eng.onDeath != nil {
+		// Death bookkeeping (dropping queued messages, broadcasting
+		// the failure notification) runs in VP context so it can
+		// emit events on the VP's behalf.
+		func() {
+			defer func() {
+				if r2 := recover(); r2 != nil {
+					v.panicMsg = fmt.Sprintf("rank %d death hook panicked: %v\n%s", v.rank, r2, debug.Stack())
+					if v.death != DeathPanicked {
+						v.death = DeathPanicked
+						v.panicVal = r2
+					}
+				}
+			}()
+			eng.onDeath(&v.ctx, v.death)
+		}()
+	}
 }

@@ -159,21 +159,111 @@ func BenchmarkHeatStep(b *testing.B) {
 	b.ReportMetric(float64(n)*float64(steps)/b.Elapsed().Seconds(), "rankstep/s")
 }
 
+// heatBenchProg is the program-mode heat step used by the scale
+// benchmarks: the same Irecv/Irecv/SendN/SendN/Waitall shape as
+// BenchmarkHeatStep, expressed as a parked state machine so ranks cost no
+// goroutine and no stack.
+type heatBenchProg struct {
+	n, steps int
+	step     int
+	waiting  bool
+	ws       WaitState
+	rl, rr   *Request
+	fail     func(error)
+}
+
+func (p *heatBenchProg) Step(e *Env, wake any) (any, bool) {
+	c := e.World()
+	for {
+		if !p.waiting {
+			if p.step == p.steps {
+				p.ws.reqs = nil
+				e.Finalize()
+				return nil, true
+			}
+			left := (e.Rank() + p.n - 1) % p.n
+			right := (e.Rank() + 1) % p.n
+			var err error
+			if p.rl, err = c.Irecv(left, 0); err != nil {
+				p.fail(err)
+			}
+			if p.rr, err = c.Irecv(right, 0); err != nil {
+				p.fail(err)
+			}
+			if err := c.SendN(left, 0, 512); err != nil {
+				p.fail(err)
+			}
+			if err := c.SendN(right, 0, 512); err != nil {
+				p.fail(err)
+			}
+			p.ws.Begin(p.rl, p.rr)
+			p.waiting = true
+		}
+		done, park, err := c.WaitallStep(&p.ws)
+		if !done {
+			return park, false
+		}
+		if err != nil {
+			p.fail(err)
+		}
+		c.Free(p.rl)
+		c.Free(p.rr)
+		p.rl, p.rr = nil, nil
+		p.waiting = false
+		p.step++
+	}
+}
+
+// BenchmarkHeatStepProg is BenchmarkHeatStep in program mode, swept to the
+// million-rank scale the paper targets. One iteration is one exchange step
+// across all n ranks; run with -benchtime=1x at the large sizes.
+func BenchmarkHeatStepProg(b *testing.B) {
+	for _, n := range []int{4096, 65536, 262144, 1048576} {
+		b.Run(fmt.Sprintf("ranks=%d", n), func(b *testing.B) {
+			steps := b.N
+			w := benchWorld(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := w.RunProgs(func(rank int) Prog {
+				return &heatBenchProg{n: n, steps: steps, fail: func(err error) { b.Error(err) }}
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(n)*float64(steps)/b.Elapsed().Seconds(), "rankstep/s")
+		})
+	}
+}
+
 // BenchmarkBytesPerVP measures the resident memory cost of one virtual
 // process at oversubscription scale: it builds an n-rank world, runs one
 // neighbour-exchange step so every VP has touched its data-plane state,
 // and reports (heap+goroutine stack growth)/n. This is the paper's
 // headline scaling dimension — how many virtual MPI processes fit on one
-// host.
+// host. The closure variant carries each rank on a (pooled) goroutine;
+// the prog variant runs the same exchange as a parked state machine and
+// is the configuration the ci.sh memory gate and the 1M-rank target use.
 func BenchmarkBytesPerVP(b *testing.B) {
+	measure := func(b *testing.B, n int, run func(w *World) error) {
+		for i := 0; i < b.N; i++ {
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			w := benchWorld(b, n)
+			if err := run(w); err != nil {
+				b.Fatal(err)
+			}
+			runtime.GC()
+			runtime.ReadMemStats(&after)
+			grew := (after.HeapInuse + after.StackInuse) - (before.HeapInuse + before.StackInuse)
+			b.ReportMetric(float64(grew)/float64(n), "bytes/vp")
+			runtime.KeepAlive(w)
+		}
+	}
 	for _, n := range []int{4096, 65536} {
-		b.Run(fmt.Sprintf("ranks=%d", n), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				var before, after runtime.MemStats
-				runtime.GC()
-				runtime.ReadMemStats(&before)
-				w := benchWorld(b, n)
-				if _, err := w.Run(func(e *Env) {
+		n := n
+		b.Run(fmt.Sprintf("closure/ranks=%d", n), func(b *testing.B) {
+			measure(b, n, func(w *World) error {
+				_, err := w.Run(func(e *Env) {
 					defer e.Finalize()
 					c := e.World()
 					right := (e.Rank() + 1) % n
@@ -188,15 +278,20 @@ func BenchmarkBytesPerVP(b *testing.B) {
 					if _, err := c.Wait(r); err != nil {
 						b.Error(err)
 					}
-				}); err != nil {
-					b.Fatal(err)
-				}
-				runtime.GC()
-				runtime.ReadMemStats(&after)
-				grew := (after.HeapInuse + after.StackInuse) - (before.HeapInuse + before.StackInuse)
-				b.ReportMetric(float64(grew)/float64(n), "bytes/vp")
-				runtime.KeepAlive(w)
-			}
+				})
+				return err
+			})
+		})
+	}
+	for _, n := range []int{4096, 65536, 262144, 1048576} {
+		n := n
+		b.Run(fmt.Sprintf("prog/ranks=%d", n), func(b *testing.B) {
+			measure(b, n, func(w *World) error {
+				_, err := w.RunProgs(func(rank int) Prog {
+					return &heatBenchProg{n: n, steps: 1, fail: func(err error) { b.Error(err) }}
+				})
+				return err
+			})
 		})
 	}
 }

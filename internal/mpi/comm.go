@@ -40,12 +40,6 @@ type Comm struct {
 	errFn   func(*Comm, error)
 }
 
-// newWorldComm builds the world communicator for a process: the identity
-// mapping, kept implicit.
-func newWorldComm(e *Env) *Comm {
-	return &Comm{env: e, id: 0, n: e.Size(), rank: e.Rank()}
-}
-
 // newComm builds a derived communicator. All members must derive
 // communicators in the same order so ids agree (the usual MPI collective
 // requirement).
@@ -281,6 +275,21 @@ func (c *Comm) Wait(r *Request) (*Message, error) {
 // among them in request order.
 func (c *Comm) Waitall(reqs []*Request) error {
 	return c.handleError(c.env.wait(reqs...))
+}
+
+// Free recycles a completed request back to the process's data-plane
+// pool, releasing any still-attached received message. The caller must
+// not touch the request afterwards. Freeing is optional — dropped
+// requests fall to the garbage collector — but long-running programs at
+// oversubscription scale free their requests to keep steady-state
+// allocation flat. Requests still in flight are ignored.
+func (c *Comm) Free(r *Request) {
+	if r == nil || !r.done {
+		return
+	}
+	r.msg.Release()
+	r.msg = nil
+	c.env.ps.dp.putReq(r)
 }
 
 // String describes the communicator.

@@ -173,25 +173,41 @@ func (w *World) Config() WorldConfig { return w.cfg }
 // fault model (returning from main or calling exit without MPI_Finalize).
 func (w *World) Run(app func(*Env)) (*core.Result, error) {
 	return w.eng.Run(func(c *core.Ctx) {
-		ps := &procState{
-			postedBySrc: make(map[matchKey]*reqQ),
-			postedWild:  new(reqQ),
-			unexpBySrc:  make(map[matchKey]*envSrcQ),
-			unexpByComm: make(map[int]*envArrQ),
-			pending:     make(map[uint64]*Request),
-			failedPeers: make(map[int]vclock.Time),
-			dp:          w.pools[c.Partition()],
-		}
-		env := &Env{w: w, ctx: c, ps: ps}
-		ps.env = env
-		env.world = newWorldComm(env)
-		c.SetData(ps)
+		env := newProcEnv(w, c)
 		app(env)
 		if !env.finalized {
 			c.Logf("exited without MPI_Finalize: simulated MPI process failure")
 			c.FailNow()
 		}
 	})
+}
+
+// procBundle packs one process's MPI state — procState, Env, and the world
+// communicator — into a single allocation. At million-rank scale the
+// per-VP allocation count is the memory bill: one bundle instead of three
+// objects, and every index inside procState starts empty (inline or nil)
+// instead of six pre-made maps.
+type procBundle struct {
+	ps    procState
+	env   Env
+	world Comm
+}
+
+// newProcEnv builds and attaches the per-process MPI state for the VP in
+// whose context it runs.
+func newProcEnv(w *World, c *core.Ctx) *Env {
+	b := &procBundle{}
+	initProcEnv(b, w, c)
+	return &b.env
+}
+
+// initProcEnv wires up a (possibly embedded) procBundle in VP context.
+func initProcEnv(b *procBundle, w *World, c *core.Ctx) {
+	b.env = Env{w: w, ctx: c, ps: &b.ps, world: &b.world}
+	b.world = Comm{env: &b.env, id: 0, n: c.N(), rank: c.Rank()}
+	b.ps.dp = w.pools[c.Partition()]
+	b.ps.env = &b.env
+	c.SetData(&b.ps)
 }
 
 // onDeath broadcasts the simulator-internal failure notification when a
@@ -230,28 +246,37 @@ type procState struct {
 	// shared by every local rank (only one of them executes at a time).
 	dp *dpPool
 
-	// Posted receives are indexed by (communicator, source) with
-	// wildcard-source receives in a separate ordered intrusive list;
-	// postSeq establishes MPI's first-match-in-post-order rule across
-	// the two.
-	postedBySrc map[matchKey]*reqQ
-	postedWild  *reqQ
-	postSeq     uint64
+	// Posted receives are indexed by (communicator, source) — a small
+	// inline index (postedIdx) since most ranks only ever receive from a
+	// handful of distinct sources — with wildcard-source receives in a
+	// separate ordered intrusive list; postSeq establishes MPI's
+	// first-match-in-post-order rule across the two.
+	posted     postedIdx
+	postedWild reqQ
+	postSeq    uint64
 	// Unexpected envelopes sit in a per-(comm, src) FIFO and, at the
 	// same time, in their communicator's arrival-order list; arriveSeq
-	// stamps arrival order (used by validation and probes).
+	// stamps arrival order (used by validation and probes). Both maps are
+	// created on the first unexpected arrival — a rank whose receives are
+	// always posted first (the common halo-exchange shape) never pays for
+	// them.
 	unexpBySrc  map[matchKey]*envSrcQ
 	unexpByComm map[int]*envArrQ
 	arriveSeq   uint64
-	// pending indexes all incomplete requests by id for handler lookup;
-	// pendHead/pendTail thread them in id order for deterministic
-	// iteration (ids are monotonic, so appends keep the order).
-	pending  map[uint64]*Request
-	pendHead *Request
-	pendTail *Request
+	// Incomplete requests thread through an id-ordered intrusive list
+	// (pendHead/pendTail; ids are monotonic, so appends keep the order
+	// the failure-notification scan depends on). Handler lookups walk the
+	// list while it is short — pending sets are a handful of requests in
+	// every common workload — and switch to the pendSpill map once
+	// pendLen ever exceeds pendSpillThreshold (fan-in collectives).
+	pendHead  *Request
+	pendTail  *Request
+	pendLen   int
+	pendSpill map[uint64]*Request
 	// failedPeers is this process's own list of failed simulated MPI
 	// processes and their times of failure (the paper's per-process
-	// failed list, filled in by notification events).
+	// failed list, filled in by notification events; nil until the first
+	// notification arrives).
 	failedPeers map[int]vclock.Time
 	// waitingOn is the request set the VP is currently blocked on.
 	waitingOn []*Request

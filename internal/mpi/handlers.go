@@ -93,7 +93,7 @@ func (w *World) handleCts(s *core.SchedCtx, ev *core.Event) {
 		w.pools[s.Partition()].putCts(cts)
 		return
 	}
-	req := ps.pending[cts.sendReqID]
+	req := ps.findPending(cts.sendReqID)
 	if req == nil || req.done {
 		ps.dp.putCts(cts)
 		return
@@ -148,7 +148,7 @@ func (w *World) handleData(s *core.SchedCtx, ev *core.Event) {
 		dp.putDm(dm)
 		return
 	}
-	req := ps.pending[dm.recvReqID]
+	req := ps.findPending(dm.recvReqID)
 	if req == nil || req.done || !req.awaitingData {
 		// The request already completed in error (failure detection
 		// timed out first); drop the late payload.
@@ -183,7 +183,7 @@ func (w *World) handleReqTimeout(s *core.SchedCtx, ev *core.Event) {
 	if ps == nil {
 		return
 	}
-	req := ps.pending[to.reqID]
+	req := ps.findPending(to.reqID)
 	if req == nil || req.done {
 		return
 	}
@@ -211,6 +211,9 @@ func (w *World) handleFailNotify(s *core.SchedCtx, ev *core.Event) {
 			continue
 		}
 		if old, ok := ps.failedPeers[fn.rank]; !ok || fn.at < old {
+			if ps.failedPeers == nil {
+				ps.failedPeers = make(map[int]vclock.Time)
+			}
 			ps.failedPeers[fn.rank] = fn.at
 		}
 		// The pending list is id-ordered and armTimeout never unlinks,

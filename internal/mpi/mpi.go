@@ -151,6 +151,12 @@ type Request struct {
 // Done reports whether the request has completed (successfully or not).
 func (r *Request) Done() bool { return r.done }
 
+// Msg returns the received message of a completed receive request (nil
+// for sends and for requests still in flight). The message follows the
+// usual ownership rules: the caller may keep it until Message.Release or
+// until the request is handed to Comm.Free.
+func (r *Request) Msg() *Message { return r.msg }
+
 // Err returns the request's error after completion, nil on success.
 func (r *Request) Err() error { return r.err }
 

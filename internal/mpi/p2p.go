@@ -173,6 +173,69 @@ func (q *envArrQ) unlink(e *envelope) {
 	e.aNext, e.aPrev = nil, nil
 }
 
+// postedInline is the number of (comm, src) posted-receive queues kept
+// inline in procState before spilling to a map. A 1-D halo exchange uses
+// exactly 2 distinct sources, so the dominant oversubscription shape pays
+// no allocation and no hashing — and at a million ranks every inline slot
+// is ~32 bytes/rank of resident footprint, so the array stays minimal.
+const postedInline = 2
+
+// postedIdx indexes the per-(comm, src) posted-receive queues: a linear
+// inline array of queue values with a map spill for ranks that receive
+// from many distinct sources. Queue addresses are stable either way (the
+// inline array lives in procState, which never moves; spill queues are
+// individually allocated), so Request.postQ may point at them.
+type postedIdx struct {
+	n     int
+	keys  [postedInline]matchKey
+	qs    [postedInline]reqQ
+	spill map[matchKey]*reqQ
+}
+
+// get returns the queue for k, or nil if none was ever created.
+func (ix *postedIdx) get(k matchKey) *reqQ {
+	for i := 0; i < ix.n; i++ {
+		if ix.keys[i] == k {
+			return &ix.qs[i]
+		}
+	}
+	if ix.spill != nil {
+		return ix.spill[k]
+	}
+	return nil
+}
+
+// getOrAdd returns the queue for k, creating it (inline while room, in the
+// spill map after) on first use. Queues are retained once created, like
+// the map entries they replace.
+func (ix *postedIdx) getOrAdd(k matchKey) *reqQ {
+	if q := ix.get(k); q != nil {
+		return q
+	}
+	if ix.n < postedInline {
+		ix.keys[ix.n] = k
+		q := &ix.qs[ix.n]
+		ix.n++
+		return q
+	}
+	if ix.spill == nil {
+		ix.spill = make(map[matchKey]*reqQ)
+	}
+	q := new(reqQ)
+	ix.spill[k] = q
+	return q
+}
+
+// each visits every queue ever created (validation and finalize sweeps).
+func (ix *postedIdx) each(f func(matchKey, *reqQ)) {
+	for i := 0; i < ix.n; i++ {
+		f(ix.keys[i], &ix.qs[i])
+	}
+	for k, q := range ix.spill {
+		f(k, q)
+	}
+}
+
 // tagOK reports whether a posted receive's tag accepts an envelope's tag.
 // AnyTag only spans the application tag space: internal messages (negative
 // tags — barriers, collectives, ULFM) must never be intercepted by user
@@ -190,14 +253,10 @@ func (ps *procState) addPosted(r *Request) {
 	r.postSeq = ps.postSeq
 	r.posted = true
 	r.wild = r.src == AnySource
-	q := ps.postedWild
+	q := &ps.postedWild
 	if !r.wild {
 		r.postKey = matchKey{r.comm.id, r.src}
-		q = ps.postedBySrc[r.postKey]
-		if q == nil {
-			q = new(reqQ)
-			ps.postedBySrc[r.postKey] = q
-		}
+		q = ps.posted.getOrAdd(r.postKey)
 	}
 	q.push(r)
 	r.postQ = q
@@ -222,7 +281,7 @@ func (ps *procState) removePosted(r *Request) {
 // candidate; the lower post sequence of the two wins.
 func (ps *procState) takePosted(env *envelope) *Request {
 	var best *Request
-	if q := ps.postedBySrc[matchKey{env.commID, env.src}]; q != nil {
+	if q := ps.posted.get(matchKey{env.commID, env.src}); q != nil {
 		for r := q.head; r != nil; r = r.pNext {
 			if tagOK(r, env) {
 				best = r
@@ -252,12 +311,18 @@ func (ps *procState) addUnexpected(env *envelope) {
 	k := matchKey{env.commID, env.src}
 	sq := ps.unexpBySrc[k]
 	if sq == nil {
+		if ps.unexpBySrc == nil {
+			ps.unexpBySrc = make(map[matchKey]*envSrcQ)
+		}
 		sq = new(envSrcQ)
 		ps.unexpBySrc[k] = sq
 	}
 	sq.push(env)
 	aq := ps.unexpByComm[env.commID]
 	if aq == nil {
+		if ps.unexpByComm == nil {
+			ps.unexpByComm = make(map[int]*envArrQ)
+		}
 		aq = new(envArrQ)
 		ps.unexpByComm[env.commID] = aq
 	}
@@ -335,11 +400,17 @@ func (ps *procState) drainUnexpected() {
 	}
 }
 
-// addPending files an incomplete request into the pending table and the
-// id-ordered pending list (ids are monotonic, so tail-append preserves the
-// order the failure-notification scan depends on).
+// pendSpillThreshold is the pending-set size past which id lookups switch
+// from walking the intrusive list to the pendSpill map. Point-to-point
+// shapes keep a handful of requests pending; fan-in collectives at the
+// root can hold thousands at once.
+const pendSpillThreshold = 32
+
+// addPending files an incomplete request into the id-ordered pending list
+// (ids are monotonic, so tail-append preserves the order the
+// failure-notification scan depends on) and, once the set has ever grown
+// past the spill threshold, into the lookup map.
 func (ps *procState) addPending(r *Request) {
-	ps.pending[r.id] = r
 	r.nPrev = ps.pendTail
 	r.nNext = nil
 	if ps.pendTail != nil {
@@ -348,14 +419,41 @@ func (ps *procState) addPending(r *Request) {
 		ps.pendHead = r
 	}
 	ps.pendTail = r
+	ps.pendLen++
+	if ps.pendSpill != nil {
+		ps.pendSpill[r.id] = r
+	} else if ps.pendLen > pendSpillThreshold {
+		ps.pendSpill = make(map[uint64]*Request, 2*pendSpillThreshold)
+		for q := ps.pendHead; q != nil; q = q.nNext {
+			ps.pendSpill[q.id] = q
+		}
+	}
 }
 
-// unlinkPending removes a request from the pending table and list.
+// findPending returns the pending request with the given id, or nil. The
+// common case walks the short list; ranks that ever spilled use the map.
+func (ps *procState) findPending(id uint64) *Request {
+	if ps.pendSpill != nil {
+		return ps.pendSpill[id]
+	}
+	for r := ps.pendHead; r != nil; r = r.nNext {
+		if r.id == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// unlinkPending removes a request from the pending list (and spill map);
+// it is a no-op for requests that are not pending.
 func (ps *procState) unlinkPending(r *Request) {
-	if ps.pending[r.id] != r {
+	if ps.findPending(r.id) != r {
 		return
 	}
-	delete(ps.pending, r.id)
+	if ps.pendSpill != nil {
+		delete(ps.pendSpill, r.id)
+	}
+	ps.pendLen--
 	if r.nPrev != nil {
 		r.nPrev.nNext = r.nNext
 	} else {

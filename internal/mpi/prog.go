@@ -1,0 +1,161 @@
+package mpi
+
+import (
+	"xsim/internal/core"
+	"xsim/internal/trace"
+	"xsim/internal/vclock"
+)
+
+// This file is the MPI layer's program execution mode: the state-machine
+// counterpart of World.Run for the core engine's Program VPs
+// (core.RunPrograms). A parked program owns no goroutine and no stack, so
+// this is the mode that scales a world to millions of simulated MPI
+// processes.
+//
+// The programming model: a Prog's Step runs MPI calls that complete
+// without blocking — Irecv, eager Send/SendN/Isend/IsendN (below the
+// network model's eager threshold), Elapse/Compute — and expresses every
+// wait as a WaitState it parks on by
+// returning. Calls that must block the caller (rendezvous or blocking
+// sends, Recv, Probe, Barrier, collectives, Sleep) are closure-mode only
+// and panic with a diagnostic if used from a program. The dominant
+// oversubscription shapes (halo exchange: Irecv/Irecv/Send/Send/Waitall)
+// fit the restriction exactly; use World.Run when they don't.
+
+// Prog is a resumable MPI program: one simulated process expressed as
+// explicit steps between waits. Step is called once to start (wake == nil)
+// and once per resume; it returns (park, false) to park — park must be the
+// value handed back by WaitallStep/WaitStep — or (_, true) when the
+// process is finished, after calling Env.Finalize.
+type Prog interface {
+	Step(e *Env, wake any) (park any, done bool)
+}
+
+// RunProgs executes one Prog per simulated process and drives the
+// simulation to completion — the program-mode analogue of World.Run.
+// newProg is called once per rank, in VP context, at the rank's first
+// execution (lazy, like everything else about program VPs). A program
+// that reports done without having called Env.Finalize is treated as a
+// process failure, exactly as in Run.
+func (w *World) RunProgs(newProg func(rank int) Prog) (*core.Result, error) {
+	return w.eng.RunPrograms(func(c *core.Ctx) core.Program {
+		b := &progBundle{}
+		initProcEnv(&b.procBundle, w, c)
+		b.pv = progVP{env: &b.env, user: newProg(c.Rank())}
+		return &b.pv
+	})
+}
+
+// progBundle extends the per-process allocation with the program adapter,
+// keeping program mode at one allocation per rank too.
+type progBundle struct {
+	procBundle
+	pv progVP
+}
+
+// progVP adapts a Prog to the core engine's Program interface and applies
+// the MPI layer's finalize discipline at completion.
+type progVP struct {
+	env  *Env
+	user Prog
+}
+
+func (pv *progVP) Step(c *core.Ctx, wake any) (park any, done bool) {
+	park, done = pv.user.Step(pv.env, wake)
+	if done && !pv.env.finalized {
+		c.Logf("exited without MPI_Finalize: simulated MPI process failure")
+		c.FailNow()
+	}
+	return park, done
+}
+
+// WaitState carries one wait (a Wait or Waitall) across program steps: the
+// request set being waited on and whether the per-call overhead has been
+// charged. It is embedded in the user's program state and reused wait
+// after wait; Begin never allocates once the request slice has grown to
+// the program's steady-state width.
+type WaitState struct {
+	reqs    []*Request
+	charged bool
+}
+
+// Begin arms the wait for a new request set. Call it once per wait, then
+// call WaitStep/WaitallStep from every step until it reports done.
+func (ws *WaitState) Begin(reqs ...*Request) {
+	ws.reqs = append(ws.reqs[:0], reqs...)
+	ws.charged = false
+}
+
+// waitStep is one scheduling quantum of Env.wait, shaped for programs: it
+// either completes the wait (done == true: the clock has advanced to the
+// latest completion and err is the first request error in request order)
+// or arms failure-detection timeouts and returns the park value the
+// program must return from Step. Wake-ups deliver no value — re-calling
+// waitStep re-examines the request set, exactly like the closure loop.
+func (e *Env) waitStep(ws *WaitState) (done bool, park any, err error) {
+	if !ws.charged {
+		e.chargeCall()
+		ws.charged = true
+	}
+	allDone := true
+	var latest vclock.Time
+	for _, r := range ws.reqs {
+		if !r.done {
+			allDone = false
+			break
+		}
+		if r.completeAt > latest {
+			latest = r.completeAt
+		}
+	}
+	if !allDone {
+		// Before parking, arm failure-detection timeouts for pending
+		// requests that involve already-known-failed peers; requests whose
+		// peer fails later are armed by the notification handler.
+		for _, r := range ws.reqs {
+			if !r.done {
+				e.ps.armTimeout(e.w, r, vpEmitter{e.ctx})
+			}
+		}
+		e.ps.waitingOn = ws.reqs
+		return false, e.ps, nil
+	}
+	e.ps.waitingOn = nil
+	e.ctx.AdvanceTo(latest)
+	if e.w.cfg.Tracer != nil {
+		for _, r := range ws.reqs {
+			ev := trace.Event{At: r.completeAt, Kind: trace.KindComplete, Rank: int32(e.Rank()), Peer: int32(r.peer()), Size: int64(r.size)}
+			if r.kind == sendReq {
+				ev.Flags |= trace.FlagSendOp
+			} else if r.msg != nil {
+				ev.Size = int64(r.msg.Size)
+			}
+			if r.err != nil {
+				ev.Flags |= trace.FlagError
+				ev.Detail = r.opName() + " err=" + r.err.Error()
+			}
+			e.w.cfg.Tracer.Record(ev)
+		}
+	}
+	for _, r := range ws.reqs {
+		if r.err != nil {
+			return true, nil, r.err
+		}
+	}
+	return true, nil, nil
+}
+
+// WaitallStep advances a program's wait on the request set armed by
+// ws.Begin. Returns done == false with the park value to return from Step
+// (the wait is still in progress), or done == true with the first error
+// among the requests after the communicator's error handler ran (with
+// ErrorsAreFatal a process-failure error aborts and this call does not
+// return). The completed requests are the caller's to recycle or reuse,
+// exactly as after Waitall.
+func (c *Comm) WaitallStep(ws *WaitState) (done bool, park any, err error) {
+	done, park, err = c.env.waitStep(ws)
+	if done && err != nil {
+		err = c.handleError(err)
+	}
+	return done, park, err
+}

@@ -46,8 +46,8 @@ func (ps *procState) fail(invariant, where, format string, args ...any) {
 // where names the operation just performed, for the violation dump.
 func (ps *procState) checkIndexes(where string) {
 	rank := ps.env.Rank()
-	ps.checkPostedList(where, "", ps.postedWild)
-	for k, q := range ps.postedBySrc {
+	ps.checkPostedList(where, "", &ps.postedWild)
+	ps.posted.each(func(k matchKey, q *reqQ) {
 		ps.checkPostedList(where, fmt.Sprintf("%+v", k), q)
 		for r := q.head; r != nil; r = r.pNext {
 			if r.postKey != k || r.comm.id != k.comm || r.src != k.src {
@@ -55,7 +55,7 @@ func (ps *procState) checkIndexes(where string) {
 					r.id, k, r.postKey, r.comm.id, r.src)
 			}
 		}
-	}
+	})
 
 	total := 0
 	for k, q := range ps.unexpBySrc {
@@ -113,14 +113,12 @@ func (ps *procState) checkIndexes(where string) {
 			"unexpected queue holds %d envelopes but the depth gauge reads %d", total, c.unexpNow)
 	}
 
-	for id, r := range ps.pending {
+	for id, r := range ps.pendSpill {
 		switch {
 		case r == nil:
 			ps.fail("pending-index", where, "nil request pending under id %d", id)
 		case r.id != id:
 			ps.fail("pending-index", where, "request %d pending under id %d", r.id, id)
-		case r.done:
-			ps.fail("pending-index", where, "completed request %d (%s) still pending", r.id, r.opName())
 		}
 	}
 	listed := 0
@@ -128,12 +126,14 @@ func (ps *procState) checkIndexes(where string) {
 	var prev *Request
 	for r := ps.pendHead; r != nil; r = r.nNext {
 		switch {
+		case r.done:
+			ps.fail("pending-index", where, "completed request %d (%s) still pending", r.id, r.opName())
 		case prev != nil && r.id <= lastID:
 			ps.fail("pending-index", where, "pending list out of id order: %d after %d", r.id, lastID)
 		case r.nPrev != prev:
 			ps.fail("pending-index", where, "broken nPrev link in pending list at request %d", r.id)
-		case ps.pending[r.id] != r:
-			ps.fail("pending-index", where, "pending-list request %d missing from the pending table", r.id)
+		case ps.findPending(r.id) != r:
+			ps.fail("pending-index", where, "pending-list request %d missing from the pending lookup", r.id)
 		}
 		lastID = r.id
 		prev = r
@@ -142,8 +142,11 @@ func (ps *procState) checkIndexes(where string) {
 	if ps.pendTail != prev {
 		ps.fail("pending-index", where, "pending list tail does not match last element")
 	}
-	if listed != len(ps.pending) {
-		ps.fail("pending-index", where, "pending list holds %d requests but the table holds %d", listed, len(ps.pending))
+	if listed != ps.pendLen {
+		ps.fail("pending-index", where, "pending list holds %d requests but the count gauge reads %d", listed, ps.pendLen)
+	}
+	if ps.pendSpill != nil && listed != len(ps.pendSpill) {
+		ps.fail("pending-index", where, "pending list holds %d requests but the spill map holds %d", listed, len(ps.pendSpill))
 	}
 }
 
@@ -164,8 +167,8 @@ func (ps *procState) checkPostedList(where, key string, q *reqQ) {
 			ps.fail("posted-index", where, "completed request %d (%s) still in posted list %q", r.id, r.opName(), key)
 		case r.postQ != q:
 			ps.fail("posted-index", where, "request %d in posted list %q has a stale postQ backpointer", r.id, key)
-		case ps.pending[r.id] != r:
-			ps.fail("posted-index", where, "posted receive %d missing from the pending table", r.id)
+		case ps.findPending(r.id) != r:
+			ps.fail("posted-index", where, "posted receive %d missing from the pending lookup", r.id)
 		case prev != nil && r.postSeq <= lastSeq:
 			ps.fail("posted-index", where, "posted list %q out of post order: seq %d after %d", key, r.postSeq, lastSeq)
 		case r.pPrev != prev:
@@ -184,7 +187,7 @@ func (ps *procState) checkPostedList(where, key string, q *reqQ) {
 // process.
 func (ps *procState) checkFinalize() {
 	ps.checkIndexes("finalize")
-	if n := len(ps.pending); n > 0 {
+	if n := ps.pendLen; n > 0 {
 		detail := ""
 		for r := ps.pendHead; r != nil; r = r.nNext {
 			detail += fmt.Sprintf("\n    request %d: %s peer %d tag %d (comm %d)", r.id, r.opName(), r.peer(), r.tag, r.comm.id)
@@ -194,11 +197,11 @@ func (ps *procState) checkFinalize() {
 	if ps.postedWild.head != nil {
 		ps.fail("finalize-pending", "finalize", "wildcard receives still posted at Finalize")
 	}
-	for k, q := range ps.postedBySrc {
+	ps.posted.each(func(k matchKey, q *reqQ) {
 		if q.head != nil {
 			ps.fail("finalize-pending", "finalize", "receives still posted for key %+v at Finalize", k)
 		}
-	}
+	})
 	if n := len(ps.probes); n > 0 {
 		ps.fail("finalize-pending", "finalize", "%d probes still outstanding at Finalize", n)
 	}

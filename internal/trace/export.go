@@ -173,6 +173,21 @@ func (b *Buffer) WriteChromeTrace(w io.Writer) error {
 			return err
 		}
 	}
+	// Counter tracks: one Chrome counter event ("C") per sample, stably
+	// sorted by time so tracks graph monotonically in Perfetto.
+	ctrs := b.Counters()
+	sort.SliceStable(ctrs, func(i, j int) bool { return ctrs[i].At < ctrs[j].At })
+	for _, c := range ctrs {
+		if err := emit(chromeEvent{
+			Name:  c.Name,
+			Phase: "C",
+			TS:    float64(c.At) / 1e3, // ns → µs
+			PID:   0,
+			Args:  map[string]any{"value": c.Value},
+		}); err != nil {
+			return err
+		}
+	}
 	if d := b.Dropped(); d > 0 {
 		last := 0.0
 		if len(evs) > 0 {

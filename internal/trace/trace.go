@@ -145,6 +145,20 @@ type Buffer struct {
 	cache    []Event
 	cacheVer uint64
 	cached   bool
+
+	// Counter tracks (RecordCounter): sampled gauges exported as Chrome
+	// trace counter events. Low volume, so one lock suffices.
+	ctrMu    sync.Mutex
+	counters []CounterSample
+}
+
+// CounterSample is one sample of a named counter track — a gauge value at
+// a point in virtual time. Chrome-trace exports render each named counter
+// as its own graphed track (phase "C").
+type CounterSample struct {
+	At    vclock.Time
+	Name  string
+	Value float64
 }
 
 // maxShards bounds the shard fan-out; 16 covers every worker count the
@@ -213,6 +227,23 @@ func (b *Buffer) Record(ev Event) {
 		s.events = append(s.events, ev)
 	}
 	s.mu.Unlock()
+}
+
+// RecordCounter appends one sample to the named counter track. Counters
+// are kept apart from the event shards: they are sampled gauges (VP
+// lifecycle, pool occupancy), not per-operation events, and are never
+// dropped by the ring bound.
+func (b *Buffer) RecordCounter(name string, at vclock.Time, value float64) {
+	b.ctrMu.Lock()
+	b.counters = append(b.counters, CounterSample{At: at, Name: name, Value: value})
+	b.ctrMu.Unlock()
+}
+
+// Counters returns a copy of the recorded counter samples in record order.
+func (b *Buffer) Counters() []CounterSample {
+	b.ctrMu.Lock()
+	defer b.ctrMu.Unlock()
+	return append([]CounterSample(nil), b.counters...)
 }
 
 // Len returns the number of retained events.

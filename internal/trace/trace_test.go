@@ -224,6 +224,49 @@ func TestChromeTraceFormat(t *testing.T) {
 	}
 }
 
+func TestChromeTraceCounters(t *testing.T) {
+	b := New(0)
+	b.Record(Event{Rank: 0, At: vclock.TimeFromSeconds(1), Kind: KindSend, Peer: 1})
+	b.RecordCounter("carriers-hi", vclock.TimeFromSeconds(2), 7)
+	b.RecordCounter("ready-hi", vclock.TimeFromSeconds(1), 3)
+	var buf bytes.Buffer
+	if err := b.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var counters []string
+	lastTS := -1.0
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase != "C" {
+			continue
+		}
+		counters = append(counters, ev.Name)
+		if ev.TS < lastTS {
+			t.Fatalf("counter samples out of time order: %+v", doc.TraceEvents)
+		}
+		lastTS = ev.TS
+		if _, ok := ev.Args["value"].(float64); !ok {
+			t.Fatalf("counter without numeric value: %+v", ev)
+		}
+	}
+	if len(counters) != 2 || counters[0] != "ready-hi" || counters[1] != "carriers-hi" {
+		t.Fatalf("counter tracks = %v", counters)
+	}
+	if got := b.Counters(); len(got) != 2 {
+		t.Fatalf("Counters() = %v", got)
+	}
+}
+
 func TestSummaryTable(t *testing.T) {
 	b := New(0)
 	b.Record(Event{Rank: 0, At: 1, Kind: KindSend, Peer: 1})

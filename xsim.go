@@ -390,6 +390,24 @@ func (s *Sim) RunContext(ctx context.Context, app App) (*Result, error) {
 		Engine:     s.world.Engine().Metrics(),
 		MPI:        s.world.Metrics(),
 	}
+	if s.cfg.Trace != nil {
+		// Export the VP-lifecycle gauges as Chrome-trace counter tracks so
+		// a loaded timeline graphs the run's carrier-pool and scheduler
+		// high-water marks alongside the per-rank events.
+		for _, c := range []struct {
+			name  string
+			value float64
+		}{
+			{"carriers-spawned", float64(result.Engine.CarriersSpawned)},
+			{"carrier-reuses", float64(result.Engine.CarrierReuses)},
+			{"carriers-hi", float64(result.Engine.CarriersHighWater)},
+			{"carrier-idle-hi", float64(result.Engine.CarrierIdleHighWater)},
+			{"ready-hi", float64(result.Engine.ReadyHeapHighWater)},
+			{"program-steps", float64(result.Engine.ProgramSteps)},
+		} {
+			s.cfg.Trace.RecordCounter(c.name, result.SimTime, c.value)
+		}
+	}
 	switch {
 	case err == nil:
 		return result, nil
@@ -419,6 +437,18 @@ func (r *Result) MetricsReport() string {
 			fmt.Sprint(r.Engine.ReadyHeapHighWater),
 			fmt.Sprint(r.Engine.BarrierRounds),
 			r.Engine.AvgWindowWidth().String(),
+		}},
+	))
+	sb.WriteString("vp lifecycle:\n")
+	sb.WriteString(stats.Table(
+		[]string{"carriers-spawned", "carrier-reuses", "carriers-hi", "carrier-idle-hi", "carriers-live", "program-steps"},
+		[][]string{{
+			fmt.Sprint(r.Engine.CarriersSpawned),
+			fmt.Sprint(r.Engine.CarrierReuses),
+			fmt.Sprint(r.Engine.CarriersHighWater),
+			fmt.Sprint(r.Engine.CarrierIdleHighWater),
+			fmt.Sprint(r.Engine.CarriersLive),
+			fmt.Sprint(r.Engine.ProgramSteps),
 		}},
 	))
 	sb.WriteString("mpi:\n")

@@ -55,6 +55,40 @@ func TestQuickstartSendRecv(t *testing.T) {
 	}
 }
 
+func TestMetricsReportListsVPLifecycle(t *testing.T) {
+	sim, err := New(Config{Ranks: 4, Trace: NewTrace(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(func(env *Env) {
+		defer env.Finalize()
+		env.Compute(1e6)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.MetricsReport()
+	for _, want := range []string{"vp lifecycle:", "carriers-spawned", "carrier-reuses", "carriers-live", "program-steps"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if res.Engine.CarriersSpawned == 0 {
+		t.Fatal("closure run spawned no carriers")
+	}
+	if res.Engine.CarriersLive != 0 {
+		t.Fatalf("CarriersLive = %d after the run", res.Engine.CarriersLive)
+	}
+	// The run-end gauges also land on the trace as counter tracks.
+	var names []string
+	for _, c := range sim.cfg.Trace.Counters() {
+		names = append(names, c.Name)
+	}
+	if len(names) == 0 || !strings.Contains(strings.Join(names, " "), "carriers-spawned") {
+		t.Fatalf("trace counters = %v", names)
+	}
+}
+
 func TestFactor3(t *testing.T) {
 	cases := map[int][3]int{
 		32768: {32, 32, 32},
