@@ -124,4 +124,7 @@ echo "$bench" | awk '
 echo "== campaign-parallelism smoke (pool=4 vs pool=1 digests, -race)"
 go test -race -count=1 -run '^(TestRunCampaignsDeterministicAcrossPools|TestTableIIPoolMatchesSequential|TestTableIPoolMatchesSequential)$' .
 
+echo "== replication-crossover smoke (r in {2,3}, one MTTF point, -race)"
+go test -race -count=1 -run '^(TestReplicationCrossoverSmoke|TestReplicatedStencilFailoverRun|TestMirrorFailoverSurvivesReplicaDeath|TestParallelPartnerDeathMidDigestExchange)$' . ./internal/redundancy/
+
 echo "CI OK"

@@ -1,10 +1,14 @@
 // Command xsim-reliability explores the component-based system reliability
 // models: it estimates the system MTTF of an n-node machine built from the
 // default component model, and can emit failure schedules for the
-// simulator's injection interface.
+// simulator's injection interface. With -crossover it instead runs the
+// replication-vs-checkpoint crossover study: the replicated stencil under
+// Poisson failure injection across an MTTF sweep, reporting where r-way
+// replication overtakes Daly-optimal checkpoint/restart.
 //
 //	xsim-reliability -nodes 32768
 //	xsim-reliability -nodes 32768 -schedule 5 -seed 7
+//	xsim-reliability -crossover -ranks 24 -degrees 2,3
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 
 	"xsim"
 	"xsim/internal/reliability"
@@ -24,15 +30,25 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		nodes    = flag.Int("nodes", 32768, "system size in nodes (one simulated MPI rank per node)")
-		samples  = flag.Int("samples", 100, "Monte-Carlo samples for the system MTTF estimate")
-		schedule = flag.Int("schedule", 0, "emit this many first-failure draws as rank@seconds schedules")
-		seed     = flag.Int64("seed", 1, "random seed")
+		nodes     = flag.Int("nodes", 32768, "system size in nodes (one simulated MPI rank per node)")
+		samples   = flag.Int("samples", 100, "Monte-Carlo samples for the system MTTF estimate")
+		schedule  = flag.Int("schedule", 0, "emit this many first-failure draws as rank@seconds schedules")
+		seed      = flag.Int64("seed", 1, "random seed")
+		crossover = flag.Bool("crossover", false, "run the replication-vs-checkpoint crossover study")
+		ranks     = flag.Int("ranks", 24, "crossover: physical world size")
+		degrees   = flag.String("degrees", "2,3", "crossover: comma-separated replication degrees")
+		mttfs     = flag.String("mttfs", "", "crossover: comma-separated system MTTFs in seconds (default 50..1600 doubling)")
+		pool      = flag.Int("pool", 0, "crossover: campaign cells in flight (0 = auto)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *crossover {
+		runCrossover(ctx, *ranks, *degrees, *mttfs, *seed, *pool)
+		return
+	}
 
 	sys := reliability.System{Nodes: *nodes, Node: reliability.PaperNode()}
 	if err := sys.Validate(); err != nil {
@@ -74,4 +90,51 @@ func main() {
 			fmt.Printf("  run %d: %s (component: %s)\n", run, xsim.Schedule(s).String(), f.Component)
 		}
 	}
+}
+
+// parseInts splits a comma-separated integer list.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// runCrossover runs the replication-vs-checkpoint crossover study and
+// prints the rendered table.
+func runCrossover(ctx context.Context, ranks int, degrees, mttfs string, seed int64, pool int) {
+	degs, err := parseInts(degrees)
+	if err != nil {
+		log.Fatalf("-degrees: %v", err)
+	}
+	var ms []xsim.Duration
+	if mttfs != "" {
+		secs, err := parseInts(mttfs)
+		if err != nil {
+			log.Fatalf("-mttfs: %v", err)
+		}
+		for _, s := range secs {
+			ms = append(ms, xsim.Duration(s)*xsim.Second)
+		}
+	}
+	table, err := xsim.RunReplicationCrossoverContext(ctx, xsim.ReplicationCrossoverConfig{
+		RunSpec: xsim.RunSpec{Ranks: ranks, Seed: seed, Pool: pool, Logf: log.Printf},
+		Degrees: degs,
+		MTTFs:   ms,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table.Render())
+	fmt.Println("E2 is the simulated completion time including restarts; the ◀ best arm")
+	fmt.Println("flips from replication to checkpoint/restart as the MTTF grows.")
 }

@@ -1,15 +1,17 @@
-// Redundancy: redMPI-style dual modular redundancy detecting silent data
-// corruption online — the related-work system the paper highlights for
-// soft-error studies, built on the toolkit's simulated MPI layer.
+// Redundancy: redMPI-style r-way modular redundancy — detecting silent
+// data corruption online by majority vote, and surviving process failures
+// by failing over to surviving replicas, built on the toolkit's simulated
+// MPI layer.
 //
 //	go run ./examples/redundancy
 //
-// Sixteen physical ranks run an eight-rank logical computation twice; a
-// single bit flips in one replica's data mid-run. Without redundancy the
-// corruption would silently poison every downstream value (as the
-// faultinjection example shows); with the digest comparison, both replicas
-// of the first receiver flag the corrupted message the moment it crosses
-// the network.
+// Twenty-four physical ranks run an eight-rank logical computation three
+// times over, using the mirror protocol (every copy reaches every receiver
+// replica). Mid-run a bit flips in one replica's data AND one process of a
+// different replica sphere is killed outright: the vote identifies the
+// corrupted replica and hands every receiver the majority data, while the
+// process failure is absorbed by the two surviving replicas of its logical
+// rank — the logical computation completes despite both faults.
 package main
 
 import (
@@ -23,50 +25,66 @@ import (
 )
 
 func main() {
-	const logical = 8
+	const (
+		logical = 8
+		degree  = 3
+		iters   = 4
+	)
 
-	sim, err := xsim.New(xsim.Config{Ranks: 2 * logical})
+	sim, err := xsim.New(xsim.Config{
+		Ranks: degree * logical,
+		// Kill logical rank 5's replica 1 (world rank 13) mid-run.
+		Failures: xsim.Schedule{{Rank: 5 + logical, At: xsim.Time(2 * xsim.Second)}},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	detections := make([]string, 2*logical)
+	detections := make([]string, degree*logical)
 	res, err := sim.Run(func(env *xsim.Env) {
 		defer env.Finalize()
-		dmr, err := xsim.WrapRedundant(env)
+		rep, err := xsim.WrapReplicated(env, degree)
 		if err != nil {
 			log.Fatal(err)
 		}
+		rep.Protocol = xsim.ReplicaMirror
 
-		// Each logical rank computes a vector and passes it around the
-		// logical ring; logical rank 3's replica 1 suffers a bit flip.
+		// Each logical rank passes a vector around the logical ring;
+		// logical rank 3's replica 2 suffers a bit flip before sending.
 		data := []float64{1, 2, 4, 8}
-		if dmr.Logical() == 3 && dmr.Replica() == 1 {
+		if rep.Logical() == 3 && rep.Replica() == 2 {
 			old, bad := xsim.FlipFloat64(data, 2, 61)
 			env.Logf("soft error injected: %v -> %v", old, bad)
 		}
 
-		env.Compute(1e8)
-		next := (dmr.Logical() + 1) % dmr.Size()
-		prev := (dmr.Logical() - 1 + dmr.Size()) % dmr.Size()
-		if err := dmr.Send(next, 0, encode(data)); err != nil {
-			log.Fatalf("send: %v", err)
-		}
-		_, err = dmr.Recv(prev, 0)
-		var sdc *xsim.SDCError
-		if errors.As(err, &sdc) {
-			detections[env.Rank()] = fmt.Sprintf(
-				"logical %d replica %d detected SDC in message from logical %d",
-				dmr.Logical(), dmr.Replica(), sdc.LogicalSrc)
-		} else if err != nil {
-			log.Fatalf("recv: %v", err)
+		next := (rep.Logical() + 1) % rep.Size()
+		prev := (rep.Logical() - 1 + rep.Size()) % rep.Size()
+		for i := 0; i < iters; i++ {
+			env.Elapse(xsim.Second)
+			if err := rep.Send(next, 0, encode(data)); err != nil {
+				log.Fatalf("send: %v", err)
+			}
+			msg, err := rep.Recv(prev, 0)
+			var sdc *xsim.SDCError
+			if errors.As(err, &sdc) {
+				// The vote both names the corrupted replica and delivers
+				// the majority data in msg — the computation continues on
+				// clean values.
+				detections[env.Rank()] = fmt.Sprintf(
+					"logical %d replica %d: SDC in message from logical %d, corrupt replica(s) %v, corrected by majority",
+					rep.Logical(), rep.Replica(), sdc.LogicalSrc, sdc.Corrupt)
+			} else if err != nil {
+				log.Fatalf("rank %d recv: %v", env.Rank(), err)
+			}
+			msg.Release()
 		}
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("simulated time %v, %d ranks completed\n\n", res.SimTime, res.Completed)
+	fmt.Printf("simulated time %v: %d completed, %d failed (absorbed by failover)\n\n",
+		res.SimTime, res.Completed, res.Failed)
 	found := 0
 	for _, d := range detections {
 		if d != "" {
@@ -74,10 +92,14 @@ func main() {
 			found++
 		}
 	}
-	if found == 0 {
+	switch {
+	case found == 0:
 		fmt.Println("no corruption detected (unexpected!)")
-	} else {
-		fmt.Printf("\n%d replica(s) flagged the corruption online — redMPI-style detection\n", found)
+	case res.Failed != 1 || res.Aborted != 0:
+		fmt.Println("process failure was not absorbed (unexpected!)")
+	default:
+		fmt.Printf("\n%d receiver replica(s) voted out the corruption, and logical rank 5\n", found)
+		fmt.Println("survived the death of its replica 1 — r-way redundancy handled both faults")
 	}
 }
 

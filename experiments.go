@@ -4,9 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"strings"
 
 	"xsim/internal/checkpoint"
+	"xsim/internal/daly"
+	"xsim/internal/fault"
 	"xsim/internal/fsmodel"
 	"xsim/internal/runner"
 	"xsim/internal/softerror"
@@ -518,4 +522,336 @@ func sortedKeys(m map[string]int) []string {
 		}
 	}
 	return keys
+}
+
+// --- Replication/checkpoint crossover ------------------------------------
+
+// Crossover arm names.
+const (
+	// ArmCheckpoint is the unreplicated checkpoint/restart arm at the
+	// Daly-optimal interval.
+	ArmCheckpoint = "ckpt"
+	// ArmReplication is the r-way replication arm without checkpoints.
+	ArmReplication = "repl"
+	// ArmHybrid combines r-way replication with periodic checkpoints.
+	ArmHybrid = "hybrid"
+)
+
+// ReplicationCrossoverConfig parameterises the replication-vs-checkpoint
+// crossover study: the fixed-size replicated stencil runs under Poisson
+// multi-failure injection at a sweep of system MTTFs, once per protection
+// arm — plain checkpoint/restart at the Daly-optimal interval, plain
+// r-way replication, and the hybrid of both — so the table exposes the
+// MTTF below which burning r× the resources on replication beats
+// restarting, the trade redMPI was built around.
+type ReplicationCrossoverConfig struct {
+	// RunSpec carries the shared simulation parameters. Ranks (default 24)
+	// is the physical world size of every arm and must be divisible by
+	// every replication degree: the replication arms split it into
+	// Ranks/r logical ranks carrying r× the per-rank work.
+	RunSpec
+	// Degrees are the replication degrees to sweep (default 2, 3).
+	Degrees []int
+	// MTTFs are the system mean-time-to-failure values to sweep (default
+	// 50 s … 1600 s, doubling).
+	MTTFs []Duration
+	// Iterations, ComputePerIteration, and HaloBytes shape the stencil
+	// (defaults 40 iterations × 2.5 s, 1 KiB halos → a 100 s solve).
+	Iterations          int
+	ComputePerIteration Duration
+	HaloBytes           int
+	// CheckpointCost and RestartCost are Daly's δ and R (default 15 s
+	// each).
+	CheckpointCost Duration
+	RestartCost    Duration
+	// MaxRuns caps the failure/restart cycles per campaign cell (default
+	// 400; low-MTTF checkpoint cells restart often).
+	MaxRuns int
+}
+
+// defaults fills the zero fields.
+func (cfg *ReplicationCrossoverConfig) defaults() {
+	cfg.RunSpec.defaults(24)
+	if len(cfg.Degrees) == 0 {
+		cfg.Degrees = []int{2, 3}
+	}
+	if len(cfg.MTTFs) == 0 {
+		cfg.MTTFs = []Duration{50 * Second, 100 * Second, 200 * Second,
+			400 * Second, 800 * Second, 1600 * Second}
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 40
+	}
+	if cfg.ComputePerIteration == 0 {
+		cfg.ComputePerIteration = Seconds(2.5)
+	}
+	if cfg.HaloBytes == 0 {
+		cfg.HaloBytes = 1024
+	}
+	if cfg.CheckpointCost == 0 {
+		cfg.CheckpointCost = 15 * Second
+	}
+	if cfg.RestartCost == 0 {
+		cfg.RestartCost = 15 * Second
+	}
+	if cfg.MaxRuns == 0 {
+		cfg.MaxRuns = 400
+	}
+}
+
+// ReplicationCrossoverRow is one campaign cell of the crossover table.
+type ReplicationCrossoverRow struct {
+	// MTTF is the system mean time to failure of this cell.
+	MTTF Duration
+	// Arm is the protection strategy (ArmCheckpoint, ArmReplication,
+	// ArmHybrid).
+	Arm string
+	// Degree is the replication degree (1 for the checkpoint arm).
+	Degree int
+	// Interval is the checkpoint interval in iterations (0 = none).
+	Interval int
+	// E2 is the simulated completion time including failures/restarts.
+	E2 Time
+	// F is the number of process failures experienced.
+	F int
+	// Runs is the number of application runs (1 + restarts).
+	Runs int
+	// Predicted is the analytic expectation: Daly's T(τ) for the
+	// checkpoint arm, r×solve for failure-free replication, and
+	// r×solve plus checkpoint overhead for the hybrid. Replication
+	// predictions ignore restart cycles, so the simulated E2 exceeding
+	// Predicted measures how often replicas were exhausted.
+	Predicted Duration
+}
+
+// ReplicationCrossover is the crossover study result.
+type ReplicationCrossover struct {
+	Config ReplicationCrossoverConfig
+	// Solve is the measured failure-free unreplicated solve time (the
+	// study's E1 baseline).
+	Solve Duration
+	// Rows holds one entry per (MTTF, arm, degree) cell in sweep order.
+	Rows []ReplicationCrossoverRow
+	// Stats pools the grid's execution accounting and simulation metrics.
+	Stats CampaignStats
+}
+
+// Row returns the cell for (mttf, arm, degree), or nil.
+func (t *ReplicationCrossover) Row(mttf Duration, arm string, degree int) *ReplicationCrossoverRow {
+	for i := range t.Rows {
+		r := &t.Rows[i]
+		if r.MTTF == mttf && r.Arm == arm && r.Degree == degree {
+			return r
+		}
+	}
+	return nil
+}
+
+// RunReplicationCrossover runs the crossover study; it is
+// RunReplicationCrossoverContext without cancellation.
+func RunReplicationCrossover(cfg ReplicationCrossoverConfig) (*ReplicationCrossover, error) {
+	return RunReplicationCrossoverContext(context.Background(), cfg)
+}
+
+// RunReplicationCrossoverContext runs the crossover study. It first
+// measures the failure-free unreplicated solve time, then fans one
+// failure/restart campaign per (MTTF, arm, degree) cell across the
+// campaign pool: every cell draws its own deterministic Poisson failure
+// schedule (multiple failures per run — a single-failure model could
+// never exhaust a replica group), restarts on abort with continuous
+// virtual time, and counts a run as done once every logical rank has a
+// surviving completed replica. Cell seeds depend only on Seed, the MTTF,
+// and the arm, so the table is identical at any pool size.
+func RunReplicationCrossoverContext(ctx context.Context, cfg ReplicationCrossoverConfig) (*ReplicationCrossover, error) {
+	cfg.defaults()
+	for _, r := range cfg.Degrees {
+		if r < 2 {
+			return nil, fmt.Errorf("xsim: replication degree %d must be at least 2", r)
+		}
+		if cfg.Ranks%r != 0 {
+			return nil, fmt.Errorf("xsim: Ranks %d must be divisible by replication degree %d", cfg.Ranks, r)
+		}
+	}
+
+	stencil := func(degree, interval int) ReplicatedStencilConfig {
+		return ReplicatedStencilConfig{
+			Degree:              degree,
+			Iterations:          cfg.Iterations,
+			ComputePerIteration: cfg.ComputePerIteration,
+			HaloBytes:           cfg.HaloBytes,
+			CheckpointInterval:  interval,
+			CheckpointCost:      cfg.CheckpointCost,
+			RestartCost:         cfg.RestartCost,
+		}
+	}
+
+	table := &ReplicationCrossover{Config: cfg}
+
+	// E1: the failure-free unreplicated solve, measured (not assumed) so
+	// the Daly parameters include the simulated communication time.
+	e1cfg := cfg.baseConfig()
+	sim, err := New(e1cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.RunContext(ctx, RunReplicatedStencil(stencil(1, 0)))
+	if err != nil {
+		return table, err
+	}
+	table.Stats.absorb(res)
+	if err := res.Err(); err != nil {
+		return table, fmt.Errorf("xsim: crossover E1 run: %w", err)
+	}
+	solve := Duration(res.SimTime)
+	table.Solve = solve
+	perIter := solve / Duration(cfg.Iterations)
+
+	// dalyInterval converts Daly's optimal compute-time interval into a
+	// whole number of iterations of the (possibly replicated) stencil.
+	dalyInterval := func(mttf Duration, degree int) (int, daly.Params) {
+		dp := daly.Params{
+			Solve:   Duration(degree) * solve,
+			Delta:   cfg.CheckpointCost,
+			Restart: cfg.RestartCost,
+			MTTF:    mttf,
+		}
+		iters := int(math.Round(dp.OptimalInterval().Seconds() / (Duration(degree) * perIter).Seconds()))
+		if iters < 1 {
+			iters = 1
+		}
+		if iters > cfg.Iterations {
+			iters = cfg.Iterations
+		}
+		return iters, dp
+	}
+	// ckptOverhead is the failure-free checkpoint cost at the given
+	// interval: one δ per interior checkpoint.
+	ckptOverhead := func(interval int) Duration {
+		if interval <= 0 {
+			return 0
+		}
+		return cfg.CheckpointCost * Duration((cfg.Iterations-1)/interval)
+	}
+
+	type cellSpec struct {
+		row  ReplicationCrossoverRow
+		seed int64
+	}
+	var specs []cellSpec
+	addCell := func(mttf Duration, arm string, degree, interval int, predicted Duration) {
+		specs = append(specs, cellSpec{
+			row: ReplicationCrossoverRow{
+				MTTF: mttf, Arm: arm, Degree: degree,
+				Interval: interval, Predicted: predicted,
+			},
+			// Mix the MTTF and the arm index into the seed so every cell
+			// draws an independent failure sequence.
+			seed: cfg.Seed + int64(mttf.Seconds())*1009 + int64(len(specs))*37,
+		})
+	}
+	for _, mttf := range cfg.MTTFs {
+		interval, dp := dalyInterval(mttf, 1)
+		addCell(mttf, ArmCheckpoint, 1, interval,
+			dp.ExpectedRuntime(Duration(interval)*perIter))
+		for _, degree := range cfg.Degrees {
+			addCell(mttf, ArmReplication, degree, 0, Duration(degree)*solve)
+			hInterval, _ := dalyInterval(mttf, degree)
+			addCell(mttf, ArmHybrid, degree, hInterval,
+				Duration(degree)*solve+ckptOverhead(hInterval))
+		}
+	}
+
+	tasks := make([]runner.Task[expCell], len(specs))
+	for i, spec := range specs {
+		spec := spec
+		sc := stencil(spec.row.Degree, spec.row.Interval)
+		// The failure horizon comfortably covers the longest single run
+		// of the cell (compute + checkpoint overhead + restart).
+		horizon := Duration(spec.row.Degree)*solve + ckptOverhead(spec.row.Interval) +
+			cfg.RestartCost + solve
+		tasks[i] = runner.Task[expCell]{
+			Spec: runner.Spec{
+				Index: i,
+				Label: fmt.Sprintf("mttf=%.0fs %s r=%d", spec.row.MTTF.Seconds(), spec.row.Arm, spec.row.Degree),
+				Seed:  spec.seed,
+			},
+			Run: func(ctx context.Context) (expCell, error) {
+				base := cfg.baseConfig()
+				base.Store = NewStore()
+				camp := Campaign{
+					Base:    base,
+					Seed:    spec.seed,
+					MaxRuns: cfg.MaxRuns,
+					DrawFailures: func(run int, start Time) Schedule {
+						rng := rand.New(rand.NewSource(spec.seed + int64(run)*101))
+						return fault.PoissonSchedule(rng, cfg.Ranks, spec.row.MTTF, horizon, start)
+					},
+					SuccessFor: replicatedSuccess(cfg.Ranks, spec.row.Degree),
+					AppFor:     func(int) App { return RunReplicatedStencil(sc) },
+				}
+				res, err := camp.RunContext(ctx)
+				return expCell{camp: res}, err
+			},
+		}
+	}
+
+	cells, rstats, err := runner.Run(ctx, cfg.runnerConfig(), tasks)
+	table.Stats.Runner = rstats
+	for _, c := range cells {
+		table.Stats.absorbCampaign(c.camp)
+	}
+	if err != nil {
+		return table, err
+	}
+	for i, spec := range specs {
+		row := spec.row
+		camp := cells[i].camp
+		row.E2 = camp.E2
+		row.F = camp.Failures
+		row.Runs = len(camp.Runs)
+		table.Rows = append(table.Rows, row)
+	}
+	return table, nil
+}
+
+// Render prints the crossover table, one block per MTTF, marking each
+// block's winning arm.
+func (t *ReplicationCrossover) Render() string {
+	header := []string{"MTTF", "arm", "r", "c", "E2", "F", "runs", "predicted", ""}
+	var rows [][]string
+	for _, mttf := range t.Config.MTTFs {
+		var best *ReplicationCrossoverRow
+		for i := range t.Rows {
+			r := &t.Rows[i]
+			if r.MTTF == mttf && (best == nil || r.E2 < best.E2) {
+				best = r
+			}
+		}
+		for i := range t.Rows {
+			r := &t.Rows[i]
+			if r.MTTF != mttf {
+				continue
+			}
+			interval := "—"
+			if r.Interval > 0 {
+				interval = fmt.Sprintf("%d", r.Interval)
+			}
+			mark := ""
+			if r == best {
+				mark = "◀ best"
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%.0f s", r.MTTF.Seconds()),
+				r.Arm,
+				fmt.Sprintf("%d", r.Degree),
+				interval,
+				fmt.Sprintf("%.0f s", r.E2.Seconds()),
+				fmt.Sprintf("%d", r.F),
+				fmt.Sprintf("%d", r.Runs),
+				fmt.Sprintf("%.0f s", r.Predicted.Seconds()),
+				mark,
+			})
+		}
+	}
+	return fmt.Sprintf("solve (E1, r=1): %.0f s\n%s", t.Solve.Seconds(), stats.Table(header, rows))
 }

@@ -78,6 +78,39 @@ type SDCError = redundancy.SDCError
 // the world size must be even (the upper half mirrors the lower half).
 func WrapRedundant(env *Env) (*RedundantComm, error) { return redundancy.Wrap(env) }
 
+// WrapReplicated builds an r-way replicated communicator: the world splits
+// into Ranks/degree logical ranks of degree replicas each. Degree 2 is
+// WrapRedundant.
+func WrapReplicated(env *Env, degree int) (*RedundantComm, error) {
+	return redundancy.WrapN(env, degree)
+}
+
+// ReplicaProtocol selects how a replicated communicator moves messages:
+// ReplicaParallel (the default) sends one payload copy within each replica
+// sphere and cross-checks digests, ReplicaMirror sends every copy to every
+// receiver replica, which buys failover through surviving replicas (and
+// majority-vote correction at degree ≥ 3) for r² message traffic.
+type ReplicaProtocol = redundancy.Protocol
+
+// Replica protocols.
+const (
+	ReplicaParallel = redundancy.Parallel
+	ReplicaMirror   = redundancy.Mirror
+)
+
+// ReplicaFailedError reports that an operation found no live replica of a
+// logical rank — the replica group is exhausted and failover is impossible.
+type ReplicaFailedError = redundancy.ReplicaFailedError
+
+// TagRangeError reports a user message tag outside [0, ReservedTagBase):
+// the tags above are reserved for the replication layer's collective and
+// digest traffic.
+type TagRangeError = redundancy.TagRangeError
+
+// ReservedTagBase is the first reserved message tag; user tags passed to a
+// replicated communicator must be below it.
+const ReservedTagBase = redundancy.UserTagLimit
+
 // PowerModel is the per-node power model (compute/idle/overhead watts).
 type PowerModel = powermodel.Model
 

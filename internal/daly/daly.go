@@ -41,11 +41,20 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// OptimalIntervalFirstOrder returns Young's classic first-order optimum,
-// sqrt(2·δ·M) − δ.
+// OptimalIntervalFirstOrder returns Young's classic first-order optimum:
+//
+//	τ_opt = sqrt(2δM) − δ   for δ < 2M
+//	τ_opt = M               otherwise
+//
+// The δ ≥ 2M fallback matches OptimalInterval: past that point the
+// unclamped formula goes non-positive (a checkpoint costs more than it
+// can ever save), which is not a usable interval.
 func (p Params) OptimalIntervalFirstOrder() vclock.Duration {
 	d := p.Delta.Seconds()
 	m := p.MTTF.Seconds()
+	if d >= 2*m {
+		return p.MTTF
+	}
 	return vclock.FromSeconds(math.Sqrt(2*d*m) - d)
 }
 

@@ -131,3 +131,23 @@ func TestShorterMTTFShortensOptimum(t *testing.T) {
 		t.Fatalf("optimum at MTTF 3000 (%v) should be below optimum at 6000 (%v)", short, long)
 	}
 }
+
+func TestOptimalIntervalFirstOrderClampsAtHugeDelta(t *testing.T) {
+	// The unclamped Young formula sqrt(2δM)−δ goes non-positive once
+	// δ ≥ 2M; both optima must fall back to MTTF there instead of
+	// returning a negative (unusable) interval.
+	p := params()
+	p.Delta = 2 * p.MTTF
+	if got := p.OptimalIntervalFirstOrder(); got != p.MTTF {
+		t.Fatalf("at delta=2M first-order optimum = %v, want MTTF %v", got, p.MTTF)
+	}
+	p.Delta = 3 * p.MTTF
+	if got := p.OptimalIntervalFirstOrder(); got != p.MTTF {
+		t.Fatalf("at delta=3M first-order optimum = %v, want MTTF %v", got, p.MTTF)
+	}
+	// Just inside the valid region the formula is positive and finite.
+	p.Delta = 2*p.MTTF - vclock.Second
+	if got := p.OptimalIntervalFirstOrder(); got <= 0 {
+		t.Fatalf("just below the clamp boundary the optimum should stay positive, got %v", got)
+	}
+}

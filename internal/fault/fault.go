@@ -149,6 +149,52 @@ func RandomFailure(rng *rand.Rand, n int, mttf vclock.Duration, start vclock.Tim
 	return Injection{Rank: rank, At: at}
 }
 
+// PoissonSchedule draws a multi-failure schedule for one application run:
+// failures arrive as a Poisson process at system rate 1/MTTF within
+// [start, start+horizon), each striking a uniformly drawn rank. A rank is
+// struck at most once (repeat draws keep the earliest hit — a dead
+// process cannot die again within a run), and the draw stops early once
+// every rank has failed. This is the multi-failure generalisation of
+// RandomFailure that replication experiments need: a single failure per
+// run can never exhaust an r ≥ 2 replica group, so the one-failure model
+// would make replication trivially unbeatable.
+func PoissonSchedule(rng *rand.Rand, n int, mttf, horizon vclock.Duration, start vclock.Time) Schedule {
+	if n <= 0 {
+		panic(fmt.Sprintf("fault: invalid rank count %d", n))
+	}
+	if mttf <= 0 {
+		panic(fmt.Sprintf("fault: invalid MTTF %v", mttf))
+	}
+	if horizon <= 0 {
+		return nil
+	}
+	end := start.Add(horizon)
+	if end < start {
+		end = vclock.Never - 1
+	}
+	struck := make(map[int]bool, 4)
+	var out Schedule
+	t := start
+	for len(struck) < n {
+		gap := mttf.Seconds() * rng.ExpFloat64()
+		if ns := gap * 1e9; math.IsInf(ns, 0) || ns >= float64(math.MaxInt64) {
+			break
+		}
+		next := t.Add(vclock.FromSeconds(gap))
+		if next < t || next >= end {
+			break
+		}
+		t = next
+		rank := rng.Intn(n)
+		if struck[rank] {
+			continue
+		}
+		struck[rank] = true
+		out = append(out, Injection{Rank: rank, At: t})
+	}
+	return out
+}
+
 // Campaign generates failures for repeated application runs
 // deterministically: run i of a campaign with base seed s uses an rng
 // seeded with s+i, so experiments are repeatable (the paper stresses that

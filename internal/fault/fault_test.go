@@ -238,3 +238,83 @@ func TestQuickParseSortedStable(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPoissonScheduleDeterministic(t *testing.T) {
+	a := PoissonSchedule(rand.New(rand.NewSource(9)), 16, 50*vclock.Second, 400*vclock.Second, 0)
+	b := PoissonSchedule(rand.New(rand.NewSource(9)), 16, 50*vclock.Second, 400*vclock.Second, 0)
+	if len(a) == 0 {
+		t.Fatal("expected some failures in an 8×MTTF horizon")
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+}
+
+func TestPoissonScheduleBoundsAndUniqueness(t *testing.T) {
+	const n = 8
+	start := vclock.TimeFromSeconds(1000)
+	horizon := 500 * vclock.Second
+	seen := map[int]bool{}
+	s := PoissonSchedule(rand.New(rand.NewSource(3)), n, 20*vclock.Second, horizon, start)
+	var prev vclock.Time
+	for _, inj := range s {
+		if inj.Rank < 0 || inj.Rank >= n {
+			t.Fatalf("rank %d out of range", inj.Rank)
+		}
+		if seen[inj.Rank] {
+			t.Fatalf("rank %d struck twice", inj.Rank)
+		}
+		seen[inj.Rank] = true
+		if inj.At < start || inj.At >= start.Add(horizon) {
+			t.Fatalf("injection %v outside [start, start+horizon)", inj)
+		}
+		if inj.At < prev {
+			t.Fatalf("schedule not time-ordered: %v", s)
+		}
+		prev = inj.At
+	}
+	if len(s) > n {
+		t.Fatalf("%d injections for %d ranks", len(s), n)
+	}
+}
+
+func TestPoissonScheduleRate(t *testing.T) {
+	// Over many draws the injection count inside the horizon tracks the
+	// Poisson mean horizon/MTTF (with a large rank pool, dedup is rare).
+	const trials = 400
+	mttf := 100 * vclock.Second
+	horizon := 300 * vclock.Second
+	total := 0
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < trials; i++ {
+		total += len(PoissonSchedule(rng, 1024, mttf, horizon, 0))
+	}
+	mean := float64(total) / trials
+	if math.Abs(mean-3) > 0.3 {
+		t.Fatalf("mean injections = %v, want ≈ 3 (horizon/MTTF)", mean)
+	}
+}
+
+func TestPoissonScheduleEdgeCases(t *testing.T) {
+	if s := PoissonSchedule(rand.New(rand.NewSource(1)), 4, vclock.Second, 0, 0); s != nil {
+		t.Fatalf("zero horizon returned %v", s)
+	}
+	// A tiny MTTF exhausts every rank well inside the horizon.
+	s := PoissonSchedule(rand.New(rand.NewSource(2)), 3, vclock.Millisecond, 100*vclock.Second, 0)
+	if len(s) != 3 {
+		t.Fatalf("tiny MTTF should strike all 3 ranks, got %v", s)
+	}
+	for _, bad := range []func(){
+		func() { PoissonSchedule(rand.New(rand.NewSource(1)), 0, vclock.Second, vclock.Second, 0) },
+		func() { PoissonSchedule(rand.New(rand.NewSource(1)), 4, 0, vclock.Second, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on invalid arguments")
+				}
+			}()
+			bad()
+		}()
+	}
+}

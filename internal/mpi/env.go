@@ -385,6 +385,15 @@ func (e *Env) FailedPeers() map[int]vclock.Time {
 	return out
 }
 
+// PeerFailed reports whether this process has been notified of the given
+// world rank's failure. It is the allocation-free form of FailedPeers for
+// hot paths that only test one peer's liveness (the redundancy layer's
+// failover checks).
+func (e *Env) PeerFailed(rank int) bool {
+	_, dead := e.ps.failedPeers[rank]
+	return dead
+}
+
 // FSStore returns the simulated parallel file system contents (nil if the
 // world was configured without one).
 func (e *Env) FSStore() *fsmodel.Store { return e.w.cfg.FSStore }

@@ -160,6 +160,20 @@ func (r *Request) Msg() *Message { return r.msg }
 // Err returns the request's error after completion, nil on success.
 func (r *Request) Err() error { return r.err }
 
+// TakeMsg detaches and returns the received message of a completed
+// receive request: the caller assumes ownership (and the eventual
+// Message.Release), and a subsequent Comm.Free recycles only the request.
+// It returns nil for sends, for requests still in flight, and when the
+// message was already taken.
+func (r *Request) TakeMsg() *Message {
+	if !r.done {
+		return nil
+	}
+	m := r.msg
+	r.msg = nil
+	return m
+}
+
 // opName names the request's operation for error messages.
 func (r *Request) opName() string {
 	if r.kind == recvReq {

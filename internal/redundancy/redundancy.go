@@ -1,12 +1,36 @@
-// Package redundancy implements redMPI-style dual modular redundancy on
-// top of the simulated MPI layer — the paper's related-work system for
-// online detection of soft errors (§II-C): each logical rank is backed by
-// two replicas; messages flow replica-to-replica, and receivers compare
-// message digests with their partner replica, so a single bit flip in
-// either replica's data is detected the first time it crosses the network.
-// With detection disabled the replicas run isolated, which is how redMPI
-// doubles as a fault-injection study tool (comparing a corrupted replica's
-// trajectory against the clean one).
+// Package redundancy implements redMPI-style modular redundancy on top of
+// the simulated MPI layer — the paper's related-work system for online
+// detection of soft errors (§II-C) — generalised to r-way replication with
+// failover. Each logical rank is backed by r physical replicas (replica k
+// of logical rank L is world rank L + k·n for logical size n), and two
+// protocols govern how messages cross the replica groups:
+//
+//   - Parallel (the redMPI classic, and the default): payloads flow within
+//     a replica sphere (replica k talks only to replica k) and the
+//     receiving replicas compare message digests across spheres, so a
+//     single bit flip in any replica's data is detected the first time it
+//     crosses the network. With r ≥ 3 the digest vote also attributes the
+//     corruption to the outvoted replica. A dead partner degrades
+//     detection (its digests are skipped, online, without deadlocking),
+//     but payload delivery inside its sphere dies with it.
+//   - Mirror: every live sender replica sends a copy to every live
+//     receiver replica (r² copies per logical message), and the receiver
+//     digests the copies it got and majority-votes. This is the failover
+//     protocol: a logical rank stays alive as long as one of its replicas
+//     lives, because every surviving receiver still gets a copy from some
+//     surviving sender, and at r ≥ 3 the vote returns a majority copy —
+//     detection with correction.
+//
+// With detection disabled the Parallel protocol runs the replica spheres
+// fully isolated, which is how redMPI doubles as a fault-injection study
+// tool (comparing a corrupted replica's trajectory against the clean one).
+//
+// Reserved tag space: application tags occupy [0, UserTagLimit). The
+// layer reserves [UserTagLimit, digestTagBase) for its own collectives and
+// [digestTagBase, ∞) for digest exchange (the digest companion of tag t
+// travels on digestTagBase+t). Send and Recv reject tags outside the
+// application space with *TagRangeError — tags that collided with the
+// digest range used to corrupt the comparison stream silently.
 package redundancy
 
 import (
@@ -19,13 +43,17 @@ import (
 	"xsim/internal/mpi"
 )
 
-// SDCError reports a detected silent data corruption: the two replicas of
-// a sender disagreed on a message's contents.
+// SDCError reports a detected silent data corruption: the replicas of a
+// sender disagreed on a message's contents.
 type SDCError struct {
 	// LogicalSrc and Tag identify the corrupted message.
 	LogicalSrc, Tag int
 	// Replica is the receiving replica that detected the mismatch.
 	Replica int
+	// Corrupt lists the replica indices outvoted by a strict digest
+	// majority (r ≥ 3 voting); nil when no strict majority exists — dual
+	// redundancy detects but cannot attribute.
+	Corrupt []int
 }
 
 // Error implements error.
@@ -34,41 +62,132 @@ func (e *SDCError) Error() string {
 		e.LogicalSrc, e.Tag, e.Replica)
 }
 
-// Comm is a dual-redundant communicator: a logical communicator of size
-// Size() whose every rank is two physical replicas. Replica 0 of logical
-// rank r is world rank r; replica 1 is world rank r + Size().
-type Comm struct {
-	world   *mpi.Comm
-	n       int // logical size
-	logical int // this process's logical rank
-	replica int // 0 or 1
-	// Detect enables online comparison of message digests between
-	// replica pairs (redMPI's detection mode). When false, replicas run
-	// isolated (redMPI's fault-injection mode).
-	Detect bool
+// TagRangeError reports an application tag outside [0, UserTagLimit); the
+// space above is reserved for the layer's collective and digest traffic.
+type TagRangeError struct {
+	// Tag is the rejected tag.
+	Tag int
 }
 
-// Tags: application tags occupy the non-negative space; the digest
-// exchange uses a distinct tag derived from the application tag so
-// comparisons never collide with payload traffic.
-const digestTagBase = 1 << 20
+// Error implements error.
+func (e *TagRangeError) Error() string {
+	return fmt.Sprintf("redundancy: tag %d outside the application tag space [0, %d): [%d, %d) is reserved for the layer's collectives and tags at and above %d for digest exchange",
+		e.Tag, UserTagLimit, UserTagLimit, digestTagBase, digestTagBase)
+}
 
-// Wrap builds the redundant communicator for this process. The world size
-// must be even: the upper half mirrors the lower half.
-func Wrap(env *mpi.Env) (*Comm, error) {
+// ReplicaFailedError reports that every replica of a logical rank has
+// failed — the point past which failover cannot keep the rank alive.
+type ReplicaFailedError struct {
+	// Logical is the exhausted logical rank.
+	Logical int
+	// Op names the operation that hit the exhaustion ("send" or "recv").
+	Op string
+}
+
+// Error implements error.
+func (e *ReplicaFailedError) Error() string {
+	return fmt.Sprintf("redundancy: %s: every replica of logical rank %d has failed", e.Op, e.Logical)
+}
+
+// Protocol selects how messages cross the replica groups.
+type Protocol int
+
+const (
+	// Parallel is redMPI's message-efficient protocol: payloads stay
+	// within a replica sphere and only digests cross spheres. Detection
+	// without failover.
+	Parallel Protocol = iota
+	// Mirror sends every payload from every live sender replica to every
+	// live receiver replica, digesting and voting at the receiver.
+	// Failover (and correction at r ≥ 3) at r× the message volume.
+	Mirror
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case Parallel:
+		return "parallel"
+	case Mirror:
+		return "mirror"
+	}
+	return fmt.Sprintf("protocol(%d)", int(p))
+}
+
+// Tag-space layout. Application tags occupy [0, UserTagLimit); everything
+// above is reserved so layer-internal traffic can never collide with
+// payload traffic.
+const (
+	// UserTagLimit bounds the application tag space accepted by Send and
+	// Recv.
+	UserTagLimit = 1 << 19
+	// digestTagBase maps a payload tag t (application or collective) to
+	// its digest-exchange companion digestTagBase+t.
+	digestTagBase = 1 << 20
+	// collectiveTag is the base tag of the layer's own collectives; it
+	// sits in the reserved [UserTagLimit, digestTagBase) band.
+	collectiveTag = UserTagLimit + 1
+)
+
+// checkTag validates an application tag against the reserved space.
+func checkTag(tag int) error {
+	if tag < 0 || tag >= UserTagLimit {
+		return &TagRangeError{Tag: tag}
+	}
+	return nil
+}
+
+// Comm is an r-way redundant communicator: a logical communicator of size
+// Size() whose every rank is r physical replicas.
+type Comm struct {
+	world   *mpi.Comm
+	env     *mpi.Env
+	n       int // logical size
+	logical int // this process's logical rank
+	replica int // replica index in [0, r)
+	r       int // replication degree
+	// Protocol selects the replication protocol (default Parallel).
+	Protocol Protocol
+	// Detect enables online comparison of message digests between
+	// replicas (redMPI's detection mode). When false, Parallel runs the
+	// replica spheres isolated (redMPI's fault-injection mode) and Mirror
+	// skips the vote (first live copy wins).
+	Detect bool
+	// scratch backs the 8-byte digest sends so the hottest detection path
+	// does not allocate per message (eager sends copy at post time, so
+	// reusing the buffer across messages is safe).
+	scratch [8]byte
+}
+
+// Wrap builds the classic dual-redundant communicator for this process.
+// The world size must be even: the upper half mirrors the lower half.
+func Wrap(env *mpi.Env) (*Comm, error) { return WrapN(env, 2) }
+
+// WrapN builds an r-way redundant communicator: the world splits into r
+// replica groups of n = Size()/r processes each. Degree 1 is the
+// degenerate unreplicated communicator (useful as an experiment
+// baseline). WrapN switches the world communicator to ErrorsReturn: the
+// layer handles peer-failure errors itself (failover, degraded
+// detection), so failures must reach it instead of aborting the job.
+func WrapN(env *mpi.Env, r int) (*Comm, error) {
 	n := env.Size()
-	if n%2 != 0 {
-		return nil, fmt.Errorf("redundancy: world size %d must be even for dual redundancy", n)
+	if r < 1 {
+		return nil, fmt.Errorf("redundancy: replication degree %d must be at least 1", r)
 	}
-	half := n / 2
-	c := &Comm{world: env.World(), n: half, Detect: true}
-	if env.Rank() < half {
-		c.logical = env.Rank()
-		c.replica = 0
-	} else {
-		c.logical = env.Rank() - half
-		c.replica = 1
+	if n%r != 0 {
+		return nil, fmt.Errorf("redundancy: world size %d must be divisible by replication degree %d", n, r)
 	}
+	logical := n / r
+	c := &Comm{
+		world:   env.World(),
+		env:     env,
+		n:       logical,
+		logical: env.Rank() % logical,
+		replica: env.Rank() / logical,
+		r:       r,
+		Detect:  true,
+	}
+	c.world.SetErrorHandler(mpi.ErrorsReturn)
 	return c, nil
 }
 
@@ -78,24 +197,48 @@ func (c *Comm) Size() int { return c.n }
 // Logical returns this process's logical rank.
 func (c *Comm) Logical() int { return c.logical }
 
-// Replica returns this process's replica index (0 or 1).
+// Replica returns this process's replica index in [0, Degree()).
 func (c *Comm) Replica() int { return c.replica }
 
-// Partner returns the world rank of this process's partner replica.
+// Degree returns the replication degree r.
+func (c *Comm) Degree() int { return c.r }
+
+// Partner returns the world rank of this process's next replica (its only
+// partner at degree 2, itself at degree 1).
 func (c *Comm) Partner() int {
-	if c.replica == 0 {
-		return c.logical + c.n
-	}
-	return c.logical
+	return c.worldRankOf(c.logical, (c.replica+1)%c.r)
 }
 
-// worldRank translates a logical rank to the world rank of the same
-// replica.
-func (c *Comm) worldRank(logical int) int {
-	if c.replica == 0 {
-		return logical
+// Alive returns the number of replicas of logical rank l not known to
+// this process to have failed. It is local knowledge: a replica that died
+// but whose failure notification has not yet arrived still counts.
+func (c *Comm) Alive(l int) int {
+	alive := 0
+	for k := 0; k < c.r; k++ {
+		if !c.env.PeerFailed(c.worldRankOf(l, k)) {
+			alive++
+		}
 	}
-	return logical + c.n
+	return alive
+}
+
+// worldRankOf translates a logical rank and replica index to a world rank.
+func (c *Comm) worldRankOf(logical, replica int) int {
+	return logical + replica*c.n
+}
+
+// worldRank translates a logical rank to the world rank of this process's
+// own replica sphere.
+func (c *Comm) worldRank(logical int) int {
+	return c.worldRankOf(logical, c.replica)
+}
+
+// checkRank validates a logical rank operand.
+func (c *Comm) checkRank(kind string, l int) error {
+	if l < 0 || l >= c.n {
+		return fmt.Errorf("redundancy: %s %d out of range [0,%d)", kind, l, c.n)
+	}
+	return nil
 }
 
 // digest hashes a payload for the replica comparison.
@@ -105,72 +248,306 @@ func digest(data []byte) uint64 {
 	return h.Sum64()
 }
 
-// Send sends data to the same replica of the logical destination. Both
-// replicas of the logical sender perform the send with their own (ideally
-// identical) data; divergence is what detection catches at the receiver.
+// Send sends data to the logical destination. Under Parallel every
+// replica of the logical sender performs the send into its own sphere
+// with its own (ideally identical) data; divergence is what detection
+// catches at the receiver. Under Mirror the payload is copied to every
+// live replica of the destination, and a destination whose replicas have
+// all failed yields *ReplicaFailedError.
 func (c *Comm) Send(dst, tag int, data []byte) error {
-	if dst < 0 || dst >= c.n {
-		return fmt.Errorf("redundancy: destination %d out of range [0,%d)", dst, c.n)
+	if err := c.checkRank("destination", dst); err != nil {
+		return err
+	}
+	if err := checkTag(tag); err != nil {
+		return err
+	}
+	return c.send(dst, tag, data)
+}
+
+// send is Send past validation; the layer's collectives enter here with
+// reserved tags.
+func (c *Comm) send(dst, tag int, data []byte) error {
+	if c.Protocol == Mirror {
+		return c.sendMirror(dst, tag, data)
 	}
 	return c.world.Send(c.worldRank(dst), tag, data)
 }
 
-// Recv receives from the same replica of the logical source. With Detect
-// enabled, the two receiving replicas then exchange digests of what they
-// received and compare: a mismatch means one replica of the sender
-// produced corrupted data, and both receivers report SDCError — redMPI's
-// online detection. The replicas otherwise continue unharmed (detection
-// without correction, the dual-redundancy limit redMPI documents; triple
-// redundancy would vote).
-func (c *Comm) Recv(src, tag int) (*mpi.Message, error) {
-	if src < 0 || src >= c.n {
-		return nil, fmt.Errorf("redundancy: source %d out of range [0,%d)", src, c.n)
+// sendMirror delivers one copy to every live replica of dst. A replica
+// that is known dead is skipped; one that dies in transit is treated the
+// same (its copy is covered by the copies the other sender replicas
+// deliver).
+func (c *Comm) sendMirror(dst, tag int, data []byte) error {
+	delivered := 0
+	for k := 0; k < c.r; k++ {
+		w := c.worldRankOf(dst, k)
+		if c.env.PeerFailed(w) {
+			continue
+		}
+		err := c.world.Send(w, tag, data)
+		if err != nil {
+			var pf *mpi.ProcFailedError
+			if errors.As(err, &pf) {
+				continue
+			}
+			return err
+		}
+		delivered++
 	}
+	if delivered == 0 {
+		return &ReplicaFailedError{Logical: dst, Op: "send"}
+	}
+	return nil
+}
+
+// Recv receives from the logical source. Under Parallel the payload comes
+// from the same replica sphere and, with Detect enabled, the receiving
+// replicas then exchange digests of what they received: a mismatch means
+// some replica of the sender produced corrupted data, reported as
+// *SDCError (with the corrupt replicas attributed when r ≥ 3 forms a
+// strict majority). Under Mirror one copy is collected from every live
+// replica of the source and the digest vote happens locally; a source
+// whose replicas have all failed yields *ReplicaFailedError. In both
+// protocols a returned *SDCError still carries the received message —
+// like redMPI, corruption is reported while execution continues.
+func (c *Comm) Recv(src, tag int) (*mpi.Message, error) {
+	if err := c.checkRank("source", src); err != nil {
+		return nil, err
+	}
+	if err := checkTag(tag); err != nil {
+		return nil, err
+	}
+	return c.recv(src, tag)
+}
+
+// recv is Recv past validation; the layer's collectives enter here with
+// reserved tags.
+func (c *Comm) recv(src, tag int) (*mpi.Message, error) {
+	if c.Protocol == Mirror {
+		return c.recvMirror(src, tag)
+	}
+	return c.recvParallel(src, tag)
+}
+
+// recvParallel receives within the replica sphere, then digest-compares
+// with the partner replicas.
+func (c *Comm) recvParallel(src, tag int) (*mpi.Message, error) {
 	msg, err := c.world.Recv(c.worldRank(src), tag)
 	if err != nil {
 		return nil, err
 	}
-	if !c.Detect {
+	if !c.Detect || c.r < 2 {
 		return msg, nil
 	}
-	mine := digest(msg.Data)
-	buf := binary.LittleEndian.AppendUint64(nil, mine)
+	// Cross-sphere digest exchange among the receiving replicas. Each
+	// pair orders deterministically (the lower replica index sends
+	// first), and digests ride the reserved companion of the payload tag.
+	// A partner that is known dead — or dies mid-exchange — is skipped:
+	// detection degrades to the surviving replicas instead of
+	// deadlocking.
+	digests := make([]uint64, c.r)
+	present := make([]bool, c.r)
+	digests[c.replica] = digest(msg.Data)
+	present[c.replica] = true
+	binary.LittleEndian.PutUint64(c.scratch[:], digests[c.replica])
 	dtag := digestTagBase + tag
-	var theirsMsg *mpi.Message
-	// Deterministic ordering between the partners: replica 0 sends its
-	// digest first, replica 1 receives first.
-	if c.replica == 0 {
-		if err := c.world.Send(c.Partner(), dtag, buf); err != nil {
-			return nil, err
+	for j := 0; j < c.r; j++ {
+		if j == c.replica {
+			continue
 		}
-		theirsMsg, err = c.world.Recv(c.Partner(), dtag)
-	} else {
-		theirsMsg, err = c.world.Recv(c.Partner(), dtag)
-		if err == nil {
-			err = c.world.Send(c.Partner(), dtag, buf)
+		w := c.worldRankOf(c.logical, j)
+		if c.env.PeerFailed(w) {
+			continue
 		}
+		var theirs *mpi.Message
+		var derr error
+		if c.replica < j {
+			if derr = c.world.Send(w, dtag, c.scratch[:]); derr == nil {
+				theirs, derr = c.world.Recv(w, dtag)
+			}
+		} else {
+			if theirs, derr = c.world.Recv(w, dtag); derr == nil {
+				derr = c.world.Send(w, dtag, c.scratch[:])
+			}
+		}
+		if derr != nil {
+			var pf *mpi.ProcFailedError
+			if errors.As(derr, &pf) {
+				theirs.Release()
+				continue
+			}
+			theirs.Release()
+			msg.Release()
+			return nil, derr
+		}
+		digests[j] = binary.LittleEndian.Uint64(theirs.Data)
+		present[j] = true
+		theirs.Release()
 	}
-	if err != nil {
-		return nil, err
-	}
-	theirs := binary.LittleEndian.Uint64(theirsMsg.Data)
-	if theirs != mine {
-		return msg, &SDCError{LogicalSrc: src, Tag: tag, Replica: c.replica}
+	if corrupt, mismatch := voteDigests(digests, present); mismatch {
+		return msg, &SDCError{LogicalSrc: src, Tag: tag, Replica: c.replica, Corrupt: corrupt}
 	}
 	return msg, nil
 }
 
-// Allreduce folds contributions across the logical communicator within
-// this replica sphere (linear: logical rank 0 gathers and broadcasts).
-// With Detect enabled every hop is digest-compared with the partner.
-// Detection does not stop the collective — like redMPI, corruption is
-// reported while execution continues — so the result is returned together
-// with the first SDCError observed, if any.
+// recvMirror collects one copy from every live replica of src and votes.
+func (c *Comm) recvMirror(src, tag int) (*mpi.Message, error) {
+	// Post receives to every source replica not already known dead. A
+	// replica that died unnotified completes its receive with a
+	// process-failure error after the detection timeout, so the wait
+	// below never deadlocks — and a copy the replica sent before dying
+	// still matches and delivers.
+	reqs := make([]*mpi.Request, 0, c.r)
+	idxs := make([]int, 0, c.r)
+	for k := 0; k < c.r; k++ {
+		w := c.worldRankOf(src, k)
+		if c.env.PeerFailed(w) {
+			continue
+		}
+		req, err := c.world.Irecv(w, tag)
+		if err != nil {
+			// Drain what was already posted (copies arrive or failure
+			// timeouts fire), then surface the posting error.
+			for _, r := range reqs {
+				_, _ = c.world.Wait(r)
+				c.world.Free(r)
+			}
+			return nil, err
+		}
+		reqs = append(reqs, req)
+		idxs = append(idxs, k)
+	}
+	msgs := make([]*mpi.Message, 0, len(reqs))
+	from := make([]int, 0, len(reqs))
+	var hard error
+	for i, req := range reqs {
+		_, err := c.world.Wait(req)
+		if err != nil {
+			var pf *mpi.ProcFailedError
+			if !errors.As(err, &pf) && hard == nil {
+				hard = err
+			}
+			c.world.Free(req)
+			continue
+		}
+		m := req.TakeMsg()
+		c.world.Free(req)
+		msgs = append(msgs, m)
+		from = append(from, idxs[i])
+	}
+	if hard != nil {
+		for _, m := range msgs {
+			m.Release()
+		}
+		return nil, hard
+	}
+	if len(msgs) == 0 {
+		return nil, &ReplicaFailedError{Logical: src, Op: "recv"}
+	}
+	chosen := 0
+	var sdc *SDCError
+	if c.Detect && len(msgs) > 1 {
+		digests := make([]uint64, c.r)
+		present := make([]bool, c.r)
+		for i, m := range msgs {
+			digests[from[i]] = digest(m.Data)
+			present[from[i]] = true
+		}
+		if corrupt, mismatch := voteDigests(digests, present); mismatch {
+			sdc = &SDCError{LogicalSrc: src, Tag: tag, Replica: c.replica, Corrupt: corrupt}
+			if len(corrupt) > 0 {
+				// A strict majority exists: return a majority copy, so
+				// the vote corrects the corruption for the application.
+				for i, k := range from {
+					if !intsContain(corrupt, k) {
+						chosen = i
+						break
+					}
+				}
+			}
+		}
+	}
+	out := msgs[chosen]
+	for i, m := range msgs {
+		if i != chosen {
+			m.Release()
+		}
+	}
+	if sdc != nil {
+		return out, sdc
+	}
+	return out, nil
+}
+
+// voteDigests compares the present digests. mismatch reports any
+// disagreement; corrupt lists the replica indices outvoted by a strict
+// majority, nil when none exists (r = 2, or an even split).
+func voteDigests(digests []uint64, present []bool) (corrupt []int, mismatch bool) {
+	total := 0
+	var ref uint64
+	seen := false
+	for i, ok := range present {
+		if !ok {
+			continue
+		}
+		total++
+		if !seen {
+			ref, seen = digests[i], true
+		} else if digests[i] != ref {
+			mismatch = true
+		}
+	}
+	if !mismatch {
+		return nil, false
+	}
+	var best uint64
+	bestN := 0
+	for i, ok := range present {
+		if !ok {
+			continue
+		}
+		n := 0
+		for j, ok2 := range present {
+			if ok2 && digests[j] == digests[i] {
+				n++
+			}
+		}
+		if n > bestN {
+			best, bestN = digests[i], n
+		}
+	}
+	if 2*bestN <= total {
+		return nil, true
+	}
+	for i, ok := range present {
+		if ok && digests[i] != best {
+			corrupt = append(corrupt, i)
+		}
+	}
+	return corrupt, true
+}
+
+// intsContain reports whether s contains v.
+func intsContain(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Allreduce folds contributions across the logical communicator (linear:
+// logical rank 0 gathers and broadcasts) on the layer's reserved
+// collective tags. With Detect enabled every hop is digest-compared
+// across replicas. Detection does not stop the collective — like redMPI,
+// corruption is reported while execution continues — so the result is
+// returned together with the first SDCError observed, if any.
 func (c *Comm) Allreduce(contrib []float64, op mpi.ReduceOp) ([]float64, error) {
-	const tag = 1<<19 + 1
+	const tag = collectiveTag
 	var sdc error
 	recv := func(src, tag int) (*mpi.Message, error) {
-		msg, err := c.Recv(src, tag)
+		msg, err := c.recv(src, tag)
 		if err != nil {
 			var e *SDCError
 			if errors.As(err, &e) && msg != nil {
@@ -197,13 +574,13 @@ func (c *Comm) Allreduce(contrib []float64, op mpi.ReduceOp) ([]float64, error) 
 			op(acc, vals)
 		}
 		for r := 1; r < c.n; r++ {
-			if err := c.Send(r, tag+1, encodeF64s(acc)); err != nil {
+			if err := c.send(r, tag+1, encodeF64s(acc)); err != nil {
 				return nil, err
 			}
 		}
 		return acc, sdc
 	}
-	if err := c.Send(0, tag, encodeF64s(contrib)); err != nil {
+	if err := c.send(0, tag, encodeF64s(contrib)); err != nil {
 		return nil, err
 	}
 	msg, err := recv(0, tag+1)

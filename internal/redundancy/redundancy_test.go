@@ -207,3 +207,309 @@ func TestSendRecvValidation(t *testing.T) {
 		}
 	})
 }
+
+// runReplicated runs app on an r×logical world with optional injected
+// process failures (world rank → failure time).
+func runReplicated(t *testing.T, logical, r int, failures map[int]vclock.Time, app func(*mpi.Env, *Comm)) *core.Result {
+	t.Helper()
+	n := r * logical
+	eng, err := core.New(core.Config{NumVPs: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, at := range failures {
+		if err := eng.ScheduleFailure(rank, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net := &netmodel.Model{
+		Topo:           topology.NewFullyConnected(n),
+		System:         netmodel.LinkParams{Latency: vclock.Microsecond, Bandwidth: 1e9, DetectionTimeout: 10 * vclock.Millisecond},
+		OnNode:         netmodel.LinkParams{Latency: vclock.Microsecond, Bandwidth: 1e9, DetectionTimeout: 10 * vclock.Millisecond},
+		EagerThreshold: 256 * 1024,
+	}
+	w, err := mpi.NewWorld(eng, mpi.WorldConfig{Net: net, Proc: procmodel.Paper()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(e *mpi.Env) {
+		defer e.Finalize()
+		c, err := WrapN(e, r)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		app(e, c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWrapNGeometry(t *testing.T) {
+	runReplicated(t, 2, 3, nil, func(e *mpi.Env, c *Comm) {
+		if c.Size() != 2 || c.Degree() != 3 {
+			t.Errorf("size=%d degree=%d", c.Size(), c.Degree())
+		}
+		wantLogical := e.Rank() % 2
+		wantReplica := e.Rank() / 2
+		if c.Logical() != wantLogical || c.Replica() != wantReplica {
+			t.Errorf("rank %d: logical %d replica %d", e.Rank(), c.Logical(), c.Replica())
+		}
+		// The partner chain cycles through all three replica spheres.
+		if c.Partner() != (e.Rank()+2)%6 {
+			t.Errorf("rank %d partner = %d", e.Rank(), c.Partner())
+		}
+		if got := c.Alive(c.Logical()); got != 3 {
+			t.Errorf("alive = %d", got)
+		}
+	})
+}
+
+func TestWrapNNotDivisible(t *testing.T) {
+	runReplicated(t, 4, 1, nil, func(e *mpi.Env, c *Comm) {
+		if _, err := WrapN(e, 3); err == nil {
+			t.Error("4 ranks at degree 3 should fail to wrap")
+		}
+		if _, err := WrapN(e, 0); err == nil {
+			t.Error("degree 0 should fail to wrap")
+		}
+	})
+}
+
+func TestTagRangeRejected(t *testing.T) {
+	// User tags live in [0, 1<<19): everything above is reserved for the
+	// layer's collectives and digest traffic, and must be rejected before
+	// any message moves — a user payload on a digest tag would be consumed
+	// as a digest by the partner replica.
+	runDMR(t, 2, func(e *mpi.Env, d *Comm) {
+		var tre *TagRangeError
+		for _, tag := range []int{UserTagLimit, 1 << 20, -1} {
+			if err := d.Send(1, tag, nil); !errors.As(err, &tre) {
+				t.Errorf("Send tag %d: got %v, want TagRangeError", tag, err)
+			} else if tre.Tag != tag {
+				t.Errorf("Send tag %d reported as %d", tag, tre.Tag)
+			}
+			if _, err := d.Recv(0, tag); !errors.As(err, &tre) {
+				t.Errorf("Recv tag %d: got %v, want TagRangeError", tag, err)
+			}
+		}
+		// The largest user tag is fine end to end.
+		if d.Logical() == 0 {
+			if err := d.Send(1, UserTagLimit-1, []byte("hi")); err != nil {
+				t.Errorf("send max user tag: %v", err)
+			}
+		} else {
+			msg, err := d.Recv(0, UserTagLimit-1)
+			if err != nil {
+				t.Errorf("recv max user tag: %v", err)
+			}
+			msg.Release()
+		}
+	})
+}
+
+func TestParallelTripleVotesOutCorruptReplica(t *testing.T) {
+	// At r = 3 the Parallel protocol's cross-sphere digest vote identifies
+	// WHICH replica diverged, not just that something did.
+	blamed := make([][]int, 6)
+	runReplicated(t, 2, 3, nil, func(e *mpi.Env, c *Comm) {
+		if c.Logical() == 0 {
+			payload := []byte("payloadA")
+			if c.Replica() == 1 {
+				payload = []byte("payloadB") // silent corruption in sphere 1
+			}
+			if err := c.Send(1, 3, payload); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		} else {
+			msg, err := c.Recv(0, 3)
+			var sdc *SDCError
+			if errors.As(err, &sdc) {
+				blamed[e.Rank()] = sdc.Corrupt
+			} else if err != nil {
+				t.Errorf("recv: %v", err)
+			}
+			msg.Release()
+		}
+	})
+	// Every receiver replica must attribute the corruption to replica 1.
+	for _, rank := range []int{1, 3, 5} {
+		if len(blamed[rank]) != 1 || blamed[rank][0] != 1 {
+			t.Fatalf("rank %d blamed %v, want [1]", rank, blamed[rank])
+		}
+	}
+}
+
+func TestMirrorCleanDelivery(t *testing.T) {
+	res := runReplicated(t, 2, 2, nil, func(e *mpi.Env, c *Comm) {
+		c.Protocol = Mirror
+		if c.Logical() == 0 {
+			if err := c.Send(1, 0, []byte("mirrored")); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		} else {
+			msg, err := c.Recv(0, 0)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			if string(msg.Data) != "mirrored" {
+				t.Errorf("data = %q", msg.Data)
+			}
+			msg.Release()
+		}
+	})
+	if res.Completed != 4 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+}
+
+func TestMirrorTripleVotesAndCorrects(t *testing.T) {
+	// At r = 3 the Mirror receiver holds all three copies: the vote both
+	// attributes the corruption and hands the caller majority data.
+	got := make([]string, 6)
+	blamed := make([][]int, 6)
+	runReplicated(t, 2, 3, nil, func(e *mpi.Env, c *Comm) {
+		c.Protocol = Mirror
+		if c.Logical() == 0 {
+			payload := []byte("good-data")
+			if c.Replica() == 1 {
+				payload = []byte("bad--data")
+			}
+			if err := c.Send(1, 0, payload); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		} else {
+			msg, err := c.Recv(0, 0)
+			var sdc *SDCError
+			if errors.As(err, &sdc) {
+				blamed[e.Rank()] = sdc.Corrupt
+			} else if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			got[e.Rank()] = string(msg.Data)
+			msg.Release()
+		}
+	})
+	for _, rank := range []int{1, 3, 5} {
+		if got[rank] != "good-data" {
+			t.Errorf("rank %d got %q, want majority data", rank, got[rank])
+		}
+		if len(blamed[rank]) != 1 || blamed[rank][0] != 1 {
+			t.Errorf("rank %d blamed %v, want [1]", rank, blamed[rank])
+		}
+	}
+}
+
+func TestMirrorFailoverSurvivesReplicaDeath(t *testing.T) {
+	// Logical rank 1 loses its replica-1 process (world rank 3) mid-run;
+	// the Mirror protocol keeps the logical rank alive through replica 0,
+	// and the whole 5-iteration ping-pong completes without a deadlock.
+	const iters = 5
+	failures := map[int]vclock.Time{3: vclock.Time(2500 * vclock.Microsecond)}
+	res := runReplicated(t, 2, 2, failures, func(e *mpi.Env, c *Comm) {
+		c.Protocol = Mirror
+		for i := 0; i < iters; i++ {
+			e.Elapse(vclock.Millisecond)
+			peer := 1 - c.Logical()
+			if err := c.Send(peer, 0, []byte("ping")); err != nil {
+				t.Errorf("rank %d iter %d send: %v", e.Rank(), i, err)
+				return
+			}
+			msg, err := c.Recv(peer, 0)
+			if err != nil {
+				t.Errorf("rank %d iter %d recv: %v", e.Rank(), i, err)
+				return
+			}
+			msg.Release()
+		}
+	})
+	if res.Completed != 3 || res.Failed != 1 {
+		t.Fatalf("completed=%d failed=%d, want 3/1", res.Completed, res.Failed)
+	}
+}
+
+func TestMirrorAllReplicasDead(t *testing.T) {
+	// Both replicas of logical rank 0 die before sending: the receiver's
+	// Recv must return ReplicaFailedError once the timeouts expire, not
+	// hang.
+	failures := map[int]vclock.Time{
+		0: vclock.Time(100 * vclock.Microsecond),
+		2: vclock.Time(200 * vclock.Microsecond),
+	}
+	sawExhaustion := false
+	res := runReplicated(t, 2, 2, failures, func(e *mpi.Env, c *Comm) {
+		c.Protocol = Mirror
+		if c.Logical() == 0 {
+			e.Elapse(vclock.Second) // die before ever sending
+			return
+		}
+		_, err := c.Recv(0, 0)
+		var rfe *ReplicaFailedError
+		if errors.As(err, &rfe) {
+			if rfe.Logical != 0 || rfe.Op != "recv" {
+				t.Errorf("exhaustion error = %+v", rfe)
+			}
+			if e.Rank() == 1 {
+				sawExhaustion = true
+			}
+		} else {
+			t.Errorf("rank %d: got %v, want ReplicaFailedError", e.Rank(), err)
+		}
+	})
+	if !sawExhaustion {
+		t.Fatal("receiver never observed replica exhaustion")
+	}
+	if res.Failed != 2 {
+		t.Fatalf("failed = %d, want 2", res.Failed)
+	}
+}
+
+func TestParallelPartnerDeathMidDigestExchange(t *testing.T) {
+	// The satellite regression: replica 0 of the sender sends its payload
+	// and digest, then its receiving partner (replica 1 of the receiver)
+	// dies while replica 1 of the receiver still owes replica 0 a digest.
+	// Jitter the death across the digest-exchange window over many seeds:
+	// every interleaving must terminate cleanly (degraded detection), never
+	// deadlock, and the payload must always arrive intact.
+	for seed := int64(0); seed < 20; seed++ {
+		// 0 µs .. 47.5 µs in 2.5 µs steps, straddling the payload+digest
+		// exchange (a few µs) and the post-exchange window.
+		at := vclock.Time(seed * 2500 * int64(vclock.Nanosecond))
+		failures := map[int]vclock.Time{3: at}
+		delivered := make([]string, 4)
+		res := runReplicated(t, 2, 2, failures, func(e *mpi.Env, c *Comm) {
+			if c.Logical() == 0 {
+				if err := c.Send(1, 0, []byte("survivor")); err != nil {
+					t.Errorf("seed %d: rank %d send: %v", seed, e.Rank(), err)
+				}
+				return
+			}
+			if c.Replica() == 1 {
+				// The victim: may die before, during, or after its recv.
+				msg, err := c.Recv(0, 0)
+				if err == nil {
+					msg.Release()
+				}
+				return
+			}
+			msg, err := c.Recv(0, 0)
+			if err != nil {
+				t.Errorf("seed %d: surviving receiver: %v", seed, err)
+				return
+			}
+			delivered[e.Rank()] = string(msg.Data)
+			msg.Release()
+		})
+		if delivered[1] != "survivor" {
+			t.Fatalf("seed %d: surviving receiver got %q", seed, delivered[1])
+		}
+		if res.Completed+res.Failed != 4 {
+			t.Fatalf("seed %d: completed=%d failed=%d aborted=%d",
+				seed, res.Completed, res.Failed, res.Aborted)
+		}
+	}
+}

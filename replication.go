@@ -1,0 +1,213 @@
+package xsim
+
+import (
+	"errors"
+
+	"xsim/internal/checkpoint"
+	"xsim/internal/redundancy"
+)
+
+// ReplicatedStencilConfig parameterises the replicated heat-proxy stencil:
+// a ring halo exchange whose every logical rank is backed by Degree
+// replicas through the redundancy layer's Mirror protocol, so injected
+// process failures are absorbed as long as one replica of each logical
+// rank survives. The total problem size is fixed: at degree r the world
+// splits into Ranks/r logical ranks that each carry r× the per-rank work,
+// which is what makes the replication arms comparable to the unreplicated
+// checkpoint arm in the crossover experiment.
+type ReplicatedStencilConfig struct {
+	// Degree is the replication degree r (1 = unreplicated baseline).
+	Degree int
+	// Iterations is the iteration count of the full solve.
+	Iterations int
+	// ComputePerIteration is the per-iteration compute time of one
+	// logical rank at degree 1; at degree r every replica computes r×
+	// this (fixed total problem over fewer logical ranks).
+	ComputePerIteration Duration
+	// HaloBytes is the per-direction halo payload (and the synthetic
+	// per-rank checkpoint size).
+	HaloBytes int
+	// CheckpointInterval checkpoints every k iterations (0 disables).
+	CheckpointInterval int
+	// CheckpointCost is the simulated cost of writing one checkpoint
+	// (Daly's δ), charged explicitly so the zero-cost file-system model
+	// still produces the checkpoint/restart trade-off.
+	CheckpointCost Duration
+	// RestartCost is charged once at the start of every restarted run
+	// (Daly's R).
+	RestartCost Duration
+	// Prefix names the checkpoint files.
+	Prefix string
+}
+
+// defaults fills the zero fields.
+func (c *ReplicatedStencilConfig) defaults() {
+	if c.Degree == 0 {
+		c.Degree = 2
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 40
+	}
+	if c.ComputePerIteration == 0 {
+		c.ComputePerIteration = Seconds(2.5)
+	}
+	if c.HaloBytes == 0 {
+		c.HaloBytes = 1024
+	}
+	if c.Prefix == "" {
+		c.Prefix = "repl"
+	}
+}
+
+// Halo tags of the replicated stencil (application tag space).
+const (
+	tagHaloRight = 0
+	tagHaloLeft  = 1
+)
+
+// RunReplicatedStencil returns the replicated stencil application: every
+// iteration computes, exchanges ring halos through an r-way Mirror
+// communicator, and optionally checkpoints. A process failure is absorbed
+// by the surviving replicas of the failed logical rank; only when every
+// replica of some logical rank has died does the application abort (and a
+// Campaign with the matching SuccessFor/DrawFailures hooks restarts it
+// from the latest replica-covered checkpoint, with continuous virtual
+// time).
+func RunReplicatedStencil(cfg ReplicatedStencilConfig) App {
+	cfg.defaults()
+	return func(env *Env) {
+		defer env.Finalize()
+		rc, err := redundancy.WrapN(env, cfg.Degree)
+		if err != nil {
+			env.Logf("replicated stencil: %v", err)
+			env.Abort(2)
+			return
+		}
+		rc.Protocol = redundancy.Mirror
+		n := rc.Size()
+		me := rc.Logical()
+
+		// Restart bookkeeping happens before any virtual time passes, so
+		// every rank resumes from the same iteration: the scan sees the
+		// store exactly as the previous run left it.
+		store := env.FSStore()
+		ckpts := cfg.CheckpointInterval > 0 && store != nil
+		startIter := 0
+		if ckpts {
+			startIter = latestReplicatedCheckpoint(store, cfg.Prefix, n, cfg.Degree)
+		}
+		if store != nil {
+			if _, restarted := checkpoint.LoadExitTime(store); restarted && cfg.RestartCost > 0 {
+				env.Elapse(cfg.RestartCost)
+			}
+		}
+		var fs *CheckpointFS
+		if ckpts {
+			fs, err = NewCheckpointFS(env)
+			if err != nil {
+				env.Logf("replicated stencil: %v", err)
+				env.Abort(2)
+				return
+			}
+		}
+
+		abort := func(err error) {
+			env.Logf("replicated stencil: rank %d (logical %d replica %d): %v",
+				env.Rank(), me, rc.Replica(), err)
+			env.Abort(1)
+		}
+		// drain consumes one halo: silent-data-corruption reports carry
+		// the message and do not stop the solve; everything else (a
+		// logical rank with no live replicas, above all) aborts the run.
+		drain := func(src, tag int) bool {
+			msg, err := rc.Recv(src, tag)
+			var sdc *redundancy.SDCError
+			if err != nil && !errors.As(err, &sdc) {
+				abort(err)
+				return false
+			}
+			msg.Release()
+			return true
+		}
+
+		halo := make([]byte, cfg.HaloBytes)
+		right := (me + 1) % n
+		left := (me - 1 + n) % n
+		for iter := startIter; iter < cfg.Iterations; iter++ {
+			env.Elapse(Duration(cfg.Degree) * cfg.ComputePerIteration)
+			if n > 1 {
+				if err := rc.Send(right, tagHaloRight, halo); err != nil {
+					abort(err)
+					return
+				}
+				if err := rc.Send(left, tagHaloLeft, halo); err != nil {
+					abort(err)
+					return
+				}
+				if !drain(left, tagHaloRight) || !drain(right, tagHaloLeft) {
+					return
+				}
+			}
+			if done := iter + 1; ckpts && done%cfg.CheckpointInterval == 0 && done < cfg.Iterations {
+				if cfg.CheckpointCost > 0 {
+					env.Elapse(cfg.CheckpointCost)
+				}
+				meta := CheckpointMeta{Iteration: done, Rank: env.Rank(), PayloadSize: cfg.HaloBytes}
+				if err := fs.WriteSized(cfg.Prefix, meta, cfg.HaloBytes); err != nil {
+					abort(err)
+					return
+				}
+			}
+		}
+	}
+}
+
+// latestReplicatedCheckpoint returns the highest checkpointed iteration at
+// which every logical rank is covered by at least one replica's complete
+// checkpoint file — the furthest point a replicated restart can resume
+// from. Files of replicas that died mid-write are incomplete and do not
+// cover their logical rank, but any surviving replica's file does.
+func latestReplicatedCheckpoint(store *Store, prefix string, n, degree int) int {
+	best := 0
+	for _, it := range checkpoint.Iterations(store, prefix) {
+		if it <= best {
+			continue
+		}
+		covered := true
+		for l := 0; l < n && covered; l++ {
+			ok := false
+			for k := 0; k < degree && !ok; k++ {
+				name := checkpoint.FileName(prefix, it, l+k*n)
+				ok = store.Exists(name) && store.Complete(name)
+			}
+			covered = ok
+		}
+		if covered {
+			best = it
+		}
+	}
+	return best
+}
+
+// replicatedSuccess builds the Campaign.SuccessFor test for a replicated
+// run: the run is done when no rank aborted and every logical rank has at
+// least one replica that ran to completion — failed-but-covered replicas
+// do not force a restart.
+func replicatedSuccess(ranks, degree int) func(*Result) bool {
+	n := ranks / degree
+	return func(res *Result) bool {
+		if res.Aborted > 0 {
+			return false
+		}
+		for l := 0; l < n; l++ {
+			ok := false
+			for k := 0; k < degree && !ok; k++ {
+				ok = res.Deaths[l+k*n] == "completed"
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+}

@@ -1,0 +1,221 @@
+package xsim
+
+import (
+	"testing"
+
+	"xsim/internal/checkpoint"
+)
+
+// writeCkpt puts a (complete or incomplete) checkpoint file for (iter,
+// rank) into the store.
+func writeCkpt(t *testing.T, store *Store, prefix string, iter, rank int, complete bool) {
+	t.Helper()
+	w := store.Create(checkpoint.FileName(prefix, iter, rank))
+	if _, err := w.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if complete {
+		if err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLatestReplicatedCheckpointCoverage(t *testing.T) {
+	// 3 logical ranks × 2 replicas (world 0..5). A logical rank is covered
+	// by either of its replicas' complete files; one uncovered logical
+	// rank sinks the whole iteration.
+	const n, degree = 3, 2
+	store := NewStore()
+	if got := latestReplicatedCheckpoint(store, "r", n, degree); got != 0 {
+		t.Fatalf("empty store: got %d, want 0", got)
+	}
+	// Iteration 5: fully covered, logical 1 only by its replica (rank 4).
+	for _, rank := range []int{0, 2, 4} {
+		writeCkpt(t, store, "r", 5, rank, true)
+	}
+	writeCkpt(t, store, "r", 5, 1, false) // replica 0 of logical 1 died mid-write
+	// Iteration 10: logical 2 has no complete file at all — not covered.
+	for _, rank := range []int{0, 1, 3, 4} {
+		writeCkpt(t, store, "r", 10, rank, true)
+	}
+	writeCkpt(t, store, "r", 10, 2, false)
+	if got := latestReplicatedCheckpoint(store, "r", n, degree); got != 5 {
+		t.Fatalf("got iteration %d, want 5 (iteration 10 leaves logical 2 uncovered)", got)
+	}
+	writeCkpt(t, store, "r", 10, 5, true) // replica of logical 2 completes
+	if got := latestReplicatedCheckpoint(store, "r", n, degree); got != 10 {
+		t.Fatalf("got iteration %d, want 10 after coverage completes", got)
+	}
+}
+
+func TestReplicatedStencilFailoverRun(t *testing.T) {
+	// A single run with one injected failure per replica sphere: every
+	// logical rank keeps a live replica, so the run completes without a
+	// restart and replicatedSuccess accepts it while Result.Success does
+	// not.
+	const ranks, degree = 8, 2
+	sc := ReplicatedStencilConfig{
+		Degree:              degree,
+		Iterations:          10,
+		ComputePerIteration: Seconds(1),
+		HaloBytes:           256,
+	}
+	sim, err := New(Config{
+		Ranks: ranks,
+		Failures: Schedule{
+			{Rank: 1, At: Time(2500 * Millisecond)}, // replica 0 of logical 1
+			{Rank: 6, At: Time(9500 * Millisecond)}, // replica 1 of logical 2
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(RunReplicatedStencil(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 2 || res.Aborted != 0 || res.Completed != ranks-2 {
+		t.Fatalf("completed=%d failed=%d aborted=%d, want 6/2/0 (deaths: %v)",
+			res.Completed, res.Failed, res.Aborted, res.Deaths)
+	}
+	if res.Success() {
+		t.Fatal("Result.Success should reject a run with failed ranks")
+	}
+	if !replicatedSuccess(ranks, degree)(res) {
+		t.Fatal("replicatedSuccess should accept failed-but-covered replicas")
+	}
+}
+
+func TestReplicatedStencilExhaustionAborts(t *testing.T) {
+	// Both replicas of logical 1 die: the survivors must notice the
+	// exhausted replica group and abort rather than hang, and
+	// replicatedSuccess must demand a restart.
+	const ranks, degree = 8, 2
+	sc := ReplicatedStencilConfig{
+		Degree:              degree,
+		Iterations:          10,
+		ComputePerIteration: Seconds(1),
+		HaloBytes:           256,
+	}
+	sim, err := New(Config{
+		Ranks: ranks,
+		Failures: Schedule{
+			{Rank: 1, At: Time(2500 * Millisecond)},
+			{Rank: 5, At: Time(4500 * Millisecond)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(RunReplicatedStencil(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted == 0 {
+		t.Fatalf("expected survivors to abort on replica exhaustion (deaths: %v)", res.Deaths)
+	}
+	if replicatedSuccess(ranks, degree)(res) {
+		t.Fatal("replicatedSuccess should reject an exhausted replica group")
+	}
+}
+
+// smokeCrossoverConfig is a tiny grid for the CI smoke test.
+func smokeCrossoverConfig() ReplicationCrossoverConfig {
+	return ReplicationCrossoverConfig{
+		RunSpec:             RunSpec{Ranks: 12, Seed: 7},
+		Degrees:             []int{2, 3},
+		MTTFs:               []Duration{100 * Second},
+		Iterations:          8,
+		ComputePerIteration: Seconds(1),
+		HaloBytes:           256,
+		CheckpointCost:      2 * Second,
+		RestartCost:         2 * Second,
+	}
+}
+
+func TestReplicationCrossoverSmoke(t *testing.T) {
+	table, err := RunReplicationCrossover(smokeCrossoverConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 MTTF × (checkpoint + 2 degrees × {replication, hybrid}) = 5 cells.
+	if len(table.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5:\n%s", len(table.Rows), table.Render())
+	}
+	if table.Solve <= 0 {
+		t.Fatalf("non-positive solve %v", table.Solve)
+	}
+	for _, row := range table.Rows {
+		if row.E2 <= 0 || row.Runs < 1 {
+			t.Fatalf("degenerate cell %+v:\n%s", row, table.Render())
+		}
+		if row.Arm == ArmReplication && row.Interval != 0 {
+			t.Fatalf("replication arm with checkpoint interval %d", row.Interval)
+		}
+		if row.Arm != ArmReplication && row.Interval < 1 {
+			t.Fatalf("arm %s without checkpoint interval", row.Arm)
+		}
+	}
+	t.Logf("\n%s", table.Render())
+}
+
+func TestReplicationCrossoverValidatesDegrees(t *testing.T) {
+	cfg := smokeCrossoverConfig()
+	cfg.Degrees = []int{5} // 12 % 5 != 0
+	if _, err := RunReplicationCrossover(cfg); err == nil {
+		t.Fatal("expected divisibility error")
+	}
+	cfg.Degrees = []int{1}
+	if _, err := RunReplicationCrossover(cfg); err == nil {
+		t.Fatal("expected degree >= 2 error")
+	}
+}
+
+func TestReplicationCrossoverFrontier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("frontier sweep is long")
+	}
+	// The study's acceptance bar, pinned at one seed: at a 50 s MTTF the
+	// 2-way replication arm (≈ 2×solve plus occasional replica-exhaustion
+	// restarts) beats Daly-optimal checkpoint/restart, and at 1600 s the
+	// ordering flips — paying double resources for failover only pays
+	// when failures are frequent.
+	cfg := ReplicationCrossoverConfig{
+		RunSpec: RunSpec{Ranks: 24, Seed: 11},
+		Degrees: []int{2},
+		MTTFs:   []Duration{50 * Second, 1600 * Second},
+	}
+	table, err := RunReplicationCrossover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", table.Render())
+
+	low, high := 50*Second, 1600*Second
+	ckptLow := table.Row(low, ArmCheckpoint, 1)
+	replLow := table.Row(low, ArmReplication, 2)
+	ckptHigh := table.Row(high, ArmCheckpoint, 1)
+	replHigh := table.Row(high, ArmReplication, 2)
+	if ckptLow == nil || replLow == nil || ckptHigh == nil || replHigh == nil {
+		t.Fatal("missing frontier cells")
+	}
+	if replLow.E2 >= ckptLow.E2 {
+		t.Errorf("MTTF=50s: replication E2 %v should beat checkpoint E2 %v",
+			replLow.E2, ckptLow.E2)
+	}
+	if ckptHigh.E2 >= replHigh.E2 {
+		t.Errorf("MTTF=1600s: checkpoint E2 %v should beat replication E2 %v",
+			ckptHigh.E2, replHigh.E2)
+	}
+	// Failover proof: the low-MTTF replication cell experienced failures,
+	// and fewer restarts than failures — some failures were absorbed by
+	// surviving replicas instead of forcing a restart.
+	if replLow.F == 0 {
+		t.Error("MTTF=50s replication cell saw no failures — injection broken")
+	}
+	if replLow.Runs >= replLow.F+1 {
+		t.Errorf("MTTF=50s replication: %d runs for %d failures — no failure was absorbed by failover",
+			replLow.Runs, replLow.F)
+	}
+}

@@ -35,6 +35,12 @@ type Campaign struct {
 	// CheckpointPrefix, when set, enables the between-runs cleanup of
 	// incomplete checkpoint sets.
 	CheckpointPrefix string
+	// SuccessFor, when set, replaces Result.Success as the campaign's
+	// run-completion test. Replication campaigns need it: a run whose
+	// failed ranks were all covered by surviving replicas is done even
+	// though Result.Failed is non-zero, and Result.Success would restart
+	// it forever.
+	SuccessFor func(*Result) bool
 	// AppFor builds the application for each run (fresh trackers etc.);
 	// use the same closure for every run if no per-run state is needed.
 	AppFor func(run int) App
@@ -198,7 +204,11 @@ func (c Campaign) RunContext(ctx context.Context) (*CampaignResult, error) {
 			result.Waited[r] += res.Waited[r]
 		}
 
-		if res.Success() {
+		success := res.Success()
+		if c.SuccessFor != nil {
+			success = c.SuccessFor(res)
+		}
+		if success {
 			result.Done = true
 			result.E2 = res.SimTime
 			return result, nil

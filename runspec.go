@@ -7,7 +7,8 @@ import (
 
 // RunSpec is the shared trunk of every Run-family configuration
 // (TableIConfig, TableIIConfig, IntervalSweepConfig,
-// FirstImpressionsConfig, CampaignSetConfig): the simulation parameters
+// FirstImpressionsConfig, CampaignSetConfig,
+// ReplicationCrossoverConfig): the simulation parameters
 // the drivers used to copy-paste into five divergent config structs.
 // Embedding it gives every driver the same field names, the same defaults
 // path, and the same campaign-pool controls. Field access is unchanged
