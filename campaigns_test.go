@@ -175,6 +175,79 @@ func TestTableIIPoolMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestCheckpointIOAblationSmoke pins the checkpoint-I/O ablation's
+// qualitative shape at CI scale: with the I/O cost on, the free arm is
+// strictly fastest, the tiered arm strictly beats the flat shared PFS,
+// and the recovered-overhead fractions are meaningful (in (0, 1]).
+func TestCheckpointIOAblationSmoke(t *testing.T) {
+	cfg := CheckpointIOAblationConfig{
+		RunSpec:    RunSpec{Ranks: 64, Seed: 133},
+		Iterations: 60,
+		Intervals:  []int{20},
+		MTTFs:      []Duration{150 * Second},
+	}
+	tab, err := RunCheckpointIOAblationContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 arms × (baseline E1 + one interval E1 + one campaign cell).
+	if len(tab.Rows) != 12 {
+		t.Fatalf("got %d rows, want 12:\n%s", len(tab.Rows), tab.Render())
+	}
+	t.Logf("\n%s", tab.Render())
+
+	const c = 20
+	free := tab.Row(IOArmFree, 0, c)
+	flat := tab.Row(IOArmFlatPFS, 0, c)
+	tiered := tab.Row(IOArmTiered, 0, c)
+	incr := tab.Row(IOArmTieredIncr, 0, c)
+	if free == nil || flat == nil || tiered == nil || incr == nil {
+		t.Fatal("missing E1 rows")
+	}
+	if !(free.E1 < tiered.E1 && tiered.E1 < flat.E1) {
+		t.Fatalf("E1 ordering broken: free %v, tiered %v, flat %v",
+			free.E1, tiered.E1, flat.E1)
+	}
+	if incr.E1 > tiered.E1 {
+		t.Fatalf("incremental E1 %v above plain tiered %v", incr.E1, tiered.E1)
+	}
+	for _, arm := range []string{IOArmTiered, IOArmTieredIncr} {
+		if r := tab.RecoveredE1(arm, c); r <= 0 || r > 1 {
+			t.Fatalf("RecoveredE1(%s) = %v, want in (0, 1]", arm, r)
+		}
+	}
+
+	// The campaign cells face identical failure sequences (the draws
+	// depend on seed and MTTF, not the arm), so F matches across arms
+	// and the E2 ordering mirrors E1.
+	mttf := cfg.MTTFs[0]
+	cells := make([]*CheckpointIOAblationRow, 0, 4)
+	for _, arm := range []string{IOArmFree, IOArmFlatPFS, IOArmTiered, IOArmTieredIncr} {
+		cell := tab.Row(arm, mttf, c)
+		if cell == nil {
+			t.Fatalf("missing campaign cell for %s", arm)
+		}
+		cells = append(cells, cell)
+	}
+	for _, cell := range cells[1:] {
+		if cell.F != cells[0].F {
+			t.Fatalf("failure counts diverge across arms:\n%s", tab.Render())
+		}
+	}
+	if cells[0].F == 0 {
+		t.Fatalf("no failures at MTTF %v — campaign cells degenerate", mttf)
+	}
+	if fr, fl := cells[0], cells[1]; fr.E2 >= fl.E2 {
+		t.Fatalf("flat-PFS E2 %v not above free E2 %v", fl.E2, fr.E2)
+	}
+	if ti, fl := cells[2], cells[1]; ti.E2 >= fl.E2 {
+		t.Fatalf("tiered E2 %v not below flat-PFS E2 %v", ti.E2, fl.E2)
+	}
+	if r := tab.Recovered(IOArmTiered, mttf, c); r <= 0 || r > 1 {
+		t.Fatalf("Recovered(tiered) = %v, want in (0, 1]", r)
+	}
+}
+
 func TestTableIPoolMatchesSequential(t *testing.T) {
 	run := func(pool int) *TableIResult {
 		res, err := RunTableIContext(context.Background(), TableIConfig{

@@ -30,6 +30,11 @@
 #                     produce bit-identical results to the sequential one:
 #                     pool=4 vs pool=1 digests for the Table II grid and a
 #                     50-seed campaign set)
+#   10. checkpoint-I/O ablation smoke (with the I/O cost on, the free arm
+#                     stays strictly fastest and the tiered hierarchy
+#                     strictly beats the flat shared PFS; the buddy-copy
+#                     drain fallback and replica-aware cleanup run under
+#                     -race)
 set -eu
 
 cd "$(dirname "$0")"
@@ -126,5 +131,8 @@ go test -race -count=1 -run '^(TestRunCampaignsDeterministicAcrossPools|TestTabl
 
 echo "== replication-crossover smoke (r in {2,3}, one MTTF point, -race)"
 go test -race -count=1 -run '^(TestReplicationCrossoverSmoke|TestReplicatedStencilFailoverRun|TestMirrorFailoverSurvivesReplicaDeath|TestParallelPartnerDeathMidDigestExchange)$' . ./internal/redundancy/
+
+echo "== checkpoint-I/O ablation smoke (free < tiered < flat-pfs, -race)"
+go test -race -count=1 -run '^(TestCheckpointIOAblationSmoke|TestDrainInterruptedByFailureFallsBackATier|TestReplicaAwareCleanupKeepsCoveredSets)$' . ./internal/checkpoint/
 
 echo "CI OK"

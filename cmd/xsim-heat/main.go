@@ -6,6 +6,8 @@
 //	xsim-heat -table2 -ranks 32768    # Table II at the paper's full scale
 //	xsim-heat -table2 -pool 4         # four grid cells simulated at once
 //	xsim-heat -phases                 # §V-D failure-mode classification
+//	xsim-heat -io-ablation            # Table II with checkpoint-I/O cost on
+//	                                  # (free vs flat PFS vs tiered vs tiered+incremental)
 //	xsim-heat -mttf 3000 -interval 125
 //	xsim-heat -failures "12@350,99@1200"
 //
@@ -38,6 +40,8 @@ func main() {
 		seed       = flag.Int64("seed", 133, "random seed for failure injection")
 		failures   = flag.String("failures", os.Getenv("XSIM_FAILURES"), "failure schedule as rank@seconds,... (also via $XSIM_FAILURES)")
 		table2     = flag.Bool("table2", false, "regenerate Table II (checkpoint interval × system MTTF sweep)")
+		ioAblation = flag.Bool("io-ablation", false, "rerun the Table II sweep with checkpoint-I/O cost on (free vs flat PFS vs tiered vs tiered+incremental)")
+		payloadMB  = flag.Int("payload-mb", 256, "modelled per-rank checkpoint payload in MiB for -io-ablation")
 		sweep      = flag.Bool("sweep", false, "sweep the checkpoint interval against Daly's analytic optimum")
 		phases     = flag.Bool("phases", false, "run the §V-D failure-mode classification")
 		trials     = flag.Int("trials", 10, "trials for -phases")
@@ -62,6 +66,20 @@ func main() {
 	}
 
 	switch {
+	case *ioAblation:
+		cfg := xsim.CheckpointIOAblationConfig{
+			RunSpec:           spec,
+			Iterations:        *iterations,
+			CheckpointPayload: *payloadMB << 20,
+		}
+		fmt.Printf("checkpoint-I/O ablation: Table II with the I/O cost on\n")
+		fmt.Printf("(%d simulated MPI ranks, %d iterations, %d MiB/rank checkpoints, seed %d)\n\n",
+			*ranks, *iterations, *payloadMB, *seed)
+		tab, err := xsim.RunCheckpointIOAblationContext(ctx, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(tab.Render())
 	case *table2:
 		cfg := xsim.TableIIConfig{
 			RunSpec:    spec,

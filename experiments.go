@@ -682,6 +682,7 @@ func RunReplicationCrossoverContext(ctx context.Context, cfg ReplicationCrossove
 			CheckpointInterval:  interval,
 			CheckpointCost:      cfg.CheckpointCost,
 			RestartCost:         cfg.RestartCost,
+			Prefix:              "repl",
 		}
 	}
 
@@ -787,7 +788,14 @@ func RunReplicationCrossoverContext(ctx context.Context, cfg ReplicationCrossove
 						return fault.PoissonSchedule(rng, cfg.Ranks, spec.row.MTTF, horizon, start)
 					},
 					SuccessFor: replicatedSuccess(cfg.Ranks, spec.row.Degree),
-					AppFor:     func(int) App { return RunReplicatedStencil(sc) },
+					// Clean checkpoint sets between runs with the
+					// replica-aware criterion: the every-world-rank test
+					// would delete sets a dead replica left incomplete but
+					// that still cover every logical rank — exactly the
+					// sets the restart resumes from.
+					CheckpointPrefix: sc.Prefix,
+					SetCompleteFor:   ReplicatedSetComplete(cfg.Ranks, spec.row.Degree),
+					AppFor:           func(int) App { return RunReplicatedStencil(sc) },
 				}
 				res, err := camp.RunContext(ctx)
 				return expCell{camp: res}, err
@@ -812,6 +820,356 @@ func RunReplicationCrossoverContext(ctx context.Context, cfg ReplicationCrossove
 		table.Rows = append(table.Rows, row)
 	}
 	return table, nil
+}
+
+// --- Checkpoint-I/O ablation: Table II with the I/O cost on --------------
+
+// Checkpoint-I/O ablation arm names.
+const (
+	// IOArmFree is the paper's Table II configuration: checkpoint I/O
+	// charges nothing (the zero-cost assumption under test).
+	IOArmFree = "free"
+	// IOArmFlatPFS charges every checkpoint against a single shared
+	// parallel file system whose aggregate backplane saturates, so the
+	// per-client bandwidth degrades as 1/clients at scale.
+	IOArmFlatPFS = "flat-pfs"
+	// IOArmTiered stages checkpoints through the multi-tier hierarchy
+	// (node-local memory → burst buffer → PFS): the commit costs only
+	// the fast local tier, drains to the deeper tiers overlap compute.
+	IOArmTiered = "tiered"
+	// IOArmTieredIncr adds incremental (delta) checkpoints on top of the
+	// tiered hierarchy.
+	IOArmTieredIncr = "tiered-incr"
+)
+
+// ioAblationArms lists the sweep's arms in report order.
+var ioAblationArms = []string{IOArmFree, IOArmFlatPFS, IOArmTiered, IOArmTieredIncr}
+
+// CheckpointIOAblationConfig parameterises the checkpoint-I/O ablation:
+// the Table II sweep rerun with the file-system cost enabled, once per
+// storage arm, to show where the paper's zero-cost checkpoint assumption
+// breaks at scale and how much of the flat-PFS overhead hierarchical
+// (and incremental) checkpointing recovers.
+type CheckpointIOAblationConfig struct {
+	// RunSpec carries the shared simulation parameters (Ranks defaults
+	// to the paper's 32,768) and the campaign-pool controls.
+	RunSpec
+	// Iterations is the total iteration count (paper: 1,000).
+	Iterations int
+	// Intervals are the checkpoint intervals to sweep (paper: 500, 250,
+	// 125). The no-failure baseline with a single final checkpoint is
+	// always included.
+	Intervals []int
+	// MTTFs are the system MTTF values to sweep (default 6,000 s only —
+	// one Table II block per arm keeps the 4-arm grid tractable).
+	MTTFs []Duration
+	// CheckpointPayload is the modelled per-rank checkpoint size
+	// (default 256 MiB). The paper's 16³-points cube is ~32 KB per rank,
+	// invisible at any bandwidth; production-scale state is what makes
+	// the I/O cost observable.
+	CheckpointPayload int
+	// DeltaFraction and FullEvery parameterise the incremental arm
+	// (defaults 0.25 and 4: deltas are a quarter of the payload, every
+	// fourth checkpoint is full).
+	DeltaFraction float64
+	FullEvery     int
+	// Flat is the flat-PFS arm's cost model (default PaperPFSShared()).
+	Flat fsmodel.Model
+	// Tiers is the tiered arms' storage hierarchy (default
+	// PaperTieredFS()).
+	Tiers fsmodel.Hierarchy
+	// MaxRuns caps failure/restart cycles per campaign cell.
+	MaxRuns int
+}
+
+// defaults fills the zero fields.
+func (cfg *CheckpointIOAblationConfig) defaults() {
+	cfg.RunSpec.defaults(32768)
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 1000
+	}
+	if len(cfg.Intervals) == 0 {
+		cfg.Intervals = []int{cfg.Iterations / 2, cfg.Iterations / 4, cfg.Iterations / 8}
+	}
+	if len(cfg.MTTFs) == 0 {
+		cfg.MTTFs = []Duration{6000 * Second}
+	}
+	if cfg.CheckpointPayload == 0 {
+		cfg.CheckpointPayload = 256 << 20
+	}
+	if cfg.DeltaFraction == 0 {
+		cfg.DeltaFraction = 0.25
+	}
+	if cfg.FullEvery == 0 {
+		cfg.FullEvery = 4
+	}
+	if cfg.Flat == (fsmodel.Model{}) {
+		cfg.Flat = fsmodel.PaperPFSShared()
+	}
+	if cfg.Tiers == nil {
+		cfg.Tiers = fsmodel.PaperTieredFS()
+	}
+}
+
+// CheckpointIOAblationRow is one cell of the ablation: Table II's columns
+// plus the storage arm.
+type CheckpointIOAblationRow struct {
+	// Arm is the storage configuration (IOArmFree … IOArmTieredIncr).
+	Arm string
+	// MTTFs is the system MTTF (0 for the no-failure E1 rows).
+	MTTFs Duration
+	// C is the checkpoint interval in iterations.
+	C int
+	// E1 is the simulated execution time without failures.
+	E1 Time
+	// E2 is the simulated execution time with failures and restarts.
+	E2 Time
+	// F is the number of injected failures experienced.
+	F int
+	// MTTFa is the experienced application mean-time-to-failure.
+	MTTFa Duration
+	// Runs is the number of application runs (1 + restarts).
+	Runs int
+}
+
+// CheckpointIOAblation is the ablation result.
+type CheckpointIOAblation struct {
+	Config CheckpointIOAblationConfig
+	// Rows holds one entry per (arm, MTTF, interval) cell plus one
+	// baseline E1 row per arm, in sweep order.
+	Rows []CheckpointIOAblationRow
+	// Stats pools the grid's execution accounting and simulation metrics.
+	Stats CampaignStats
+}
+
+// Row returns the cell for (arm, mttf, c), or nil. The per-arm baseline
+// and E1 rows have mttf 0.
+func (t *CheckpointIOAblation) Row(arm string, mttf Duration, c int) *CheckpointIOAblationRow {
+	for i := range t.Rows {
+		r := &t.Rows[i]
+		if r.Arm == arm && r.MTTFs == mttf && r.C == c {
+			return r
+		}
+	}
+	return nil
+}
+
+// RecoveredE1 reports the fraction of the flat-PFS failure-free overhead
+// the given arm recovers at checkpoint interval c:
+// (E1_flat − E1_arm) / (E1_flat − E1_free). 1 means checkpoint I/O became
+// free again; 0 means the arm is as slow as the flat PFS.
+func (t *CheckpointIOAblation) RecoveredE1(arm string, c int) float64 {
+	free, flat, a := t.Row(IOArmFree, 0, c), t.Row(IOArmFlatPFS, 0, c), t.Row(arm, 0, c)
+	if free == nil || flat == nil || a == nil || flat.E1 <= free.E1 {
+		return 0
+	}
+	return float64(flat.E1-a.E1) / float64(flat.E1-free.E1)
+}
+
+// Recovered reports the fraction of the flat-PFS end-to-end overhead
+// (failures and restarts included) the given arm recovers in the
+// (mttf, c) campaign cell: (E2_flat − E2_arm) / (E2_flat − E2_free).
+func (t *CheckpointIOAblation) Recovered(arm string, mttf Duration, c int) float64 {
+	free, flat, a := t.Row(IOArmFree, mttf, c), t.Row(IOArmFlatPFS, mttf, c), t.Row(arm, mttf, c)
+	if free == nil || flat == nil || a == nil || flat.E2 <= free.E2 {
+		return 0
+	}
+	return float64(flat.E2-a.E2) / float64(flat.E2-free.E2)
+}
+
+// RunCheckpointIOAblation runs the ablation; it is
+// RunCheckpointIOAblationContext without cancellation.
+func RunCheckpointIOAblation(cfg CheckpointIOAblationConfig) (*CheckpointIOAblation, error) {
+	return RunCheckpointIOAblationContext(context.Background(), cfg)
+}
+
+// RunCheckpointIOAblationContext reruns the Table II sweep with checkpoint
+// I/O cost enabled, once per storage arm: free (the paper's zero-cost
+// assumption), a flat shared PFS, the multi-tier hierarchy with staged
+// writes, and the hierarchy plus incremental checkpoints. Every arm sweeps
+// the same intervals and MTTFs, and a campaign cell's failure draws depend
+// only on Seed and its MTTF — not the arm — so all arms face identical
+// failure sequences and their E2 columns are directly comparable. Cells
+// fan out across the campaign pool; rows are assembled from the fixed
+// sweep order, so the table is identical at any pool size.
+func RunCheckpointIOAblationContext(ctx context.Context, cfg CheckpointIOAblationConfig) (*CheckpointIOAblation, error) {
+	cfg.defaults()
+	base, err := HeatWorkloadFor(cfg.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	base.Iterations = cfg.Iterations
+	base.CheckpointPayload = cfg.CheckpointPayload
+	base.FullEvery = cfg.FullEvery
+
+	type armSpec struct {
+		name  string
+		model fsmodel.Model
+		hier  fsmodel.Hierarchy
+		delta float64
+	}
+	arms := []armSpec{
+		{IOArmFree, fsmodel.Model{}, nil, 0},
+		{IOArmFlatPFS, cfg.Flat, nil, 0},
+		{IOArmTiered, fsmodel.Model{}, cfg.Tiers, 0},
+		{IOArmTieredIncr, fsmodel.Model{}, cfg.Tiers, cfg.DeltaFraction},
+	}
+	simFor := func(a armSpec) Config {
+		c := cfg.baseConfig()
+		c.FSModel = a.model
+		c.FSHierarchy = a.hier
+		return c
+	}
+	heatAt := func(a armSpec, interval int) HeatConfig {
+		hc := base
+		hc.ExchangeInterval = interval
+		hc.CheckpointInterval = interval
+		hc.DeltaFraction = a.delta
+		return hc
+	}
+
+	// Task order: per arm a baseline E1 and the per-interval E1s, then the
+	// campaign grid in (arm, MTTF, interval) row order. Rows are assembled
+	// from this fixed order, never from completion order.
+	var tasks []runner.Task[expCell]
+	e1Task := func(a armSpec, interval int) {
+		simCfg := simFor(a)
+		hc := heatAt(a, interval)
+		tasks = append(tasks, runner.Task[expCell]{
+			Spec: runner.Spec{Index: len(tasks), Label: fmt.Sprintf("%s E1 c=%d", a.name, interval)},
+			Run: func(ctx context.Context) (expCell, error) {
+				res, err := runHeatE1(ctx, simCfg, hc)
+				return expCell{res: res}, err
+			},
+		})
+	}
+	for _, a := range arms {
+		e1Task(a, cfg.Iterations)
+		for _, c := range cfg.Intervals {
+			e1Task(a, c)
+		}
+	}
+	campStart := len(tasks)
+	for _, a := range arms {
+		for _, mttf := range cfg.MTTFs {
+			for _, c := range cfg.Intervals {
+				a, mttf := a, mttf
+				simCfg := simFor(a)
+				hc := heatAt(a, c)
+				// The seed mixes in the MTTF but not the arm: every arm
+				// faces the same failure sequences.
+				seed := cfg.Seed + int64(mttf)
+				tasks = append(tasks, runner.Task[expCell]{
+					Spec: runner.Spec{
+						Index: len(tasks),
+						Label: fmt.Sprintf("%s mttf=%.0fs c=%d", a.name, mttf.Seconds(), c),
+						Seed:  seed,
+					},
+					Run: func(ctx context.Context) (expCell, error) {
+						camp := Campaign{
+							Base:             simCfg,
+							MTTF:             mttf,
+							Seed:             seed,
+							MaxRuns:          cfg.MaxRuns,
+							CheckpointPrefix: "heat",
+							AppFor:           func(int) App { return RunHeat(hc) },
+						}
+						res, err := camp.RunContext(ctx)
+						return expCell{camp: res}, err
+					},
+				})
+			}
+		}
+	}
+
+	cells, rstats, err := runner.Run(ctx, cfg.runnerConfig(), tasks)
+	table := &CheckpointIOAblation{Config: cfg, Stats: CampaignStats{Runner: rstats}}
+	for _, c := range cells {
+		table.Stats.absorb(c.res)
+		table.Stats.absorbCampaign(c.camp)
+	}
+	if err != nil {
+		return table, err
+	}
+
+	i := 0
+	for _, a := range arms {
+		table.Rows = append(table.Rows, CheckpointIOAblationRow{
+			Arm: a.name, C: cfg.Iterations, E1: cells[i].res.SimTime, Runs: 1,
+		})
+		i++
+		for _, c := range cfg.Intervals {
+			table.Rows = append(table.Rows, CheckpointIOAblationRow{
+				Arm: a.name, C: c, E1: cells[i].res.SimTime, Runs: 1,
+			})
+			i++
+		}
+	}
+	i = campStart
+	for _, a := range arms {
+		for _, mttf := range cfg.MTTFs {
+			for _, c := range cfg.Intervals {
+				camp := cells[i].camp
+				i++
+				e1 := Time(0)
+				if r := t0Row(table, a.name, c); r != nil {
+					e1 = r.E1
+				}
+				table.Rows = append(table.Rows, CheckpointIOAblationRow{
+					Arm:   a.name,
+					MTTFs: mttf,
+					C:     c,
+					E1:    e1,
+					E2:    camp.E2,
+					F:     camp.Failures,
+					MTTFa: camp.MTTFa(),
+					Runs:  len(camp.Runs),
+				})
+			}
+		}
+	}
+	return table, nil
+}
+
+// t0Row returns the arm's no-failure E1 row at interval c.
+func t0Row(t *CheckpointIOAblation, arm string, c int) *CheckpointIOAblationRow {
+	return t.Row(arm, 0, c)
+}
+
+// Render prints the ablation, one Table II-shaped block per arm, followed
+// by the recovered-overhead summary the tiered arms exist to demonstrate.
+func (t *CheckpointIOAblation) Render() string {
+	header := []string{"arm", "MTTF_s", "C", "E1", "E2", "F", "MTTF_a"}
+	var rows [][]string
+	secs := func(v vclock.Time) string {
+		if v == 0 {
+			return "—"
+		}
+		return fmt.Sprintf("%.0f s", v.Seconds())
+	}
+	for _, r := range t.Rows {
+		mttf, e2, f, mttfa := "—", "—", "0", "—"
+		if r.MTTFs > 0 {
+			mttf = fmt.Sprintf("%.0f s", r.MTTFs.Seconds())
+			e2 = secs(r.E2)
+			f = fmt.Sprintf("%d", r.F)
+			mttfa = fmt.Sprintf("%.0f s", r.MTTFa.Seconds())
+		}
+		rows = append(rows, []string{r.Arm, mttf, fmt.Sprintf("%d", r.C), secs(r.E1), e2, f, mttfa})
+	}
+	var b strings.Builder
+	b.WriteString(stats.Table(header, rows))
+	b.WriteString("\nrecovered fraction of flat-PFS overhead (1 = I/O free again):\n")
+	for _, arm := range []string{IOArmTiered, IOArmTieredIncr} {
+		for _, c := range t.Config.Intervals {
+			fmt.Fprintf(&b, "  %-12s c=%-4d E1: %4.0f %%", arm, c, 100*t.RecoveredE1(arm, c))
+			for _, mttf := range t.Config.MTTFs {
+				fmt.Fprintf(&b, "   E2@%.0fs: %4.0f %%", mttf.Seconds(), 100*t.Recovered(arm, mttf, c))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
 }
 
 // Render prints the crossover table, one block per MTTF, marking each

@@ -85,9 +85,11 @@ func setPrefix(prefix string, iteration int) string {
 // the file-system cost model, and a process failure mid-write leaves a
 // corrupted (incomplete) file behind.
 type FS struct {
-	env   *mpi.Env
-	store *fsmodel.Store
-	model fsmodel.Model
+	env     *mpi.Env
+	store   *fsmodel.Store
+	model   fsmodel.Model
+	hier    fsmodel.Hierarchy
+	clients int
 }
 
 // NewFS returns the process's file-system handle; the world must have been
@@ -97,11 +99,22 @@ func NewFS(env *mpi.Env) (*FS, error) {
 	if store == nil {
 		return nil, errors.New("checkpoint: world has no file-system store")
 	}
-	return &FS{env: env, store: store, model: env.FSModel()}, nil
+	return &FS{
+		env:     env,
+		store:   store,
+		model:   env.FSModel(),
+		hier:    env.FSHierarchy(),
+		clients: env.Size(),
+	}, nil
 }
 
 // Store returns the underlying simulated file system.
 func (fs *FS) Store() *fsmodel.Store { return fs.store }
+
+// Tiered reports whether the world was configured with a multi-tier
+// storage hierarchy (staged writes and tier-aware reads) rather than the
+// flat single-tier cost model.
+func (fs *FS) Tiered() bool { return len(fs.hier) > 0 }
 
 // Write writes one rank's checkpoint: header, then payload, committed at
 // the end. The virtual write time is charged *between* creating the file
@@ -149,8 +162,21 @@ func (fs *FS) WriteIncrementalSized(prefix string, meta Meta, baseIteration, del
 
 func (fs *FS) write(prefix string, meta Meta, payload []byte) error {
 	name := FileName(prefix, meta.Iteration, meta.Rank)
-	fs.env.Elapse(fs.model.MetadataCost())
-	w := fs.store.Create(name)
+	size := headerLen + meta.PayloadSize
+	var w *fsmodel.Writer
+	tier := fs.model
+	if fs.Tiered() {
+		// Staged write: the checkpoint commits to the fastest tier with
+		// room (usually node-local memory) at that tier's cost; drains to
+		// the deeper tiers are scheduled after Commit.
+		t := fs.store.PlaceTier(fs.hier, meta.Rank, size)
+		tier = fs.hier[t].Model
+		fs.env.Elapse(tier.MetadataCost())
+		w = fs.store.CreateAt(name, t, meta.Rank, size)
+	} else {
+		fs.env.Elapse(tier.MetadataCost())
+		w = fs.store.Create(name)
+	}
 	var flags uint32
 	if meta.Synthetic {
 		flags |= flagSynthetic
@@ -171,12 +197,36 @@ func (fs *FS) write(prefix string, meta Meta, payload []byte) error {
 	}
 	// The write cost elapses while the file is incomplete: a failure
 	// activating here corrupts the checkpoint.
-	fs.env.Elapse(fs.model.WriteCost(headerLen + meta.PayloadSize))
+	fs.env.Elapse(tier.WriteCostAmong(size, fs.clients))
 	if _, err := w.Write(payload); err != nil {
 		return err
 	}
-	fs.env.Elapse(fs.model.MetadataCost())
-	return w.Commit()
+	fs.env.Elapse(tier.MetadataCost())
+	if err := w.Commit(); err != nil {
+		return err
+	}
+	if fs.Tiered() {
+		fs.scheduleDrains(name, size)
+	}
+	return nil
+}
+
+// scheduleDrains records the asynchronous staging of a committed file down
+// the hierarchy: each deeper tier's copy completes one write (at that
+// tier's shared cost) after the previous one, overlapping the
+// application's subsequent compute. A failure of the owner before a drain
+// completes loses that drain (the source copy died with the node) — the
+// buddy-copy failure mode resolved by Store.ResolveFailure.
+func (fs *FS) scheduleDrains(name string, size int) {
+	origin := fs.store.TierOf(name)
+	if origin < 0 {
+		return
+	}
+	at := fs.env.Now()
+	for q := origin + 1; q < len(fs.hier); q++ {
+		at = at.Add(fs.hier[q].MetadataCost() + fs.hier[q].WriteCostAmong(size, fs.clients))
+		fs.store.AddDrain(name, q, at)
+	}
 }
 
 // Read loads and validates one rank's checkpoint. It returns ErrCorrupted
@@ -184,16 +234,29 @@ func (fs *FS) write(prefix string, meta Meta, payload []byte) error {
 // fsmodel.ErrNotExist (wrapped) for missing files.
 func (fs *FS) Read(prefix string, iteration, rank int) (Meta, []byte, error) {
 	name := FileName(prefix, iteration, rank)
-	fs.env.Elapse(fs.model.MetadataCost())
+	tier := fs.model
+	if fs.Tiered() {
+		// Read from the fastest tier holding a copy; when the only
+		// surviving copy is a drain still in flight, wait for it to land
+		// (interruptible — a failure can strike mid-wait).
+		t, at, ok := fs.store.NearestCopy(name, fs.env.Now())
+		if ok {
+			if now := fs.env.Now(); at > now {
+				fs.env.Sleep(at.Sub(now))
+			}
+			tier = fs.hier[t].Model
+		}
+	}
+	fs.env.Elapse(tier.MetadataCost())
 	data, complete, err := fs.store.Open(name)
 	if err != nil {
 		return Meta{}, nil, err
 	}
 	meta, payload, err := decode(data, complete)
 	if err == nil {
-		fs.env.Elapse(fs.model.ReadCost(headerLen + meta.PayloadSize))
+		fs.env.Elapse(tier.ReadCostAmong(headerLen+meta.PayloadSize, fs.clients))
 	} else {
-		fs.env.Elapse(fs.model.ReadCost(len(data)))
+		fs.env.Elapse(tier.ReadCostAmong(len(data), fs.clients))
 	}
 	if err != nil {
 		return Meta{}, nil, fmt.Errorf("%w: %s", err, name)
@@ -204,10 +267,38 @@ func (fs *FS) Read(prefix string, iteration, rank int) (Meta, []byte, error) {
 	return meta, payload, nil
 }
 
+// ChargeRestore charges the virtual time of restoring iteration's
+// checkpoint for rank without materialising payloads: the whole chain of
+// delta checkpoints back to a full one is read, each file from the fastest
+// tier holding a copy. Modelled-mode restarts use it the way WriteSized
+// models payload-free checkpoint writes.
+func (fs *FS) ChargeRestore(prefix string, rank, iteration int) error {
+	for hops := 0; hops < 1000; hops++ { // bound against base-pointer cycles
+		meta, _, err := fs.Read(prefix, iteration, rank)
+		if err != nil {
+			return err
+		}
+		if !meta.Incremental {
+			return nil
+		}
+		iteration = meta.BaseIteration
+	}
+	return fmt.Errorf("%w: restore chain from iteration %d too long", ErrCorrupted, iteration)
+}
+
 // Delete removes one rank's checkpoint file (idempotent).
 func (fs *FS) Delete(prefix string, iteration, rank int) {
-	fs.env.Elapse(fs.model.MetadataCost())
-	fs.store.Delete(FileName(prefix, iteration, rank))
+	name := FileName(prefix, iteration, rank)
+	tier := fs.model
+	if fs.Tiered() {
+		t := fs.store.TierOf(name)
+		if t < 0 {
+			t = 0
+		}
+		tier = fs.hier[t].Model
+	}
+	fs.env.Elapse(tier.MetadataCost())
+	fs.store.Delete(name)
 }
 
 // decode parses and validates a checkpoint file.
@@ -239,6 +330,13 @@ func decode(data []byte, complete bool) (Meta, []byte, error) {
 	// ReadCost() as a negative size and charge a negative read time.
 	if meta.Iteration < 0 || meta.Rank < 0 || meta.PayloadSize < 0 || meta.BaseIteration < 0 {
 		return Meta{}, nil, fmt.Errorf("%w (negative header field)", ErrCorrupted)
+	}
+	// A delta must build on an earlier iteration; a self- or
+	// forward-referential base pointer can never restore (ChainValid would
+	// reject it, but Read must not accept the file in the first place).
+	if meta.Incremental && meta.BaseIteration >= meta.Iteration {
+		return Meta{}, nil, fmt.Errorf("%w (base iteration %d not before iteration %d)",
+			ErrCorrupted, meta.BaseIteration, meta.Iteration)
 	}
 	payload := data[headerLen:]
 	if meta.Synthetic {
@@ -323,6 +421,36 @@ func ChainValid(store *fsmodel.Store, prefix string, rank, iteration int) bool {
 	return false
 }
 
+// Chain returns the iterations of the checkpoint chain ending at
+// iteration, base first: the full checkpoint followed by every delta up to
+// and including iteration. For a full checkpoint the chain is just
+// {iteration}. It returns nil if any link is missing, corrupt, or cyclic,
+// and inspects the store directly without charging virtual time (a
+// bookkeeping scan, like ChainValid).
+func Chain(store *fsmodel.Store, prefix string, rank, iteration int) []int {
+	var rev []int
+	for hops := 0; hops < 1000; hops++ { // bound against base-pointer cycles
+		data, complete, err := store.Open(FileName(prefix, iteration, rank))
+		if err != nil {
+			return nil
+		}
+		meta, _, err := decode(data, complete)
+		if err != nil {
+			return nil
+		}
+		rev = append(rev, iteration)
+		if !meta.Incremental {
+			out := make([]int, len(rev))
+			for i, it := range rev {
+				out[len(rev)-1-i] = it
+			}
+			return out
+		}
+		iteration = meta.BaseIteration
+	}
+	return nil
+}
+
 // Iterations lists the iterations that have at least one checkpoint file
 // under prefix, ascending. It inspects the store directly without charging
 // virtual time (a bookkeeping scan).
@@ -369,9 +497,21 @@ func SetComplete(store *fsmodel.Store, prefix string, iteration, n int) bool {
 // the store directly, outside simulated time. It returns the iterations
 // removed.
 func CleanIncompleteSets(store *fsmodel.Store, prefix string, n int) []int {
+	return CleanIncompleteSetsBy(store, prefix, func(it int) bool {
+		return SetComplete(store, prefix, it, n)
+	})
+}
+
+// CleanIncompleteSetsBy is CleanIncompleteSets with a pluggable
+// completeness criterion: every checkpoint set whose iteration fails the
+// test is deleted. Replicated runs need it — their restart can resume from
+// a set in which a dead replica's file is missing as long as every logical
+// rank is covered by some surviving replica, so the every-rank criterion
+// would destroy exactly the sets worth keeping.
+func CleanIncompleteSetsBy(store *fsmodel.Store, prefix string, complete func(iteration int) bool) []int {
 	var removed []int
 	for _, it := range Iterations(store, prefix) {
-		if SetComplete(store, prefix, it, n) {
+		if complete(it) {
 			continue
 		}
 		for _, name := range store.List(setPrefix(prefix, it)) {

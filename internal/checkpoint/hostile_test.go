@@ -25,6 +25,35 @@ func TestDecodeRejectsNegativeHeaderFields(t *testing.T) {
 	}
 }
 
+// Regression: decode accepted an incremental checkpoint whose base
+// iteration was at or above its own iteration — a self- or
+// forward-referential chain link that can never restore. Only ChainValid
+// rejected it, so FS.Read would happily return a checkpoint that the
+// restart machinery could not use.
+func TestDecodeRejectsForwardBase(t *testing.T) {
+	hostile := map[string][]byte{
+		"base-equals-iteration": header(flagSynthetic|flagIncremental, 50, 0, 0, 50),
+		"base-above-iteration":  header(flagSynthetic|flagIncremental, 50, 0, 0, 51),
+	}
+	for name, data := range hostile {
+		if _, _, err := decode(data, true); !errors.Is(err, ErrCorrupted) {
+			t.Errorf("%s: decode = %v, want ErrCorrupted", name, err)
+		}
+	}
+	// A well-formed delta (base strictly below) still decodes.
+	meta, _, err := decode(header(flagSynthetic|flagIncremental, 50, 0, 0, 49), true)
+	if err != nil {
+		t.Fatalf("valid delta rejected: %v", err)
+	}
+	if !meta.Incremental || meta.BaseIteration != 49 {
+		t.Fatalf("valid delta decoded as %+v", meta)
+	}
+	// A non-incremental header ignores the base field entirely.
+	if _, _, err := decode(header(flagSynthetic, 50, 0, 0, 0), true); err != nil {
+		t.Fatalf("full checkpoint rejected: %v", err)
+	}
+}
+
 // Regression: an exit-time file with the top bit set decoded to a
 // negative start clock, which the engine rejects at the next restart;
 // LoadExitTime must treat it as corrupt instead.

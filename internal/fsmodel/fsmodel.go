@@ -35,6 +35,14 @@ type Model struct {
 	// bytes per second; zero means infinitely fast.
 	WriteBandwidth float64
 	ReadBandwidth  float64
+	// AggregateWriteBandwidth and AggregateReadBandwidth cap the file
+	// system's total throughput across all concurrent clients, in bytes
+	// per second; zero means unlimited. When n clients write at once
+	// (the checkpoint phase), each one's effective bandwidth is the
+	// smaller of its per-client bandwidth and the aggregate share — the
+	// contention that breaks the zero-cost assumption at 32k ranks.
+	AggregateWriteBandwidth float64
+	AggregateReadBandwidth  float64
 }
 
 // PaperPFS returns a plausible parallel-file-system cost model used by the
@@ -56,32 +64,183 @@ func (m Model) Validate() error {
 	if m.WriteBandwidth < 0 || m.ReadBandwidth < 0 {
 		return fmt.Errorf("fsmodel: bandwidths must be non-negative")
 	}
+	if m.AggregateWriteBandwidth < 0 || m.AggregateReadBandwidth < 0 {
+		return fmt.Errorf("fsmodel: aggregate bandwidths must be non-negative")
+	}
 	return nil
 }
 
 // MetadataCost returns the virtual time of one metadata operation.
 func (m Model) MetadataCost() vclock.Duration { return m.MetadataLatency }
 
-// WriteCost returns the virtual time of writing n bytes.
-func (m Model) WriteCost(n int) vclock.Duration {
-	if n <= 0 || m.WriteBandwidth == 0 {
-		return 0
-	}
-	return vclock.FromSeconds(float64(n) / m.WriteBandwidth)
+// WriteCost returns the virtual time of one uncontended client writing n
+// bytes.
+func (m Model) WriteCost(n int) vclock.Duration { return m.WriteCostAmong(n, 1) }
+
+// ReadCost returns the virtual time of one uncontended client reading n
+// bytes.
+func (m Model) ReadCost(n int) vclock.Duration { return m.ReadCostAmong(n, 1) }
+
+// WriteCostAmong returns the virtual time of writing n bytes while clients
+// processes write concurrently: the per-client bandwidth capped by an even
+// share of the aggregate.
+func (m Model) WriteCostAmong(n, clients int) vclock.Duration {
+	return cost(n, effectiveBW(m.WriteBandwidth, m.AggregateWriteBandwidth, clients))
 }
 
-// ReadCost returns the virtual time of reading n bytes.
-func (m Model) ReadCost(n int) vclock.Duration {
-	if n <= 0 || m.ReadBandwidth == 0 {
+// ReadCostAmong returns the virtual time of reading n bytes while clients
+// processes read concurrently.
+func (m Model) ReadCostAmong(n, clients int) vclock.Duration {
+	return cost(n, effectiveBW(m.ReadBandwidth, m.AggregateReadBandwidth, clients))
+}
+
+// effectiveBW combines a per-client bandwidth with an even share of the
+// aggregate; zero means unlimited on either axis.
+func effectiveBW(perClient, aggregate float64, clients int) float64 {
+	bw := perClient
+	if aggregate > 0 && clients > 1 {
+		share := aggregate / float64(clients)
+		if bw == 0 || share < bw {
+			bw = share
+		}
+	}
+	return bw
+}
+
+// cost converts n bytes at bw bytes/second into virtual time (0 = free).
+func cost(n int, bw float64) vclock.Duration {
+	if n <= 0 || bw == 0 {
 		return 0
 	}
-	return vclock.FromSeconds(float64(n) / m.ReadBandwidth)
+	return vclock.FromSeconds(float64(n) / bw)
+}
+
+// Tier is one level of a hierarchical checkpoint storage system: its own
+// cost model plus the capacity and volatility that distinguish node-local
+// memory from a burst buffer from the parallel file system.
+type Tier struct {
+	// Name labels the tier in reports ("node", "bb", "pfs").
+	Name string
+	// Model is the tier's cost model (metadata latency, per-client and
+	// aggregate bandwidths).
+	Model
+	// Capacity is the per-owner capacity in bytes (0 = unbounded): a
+	// write that would push one rank's resident bytes past it spills to
+	// the next tier down.
+	Capacity int
+	// Volatile marks storage that dies with the owning process —
+	// node-local memory. A failed rank's volatile copies (and their
+	// in-flight drains) are lost; copies already drained to deeper
+	// non-volatile tiers survive.
+	Volatile bool
+}
+
+// Hierarchy is an ordered multi-tier storage system, fastest (and most
+// volatile) tier first, most durable tier last. An empty hierarchy means
+// flat single-tier storage under the plain Model.
+type Hierarchy []Tier
+
+// Validate reports a configuration error, if any.
+func (h Hierarchy) Validate() error {
+	if len(h) == 0 {
+		return nil
+	}
+	for i, t := range h {
+		if err := t.Model.Validate(); err != nil {
+			return fmt.Errorf("fsmodel: tier %d (%s): %w", i, t.Name, err)
+		}
+		if t.Capacity < 0 {
+			return fmt.Errorf("fsmodel: tier %d (%s): Capacity must be non-negative", i, t.Name)
+		}
+	}
+	if h[len(h)-1].Volatile {
+		return fmt.Errorf("fsmodel: the last (most durable) tier must not be volatile")
+	}
+	return nil
+}
+
+// PaperTieredFS returns the three-tier hierarchy used by the
+// checkpoint-I/O ablation, following the node-local → burst-buffer → PFS
+// structure of scalable multi-level checkpointing systems: a volatile
+// node-local tier (fast, dies with the process), a burst-buffer tier, and
+// the parallel file system with a shared aggregate bandwidth that 32k
+// concurrent writers must split.
+func PaperTieredFS() Hierarchy {
+	return Hierarchy{
+		{
+			Name: "node",
+			Model: Model{
+				MetadataLatency: 10 * vclock.Microsecond,
+				WriteBandwidth:  5e9,
+				ReadBandwidth:   5e9,
+			},
+			Capacity: 4 << 30, // 4 GiB of node memory set aside for checkpoints
+			Volatile: true,
+		},
+		{
+			Name: "bb",
+			Model: Model{
+				MetadataLatency:         100 * vclock.Microsecond,
+				WriteBandwidth:          1e9,
+				ReadBandwidth:           2e9,
+				AggregateWriteBandwidth: 1e12,
+				AggregateReadBandwidth:  2e12,
+			},
+		},
+		{
+			Name: "pfs",
+			Model: Model{
+				MetadataLatency:         vclock.Millisecond,
+				WriteBandwidth:          1e9,
+				ReadBandwidth:           2e9,
+				AggregateWriteBandwidth: 256e9,
+				AggregateReadBandwidth:  512e9,
+			},
+		},
+	}
+}
+
+// PaperPFSShared returns the flat parallel-file-system model of the
+// ablation's flat arm: PaperPFS per-client parameters plus the same
+// aggregate bandwidth cap as PaperTieredFS's PFS tier, so the two arms
+// differ only in the hierarchy, not in the disk system behind it.
+func PaperPFSShared() Model {
+	m := PaperPFS()
+	m.AggregateWriteBandwidth = 256e9
+	m.AggregateReadBandwidth = 512e9
+	return m
+}
+
+// drain records one asynchronous copy of a file to a deeper tier: the
+// copy exists at tier from virtual time at on. Drain completion is a lazy
+// timed event — recorded when the write commits, consulted whenever a
+// reader asks which tiers hold the file.
+type drain struct {
+	tier int
+	at   vclock.Time
 }
 
 // file is the stored state of one simulated file.
 type file struct {
 	data     []byte
 	complete bool
+	// tier is the origin tier the file was written to (0 in flat
+	// stores); owner is the writing rank (-1 = unowned) and size the
+	// declared virtual size, both used by capacity accounting and
+	// failure resolution.
+	tier  int
+	owner int
+	size  int
+	// lost marks an origin copy destroyed by its owner's failure
+	// (volatile tier); the file then survives only through completed
+	// drains.
+	lost   bool
+	drains []drain
+}
+
+// usageKey addresses one rank's resident bytes on one tier.
+type usageKey struct {
+	tier, owner int
 }
 
 // Store holds the persistent contents of the simulated file system. It is
@@ -89,6 +248,9 @@ type file struct {
 type Store struct {
 	mu    sync.Mutex
 	files map[string]*file
+	// usage tracks declared bytes per (tier, owner) for the hierarchy's
+	// capacity/spill decisions; nil until the first tiered create.
+	usage map[usageKey]int
 }
 
 // NewStore returns an empty simulated file system.
@@ -111,22 +273,77 @@ type Writer struct {
 // before Create leaves the file missing — the two checkpoint failure modes
 // the paper's application distinguishes.
 func (s *Store) Create(name string) *Writer {
+	return s.CreateAt(name, 0, -1, 0)
+}
+
+// CreateAt is Create with tier placement: the file originates at the
+// given tier, owned by the writing rank, with size declared virtual bytes
+// charged against the owner's capacity on that tier (synthetic checkpoint
+// files declare their modelled size without materialising it).
+func (s *Store) CreateAt(name string, tier, owner, size int) *Writer {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.files[name] = &file{complete: false}
+	if old, ok := s.files[name]; ok {
+		s.uncharge(old)
+	}
+	f := &file{tier: tier, owner: owner, size: size}
+	s.files[name] = f
+	s.charge(f)
 	return &Writer{store: s, name: name}
 }
 
+// charge and uncharge maintain the per-(tier, owner) capacity accounting;
+// both are called with the store lock held.
+func (s *Store) charge(f *file) {
+	if f.size == 0 {
+		return
+	}
+	if s.usage == nil {
+		s.usage = make(map[usageKey]int)
+	}
+	s.usage[usageKey{f.tier, f.owner}] += f.size
+}
+
+func (s *Store) uncharge(f *file) {
+	if f.size == 0 || s.usage == nil {
+		return
+	}
+	s.usage[usageKey{f.tier, f.owner}] -= f.size
+}
+
+// Usage returns owner's declared resident bytes on tier.
+func (s *Store) Usage(tier, owner int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usage[usageKey{tier, owner}]
+}
+
+// PlaceTier picks the tier a new size-byte file of owner should originate
+// at: the first tier of h with room under its per-owner capacity, falling
+// through to the last (durable, unbounded-by-convention) tier.
+func (s *Store) PlaceTier(h Hierarchy, owner, size int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for t := 0; t < len(h)-1; t++ {
+		if h[t].Capacity == 0 || s.usage[usageKey{t, owner}]+size <= h[t].Capacity {
+			return t
+		}
+	}
+	return len(h) - 1
+}
+
 // Write appends p to the file. It never fails; the simulated PFS has
-// unbounded capacity.
+// unbounded capacity. Appends are amortized O(1): the store shares the
+// writer's buffer (readers copy out under the same lock, and appends only
+// ever touch bytes past every previously published length).
 func (w *Writer) Write(p []byte) (int, error) {
 	if w.done {
 		return 0, fmt.Errorf("fsmodel: write to committed file %q", w.name)
 	}
-	w.buf = append(w.buf, p...)
 	w.store.mu.Lock()
+	w.buf = append(w.buf, p...)
 	if f, ok := w.store.files[w.name]; ok {
-		f.data = append([]byte(nil), w.buf...)
+		f.data = w.buf
 	}
 	w.store.mu.Unlock()
 	return len(p), nil
@@ -196,12 +413,110 @@ func (s *Store) Size(name string) int {
 	return len(f.data)
 }
 
-// Delete removes name. Deleting a missing file is a no-op, mirroring the
-// idempotent cleanup scripts the paper's application uses.
+// Delete removes name (every tier's copy). Deleting a missing file is a
+// no-op, mirroring the idempotent cleanup scripts the paper's application
+// uses.
 func (s *Store) Delete(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.files, name)
+	if f, ok := s.files[name]; ok {
+		s.uncharge(f)
+		delete(s.files, name)
+	}
+}
+
+// AddDrain records an asynchronous staging copy: name is (or will be)
+// present at tier from virtual time at on. The caller computes at from the
+// deeper tier's write cost; nothing happens at that time — readers simply
+// start seeing the copy once their clocks pass it (a lazy timed event).
+func (s *Store) AddDrain(name string, tier int, at vclock.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[name]; ok {
+		f.drains = append(f.drains, drain{tier: tier, at: at})
+	}
+}
+
+// TierOf returns name's origin tier, or -1 if the file is missing or its
+// origin copy was lost with its owner.
+func (s *Store) TierOf(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[name]
+	if !ok || f.lost {
+		return -1
+	}
+	return f.tier
+}
+
+// NearestCopy returns the fastest (lowest-index) tier holding a copy of
+// name as of virtual time now, and the time that copy became (or becomes)
+// available: when no copy exists yet — the origin was lost and the only
+// surviving drain is still in flight — it returns the earliest future
+// drain with at > now. ok is false when the file is missing or no copy
+// will ever exist.
+func (s *Store) NearestCopy(name string, now vclock.Time) (tier int, at vclock.Time, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, okf := s.files[name]
+	if !okf {
+		return 0, 0, false
+	}
+	if !f.lost {
+		return f.tier, 0, true
+	}
+	best := -1
+	var bestAt vclock.Time
+	var soonest vclock.Time
+	haveFuture := false
+	for _, d := range f.drains {
+		if d.at <= now {
+			if best == -1 || d.tier < best {
+				best, bestAt = d.tier, d.at
+			}
+		} else if !haveFuture || d.at < soonest {
+			soonest, haveFuture = d.at, true
+			tier = d.tier
+		}
+	}
+	if best >= 0 {
+		return best, bestAt, true
+	}
+	if haveFuture {
+		return tier, soonest, true
+	}
+	return 0, 0, false
+}
+
+// ResolveFailure applies the buddy-copy failure mode for one failed rank:
+// every file the rank owns on a volatile tier loses its origin copy, and
+// the drains still in flight at the time of failure (their source died
+// with the node) never complete. Files left with no surviving copy are
+// removed; files that had finished draining survive on the deeper tiers.
+// It is bookkeeping between runs, outside simulated time.
+func (s *Store) ResolveFailure(h Hierarchy, owner int, at vclock.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, f := range s.files {
+		if f.owner != owner || f.lost {
+			continue
+		}
+		if f.tier >= len(h) || !h[f.tier].Volatile {
+			continue
+		}
+		kept := f.drains[:0]
+		for _, d := range f.drains {
+			if d.at <= at {
+				kept = append(kept, d)
+			}
+		}
+		f.drains = kept
+		f.lost = true
+		if len(f.drains) == 0 {
+			s.uncharge(f)
+			delete(s.files, name)
+		}
+	}
 }
 
 // List returns the names of all files with the given prefix, sorted.

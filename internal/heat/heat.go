@@ -67,6 +67,20 @@ type Config struct {
 	// iteration (real compute mode only) — used by correctness tests and
 	// examples to check conservation.
 	OnFinal func(rank int, totalHeat float64)
+	// CheckpointPayload, when positive, overrides the modelled checkpoint
+	// payload size in bytes (modelled compute only). The I/O ablation
+	// uses it to model production-scale state per rank — the 16³-points
+	// cube of the paper's workload is ~32 KB, far too small for
+	// checkpoint I/O to matter at any bandwidth.
+	CheckpointPayload int
+	// DeltaFraction, when positive (modelled compute only), enables
+	// incremental checkpointing: between full checkpoints each cadence
+	// point writes a delta of DeltaFraction × payload bytes, and every
+	// FullEvery-th checkpoint is full, bounding the restore chain.
+	DeltaFraction float64
+	// FullEvery bounds the incremental chain length (default 4); only
+	// meaningful with DeltaFraction > 0.
+	FullEvery int
 	// ProactiveTrigger, when non-zero, makes every rank write one extra
 	// off-interval checkpoint at the first iteration boundary at or past
 	// this virtual time — proactive fault tolerance driven by a failure
@@ -125,6 +139,18 @@ func (c *Config) Validate(worldSize int) error {
 	if c.RealCompute && (c.Alpha <= 0 || c.Alpha > 1.0/6.0) {
 		return fmt.Errorf("heat: Alpha %g outside stable range (0, 1/6]", c.Alpha)
 	}
+	if c.CheckpointPayload < 0 {
+		return fmt.Errorf("heat: CheckpointPayload must be non-negative")
+	}
+	if c.DeltaFraction < 0 || c.DeltaFraction >= 1 {
+		return fmt.Errorf("heat: DeltaFraction %g outside [0, 1)", c.DeltaFraction)
+	}
+	if c.RealCompute && (c.CheckpointPayload > 0 || c.DeltaFraction > 0) {
+		return fmt.Errorf("heat: CheckpointPayload and DeltaFraction are modelled-compute knobs")
+	}
+	if c.FullEvery < 0 {
+		return fmt.Errorf("heat: FullEvery must be non-negative")
+	}
 	return nil
 }
 
@@ -143,6 +169,33 @@ func (c *Config) PointsPerRank() int {
 // data points as float64 plus the application configuration the paper's
 // checkpoint includes.
 func (c *Config) CheckpointBytes() int { return 8*c.PointsPerRank() + 64 }
+
+// payloadBytes returns the modelled checkpoint payload: the override when
+// set, the real grid size otherwise.
+func (c *Config) payloadBytes() int {
+	if !c.RealCompute && c.CheckpointPayload > 0 {
+		return c.CheckpointPayload
+	}
+	return c.CheckpointBytes()
+}
+
+// deltaBytes returns the modelled incremental-checkpoint payload.
+func (c *Config) deltaBytes() int {
+	d := int(c.DeltaFraction * float64(c.payloadBytes()))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// fullEvery returns the configured or default full-checkpoint period of
+// the incremental chain.
+func (c *Config) fullEvery() int {
+	if c.FullEvery > 0 {
+		return c.FullEvery
+	}
+	return 4
+}
 
 // prefix returns the configured or default checkpoint prefix.
 func (c *Config) prefix() string {
@@ -290,8 +343,14 @@ func Run(env *mpi.Env, cfg Config) {
 				panic(fmt.Sprintf("heat: rank %d cannot reload checkpoint %d: %v", rank, it, err))
 			}
 			st.restore(payload)
+		} else if fs.Tiered() || cfg.DeltaFraction > 0 {
+			// Tier-aware restore: read the whole delta chain, each file
+			// from the fastest tier holding a surviving copy.
+			if err := fs.ChargeRestore(cfg.prefix(), rank, it); err != nil {
+				panic(fmt.Sprintf("heat: rank %d cannot reload checkpoint %d: %v", rank, it, err))
+			}
 		} else {
-			env.Elapse(env.FSModel().ReadCost(cfg.CheckpointBytes()))
+			env.Elapse(env.FSModel().ReadCost(cfg.payloadBytes()))
 		}
 		startIter = it
 	}
@@ -299,6 +358,11 @@ func Run(env *mpi.Env, cfg Config) {
 		tr.startIter[rank] = startIter
 	}
 	prevCkpt := startIter // previous checkpoint iteration (0 = none)
+	incr := !cfg.RealCompute && cfg.DeltaFraction > 0
+	var chain []int // current incremental chain, base (full checkpoint) first
+	if incr && startIter > 0 {
+		chain = checkpoint.Chain(env.FSStore(), cfg.prefix(), rank, startIter)
+	}
 
 	// Initialise the ghost layers of the (initial or restored) state so
 	// the first computation phase sees its neighbours' boundaries.
@@ -328,10 +392,14 @@ func Run(env *mpi.Env, cfg Config) {
 		if proactive || iter%cfg.CheckpointInterval == 0 || iter == cfg.Iterations {
 			tr.setPhase(rank, PhaseCheckpoint)
 			meta := checkpoint.Meta{Iteration: iter, Rank: rank}
-			if cfg.RealCompute {
+			full := !incr || len(chain) == 0 || len(chain) >= cfg.fullEvery()
+			switch {
+			case cfg.RealCompute:
 				err = fs.Write(cfg.prefix(), meta, st.encode())
-			} else {
-				err = fs.WriteSized(cfg.prefix(), meta, cfg.CheckpointBytes())
+			case full:
+				err = fs.WriteSized(cfg.prefix(), meta, cfg.payloadBytes())
+			default:
+				err = fs.WriteIncrementalSized(cfg.prefix(), meta, chain[len(chain)-1], cfg.deltaBytes())
 			}
 			if err != nil {
 				panic(fmt.Sprintf("heat: rank %d checkpoint %d: %v", rank, iter, err))
@@ -343,7 +411,21 @@ func Run(env *mpi.Env, cfg Config) {
 				panic(fmt.Sprintf("heat: rank %d barrier after checkpoint %d: %v", rank, iter, err))
 			}
 			tr.setPhase(rank, PhaseDelete)
-			if prevCkpt > 0 && prevCkpt != iter {
+			if incr {
+				// A full checkpoint supersedes the previous chain; a delta
+				// extends the chain and deletes nothing (every link is
+				// still needed for restore).
+				if full {
+					for _, old := range chain {
+						if old != iter {
+							fs.Delete(cfg.prefix(), old, rank)
+						}
+					}
+					chain = append(chain[:0], iter)
+				} else {
+					chain = append(chain, iter)
+				}
+			} else if prevCkpt > 0 && prevCkpt != iter {
 				fs.Delete(cfg.prefix(), prevCkpt, rank)
 			}
 			if tr != nil {

@@ -260,6 +260,105 @@ func TestRestartLoadsCheckpointData(t *testing.T) {
 	}
 }
 
+func TestIncrementalCheckpointChain(t *testing.T) {
+	const n = 8
+	store := fsmodel.NewStore()
+	cfg := smallReal(n)
+	cfg.RealCompute = false
+	cfg.Iterations = 60
+	cfg.CheckpointInterval = 10
+	cfg.CheckpointPayload = 1000
+	cfg.DeltaFraction = 0.25
+	w := testWorld(t, n, 1, store, 0, nil)
+	res, err := w.Run(func(e *mpi.Env) { Run(e, cfg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != n {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	// fullEvery defaults to 4: full at 10, deltas at 20/30/40, full at 50
+	// (superseding the whole 10–40 chain), delta at 60. Only the live
+	// chain survives.
+	iters := checkpoint.Iterations(store, "heat")
+	if len(iters) != 2 || iters[0] != 50 || iters[1] != 60 {
+		t.Fatalf("surviving sets = %v, want [50 60]", iters)
+	}
+	for r := 0; r < n; r++ {
+		chain := checkpoint.Chain(store, "heat", r, 60)
+		if len(chain) != 2 || chain[0] != 50 || chain[1] != 60 {
+			t.Fatalf("rank %d chain = %v, want [50 60]", r, chain)
+		}
+	}
+	if !checkpoint.SetComplete(store, "heat", 60, n) {
+		t.Fatal("final delta set incomplete")
+	}
+
+	// FullEvery 1 degenerates to all-full checkpointing: each write
+	// supersedes the last, so only the final set survives.
+	store2 := fsmodel.NewStore()
+	cfg.FullEvery = 1
+	w2 := testWorld(t, n, 1, store2, 0, nil)
+	if _, err := w2.Run(func(e *mpi.Env) { Run(e, cfg) }); err != nil {
+		t.Fatal(err)
+	}
+	iters = checkpoint.Iterations(store2, "heat")
+	if len(iters) != 1 || iters[0] != 60 {
+		t.Fatalf("FullEvery=1 surviving sets = %v, want [60]", iters)
+	}
+}
+
+func TestIncrementalRestartResumesFromChain(t *testing.T) {
+	const n = 8
+	store := fsmodel.NewStore()
+	cfg := smallReal(n)
+	cfg.RealCompute = false
+	cfg.Iterations = 60
+	cfg.CheckpointInterval = 10
+	cfg.CheckpointPayload = 1000
+	cfg.DeltaFraction = 0.25
+
+	// Fail rank 2 mid-run, after at least one checkpoint lands.
+	// One modelled iteration ≈ 40 µs: 1 ms lands near iteration 25, after
+	// the sets at 10 and 20 completed.
+	w := testWorld(t, n, 1, store, 0, fault.Schedule{{Rank: 2, At: vclock.Time(vclock.Millisecond)}})
+	res, err := w.Run(func(e *mpi.Env) { Run(e, cfg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 {
+		t.Skipf("failure did not activate before completion: %+v", res)
+	}
+	checkpoint.CleanIncompleteSets(store, "heat", n)
+	sets := checkpoint.Iterations(store, "heat")
+	if len(sets) == 0 {
+		t.Skip("no surviving checkpoint set; failure struck too early")
+	}
+
+	tr := NewTracker(n)
+	cfg.Tracker = tr
+	w2 := testWorld(t, n, 1, store, res.MaxClock, nil)
+	res2, err := w2.Run(func(e *mpi.Env) { Run(e, cfg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Completed != n {
+		t.Fatalf("restart completed = %d", res2.Completed)
+	}
+	// Every rank resumed from the newest surviving set, restoring through
+	// its delta chain, then re-ran to completion; the run's final chain
+	// (superseding whatever it restarted from) must be intact.
+	latest := sets[len(sets)-1]
+	for r := 0; r < n; r++ {
+		if tr.StartIterOf(r) != latest {
+			t.Errorf("rank %d restarted from %d, want %d", r, tr.StartIterOf(r), latest)
+		}
+		if chain := checkpoint.Chain(store, "heat", r, cfg.Iterations); chain == nil {
+			t.Errorf("rank %d: broken chain at final iteration %d", r, cfg.Iterations)
+		}
+	}
+}
+
 func TestModeledModeMatchesGeometry(t *testing.T) {
 	const n = 8
 	store := fsmodel.NewStore()

@@ -52,6 +52,11 @@ type WorldConfig struct {
 	// FSModel is the file-system cost model (zero value = free I/O,
 	// matching the paper's Table II configuration).
 	FSModel fsmodel.Model
+	// FSHierarchy, when non-empty, describes a multi-tier checkpoint
+	// storage hierarchy (node-local memory → burst buffer → PFS) used by
+	// the checkpoint layer for staged writes. Empty means flat
+	// single-tier storage under FSModel.
+	FSHierarchy fsmodel.Hierarchy
 	// Tracer, when set, receives one typed event per MPI operation
 	// (sends, receive posts, completions, failures, detections, aborts)
 	// for timeline analysis. It must be safe for concurrent use
@@ -117,6 +122,9 @@ func NewWorld(eng *core.Engine, cfg WorldConfig) (*World, error) {
 		return nil, err
 	}
 	if err := cfg.FSModel.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.FSHierarchy.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.NotifyDelay == 0 {
@@ -400,6 +408,10 @@ func (e *Env) FSStore() *fsmodel.Store { return e.w.cfg.FSStore }
 
 // FSModel returns the file-system cost model.
 func (e *Env) FSModel() fsmodel.Model { return e.w.cfg.FSModel }
+
+// FSHierarchy returns the multi-tier checkpoint storage hierarchy (empty
+// for flat single-tier storage).
+func (e *Env) FSHierarchy() fsmodel.Hierarchy { return e.w.cfg.FSHierarchy }
 
 // Logf writes an informational message through the simulator's logger.
 func (e *Env) Logf(format string, args ...any) { e.ctx.Logf(format, args...) }

@@ -173,20 +173,41 @@ func latestReplicatedCheckpoint(store *Store, prefix string, n, degree int) int 
 		if it <= best {
 			continue
 		}
-		covered := true
-		for l := 0; l < n && covered; l++ {
-			ok := false
-			for k := 0; k < degree && !ok; k++ {
-				name := checkpoint.FileName(prefix, it, l+k*n)
-				ok = store.Exists(name) && store.Complete(name)
-			}
-			covered = ok
-		}
-		if covered {
+		if replicaCovered(store, prefix, it, n, degree) {
 			best = it
 		}
 	}
 	return best
+}
+
+// replicaCovered reports whether iteration's checkpoint set covers every
+// one of the n logical ranks with at least one replica's complete file.
+func replicaCovered(store *Store, prefix string, iteration, n, degree int) bool {
+	for l := 0; l < n; l++ {
+		ok := false
+		for k := 0; k < degree && !ok; k++ {
+			name := checkpoint.FileName(prefix, iteration, l+k*n)
+			ok = store.Exists(name) && store.Complete(name)
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ReplicatedSetComplete builds the Campaign.SetCompleteFor criterion for a
+// replicated run over ranks world ranks at the given replication degree: a
+// checkpoint set is kept as long as every logical rank is covered by some
+// surviving replica's complete file. The default every-world-rank
+// criterion would delete exactly the sets a replicated restart resumes
+// from (a set in which one replica died mid-campaign is incomplete by
+// world-rank count but perfectly restorable).
+func ReplicatedSetComplete(ranks, degree int) func(store *Store, prefix string, iteration int) bool {
+	n := ranks / degree
+	return func(store *Store, prefix string, iteration int) bool {
+		return replicaCovered(store, prefix, iteration, n, degree)
+	}
 }
 
 // replicatedSuccess builds the Campaign.SuccessFor test for a replicated

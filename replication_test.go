@@ -49,6 +49,95 @@ func TestLatestReplicatedCheckpointCoverage(t *testing.T) {
 	}
 }
 
+// Regression: between-run cleanup used the every-world-rank completeness
+// criterion even for replicated campaigns, deleting exactly the sets a
+// replicated restart resumes from — a set missing one dead replica's file
+// is incomplete by world-rank count but perfectly restorable.
+func TestReplicaAwareCleanupKeepsCoveredSets(t *testing.T) {
+	const ranks, degree = 6, 2 // 3 logical ranks
+	store := NewStore()
+	// Iteration 5: every logical rank covered — logical 0 by rank 0,
+	// logical 1 only by its replica (rank 4; rank 1 died mid-write),
+	// logical 2 by rank 2. Ranks 3 and 5 never wrote at all.
+	for _, rank := range []int{0, 2, 4} {
+		writeCkpt(t, store, "repl", 5, rank, true)
+	}
+	writeCkpt(t, store, "repl", 5, 1, false)
+	// Iteration 10: logical 2 (ranks 2 and 5) has no complete file.
+	for _, rank := range []int{0, 1, 3, 4} {
+		writeCkpt(t, store, "repl", 10, rank, true)
+	}
+
+	if checkpoint.SetComplete(store, "repl", 5, ranks) {
+		t.Fatal("every-rank criterion unexpectedly accepts the covered set")
+	}
+	covered := ReplicatedSetComplete(ranks, degree)
+	if !covered(store, "repl", 5) {
+		t.Fatal("replica criterion rejects the covered set")
+	}
+	removed := checkpoint.CleanIncompleteSetsBy(store, "repl", func(it int) bool {
+		return covered(store, "repl", it)
+	})
+	if len(removed) != 1 || removed[0] != 10 {
+		t.Fatalf("removed %v, want [10]", removed)
+	}
+	if got := checkpoint.Iterations(store, "repl"); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("surviving sets %v, want [5]", got)
+	}
+	if got := latestReplicatedCheckpoint(store, "repl", ranks/degree, degree); got != 5 {
+		t.Fatalf("restart point %d, want 5", got)
+	}
+}
+
+// End-to-end: one replica dies and is absorbed; later its buddy dies too,
+// exhausting the logical rank and aborting the run. With the replica-aware
+// cleanup criterion the campaign restarts from the replica-covered
+// checkpoint; the default every-rank criterion deletes it (the first dead
+// replica's file is missing) and forces a from-scratch rerun.
+func TestReplicatedFailoverThenRestart(t *testing.T) {
+	const ranks, degree = 8, 2
+	run := func(setComplete func(*Store, string, int) bool) *CampaignResult {
+		sc := ReplicatedStencilConfig{
+			Degree:              degree,
+			Iterations:          10,
+			ComputePerIteration: Seconds(1),
+			HaloBytes:           256,
+			CheckpointInterval:  2,
+			CheckpointCost:      100 * Millisecond,
+			Prefix:              "repl",
+		}
+		camp := Campaign{
+			Base: Config{
+				Ranks: ranks,
+				Failures: Schedule{
+					{Rank: 1, At: Time(2500 * Millisecond)}, // replica 0 of logical 1: absorbed
+					{Rank: 5, At: Time(6500 * Millisecond)}, // replica 1 of logical 1: exhaustion
+				},
+			},
+			CheckpointPrefix: sc.Prefix,
+			SetCompleteFor:   setComplete,
+			SuccessFor:       replicatedSuccess(ranks, degree),
+			AppFor:           func(int) App { return RunReplicatedStencil(sc) },
+		}
+		res, err := camp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Done || len(res.Runs) != 2 || res.Failures != 2 {
+			t.Fatalf("result = %+v", res)
+		}
+		return res
+	}
+	aware := run(ReplicatedSetComplete(ranks, degree))
+	def := run(nil)
+	// Both campaigns face the same failures; only the restart point
+	// differs, so the replica-aware campaign must finish strictly sooner.
+	if aware.E2 >= def.E2 {
+		t.Fatalf("replica-aware cleanup E2 %v not sooner than every-rank E2 %v",
+			Duration(aware.E2), Duration(def.E2))
+	}
+}
+
 func TestReplicatedStencilFailoverRun(t *testing.T) {
 	// A single run with one injected failure per replica sphere: every
 	// logical rank keeps a live replica, so the run completes without a

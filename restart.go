@@ -41,6 +41,13 @@ type Campaign struct {
 	// though Result.Failed is non-zero, and Result.Success would restart
 	// it forever.
 	SuccessFor func(*Result) bool
+	// SetCompleteFor, when set, replaces the every-rank completeness test
+	// used by the between-runs checkpoint cleanup. Replication campaigns
+	// need it: a set in which a dead replica's file is missing is still
+	// restorable as long as every logical rank is covered by some
+	// surviving replica, and the every-rank criterion would delete
+	// exactly the sets worth keeping.
+	SetCompleteFor func(store *Store, prefix string, iteration int) bool
 	// AppFor builds the application for each run (fresh trackers etc.);
 	// use the same closure for every run if no per-run state is needed.
 	AppFor func(run int) App
@@ -72,6 +79,10 @@ type CampaignResult struct {
 	Runs []RunSummary
 	// Done reports whether the application eventually completed.
 	Done bool
+	// Start is the campaign's initial virtual clock (Base.StartClock);
+	// restart chains continue the previous chain's virtual time, so it
+	// need not be zero.
+	Start Time
 	// E2 is the simulated completion time including all failure/restart
 	// cycles (the paper's E2 column).
 	E2 Time
@@ -99,10 +110,13 @@ func (r *CampaignResult) Energy(m PowerModel) PowerReport {
 	return m.SystemEnergy(r.Busy, r.Waited, Duration(r.E2))
 }
 
-// MTTFa returns the experienced application mean-time-to-failure,
-// E2/(F+1), the paper's MTTFa column.
+// MTTFa returns the experienced application mean-time-to-failure — the
+// campaign's elapsed virtual time divided by F+1, the paper's MTTFa
+// column. The elapsed time is E2 − Start: a campaign in a restart chain
+// begins at a nonzero StartClock, and dividing the absolute completion
+// time would overstate the experienced MTTF.
 func (r *CampaignResult) MTTFa() Duration {
-	return Duration(r.E2) / Duration(r.Failures+1)
+	return Duration(r.E2-r.Start) / Duration(r.Failures+1)
 }
 
 // Run executes the campaign; it is RunContext without cancellation.
@@ -131,7 +145,7 @@ func (c Campaign) RunContext(ctx context.Context) (*CampaignResult, error) {
 	store := c.Base.Store
 	checkpoint.ClearExitTime(store)
 	rcamp := fault.Campaign{Seed: c.Seed, Ranks: c.Base.Ranks, MTTF: c.MTTF}
-	result := &CampaignResult{}
+	result := &CampaignResult{Start: c.Base.StartClock}
 	start := c.Base.StartClock
 
 	for run := 0; run < maxRuns; run++ {
@@ -218,8 +232,27 @@ func (c Campaign) RunContext(ctx context.Context) (*CampaignResult, error) {
 		if err := checkpoint.SaveExitTime(store, res.SimTime); err != nil {
 			return result, err
 		}
+		if len(c.Base.FSHierarchy) > 0 {
+			// Tiered storage: a failed node takes its volatile tier copies
+			// (and any drains still in flight at the failure) down with
+			// it, so the next run's restart falls back to a deeper tier or
+			// an older set.
+			for _, inj := range cfg.Failures {
+				if inj.At <= res.SimTime {
+					store.ResolveFailure(c.Base.FSHierarchy, inj.Rank, inj.At)
+				}
+			}
+		}
 		if c.CheckpointPrefix != "" {
-			checkpoint.CleanIncompleteSets(store, c.CheckpointPrefix, c.Base.Ranks)
+			complete := c.SetCompleteFor
+			if complete == nil {
+				complete = func(store *Store, prefix string, iteration int) bool {
+					return checkpoint.SetComplete(store, prefix, iteration, c.Base.Ranks)
+				}
+			}
+			checkpoint.CleanIncompleteSetsBy(store, c.CheckpointPrefix, func(it int) bool {
+				return complete(store, c.CheckpointPrefix, it)
+			})
 		}
 		start = res.SimTime
 	}

@@ -2,6 +2,69 @@ package xsim
 
 import "testing"
 
+// Regression: MTTFa divided the absolute E2 clock by F+1. A campaign that
+// starts at a nonzero StartClock (a later link of a restart chain, or a
+// stacked experiment reusing one virtual timeline) had its elapsed time
+// inflated by the start offset, overstating the experienced MTTF.
+func TestMTTFaUsesElapsedTimeNotAbsoluteClock(t *testing.T) {
+	r := &CampaignResult{
+		Start:    Time(3000 * Second),
+		E2:       Time(9000 * Second),
+		Failures: 1,
+	}
+	if got, want := r.MTTFa(), Duration(3000*Second); got != want {
+		t.Fatalf("MTTFa = %v, want elapsed/(F+1) = %v", got, want)
+	}
+	// A campaign starting at zero is unchanged.
+	r.Start = 0
+	if got, want := r.MTTFa(), Duration(4500*Second); got != want {
+		t.Fatalf("MTTFa from zero = %v, want %v", got, want)
+	}
+}
+
+// End-to-end: a campaign whose Base.StartClock is nonzero must report the
+// same MTTFa as the identical campaign started at zero.
+func TestMTTFaInvariantUnderStartClock(t *testing.T) {
+	run := func(start Time) *CampaignResult {
+		hc, err := HeatWorkloadFor(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hc.Iterations = 50
+		hc.ExchangeInterval = 25
+		hc.CheckpointInterval = 25
+		camp := Campaign{
+			Base: Config{Ranks: 8, StartClock: start},
+			DrawFailures: func(run int, at Time) Schedule {
+				if run == 0 {
+					return Schedule{{Rank: 1, At: at + Time(30*Second)}}
+				}
+				return nil
+			},
+			CheckpointPrefix: "heat",
+			AppFor:           func(int) App { return RunHeat(hc) },
+		}
+		res, err := camp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Done || res.Failures != 1 {
+			t.Fatalf("start %v: result = %+v", start, res)
+		}
+		return res
+	}
+	atZero := run(0)
+	shifted := run(Time(5000 * Second))
+	if atZero.MTTFa() != shifted.MTTFa() {
+		t.Fatalf("MTTFa changed with start clock: %v at zero vs %v shifted",
+			atZero.MTTFa(), shifted.MTTFa())
+	}
+	if shifted.E2.Sub(shifted.Start) != Duration(atZero.E2) {
+		t.Fatalf("elapsed time not invariant: %v vs %v",
+			shifted.E2.Sub(shifted.Start), atZero.E2)
+	}
+}
+
 // Regression: RunSummary.Injected used to report cfg.Failures[0], which on
 // run 0 is the first Base.Failures carry-over — not the run's earliest
 // injection once a drawn failure lands before it.

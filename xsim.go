@@ -137,6 +137,11 @@ type Config struct {
 	// FSModel is the file-system cost model; the zero value charges
 	// nothing, matching the paper's Table II configuration.
 	FSModel fsmodel.Model
+	// FSHierarchy, when non-empty, enables hierarchical multi-tier
+	// checkpoint storage (node-local memory → burst buffer → PFS) with
+	// staged writes and asynchronous drains; it takes precedence over
+	// FSModel on the checkpoint path.
+	FSHierarchy fsmodel.Hierarchy
 	// Failures is an explicit failure-injection schedule.
 	Failures Schedule
 	// StartClock initialises the virtual clocks, for restarts (the
@@ -317,6 +322,7 @@ func New(cfg Config) (*Sim, error) {
 		Collectives:  cfg.Collectives,
 		FSStore:      cfg.Store,
 		FSModel:      cfg.FSModel,
+		FSHierarchy:  cfg.FSHierarchy,
 		Validate:     cfg.Validate,
 	}
 	if cfg.Trace != nil {

@@ -6,6 +6,44 @@ import (
 	"testing/quick"
 )
 
+// The aggregate-bandwidth extension must degenerate exactly: a flat model
+// whose aggregate share exceeds the per-client bandwidth charges
+// bit-identically to the plain per-client model, so existing flat
+// configurations (and the 500-seed differential harness's zero-cost
+// model) keep their digests.
+func TestFlatModelDigestUnchangedByAggregateHeadroom(t *testing.T) {
+	run := func(m FSModel) []Time {
+		hc, err := HeatWorkloadFor(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hc.Iterations = 40
+		hc.ExchangeInterval = 10
+		hc.CheckpointInterval = 10
+		sim, err := New(Config{Ranks: 8, FSModel: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(RunHeat(hc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed != 8 {
+			t.Fatalf("completed = %d", res.Completed)
+		}
+		return res.PerRank
+	}
+	flat := run(PaperPFS())
+	// 8 clients × 1 GB/s per client ≤ 256 GB/s aggregate: the per-client
+	// rate governs and the shared model must charge the same times.
+	shared := run(PaperPFSShared())
+	for r := range flat {
+		if flat[r] != shared[r] {
+			t.Fatalf("rank %d: flat %v != shared-with-headroom %v", r, flat[r], shared[r])
+		}
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("zero Ranks should fail")
