@@ -35,6 +35,11 @@
 #                     strictly beats the flat shared PFS; the buddy-copy
 #                     drain fallback and replica-aware cleanup run under
 #                     -race)
+#   11. campaign-service smoke (a -race build of xsim-server serves a
+#                     Table II campaign whose result is bit-for-bit the
+#                     CLI's `xsim-run -campaign` output; resubmission is a
+#                     cache hit with zero new simulations per /metrics;
+#                     SIGTERM drains and exits cleanly)
 set -eu
 
 cd "$(dirname "$0")"
@@ -68,6 +73,7 @@ go test -run '^$' -fuzz '^FuzzDecodeF64s$' -fuzztime 10s ./internal/mpi/
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/checkpoint/
 go test -run '^$' -fuzz '^FuzzLoadExitTime$' -fuzztime 10s ./internal/checkpoint/
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/fault/
+go test -run '^$' -fuzz '^FuzzCampaignSpecDecode$' -fuzztime 10s .
 
 echo "== BenchmarkHandoff allocation gate"
 bench=$(go test -run '^$' -bench '^BenchmarkHandoff$' -benchmem -benchtime 1000x ./internal/core/)
@@ -134,5 +140,61 @@ go test -race -count=1 -run '^(TestReplicationCrossoverSmoke|TestReplicatedStenc
 
 echo "== checkpoint-I/O ablation smoke (free < tiered < flat-pfs, -race)"
 go test -race -count=1 -run '^(TestCheckpointIOAblationSmoke|TestDrainInterruptedByFailureFallsBackATier|TestReplicaAwareCleanupKeepsCoveredSets)$' . ./internal/checkpoint/
+
+echo "== campaign-service smoke (server vs CLI bit-for-bit, cache hit, drain)"
+smoke_dir=$(mktemp -d)
+server_pid=""
+cleanup_smoke() {
+	[ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
+	rm -rf "$smoke_dir"
+}
+trap cleanup_smoke EXIT
+
+go build -race -o "$smoke_dir/xsim-server" ./cmd/xsim-server
+go build -o "$smoke_dir/xsim-run" ./cmd/xsim-run
+cat > "$smoke_dir/campaign.json" <<'EOF'
+{"version":1,"kind":"table2","ranks":64,"seed":133,"table2":{"iterations":200,"intervals":[100,50],"mttf_seconds":[1000]}}
+EOF
+
+addr=localhost:18462
+"$smoke_dir/xsim-server" -addr "$addr" -workers 2 &
+server_pid=$!
+ok=""
+for _ in $(seq 1 100); do
+	if curl -fsS "$addr/healthz" >/dev/null 2>&1; then ok=1; break; fi
+	sleep 0.1
+done
+[ -n "$ok" ] || { echo "FAIL: xsim-server never became healthy" >&2; exit 1; }
+
+id=$(curl -fsS -X POST -H 'X-Tenant: ci' --data-binary @"$smoke_dir/campaign.json" \
+	"$addr/v1/campaigns" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "FAIL: submit returned no campaign id" >&2; exit 1; }
+
+# The NDJSON stream must carry progress events and end at the terminal line.
+curl -fsS --no-buffer "$addr/v1/campaigns/$id/events" > "$smoke_dir/events.ndjson"
+grep -q '"event":"progress"' "$smoke_dir/events.ndjson"
+grep -q '"event":"done"' "$smoke_dir/events.ndjson"
+grep -q '"state":"completed"' "$smoke_dir/events.ndjson"
+
+# Transport equivalence: the served result must be bit-for-bit the CLI's.
+curl -fsS "$addr/v1/campaigns/$id/result" > "$smoke_dir/server-result.json"
+"$smoke_dir/xsim-run" -campaign "$smoke_dir/campaign.json" > "$smoke_dir/cli-result.json"
+cmp "$smoke_dir/server-result.json" "$smoke_dir/cli-result.json"
+
+# Resubmission (different tenant, extra execution knobs) is a cache hit
+# that runs zero new simulations.
+curl -fsS -X POST -H 'X-Tenant: ci2' --data-binary \
+	'{"version":1,"kind":"table2","ranks":64,"seed":133,"workers":2,"pool":1,"table2":{"iterations":200,"intervals":[100,50],"mttf_seconds":[1000]}}' \
+	"$addr/v1/campaigns" | grep -q '"cached": *true'
+curl -fsS "$addr/metrics" > "$smoke_dir/metrics.txt"
+grep -q '^xsim_sim_runs_total 1$' "$smoke_dir/metrics.txt"
+grep -q '^xsim_cache_hits_total 1$' "$smoke_dir/metrics.txt"
+grep -q '^xsim_cache_misses_total 1$' "$smoke_dir/metrics.txt"
+
+# Graceful drain: SIGTERM must exit 0 (the -race build also verifies the
+# shutdown path is data-race free).
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
 
 echo "CI OK"

@@ -15,6 +15,7 @@ import (
 	"os/signal"
 
 	"xsim"
+	"xsim/internal/cliflags"
 )
 
 func main() {
@@ -22,16 +23,19 @@ func main() {
 	var (
 		victims = flag.Int("victims", 100, "victim application instances (Table I: 100)")
 		max     = flag.Int("max", 100, "injection cap per victim (Table I: 100)")
-		seed    = flag.Int64("seed", 2013, "random seed")
-		pool    = flag.Int("pool", 0, "victims injected concurrently (0 = one per processor)")
 	)
+	trunk := cliflags.Register(flag.CommandLine, cliflags.Options{Seed: 2013})
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	spec, err := trunk.Spec()
+	if err != nil {
+		log.Fatal(err)
+	}
 	res, err := xsim.RunTableIContext(ctx, xsim.TableIConfig{
-		RunSpec:       xsim.RunSpec{Seed: *seed, Pool: *pool},
+		RunSpec:       spec,
 		Victims:       *victims,
 		MaxInjections: *max,
 	})

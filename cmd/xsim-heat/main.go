@@ -26,18 +26,15 @@ import (
 	"os/signal"
 
 	"xsim"
+	"xsim/internal/cliflags"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		ranks      = flag.Int("ranks", 512, "simulated MPI ranks (32768 = the paper's scale)")
-		workers    = flag.Int("workers", 1, "engine partitions executing in parallel")
-		pool       = flag.Int("pool", 0, "independent simulations in flight (0 = GOMAXPROCS/workers)")
 		iterations = flag.Int("iterations", 1000, "total iteration count")
 		interval   = flag.Int("interval", 0, "checkpoint/halo-exchange interval (default: iterations)")
 		mttfSecs   = flag.Float64("mttf", 0, "system MTTF in seconds for random failure injection (0 = none)")
-		seed       = flag.Int64("seed", 133, "random seed for failure injection")
 		failures   = flag.String("failures", os.Getenv("XSIM_FAILURES"), "failure schedule as rank@seconds,... (also via $XSIM_FAILURES)")
 		table2     = flag.Bool("table2", false, "regenerate Table II (checkpoint interval × system MTTF sweep)")
 		ioAblation = flag.Bool("io-ablation", false, "rerun the Table II sweep with checkpoint-I/O cost on (free vs flat PFS vs tiered vs tiered+incremental)")
@@ -46,23 +43,21 @@ func main() {
 		phases     = flag.Bool("phases", false, "run the §V-D failure-mode classification")
 		trials     = flag.Int("trials", 10, "trials for -phases")
 		withIO     = flag.Bool("io", false, "enable the file-system cost model (checkpoint-I/O ablation)")
-		verbose    = flag.Bool("v", false, "print simulator informational messages")
 	)
+	trunk := cliflags.Register(flag.CommandLine, cliflags.Options{
+		Ranks:     512,
+		RanksHelp: "simulated MPI ranks (32768 = the paper's scale)",
+		Workers:   1,
+		Seed:      133,
+	})
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	var logf func(string, ...any)
-	if *verbose {
-		logf = log.Printf
-	}
-	spec := xsim.RunSpec{
-		Ranks:   *ranks,
-		Workers: *workers,
-		Pool:    *pool,
-		Seed:    *seed,
-		Logf:    logf,
+	spec, err := trunk.Spec()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	switch {
@@ -74,7 +69,7 @@ func main() {
 		}
 		fmt.Printf("checkpoint-I/O ablation: Table II with the I/O cost on\n")
 		fmt.Printf("(%d simulated MPI ranks, %d iterations, %d MiB/rank checkpoints, seed %d)\n\n",
-			*ranks, *iterations, *payloadMB, *seed)
+			spec.Ranks, *iterations, *payloadMB, spec.Seed)
 		tab, err := xsim.RunCheckpointIOAblationContext(ctx, cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -89,7 +84,7 @@ func main() {
 			cfg.FSModel = xsim.PaperPFS()
 		}
 		fmt.Printf("Table II: varying the checkpoint interval and system MTTF\n")
-		fmt.Printf("(%d simulated MPI ranks, %d iterations, seed %d)\n\n", *ranks, *iterations, *seed)
+		fmt.Printf("(%d simulated MPI ranks, %d iterations, seed %d)\n\n", spec.Ranks, *iterations, spec.Seed)
 		tab, err := xsim.RunTableIIContext(ctx, cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -118,17 +113,17 @@ func main() {
 		}
 		fmt.Print(fi.Render())
 	default:
-		runSingle(ctx, *ranks, *workers, *iterations, *interval, *mttfSecs, *seed, *failures, *withIO, logf)
+		runSingle(ctx, spec, *iterations, *interval, *mttfSecs, *failures, *withIO)
 	}
 }
 
 // runSingle runs one heat campaign (with restarts if failures strike) and
 // reports the paper's per-row metrics.
-func runSingle(ctx context.Context, ranks, workers, iterations, interval int, mttfSecs float64, seed int64, failures string, withIO bool, logf func(string, ...any)) {
+func runSingle(ctx context.Context, spec xsim.RunSpec, iterations, interval int, mttfSecs float64, failures string, withIO bool) {
 	if interval == 0 {
 		interval = iterations
 	}
-	hc, err := xsim.HeatWorkloadFor(ranks)
+	hc, err := xsim.HeatWorkloadFor(spec.Ranks)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -141,11 +136,11 @@ func runSingle(ctx context.Context, ranks, workers, iterations, interval int, mt
 		log.Fatal(err)
 	}
 	base := xsim.Config{
-		Ranks:        ranks,
-		Workers:      workers,
+		Ranks:        spec.Ranks,
+		Workers:      spec.Workers,
 		Failures:     sched,
 		CallOverhead: xsim.PaperCallOverhead,
-		Logf:         logf,
+		Logf:         spec.Logf,
 	}
 	if withIO {
 		base.FSModel = xsim.PaperPFS()
@@ -153,7 +148,7 @@ func runSingle(ctx context.Context, ranks, workers, iterations, interval int, mt
 	camp := xsim.Campaign{
 		Base:             base,
 		MTTF:             xsim.Seconds(mttfSecs),
-		Seed:             seed,
+		Seed:             spec.Seed,
 		CheckpointPrefix: "heat",
 		AppFor:           func(int) xsim.App { return xsim.RunHeat(hc) },
 	}
@@ -161,7 +156,7 @@ func runSingle(ctx context.Context, ranks, workers, iterations, interval int, mt
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("heat: %d ranks, %d iterations, checkpoint interval %d\n", ranks, iterations, interval)
+	fmt.Printf("heat: %d ranks, %d iterations, checkpoint interval %d\n", spec.Ranks, iterations, interval)
 	for _, run := range res.Runs {
 		inj := "none"
 		if run.Injected != nil {

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"xsim"
+	"xsim/internal/cliflags"
 	"xsim/internal/reliability"
 	"xsim/internal/vclock"
 )
@@ -33,20 +34,28 @@ func main() {
 		nodes     = flag.Int("nodes", 32768, "system size in nodes (one simulated MPI rank per node)")
 		samples   = flag.Int("samples", 100, "Monte-Carlo samples for the system MTTF estimate")
 		schedule  = flag.Int("schedule", 0, "emit this many first-failure draws as rank@seconds schedules")
-		seed      = flag.Int64("seed", 1, "random seed")
 		crossover = flag.Bool("crossover", false, "run the replication-vs-checkpoint crossover study")
-		ranks     = flag.Int("ranks", 24, "crossover: physical world size")
 		degrees   = flag.String("degrees", "2,3", "crossover: comma-separated replication degrees")
 		mttfs     = flag.String("mttfs", "", "crossover: comma-separated system MTTFs in seconds (default 50..1600 doubling)")
-		pool      = flag.Int("pool", 0, "crossover: campaign cells in flight (0 = auto)")
 	)
+	trunk := cliflags.Register(flag.CommandLine, cliflags.Options{
+		Ranks:     24,
+		RanksHelp: "crossover: physical world size",
+		Seed:      1,
+	})
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	spec, err := trunk.Spec()
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed := &spec.Seed
+
 	if *crossover {
-		runCrossover(ctx, *ranks, *degrees, *mttfs, *seed, *pool)
+		runCrossover(ctx, spec, *degrees, *mttfs)
 		return
 	}
 
@@ -111,7 +120,7 @@ func parseInts(s string) ([]int, error) {
 
 // runCrossover runs the replication-vs-checkpoint crossover study and
 // prints the rendered table.
-func runCrossover(ctx context.Context, ranks int, degrees, mttfs string, seed int64, pool int) {
+func runCrossover(ctx context.Context, spec xsim.RunSpec, degrees, mttfs string) {
 	degs, err := parseInts(degrees)
 	if err != nil {
 		log.Fatalf("-degrees: %v", err)
@@ -126,8 +135,13 @@ func runCrossover(ctx context.Context, ranks int, degrees, mttfs string, seed in
 			ms = append(ms, xsim.Duration(s)*xsim.Second)
 		}
 	}
+	// The crossover has always narrated its sweep; keep that unless the
+	// caller supplied a logger explicitly.
+	if spec.Logf == nil {
+		spec.Logf = log.Printf
+	}
 	table, err := xsim.RunReplicationCrossoverContext(ctx, xsim.ReplicationCrossoverConfig{
-		RunSpec: xsim.RunSpec{Ranks: ranks, Seed: seed, Pool: pool, Logf: log.Printf},
+		RunSpec: spec,
 		Degrees: degs,
 		MTTFs:   ms,
 	})

@@ -5,6 +5,14 @@
 //	xsim-run -app ring -ranks 64
 //	xsim-run -app allreduce -ranks 1024 -failures "7@0.001"
 //	xsim-run -app ulfm -ranks 16 -failures "3@0.5"
+//
+// With -campaign it instead executes a wire-form campaign spec (the JSON
+// document xsim-server accepts at POST /v1/campaigns) and writes the
+// canonical outcome encoding to stdout — byte-identical to what the
+// server's /v1/campaigns/{id}/result endpoint returns for the same spec:
+//
+//	xsim-run -campaign table2.json
+//	echo '{"version":1,"kind":"table1"}' | xsim-run -campaign -
 package main
 
 import (
@@ -18,30 +26,41 @@ import (
 	"strings"
 
 	"xsim"
+	"xsim/internal/cliflags"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
 		app      = flag.String("app", "ring", "application: ring, allreduce, ulfm")
-		ranks    = flag.Int("ranks", 64, "simulated MPI ranks")
-		workers  = flag.Int("workers", 1, "engine partitions executing in parallel")
 		rounds   = flag.Int("rounds", 3, "communication rounds")
 		failures = flag.String("failures", os.Getenv("XSIM_FAILURES"), "failure schedule as rank@seconds,...")
 		traceOut = flag.String("trace", "", "write a per-operation event timeline to this file (.json for Chrome trace-event format, anything else for CSV)")
 		metrics  = flag.Bool("metrics", false, "print engine and MPI counters (and the per-rank trace summary when -trace is set)")
-		verbose  = flag.Bool("v", false, "print simulator informational messages")
+		campaign = flag.String("campaign", "", "run a wire-form campaign spec from this file ('-' = stdin) and print the canonical outcome JSON")
 	)
+	trunk := cliflags.Register(flag.CommandLine, cliflags.Options{
+		Ranks:   64,
+		Workers: 1,
+		NoSeed:  true,
+		NoPool:  true,
+	})
 	flag.Parse()
 
+	if *campaign != "" {
+		runCampaign(*campaign, trunk.Logf())
+		return
+	}
+
+	spec, err := trunk.Spec()
+	if err != nil {
+		log.Fatal(err)
+	}
 	sched, err := xsim.ParseSchedule(*failures)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := xsim.Config{Ranks: *ranks, Workers: *workers, Failures: sched}
-	if *verbose {
-		cfg.Logf = log.Printf
-	}
+	cfg := xsim.Config{Ranks: spec.Ranks, Workers: spec.Workers, Failures: sched, Logf: spec.Logf}
 	var tr *xsim.TraceBuffer
 	if *traceOut != "" || *metrics {
 		tr = xsim.NewTrace(1 << 20)
@@ -71,7 +90,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s on %d ranks: simulated time %v (min %v avg %v), wall %v\n",
-		*app, *ranks, res.SimTime, res.MinTime, res.AvgTime, res.WallTime)
+		*app, cfg.Ranks, res.SimTime, res.MinTime, res.AvgTime, res.WallTime)
 	fmt.Printf("%d completed, %d failed, %d aborted\n", res.Completed, res.Failed, res.Aborted)
 	rep := res.Energy(xsim.PaperPower())
 	fmt.Printf("energy: %s\n", rep)
@@ -88,6 +107,40 @@ func main() {
 		}
 		fmt.Printf("trace: %d events written to %s (%d dropped)\n", tr.Len(), *traceOut, tr.Dropped())
 	}
+}
+
+// runCampaign executes a wire-form campaign spec and prints its
+// canonical outcome encoding — the same bytes xsim-server stores and
+// serves for the identical spec, which is how the CI smoke proves the
+// two transports agree bit-for-bit. SIGINT cancels through the
+// simulator's cancellation path.
+func runCampaign(path string, logf func(format string, args ...any)) {
+	var spec *xsim.CampaignSpec
+	var err error
+	if path == "-" {
+		spec, err = xsim.ReadCampaignSpec(os.Stdin)
+	} else {
+		var data []byte
+		data, err = os.ReadFile(path)
+		if err == nil {
+			spec, err = xsim.DecodeCampaignSpec(data)
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	out, err := spec.RunWith(ctx, xsim.RunOptions{Logf: logf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := out.Canonical()
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(append(data, '\n'))
 }
 
 // writeTrace exports the timeline, picking the format from the file

@@ -1,0 +1,128 @@
+// Command xsim-server runs the campaign service: simulation-as-a-service
+// over the versioned wire-form CampaignSpec. Clients POST a spec to
+// /v1/campaigns, poll /v1/campaigns/{id}, stream NDJSON progress from
+// /v1/campaigns/{id}/events, and fetch the canonical result from
+// /v1/campaigns/{id}/result. Results are content-addressed by the
+// canonical spec encoding, so resubmitting an identical campaign — from
+// any tenant — is served from cache without simulating anything.
+//
+// On SIGINT/SIGTERM the server drains gracefully: intake stops (new
+// submissions get 503), queued jobs are cancelled, in-flight campaigns
+// stop through the simulator's cancellation path, and completed results
+// stay flushed in the store.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"xsim/internal/jobstore"
+	"xsim/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent campaign executors")
+	quota := flag.Int("quota", 0, "default per-tenant cap on unfinished jobs (0 = unlimited)")
+	weights := flag.String("weights", "", "per-tenant scheduling weights, e.g. 'alice=3,bob=1'")
+	quotas := flag.String("quotas", "", "per-tenant quota overrides, e.g. 'alice=10,bob=2'")
+	data := flag.String("data", "", "directory for the persistent result store (default in-memory)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for shutdown drain")
+	verbose := flag.Bool("v", false, "log service activity")
+	flag.Parse()
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "xsim-server: "+format+"\n", args...)
+		}
+	}
+
+	var store jobstore.Store = jobstore.NewMem()
+	if *data != "" {
+		dir, err := jobstore.NewDir(*data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsim-server: %v\n", err)
+			os.Exit(1)
+		}
+		store = dir
+	}
+
+	weightMap, err := parseTenantInts(*weights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsim-server: -weights: %v\n", err)
+		os.Exit(2)
+	}
+	quotaMap, err := parseTenantInts(*quotas)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsim-server: -quotas: %v\n", err)
+		os.Exit(2)
+	}
+
+	svc := service.New(service.Config{
+		Workers: *workers,
+		Store:   store,
+		Queue: service.QueueConfig{
+			DefaultQuota: *quota,
+			Weights:      weightMap,
+			Quotas:       quotaMap,
+		},
+		Logf: logf,
+	})
+
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "xsim-server: listening on http://%s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "xsim-server: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "xsim-server: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := svc.Drain(drainCtx)
+	shutdownErr := server.Shutdown(drainCtx)
+	if err := errors.Join(drainErr, shutdownErr); err != nil {
+		fmt.Fprintf(os.Stderr, "xsim-server: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "xsim-server: drained")
+}
+
+// parseTenantInts parses 'name=value,name=value' flag syntax.
+func parseTenantInts(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("expected name=value, got %q", part)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("value for %q must be a positive integer, got %q", name, val)
+		}
+		out[name] = n
+	}
+	return out, nil
+}

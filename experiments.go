@@ -42,6 +42,16 @@ type TableIConfig struct {
 // TableIResult is the campaign result, re-exported.
 type TableIResult = softerror.CampaignResult
 
+// defaults fills the paper's Table I parameters.
+func (cfg *TableIConfig) defaults() {
+	if cfg.Victims == 0 {
+		cfg.Victims = 100
+	}
+	if cfg.MaxInjections == 0 {
+		cfg.MaxInjections = 100
+	}
+}
+
 // RunTableI reproduces Table I; it is RunTableIContext without
 // cancellation.
 func RunTableI(cfg TableIConfig) (*TableIResult, error) {
@@ -54,18 +64,14 @@ func RunTableI(cfg TableIConfig) (*TableIResult, error) {
 // each victim's random sequence depends only on Seed and its index, so
 // the distribution is identical at any pool size.
 func RunTableIContext(ctx context.Context, cfg TableIConfig) (*TableIResult, error) {
-	if cfg.Victims == 0 {
-		cfg.Victims = 100
-	}
-	if cfg.MaxInjections == 0 {
-		cfg.MaxInjections = 100
-	}
+	cfg.defaults()
 	return softerror.RunCampaignContext(ctx, softerror.CampaignConfig{
 		Victims:       cfg.Victims,
 		MaxInjections: cfg.MaxInjections,
 		Seed:          cfg.Seed,
 		Pool:          cfg.Pool,
 		Logf:          cfg.Logf,
+		OnProgress:    cfg.runnerOnProgress(),
 	})
 }
 
@@ -336,6 +342,27 @@ type FirstImpressions struct {
 	Stats CampaignStats
 }
 
+// defaults fills the zero fields.
+func (cfg *FirstImpressionsConfig) defaults() {
+	cfg.RunSpec.defaults(512)
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 1000
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = cfg.Iterations / 8
+	}
+	if cfg.Trials == 0 {
+		cfg.Trials = 10
+	}
+	if cfg.MTTF == 0 {
+		// Scale the MTTF to the run: one iteration is ≈5.25 simulated
+		// seconds, and failures draw uniform within [0, 2×MTTF), so a
+		// quarter of the expected execution time guarantees the failure
+		// activates within the run.
+		cfg.MTTF = Duration(cfg.Iterations) * Seconds(5.25) / 4
+	}
+}
+
 // firstImpressionsTrial is one trial's classification.
 type firstImpressionsTrial struct {
 	activated  bool
@@ -359,23 +386,7 @@ func RunFirstImpressions(cfg FirstImpressionsConfig) (*FirstImpressions, error) 
 // Trials are independent (each owns a private store and tracker) and fan
 // out across the campaign pool; histograms merge in trial order.
 func RunFirstImpressionsContext(ctx context.Context, cfg FirstImpressionsConfig) (*FirstImpressions, error) {
-	cfg.RunSpec.defaults(512)
-	if cfg.Iterations == 0 {
-		cfg.Iterations = 1000
-	}
-	if cfg.Interval == 0 {
-		cfg.Interval = cfg.Iterations / 8
-	}
-	if cfg.Trials == 0 {
-		cfg.Trials = 10
-	}
-	if cfg.MTTF == 0 {
-		// Scale the MTTF to the run: one iteration is ≈5.25 simulated
-		// seconds, and failures draw uniform within [0, 2×MTTF), so a
-		// quarter of the expected execution time guarantees the failure
-		// activates within the run.
-		cfg.MTTF = Duration(cfg.Iterations) * Seconds(5.25) / 4
-	}
+	cfg.defaults()
 	base, err := HeatWorkloadFor(cfg.Ranks)
 	if err != nil {
 		return nil, err

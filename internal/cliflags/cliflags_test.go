@@ -1,0 +1,69 @@
+package cliflags
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func newFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestRegisterDefaultsAndParse(t *testing.T) {
+	fs := newFlagSet()
+	f := Register(fs, Options{Ranks: 512, Workers: 1, Seed: 133})
+	if err := fs.Parse([]string{"-ranks", "64", "-pool", "2", "-v"}); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := f.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Ranks != 64 || spec.Workers != 1 || spec.Pool != 2 || spec.Seed != 133 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if !f.Verbose() || spec.Logf == nil {
+		t.Fatal("-v must enable Logf")
+	}
+}
+
+func TestRegisterOmitsFlags(t *testing.T) {
+	fs := newFlagSet()
+	f := Register(fs, Options{NoSeed: true, NoPool: true})
+	for _, name := range []string{"ranks", "workers", "seed", "pool"} {
+		if fs.Lookup(name) != nil {
+			t.Errorf("flag -%s registered despite being omitted", name)
+		}
+	}
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := f.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Logf != nil {
+		t.Fatal("Logf must be nil without -v")
+	}
+}
+
+func TestSpecRejectsNegatives(t *testing.T) {
+	for _, args := range [][]string{
+		{"-ranks", "-1"},
+		{"-workers", "-2"},
+		{"-pool", "-3"},
+	} {
+		fs := newFlagSet()
+		f := Register(fs, Options{Ranks: 64, Workers: 1})
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Spec(); err == nil || !strings.Contains(err.Error(), "non-negative") {
+			t.Errorf("args %v: err = %v, want non-negative rejection", args, err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayDeterministicAndJittered(t *testing.T) {
+	base := 100 * time.Millisecond
+	// Deterministic: the same (seed, index, attempt) always yields the
+	// same delay — campaigns stay reproducible with retries enabled.
+	for attempt := 1; attempt <= 4; attempt++ {
+		a := BackoffDelay(base, 7, 3, attempt)
+		b := BackoffDelay(base, 7, 3, attempt)
+		if a != b {
+			t.Fatalf("attempt %d: %v != %v", attempt, a, b)
+		}
+	}
+	// Jittered: different runs of the same campaign must not thundering-
+	// herd; distinct (seed, index) pairs spread their delays.
+	seen := map[time.Duration]bool{}
+	for index := 0; index < 8; index++ {
+		seen[BackoffDelay(base, 7, index, 1)] = true
+	}
+	if len(seen) < 6 {
+		t.Fatalf("only %d distinct delays across 8 indices", len(seen))
+	}
+	// Every delay stays within the documented jitter band around
+	// base·2^(attempt-1): [0.5, 1.5).
+	for attempt := 1; attempt <= 3; attempt++ {
+		want := base << (attempt - 1)
+		d := BackoffDelay(base, 1, 1, attempt)
+		if d < want/2 || d >= want+want/2 {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, want/2, want+want/2)
+		}
+	}
+}
+
+func TestBackoffDelayGrowsAndCaps(t *testing.T) {
+	base := time.Second
+	// The mean of the jitter band doubles per attempt; compare against
+	// the band floor to tolerate jitter.
+	prevFloor := time.Duration(0)
+	for attempt := 1; attempt <= 5; attempt++ {
+		floor := (base << (attempt - 1)) / 2
+		if floor <= prevFloor {
+			t.Fatalf("band floor not growing at attempt %d", attempt)
+		}
+		d := BackoffDelay(base, 9, 0, attempt)
+		if d < floor {
+			t.Fatalf("attempt %d: delay %v below band floor %v", attempt, d, floor)
+		}
+		prevFloor = floor
+	}
+	// Huge attempt counts cap at maxBackoff (less downward jitter)
+	// instead of overflowing.
+	for _, attempt := range []int{20, 40, 63, 1000} {
+		d := BackoffDelay(base, 9, 0, attempt)
+		if d > maxBackoff || d < maxBackoff/2 {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, maxBackoff/2, maxBackoff)
+		}
+	}
+	// Zero base keeps retries immediate.
+	if d := BackoffDelay(0, 9, 0, 3); d != 0 {
+		t.Fatalf("zero base gave %v", d)
+	}
+}
+
+func TestRunBackoffDelaysRetries(t *testing.T) {
+	attempts := 0
+	start := time.Now()
+	tasks := []Task[int]{{
+		Spec: Spec{Index: 0},
+		Run: func(ctx context.Context) (int, error) {
+			attempts++
+			if attempts < 3 {
+				return 0, MarkTransient(errors.New("flaky"))
+			}
+			return 1, nil
+		},
+	}}
+	cfg := Config{Retries: 3, RetryBackoff: 20 * time.Millisecond, Pool: 1}
+	if _, _, err := Run(context.Background(), cfg, tasks); err != nil {
+		t.Fatal(err)
+	}
+	// Two backoffs at ≥ base/2 jitter floor each: at least 20 ms total.
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("retries completed in %v, expected backoff delays", elapsed)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+}
+
+func TestRunBackoffHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tasks := []Task[int]{{
+		Spec: Spec{Index: 0},
+		Run: func(ctx context.Context) (int, error) {
+			cancel() // fail after cancelling: the backoff sleep must cut short
+			return 0, MarkTransient(errors.New("flaky"))
+		},
+	}}
+	start := time.Now()
+	cfg := Config{Retries: 3, RetryBackoff: time.Minute, Pool: 1}
+	_, _, err := Run(ctx, cfg, tasks)
+	if err == nil {
+		t.Fatal("expected an error after cancellation")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled backoff still slept %v", elapsed)
+	}
+}
+
+func TestRunSplitsQueueWaitFromRunWall(t *testing.T) {
+	// One worker, two tasks: the second task's wait includes the first
+	// task's run time, and the split shows up both in per-run progress
+	// and the pooled stats.
+	block := 30 * time.Millisecond
+	tasks := []Task[int]{
+		{Spec: Spec{Index: 0}, Run: func(ctx context.Context) (int, error) {
+			time.Sleep(block)
+			return 0, nil
+		}},
+		{Spec: Spec{Index: 1}, Run: func(ctx context.Context) (int, error) {
+			return 1, nil
+		}},
+	}
+	var started []Progress
+	cfg := Config{Pool: 1, OnProgress: func(p Progress) {
+		if p.State == StateStarted {
+			started = append(started, p)
+		}
+	}}
+	_, stats, err := Run(context.Background(), cfg, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != 2 {
+		t.Fatalf("started events = %d, want 2", len(started))
+	}
+	// Pool=1 runs tasks in order; the second run queued behind the
+	// first's sleep.
+	var second Progress
+	for _, p := range started {
+		if p.Spec.Index == 1 {
+			second = p
+		}
+	}
+	if second.Wait < block/2 {
+		t.Fatalf("second run's queue wait = %v, want ≥ %v", second.Wait, block/2)
+	}
+	if stats.QueueWait < second.Wait {
+		t.Fatalf("stats.QueueWait = %v < second run's wait %v", stats.QueueWait, second.Wait)
+	}
+}

@@ -104,6 +104,12 @@ type Progress struct {
 	Err error
 	// Elapsed is the attempt's wall time (zero for StateStarted).
 	Elapsed time.Duration
+	// Wait is the run's queue wait: the wall time between the campaign
+	// starting and this run's first attempt being handed to a pool
+	// worker. Fairness metrics need it separated from Elapsed — a run
+	// can spend seconds queued behind other tenants and milliseconds
+	// executing.
+	Wait time.Duration
 	// Done, Failed, Total summarise the campaign so far: Done counts
 	// finished runs (completed or failed), Failed the terminal failures.
 	Done, Failed, Total int
@@ -124,6 +130,10 @@ type Stats struct {
 	// RunWall sums every attempt's wall time — the serial-equivalent
 	// cost; RunWall/Wall approximates the achieved pool speedup.
 	RunWall time.Duration
+	// QueueWait sums every started run's queue wait (campaign start to
+	// first attempt). QueueWait/Started is the mean pool-queueing delay,
+	// the half of the latency RunWall does not explain.
+	QueueWait time.Duration
 }
 
 // Config parameterises a campaign execution.
@@ -141,6 +151,14 @@ type Config struct {
 	// Retries is the number of extra attempts for runs failing with a
 	// transient error (see MarkTransient); terminal errors never retry.
 	Retries int
+	// RetryBackoff, when positive, is the base delay before the first
+	// retry; attempt n waits RetryBackoff·2^(n-1) scaled by a seeded
+	// jitter factor in [0.5, 1.5) derived from the run's spec, so the
+	// delays are reproducible per run yet decorrelated across a
+	// campaign. Zero keeps retries immediate (the historical
+	// behaviour). Delays are capped at 30 s and cut short by
+	// cancellation.
+	RetryBackoff time.Duration
 	// OnProgress, when set, receives serialized progress reports.
 	OnProgress func(Progress)
 	// Logf, when set, receives a one-line summary per completed or
@@ -281,10 +299,12 @@ func Run[T any](ctx context.Context, cfg Config, tasks []Task[T]) ([]T, Stats, e
 			defer wg.Done()
 			for i := range next {
 				t := &tasks[i]
+				wait := time.Since(start)
 				mu.Lock()
 				stats.Started++
+				stats.QueueWait += wait
 				mu.Unlock()
-				res, attempts, runWall, err := runOne(ctx, cfg, t, report)
+				res, attempts, runWall, err := runOne(ctx, cfg, t, wait, report)
 				mu.Lock()
 				stats.RunWall += runWall
 				stats.Retries += attempts - 1
@@ -304,7 +324,7 @@ func Run[T any](ctx context.Context, cfg Config, tasks []Task[T]) ([]T, Stats, e
 				if err != nil {
 					state = StateFailed
 				}
-				report(Progress{Spec: t.Spec, State: state, Attempt: attempts, Err: err, Elapsed: runWall})
+				report(Progress{Spec: t.Spec, State: state, Attempt: attempts, Err: err, Elapsed: runWall, Wait: wait})
 			}
 		}()
 	}
@@ -333,18 +353,76 @@ feed:
 }
 
 // runOne executes one task with per-attempt panic isolation, deadline,
-// and bounded transient retry. It returns the result, the number of
-// attempts, the summed attempt wall time, and the final error.
-func runOne[T any](ctx context.Context, cfg Config, t *Task[T], report func(Progress)) (res T, attempts int, wall time.Duration, err error) {
+// bounded transient retry, and backed-off re-attempts. It returns the
+// result, the number of attempts, the summed attempt wall time, and the
+// final error.
+func runOne[T any](ctx context.Context, cfg Config, t *Task[T], wait time.Duration, report func(Progress)) (res T, attempts int, wall time.Duration, err error) {
 	for attempts = 1; ; attempts++ {
-		report(Progress{Spec: t.Spec, State: StateStarted, Attempt: attempts})
+		report(Progress{Spec: t.Spec, State: StateStarted, Attempt: attempts, Wait: wait})
 		attemptStart := time.Now()
 		res, err = runAttempt(ctx, cfg.RunTimeout, t)
 		wall += time.Since(attemptStart)
 		if err == nil || ctx.Err() != nil || !IsTransient(err) || attempts > cfg.Retries {
 			return res, attempts, wall, err
 		}
-		report(Progress{Spec: t.Spec, State: StateRetrying, Attempt: attempts, Err: err, Elapsed: time.Since(attemptStart)})
+		report(Progress{Spec: t.Spec, State: StateRetrying, Attempt: attempts, Err: err, Elapsed: time.Since(attemptStart), Wait: wait})
+		if !sleepBackoff(ctx, BackoffDelay(cfg.RetryBackoff, t.Spec.Seed, t.Spec.Index, attempts)) {
+			// Cancelled mid-backoff: the transient error stands, and the
+			// ctx.Err() check above ends the loop on the next iteration.
+			return res, attempts, wall, err
+		}
+	}
+}
+
+// maxBackoff caps a single retry delay: exponential growth past tens of
+// seconds only postpones the terminal failure report.
+const maxBackoff = 30 * time.Second
+
+// BackoffDelay is the pre-retry delay for the given attempt (1-based):
+// base·2^(attempt-1) scaled by a jitter factor in [0.5, 1.5) derived
+// deterministically from the run's seed and index via a splitmix64
+// finalizer. A zero base means no delay. The derivation depends only on
+// (base, seed, index, attempt) — never on pool size or wall time — so a
+// re-run campaign backs off identically.
+func BackoffDelay(base time.Duration, seed int64, index, attempt int) time.Duration {
+	if base <= 0 || attempt < 1 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := base << shift
+	if d <= 0 || d > maxBackoff {
+		d = maxBackoff
+	}
+	// splitmix64 over (seed, index, attempt): the same mix DeriveSeed
+	// uses, with the attempt folded in so consecutive retries of one run
+	// jitter independently.
+	z := uint64(seed) ^ uint64(index+1)*0x9E3779B97F4A7C15 ^ uint64(attempt)*0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	// Map the top 53 bits to [0.5, 1.5).
+	jitter := 0.5 + float64(z>>11)/float64(1<<53)
+	if jittered := time.Duration(float64(d) * jitter); jittered < maxBackoff {
+		return jittered
+	}
+	return maxBackoff
+}
+
+// sleepBackoff waits for d, returning false if ctx was cancelled first.
+func sleepBackoff(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return true
 	}
 }
 

@@ -1,0 +1,205 @@
+// queue.go implements the campaign service's admission queue: per-tenant
+// FIFOs drained by weighted round-robin, with per-tenant quotas enforced
+// at submission. Fairness is a property of pop order alone — a tenant
+// with weight w receives w consecutive grants per cycle across the
+// tenants that have work — so it is deterministic given the push
+// sequence and testable without wall-clock.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrQuotaExceeded reports a submission rejected because the tenant
+// already has its quota of unfinished jobs; the HTTP layer maps it to
+// 429.
+var ErrQuotaExceeded = errors.New("service: tenant quota exceeded")
+
+// ErrQueueClosed reports a submission after intake closed (server
+// draining); the HTTP layer maps it to 503.
+var ErrQueueClosed = errors.New("service: queue closed")
+
+// QueueConfig parameterises the fair queue.
+type QueueConfig struct {
+	// DefaultWeight is a tenant's round-robin weight when Weights has no
+	// entry (default 1). A tenant with weight w is granted w consecutive
+	// pops per cycle while it has work.
+	DefaultWeight int
+	// Weights overrides per-tenant weights.
+	Weights map[string]int
+	// DefaultQuota caps a tenant's unfinished jobs — queued plus running
+	// — when Quotas has no entry (0 = unlimited).
+	DefaultQuota int
+	// Quotas overrides per-tenant quotas.
+	Quotas map[string]int
+}
+
+// tenantQueue is one tenant's FIFO plus its fairness state.
+type tenantQueue struct {
+	name string
+	jobs []*job
+	// inflight counts unfinished jobs (queued + running) for quota
+	// enforcement; Release decrements it when a job finishes.
+	inflight int
+	// credit is the tenant's remaining grants in the current round-robin
+	// cycle; it refills to the tenant's weight when every tenant with
+	// work is out of credit.
+	credit int
+}
+
+// queue is the weighted fair scheduler. Pop blocks until work arrives or
+// intake closes with the queue empty.
+type queue struct {
+	cfg QueueConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tenants map[string]*tenantQueue
+	// order fixes the round-robin scan sequence (first-seen order), so
+	// scheduling is deterministic.
+	order  []*tenantQueue
+	closed bool
+	queued int
+}
+
+// newQueue builds an empty queue.
+func newQueue(cfg QueueConfig) *queue {
+	if cfg.DefaultWeight <= 0 {
+		cfg.DefaultWeight = 1
+	}
+	q := &queue{cfg: cfg, tenants: make(map[string]*tenantQueue)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// weight returns a tenant's configured round-robin weight.
+func (q *queue) weight(tenant string) int {
+	if w, ok := q.cfg.Weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return q.cfg.DefaultWeight
+}
+
+// quota returns a tenant's configured quota (0 = unlimited).
+func (q *queue) quota(tenant string) int {
+	if limit, ok := q.cfg.Quotas[tenant]; ok {
+		return limit
+	}
+	return q.cfg.DefaultQuota
+}
+
+// tenant returns (creating if needed) a tenant's queue state.
+func (q *queue) tenant(name string) *tenantQueue {
+	tq, ok := q.tenants[name]
+	if !ok {
+		tq = &tenantQueue{name: name, credit: q.weight(name)}
+		q.tenants[name] = tq
+		q.order = append(q.order, tq)
+	}
+	return tq
+}
+
+// Push enqueues a job for its tenant, enforcing the tenant's quota
+// against its unfinished (queued + running) count.
+func (q *queue) Push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	tq := q.tenant(j.tenant)
+	if limit := q.quota(j.tenant); limit > 0 && tq.inflight >= limit {
+		return fmt.Errorf("%w: tenant %q has %d unfinished jobs (quota %d)",
+			ErrQuotaExceeded, j.tenant, tq.inflight, limit)
+	}
+	tq.inflight++
+	tq.jobs = append(tq.jobs, j)
+	q.queued++
+	q.cond.Signal()
+	return nil
+}
+
+// Pop removes and returns the next job by weighted round-robin, blocking
+// while the queue is open and empty. It returns ok=false once the queue
+// is closed and drained.
+func (q *queue) Pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.queued > 0 {
+			return q.popLocked(), true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// popLocked picks the next tenant by weighted round-robin: scan tenants
+// in first-seen order for one with queued work and remaining credit;
+// when every tenant with work is out of credit, refill all credits (one
+// cycle ends) and scan again. Each grant consumes one credit, so a cycle
+// gives tenant t at most weight(t) pops — the bounded-skew fairness the
+// service promises.
+func (q *queue) popLocked() *job {
+	for {
+		for _, tq := range q.order {
+			if len(tq.jobs) == 0 || tq.credit <= 0 {
+				continue
+			}
+			tq.credit--
+			j := tq.jobs[0]
+			tq.jobs = tq.jobs[1:]
+			q.queued--
+			return j
+		}
+		// Every tenant with work exhausted its credit: start a new cycle.
+		for _, tq := range q.order {
+			tq.credit = q.weight(tq.name)
+		}
+	}
+}
+
+// Release returns one unit of a tenant's quota when a job finishes
+// (completed, failed, or cancelled).
+func (q *queue) Release(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if tq, ok := q.tenants[tenant]; ok && tq.inflight > 0 {
+		tq.inflight--
+	}
+}
+
+// Close stops intake: subsequent Pushes fail with ErrQueueClosed and
+// Pops drain the backlog then return ok=false.
+func (q *queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Flush removes and returns every queued job without running them — the
+// drain path uses it to mark the backlog cancelled.
+func (q *queue) Flush() []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []*job
+	for _, tq := range q.order {
+		out = append(out, tq.jobs...)
+		tq.jobs = nil
+	}
+	q.queued = 0
+	q.cond.Broadcast()
+	return out
+}
+
+// Depth reports the number of queued jobs.
+func (q *queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}

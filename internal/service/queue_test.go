@@ -1,0 +1,147 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func testJob(tenant string, n int) *job {
+	return &job{id: fmt.Sprintf("%s-%d", tenant, n), tenant: tenant}
+}
+
+// popAll drains the queue synchronously (it must not block: the backlog
+// is fully pushed first and the queue is closed).
+func popAll(q *queue) []string {
+	q.Close()
+	var order []string
+	for {
+		j, ok := q.Pop()
+		if !ok {
+			return order
+		}
+		order = append(order, j.tenant)
+	}
+}
+
+// TestQueueInterleavesEqualTenants pins the acceptance criterion: two
+// tenants with equal weight and 10 jobs each interleave with bounded
+// skew — at every prefix of the pop order the tenants' grant counts
+// differ by at most one. The property is over pop order alone, so the
+// test needs no clocks and no goroutines.
+func TestQueueInterleavesEqualTenants(t *testing.T) {
+	q := newQueue(QueueConfig{})
+	for i := 0; i < 10; i++ {
+		if err := q.Push(testJob("alice", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Push(testJob("bob", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order := popAll(q)
+	if len(order) != 20 {
+		t.Fatalf("popped %d jobs, want 20", len(order))
+	}
+	counts := map[string]int{}
+	for i, tenant := range order {
+		counts[tenant]++
+		if skew := counts["alice"] - counts["bob"]; skew < -1 || skew > 1 {
+			t.Fatalf("after %d pops skew = %d (order %v)", i+1, skew, order[:i+1])
+		}
+	}
+}
+
+// TestQueueHonoursWeights pins weighted fairness: weight 3 vs 1 grants
+// 3:1 within every full cycle.
+func TestQueueHonoursWeights(t *testing.T) {
+	q := newQueue(QueueConfig{Weights: map[string]int{"heavy": 3}})
+	for i := 0; i < 9; i++ {
+		q.Push(testJob("heavy", i))
+	}
+	for i := 0; i < 3; i++ {
+		q.Push(testJob("light", i))
+	}
+	order := popAll(q)
+	want := []string{
+		"heavy", "heavy", "heavy", "light",
+		"heavy", "heavy", "heavy", "light",
+		"heavy", "heavy", "heavy", "light",
+	}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("pop order = %v, want %v", order, want)
+	}
+}
+
+// TestQueueLateTenantStillBounded pins that a tenant arriving after
+// another has queued a backlog is not starved: from its first grant on,
+// per-cycle skew stays bounded by the weights.
+func TestQueueLateTenantStillBounded(t *testing.T) {
+	q := newQueue(QueueConfig{})
+	for i := 0; i < 10; i++ {
+		q.Push(testJob("early", i))
+	}
+	for i := 0; i < 10; i++ {
+		q.Push(testJob("late", i))
+	}
+	order := popAll(q)
+	// After the first "late" grant, alternation must hold.
+	first := -1
+	for i, tenant := range order {
+		if tenant == "late" {
+			first = i
+			break
+		}
+	}
+	if first < 0 || first > 2 {
+		t.Fatalf("late tenant first granted at position %d: %v", first, order)
+	}
+	for i := first; i+1 < len(order)-1 && order[i] == "late"; i += 2 {
+		if order[i+1] != "early" {
+			t.Fatalf("alternation broken at %d: %v", i, order)
+		}
+	}
+}
+
+func TestQueueQuotaAndRelease(t *testing.T) {
+	q := newQueue(QueueConfig{DefaultQuota: 2})
+	if err := q.Push(testJob("a", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(testJob("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(testJob("a", 2)); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("third push err = %v, want ErrQuotaExceeded", err)
+	}
+	// Another tenant is unaffected.
+	if err := q.Push(testJob("b", 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Quota covers queued + running: popping alone frees nothing.
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if err := q.Push(testJob("a", 3)); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("push after pop err = %v, want ErrQuotaExceeded (job still running)", err)
+	}
+	q.Release("a")
+	if err := q.Push(testJob("a", 4)); err != nil {
+		t.Fatalf("push after release: %v", err)
+	}
+}
+
+func TestQueueCloseDrainsThenStops(t *testing.T) {
+	q := newQueue(QueueConfig{})
+	q.Push(testJob("a", 0))
+	q.Close()
+	if err := q.Push(testJob("a", 1)); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("push after close err = %v, want ErrQueueClosed", err)
+	}
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("expected the queued job before shutdown")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("expected ok=false after drain")
+	}
+}

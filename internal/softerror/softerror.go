@@ -151,6 +151,9 @@ type CampaignConfig struct {
 	Pool int
 	// Logf receives campaign progress messages (nil discards them).
 	Logf func(format string, args ...any)
+	// OnProgress, when set, receives the campaign pool's serialized
+	// per-victim progress reports.
+	OnProgress func(runner.Progress)
 }
 
 // CampaignResult summarises an injection campaign in Table I's terms.
@@ -225,7 +228,7 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResul
 			},
 		}
 	}
-	outcomes, _, err := runner.Run(ctx, runner.Config{Pool: cfg.Pool, Logf: cfg.Logf}, tasks)
+	outcomes, _, err := runner.Run(ctx, runner.Config{Pool: cfg.Pool, Logf: cfg.Logf, OnProgress: cfg.OnProgress}, tasks)
 
 	res := &CampaignResult{
 		Victims:       cfg.Victims,

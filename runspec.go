@@ -39,6 +39,11 @@ type RunSpec struct {
 	// Pool caps the number of simulation runs in flight (0 = the
 	// GOMAXPROCS/Workers composition; 1 = sequential execution).
 	Pool int
+	// OnProgress, when set, receives one serialized ProgressEvent per
+	// run state change of the campaign pool (started, retrying,
+	// completed, failed) — the wire-typed feed the campaign service
+	// streams to clients. Callbacks are never concurrent.
+	OnProgress func(ProgressEvent)
 }
 
 // defaults fills the spec's zero fields: the driver-specific default rank
@@ -73,10 +78,27 @@ func (s *RunSpec) baseConfig() Config {
 }
 
 // runnerConfig returns the campaign-pool configuration for this spec:
-// the pool budget composes with the per-run engine workers, and run
-// completions stream through the spec's logger.
+// the pool budget composes with the per-run engine workers, run
+// completions stream through the spec's logger, and state changes
+// through the spec's wire-typed progress hook.
 func (s *RunSpec) runnerConfig() runner.Config {
-	return runner.Config{Pool: s.Pool, EngineWorkers: s.Workers, Logf: s.Logf}
+	return runner.Config{
+		Pool:          s.Pool,
+		EngineWorkers: s.Workers,
+		Logf:          s.Logf,
+		OnProgress:    s.runnerOnProgress(),
+	}
+}
+
+// runnerOnProgress adapts the spec's wire-typed progress hook to the
+// runner's callback type (nil when unset, so the runner skips the
+// reporting path entirely).
+func (s *RunSpec) runnerOnProgress() func(runner.Progress) {
+	if s.OnProgress == nil {
+		return nil
+	}
+	hook := s.OnProgress
+	return func(p runner.Progress) { hook(progressEvent(p)) }
 }
 
 // CampaignStats aggregates a concurrent campaign's execution: the pool's

@@ -68,6 +68,23 @@ type IntervalSweep struct {
 	Stats CampaignStats
 }
 
+// defaults fills the zero fields.
+func (cfg *IntervalSweepConfig) defaults() {
+	cfg.RunSpec.defaults(512)
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 1000
+	}
+	if len(cfg.Intervals) == 0 {
+		cfg.Intervals = []int{500, 250, 125, 62, 31}
+	}
+	if cfg.MTTF == 0 {
+		cfg.MTTF = 3000 * Second
+	}
+	if len(cfg.Seeds) == 0 {
+		cfg.Seeds = []int64{133, 134, 135}
+	}
+}
+
 // RunIntervalSweep measures E2 across checkpoint intervals; it is
 // RunIntervalSweepContext without cancellation.
 func RunIntervalSweep(cfg IntervalSweepConfig) (*IntervalSweep, error) {
@@ -82,19 +99,7 @@ func RunIntervalSweep(cfg IntervalSweepConfig) (*IntervalSweep, error) {
 // failed point, or cancellation) the partial sweep keeps its pooled Stats
 // but no Points.
 func RunIntervalSweepContext(ctx context.Context, cfg IntervalSweepConfig) (*IntervalSweep, error) {
-	cfg.RunSpec.defaults(512)
-	if cfg.Iterations == 0 {
-		cfg.Iterations = 1000
-	}
-	if len(cfg.Intervals) == 0 {
-		cfg.Intervals = []int{500, 250, 125, 62, 31}
-	}
-	if cfg.MTTF == 0 {
-		cfg.MTTF = 3000 * Second
-	}
-	if len(cfg.Seeds) == 0 {
-		cfg.Seeds = []int64{133, 134, 135}
-	}
+	cfg.defaults()
 	base, err := HeatWorkloadFor(cfg.Ranks)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,746 @@
+// wire.go defines the versioned wire form of the Run-family campaign
+// configurations: CampaignSpec is the JSON document the CLI drivers, the
+// campaign service (cmd/xsim-server), and stored experiment definitions
+// all exchange. One spec describes one campaign of a known kind (Table I,
+// Table II, the interval sweep, the §V-D failure-mode study, the
+// replication crossover, or the checkpoint-I/O ablation), and its
+// canonical encoding — normalized defaults, sorted keys, execution knobs
+// excluded — doubles as the content address under which the service
+// caches results: identical (spec, seed) cells are deterministic, so they
+// are computed exactly once no matter how many tenants ask.
+package xsim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"xsim/internal/runner"
+)
+
+// SpecVersion is the wire-format version this package encodes and the
+// only version it accepts. Bump it when a field changes meaning; old
+// documents then fail Validate with a typed error instead of being
+// silently reinterpreted (and cache keys can never collide across
+// versions, because the version is part of the canonical encoding).
+const SpecVersion = 1
+
+// CampaignKind names a campaign family on the wire.
+type CampaignKind string
+
+// The campaign kinds: one per Run-family experiment driver.
+const (
+	// KindTableI is the paper's Table I bit-flip injection campaign
+	// (RunTableI).
+	KindTableI CampaignKind = "table1"
+	// KindTableII is the paper's Table II checkpoint-interval × MTTF
+	// sweep (RunTableII).
+	KindTableII CampaignKind = "table2"
+	// KindIntervalSweep is the checkpoint-interval sweep against Daly's
+	// model (RunIntervalSweep).
+	KindIntervalSweep CampaignKind = "interval-sweep"
+	// KindFirstImpressions is the §V-D failure-mode classification
+	// (RunFirstImpressions).
+	KindFirstImpressions CampaignKind = "first-impressions"
+	// KindCrossover is the replication-vs-checkpoint crossover study
+	// (RunReplicationCrossover).
+	KindCrossover CampaignKind = "replication-crossover"
+	// KindIOAblation is the Table II rerun with checkpoint-I/O cost on
+	// (RunCheckpointIOAblation).
+	KindIOAblation CampaignKind = "io-ablation"
+)
+
+// campaignKinds lists every known kind.
+var campaignKinds = []CampaignKind{
+	KindTableI, KindTableII, KindIntervalSweep,
+	KindFirstImpressions, KindCrossover, KindIOAblation,
+}
+
+// SpecError is a typed validation error naming the offending wire field;
+// the campaign service maps it to a 400 response, and the CLI drivers to
+// a usage failure. Several violations arrive joined with errors.Join;
+// retrieve any one with errors.As.
+type SpecError struct {
+	// Field is the JSON path of the offending field ("" for
+	// document-level problems such as malformed JSON).
+	Field string
+	// Msg describes the violation.
+	Msg string
+}
+
+// Error implements error.
+func (e *SpecError) Error() string {
+	if e.Field == "" {
+		return "spec: " + e.Msg
+	}
+	return fmt.Sprintf("spec: field %q: %s", e.Field, e.Msg)
+}
+
+// IsSpecError reports whether err carries a *SpecError (directly, wrapped,
+// or joined) — the test the service's 400 mapping uses.
+func IsSpecError(err error) bool {
+	var se *SpecError
+	return errors.As(err, &se)
+}
+
+// CampaignSpec is the versioned wire form of one campaign. The scalar
+// trunk mirrors RunSpec (ranks, seed, per-call overhead, and the
+// execution knobs workers/pool); exactly one kind-specific parameter
+// block matches Kind. All durations travel as explicit units in the field
+// name (_ns for virtual nanoseconds, _seconds for human-scale floats), so
+// a document is meaningful without this package's type definitions.
+//
+// Workers and Pool are execution knobs: campaign results are bit-identical
+// at any engine parallelism and pool size (the determinism the
+// differential harness pins), so Canonical zeroes them and two specs
+// differing only in knobs share one cache entry.
+type CampaignSpec struct {
+	// Version must be SpecVersion.
+	Version int `json:"version"`
+	// Kind selects the campaign family and its parameter block.
+	Kind CampaignKind `json:"kind"`
+	// Ranks is the simulated MPI world size (kind-specific default;
+	// unused by table1, which simulates victim process images).
+	Ranks int `json:"ranks"`
+	// Seed drives every random draw of the campaign; derived per-cell
+	// seeds make results identical at any pool size.
+	Seed int64 `json:"seed"`
+	// CallOverheadNS is the per-MPI-call CPU cost in virtual
+	// nanoseconds (0 = the paper's calibrated overhead).
+	CallOverheadNS int64 `json:"call_overhead_ns"`
+	// Workers is each run's engine parallelism (execution knob).
+	Workers int `json:"workers"`
+	// Pool caps concurrently simulated runs (execution knob).
+	Pool int `json:"pool"`
+
+	// Exactly the block matching Kind may be set; Normalize creates and
+	// fills it with explicit defaults.
+	TableI     *TableIParams           `json:"table1,omitempty"`
+	TableII    *TableIIParams          `json:"table2,omitempty"`
+	Sweep      *IntervalSweepParams    `json:"interval_sweep,omitempty"`
+	Phases     *FirstImpressionsParams `json:"first_impressions,omitempty"`
+	Crossover  *CrossoverParams        `json:"replication_crossover,omitempty"`
+	IOAblation *IOAblationParams       `json:"io_ablation,omitempty"`
+}
+
+// TableIParams parameterises a table1 campaign (TableIConfig's wire
+// form).
+type TableIParams struct {
+	Victims       int `json:"victims"`
+	MaxInjections int `json:"max_injections"`
+}
+
+// TableIIParams parameterises a table2 campaign (TableIIConfig's wire
+// form). PaperIO enables the paper's flat parallel-file-system cost model
+// for checkpoints (Table II proper charges nothing).
+type TableIIParams struct {
+	Iterations  int       `json:"iterations"`
+	Intervals   []int     `json:"intervals"`
+	MTTFSeconds []float64 `json:"mttf_seconds"`
+	MaxRuns     int       `json:"max_runs"`
+	PaperIO     bool      `json:"paper_io"`
+}
+
+// IntervalSweepParams parameterises an interval-sweep campaign
+// (IntervalSweepConfig's wire form).
+type IntervalSweepParams struct {
+	Iterations  int     `json:"iterations"`
+	Intervals   []int   `json:"intervals"`
+	MTTFSeconds float64 `json:"mttf_seconds"`
+	Seeds       []int64 `json:"seeds"`
+}
+
+// FirstImpressionsParams parameterises a first-impressions campaign
+// (FirstImpressionsConfig's wire form).
+type FirstImpressionsParams struct {
+	Iterations  int     `json:"iterations"`
+	Interval    int     `json:"interval"`
+	Trials      int     `json:"trials"`
+	MTTFSeconds float64 `json:"mttf_seconds"`
+}
+
+// CrossoverParams parameterises a replication-crossover campaign
+// (ReplicationCrossoverConfig's wire form).
+type CrossoverParams struct {
+	Degrees           []int     `json:"degrees"`
+	MTTFSeconds       []float64 `json:"mttf_seconds"`
+	Iterations        int       `json:"iterations"`
+	ComputeSeconds    float64   `json:"compute_seconds"`
+	HaloBytes         int       `json:"halo_bytes"`
+	CheckpointSeconds float64   `json:"checkpoint_seconds"`
+	RestartSeconds    float64   `json:"restart_seconds"`
+	MaxRuns           int       `json:"max_runs"`
+}
+
+// IOAblationParams parameterises an io-ablation campaign
+// (CheckpointIOAblationConfig's wire form; the storage arms themselves
+// are fixed to the paper's models).
+type IOAblationParams struct {
+	Iterations    int       `json:"iterations"`
+	Intervals     []int     `json:"intervals"`
+	MTTFSeconds   []float64 `json:"mttf_seconds"`
+	PayloadBytes  int       `json:"payload_bytes"`
+	DeltaFraction float64   `json:"delta_fraction"`
+	FullEvery     int       `json:"full_every"`
+	MaxRuns       int       `json:"max_runs"`
+}
+
+// --- decoding -------------------------------------------------------------
+
+// DecodeCampaignSpec parses one JSON campaign spec. Unknown fields,
+// malformed JSON, type mismatches, and trailing data are all rejected
+// with a typed *SpecError; the decoded spec is returned exactly as
+// written (call Normalize for defaults and Validate for semantic
+// checks).
+func DecodeCampaignSpec(data []byte) (*CampaignSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s CampaignSpec
+	if err := dec.Decode(&s); err != nil {
+		return nil, specDecodeError(err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, &SpecError{Msg: "trailing data after the spec document"}
+	}
+	return &s, nil
+}
+
+// ReadCampaignSpec is DecodeCampaignSpec over a reader.
+func ReadCampaignSpec(r io.Reader) (*CampaignSpec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, &SpecError{Msg: fmt.Sprintf("reading spec: %v", err)}
+	}
+	return DecodeCampaignSpec(data)
+}
+
+// specDecodeError converts an encoding/json error into a *SpecError
+// naming the field when the error carries one.
+func specDecodeError(err error) error {
+	var typeErr *json.UnmarshalTypeError
+	if errors.As(err, &typeErr) {
+		return &SpecError{Field: typeErr.Field,
+			Msg: fmt.Sprintf("cannot decode %s into %s", typeErr.Value, typeErr.Type)}
+	}
+	// DisallowUnknownFields reports `json: unknown field "name"`.
+	msg := err.Error()
+	if rest, ok := strings.CutPrefix(msg, `json: unknown field "`); ok {
+		return &SpecError{Field: strings.TrimSuffix(rest, `"`), Msg: "unknown field"}
+	}
+	return &SpecError{Msg: msg}
+}
+
+// --- normalization --------------------------------------------------------
+
+// clone deep-copies the spec (slices and parameter blocks included)
+// through its own wire encoding.
+func (s *CampaignSpec) clone() *CampaignSpec {
+	data, err := json.Marshal(s)
+	if err != nil {
+		// A CampaignSpec of plain scalars and slices cannot fail to
+		// marshal except for NaN/Inf floats, which Validate rejects.
+		panic(fmt.Sprintf("xsim: clone: %v", err))
+	}
+	var c CampaignSpec
+	if err := json.Unmarshal(data, &c); err != nil {
+		panic(fmt.Sprintf("xsim: clone: %v", err))
+	}
+	return &c
+}
+
+// runSpec builds the RunSpec trunk the spec describes, attaching the
+// caller's logger and progress hook.
+func (s *CampaignSpec) runSpec(opt RunOptions) RunSpec {
+	return RunSpec{
+		Ranks:        s.Ranks,
+		Workers:      s.Workers,
+		Seed:         s.Seed,
+		CallOverhead: Duration(s.CallOverheadNS),
+		Pool:         s.Pool,
+		Logf:         opt.Logf,
+		OnProgress:   opt.OnProgress,
+	}
+}
+
+// fromRunSpec copies the defaults-filled trunk back into wire form.
+func (s *CampaignSpec) fromRunSpec(rs RunSpec) {
+	s.Ranks = rs.Ranks
+	s.CallOverheadNS = int64(rs.CallOverhead)
+}
+
+// secondsToDuration converts wire float seconds to virtual time.
+func secondsToDuration(s float64) Duration { return Seconds(s) }
+
+// durationToSeconds converts virtual time to wire float seconds.
+func durationToSeconds(d Duration) float64 { return d.Seconds() }
+
+// secondsSlice converts a Duration slice to wire float seconds.
+func secondsSlice(ds []Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = durationToSeconds(d)
+	}
+	return out
+}
+
+// durationSlice converts wire float seconds to a Duration slice.
+func durationSlice(ss []float64) []Duration {
+	out := make([]Duration, len(ss))
+	for i, s := range ss {
+		out[i] = secondsToDuration(s)
+	}
+	return out
+}
+
+// Normalize fills the spec's zero fields with the same defaults the
+// experiment drivers apply — it builds the driver config, runs its
+// defaults path, and copies the result back — so a spec submitted over
+// the wire and a config built from CLI flags describe runs identically,
+// and the canonical encoding always carries explicit defaults. A spec of
+// unknown kind or version is left untouched for Validate to reject.
+func (s *CampaignSpec) Normalize() {
+	if s.Version == 0 {
+		s.Version = SpecVersion
+	}
+	switch s.Kind {
+	case KindTableI:
+		if s.TableI == nil {
+			s.TableI = &TableIParams{}
+		}
+		cfg := s.tableIConfig(RunOptions{})
+		cfg.defaults()
+		*s.TableI = TableIParams{Victims: cfg.Victims, MaxInjections: cfg.MaxInjections}
+	case KindTableII:
+		if s.TableII == nil {
+			s.TableII = &TableIIParams{}
+		}
+		cfg := s.tableIIConfig(RunOptions{})
+		cfg.defaults()
+		s.fromRunSpec(cfg.RunSpec)
+		s.TableII.Iterations = cfg.Iterations
+		s.TableII.Intervals = cfg.Intervals
+		s.TableII.MTTFSeconds = secondsSlice(cfg.MTTFs)
+		s.TableII.MaxRuns = cfg.MaxRuns
+	case KindIntervalSweep:
+		if s.Sweep == nil {
+			s.Sweep = &IntervalSweepParams{}
+		}
+		cfg := s.sweepConfig(RunOptions{})
+		cfg.defaults()
+		s.fromRunSpec(cfg.RunSpec)
+		s.Sweep.Iterations = cfg.Iterations
+		s.Sweep.Intervals = cfg.Intervals
+		s.Sweep.MTTFSeconds = durationToSeconds(cfg.MTTF)
+		s.Sweep.Seeds = cfg.Seeds
+	case KindFirstImpressions:
+		if s.Phases == nil {
+			s.Phases = &FirstImpressionsParams{}
+		}
+		cfg := s.phasesConfig(RunOptions{})
+		cfg.defaults()
+		s.fromRunSpec(cfg.RunSpec)
+		s.Phases.Iterations = cfg.Iterations
+		s.Phases.Interval = cfg.Interval
+		s.Phases.Trials = cfg.Trials
+		s.Phases.MTTFSeconds = durationToSeconds(cfg.MTTF)
+	case KindCrossover:
+		if s.Crossover == nil {
+			s.Crossover = &CrossoverParams{}
+		}
+		cfg := s.crossoverConfig(RunOptions{})
+		cfg.defaults()
+		s.fromRunSpec(cfg.RunSpec)
+		p := s.Crossover
+		p.Degrees = cfg.Degrees
+		p.MTTFSeconds = secondsSlice(cfg.MTTFs)
+		p.Iterations = cfg.Iterations
+		p.ComputeSeconds = durationToSeconds(cfg.ComputePerIteration)
+		p.HaloBytes = cfg.HaloBytes
+		p.CheckpointSeconds = durationToSeconds(cfg.CheckpointCost)
+		p.RestartSeconds = durationToSeconds(cfg.RestartCost)
+		p.MaxRuns = cfg.MaxRuns
+	case KindIOAblation:
+		if s.IOAblation == nil {
+			s.IOAblation = &IOAblationParams{}
+		}
+		cfg := s.ioAblationConfig(RunOptions{})
+		cfg.defaults()
+		s.fromRunSpec(cfg.RunSpec)
+		p := s.IOAblation
+		p.Iterations = cfg.Iterations
+		p.Intervals = cfg.Intervals
+		p.MTTFSeconds = secondsSlice(cfg.MTTFs)
+		p.PayloadBytes = cfg.CheckpointPayload
+		p.DeltaFraction = cfg.DeltaFraction
+		p.FullEvery = cfg.FullEvery
+		p.MaxRuns = cfg.MaxRuns
+	}
+}
+
+// --- config construction --------------------------------------------------
+
+func (s *CampaignSpec) tableIConfig(opt RunOptions) TableIConfig {
+	p := s.TableI
+	if p == nil {
+		p = &TableIParams{}
+	}
+	return TableIConfig{
+		RunSpec:       s.runSpec(opt),
+		Victims:       p.Victims,
+		MaxInjections: p.MaxInjections,
+	}
+}
+
+func (s *CampaignSpec) tableIIConfig(opt RunOptions) TableIIConfig {
+	p := s.TableII
+	if p == nil {
+		p = &TableIIParams{}
+	}
+	cfg := TableIIConfig{
+		RunSpec:    s.runSpec(opt),
+		Iterations: p.Iterations,
+		Intervals:  p.Intervals,
+		MTTFs:      durationSlice(p.MTTFSeconds),
+		MaxRuns:    p.MaxRuns,
+	}
+	if p.PaperIO {
+		cfg.FSModel = PaperPFS()
+	}
+	return cfg
+}
+
+func (s *CampaignSpec) sweepConfig(opt RunOptions) IntervalSweepConfig {
+	p := s.Sweep
+	if p == nil {
+		p = &IntervalSweepParams{}
+	}
+	return IntervalSweepConfig{
+		RunSpec:    s.runSpec(opt),
+		Iterations: p.Iterations,
+		Intervals:  p.Intervals,
+		MTTF:       secondsToDuration(p.MTTFSeconds),
+		Seeds:      p.Seeds,
+	}
+}
+
+func (s *CampaignSpec) phasesConfig(opt RunOptions) FirstImpressionsConfig {
+	p := s.Phases
+	if p == nil {
+		p = &FirstImpressionsParams{}
+	}
+	return FirstImpressionsConfig{
+		RunSpec:    s.runSpec(opt),
+		Iterations: p.Iterations,
+		Interval:   p.Interval,
+		Trials:     p.Trials,
+		MTTF:       secondsToDuration(p.MTTFSeconds),
+	}
+}
+
+func (s *CampaignSpec) crossoverConfig(opt RunOptions) ReplicationCrossoverConfig {
+	p := s.Crossover
+	if p == nil {
+		p = &CrossoverParams{}
+	}
+	return ReplicationCrossoverConfig{
+		RunSpec:             s.runSpec(opt),
+		Degrees:             p.Degrees,
+		MTTFs:               durationSlice(p.MTTFSeconds),
+		Iterations:          p.Iterations,
+		ComputePerIteration: secondsToDuration(p.ComputeSeconds),
+		HaloBytes:           p.HaloBytes,
+		CheckpointCost:      secondsToDuration(p.CheckpointSeconds),
+		RestartCost:         secondsToDuration(p.RestartSeconds),
+		MaxRuns:             p.MaxRuns,
+	}
+}
+
+func (s *CampaignSpec) ioAblationConfig(opt RunOptions) CheckpointIOAblationConfig {
+	p := s.IOAblation
+	if p == nil {
+		p = &IOAblationParams{}
+	}
+	return CheckpointIOAblationConfig{
+		RunSpec:           s.runSpec(opt),
+		Iterations:        p.Iterations,
+		Intervals:         p.Intervals,
+		MTTFs:             durationSlice(p.MTTFSeconds),
+		CheckpointPayload: p.PayloadBytes,
+		DeltaFraction:     p.DeltaFraction,
+		FullEvery:         p.FullEvery,
+		MaxRuns:           p.MaxRuns,
+	}
+}
+
+// --- validation -----------------------------------------------------------
+
+// Validate checks the spec's wire-level semantics: version, a known kind,
+// the one-of rule for parameter blocks, and field ranges. Violations are
+// *SpecError values joined with errors.Join, each naming its JSON field,
+// so the campaign service can return them all in one 400 response.
+// Validation does not require Normalize: zero fields mean "use the
+// default" and are always valid.
+func (s *CampaignSpec) Validate() error {
+	var errs []error
+	bad := func(field, format string, args ...any) {
+		errs = append(errs, &SpecError{Field: field, Msg: fmt.Sprintf(format, args...)})
+	}
+	if s.Version != SpecVersion {
+		bad("version", "unsupported spec version %d (this build speaks %d)", s.Version, SpecVersion)
+	}
+	known := false
+	for _, k := range campaignKinds {
+		if s.Kind == k {
+			known = true
+		}
+	}
+	if !known {
+		bad("kind", "unknown campaign kind %q (known: %v)", s.Kind, campaignKinds)
+	}
+	if s.Ranks < 0 {
+		bad("ranks", "must be non-negative, got %d", s.Ranks)
+	}
+	if s.Workers < 0 {
+		bad("workers", "must be non-negative, got %d", s.Workers)
+	}
+	if s.Pool < 0 {
+		bad("pool", "must be non-negative, got %d", s.Pool)
+	}
+	if s.CallOverheadNS < 0 {
+		bad("call_overhead_ns", "must be non-negative, got %d", s.CallOverheadNS)
+	}
+
+	// One-of: only the block matching Kind may be present.
+	blocks := []struct {
+		field string
+		kind  CampaignKind
+		set   bool
+	}{
+		{"table1", KindTableI, s.TableI != nil},
+		{"table2", KindTableII, s.TableII != nil},
+		{"interval_sweep", KindIntervalSweep, s.Sweep != nil},
+		{"first_impressions", KindFirstImpressions, s.Phases != nil},
+		{"replication_crossover", KindCrossover, s.Crossover != nil},
+		{"io_ablation", KindIOAblation, s.IOAblation != nil},
+	}
+	for _, b := range blocks {
+		if b.set && b.kind != s.Kind {
+			bad(b.field, "parameter block does not match kind %q", s.Kind)
+		}
+	}
+
+	checkIntervals := func(field string, intervals []int) {
+		for i, c := range intervals {
+			if c <= 0 {
+				bad(fmt.Sprintf("%s[%d]", field, i), "checkpoint interval must be positive, got %d", c)
+			}
+		}
+	}
+	checkSeconds := func(field string, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			bad(field, "must be a non-negative finite number of seconds, got %v", v)
+		}
+	}
+	checkSecondsSlice := func(field string, vs []float64) {
+		for i, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				bad(fmt.Sprintf("%s[%d]", field, i), "must be a positive finite number of seconds, got %v", v)
+			}
+		}
+	}
+	switch {
+	case s.Kind == KindTableI && s.TableI != nil:
+		if s.TableI.Victims < 0 {
+			bad("table1.victims", "must be non-negative, got %d", s.TableI.Victims)
+		}
+		if s.TableI.MaxInjections < 0 {
+			bad("table1.max_injections", "must be non-negative, got %d", s.TableI.MaxInjections)
+		}
+	case s.Kind == KindTableII && s.TableII != nil:
+		p := s.TableII
+		if p.Iterations < 0 {
+			bad("table2.iterations", "must be non-negative, got %d", p.Iterations)
+		}
+		checkIntervals("table2.intervals", p.Intervals)
+		checkSecondsSlice("table2.mttf_seconds", p.MTTFSeconds)
+		if p.MaxRuns < 0 {
+			bad("table2.max_runs", "must be non-negative, got %d", p.MaxRuns)
+		}
+	case s.Kind == KindIntervalSweep && s.Sweep != nil:
+		p := s.Sweep
+		if p.Iterations < 0 {
+			bad("interval_sweep.iterations", "must be non-negative, got %d", p.Iterations)
+		}
+		checkIntervals("interval_sweep.intervals", p.Intervals)
+		checkSeconds("interval_sweep.mttf_seconds", p.MTTFSeconds)
+	case s.Kind == KindFirstImpressions && s.Phases != nil:
+		p := s.Phases
+		if p.Iterations < 0 {
+			bad("first_impressions.iterations", "must be non-negative, got %d", p.Iterations)
+		}
+		if p.Interval < 0 {
+			bad("first_impressions.interval", "must be non-negative, got %d", p.Interval)
+		}
+		if p.Trials < 0 {
+			bad("first_impressions.trials", "must be non-negative, got %d", p.Trials)
+		}
+		checkSeconds("first_impressions.mttf_seconds", p.MTTFSeconds)
+	case s.Kind == KindCrossover && s.Crossover != nil:
+		p := s.Crossover
+		ranks := s.Ranks
+		if ranks == 0 {
+			ranks = 24 // the crossover's default world size
+		}
+		for i, r := range p.Degrees {
+			if r < 2 {
+				bad(fmt.Sprintf("replication_crossover.degrees[%d]", i), "replication degree must be at least 2, got %d", r)
+			} else if ranks%r != 0 {
+				bad(fmt.Sprintf("replication_crossover.degrees[%d]", i), "ranks %d must be divisible by degree %d", ranks, r)
+			}
+		}
+		checkSecondsSlice("replication_crossover.mttf_seconds", p.MTTFSeconds)
+		if p.Iterations < 0 {
+			bad("replication_crossover.iterations", "must be non-negative, got %d", p.Iterations)
+		}
+		checkSeconds("replication_crossover.compute_seconds", p.ComputeSeconds)
+		checkSeconds("replication_crossover.checkpoint_seconds", p.CheckpointSeconds)
+		checkSeconds("replication_crossover.restart_seconds", p.RestartSeconds)
+		if p.HaloBytes < 0 {
+			bad("replication_crossover.halo_bytes", "must be non-negative, got %d", p.HaloBytes)
+		}
+		if p.MaxRuns < 0 {
+			bad("replication_crossover.max_runs", "must be non-negative, got %d", p.MaxRuns)
+		}
+	case s.Kind == KindIOAblation && s.IOAblation != nil:
+		p := s.IOAblation
+		if p.Iterations < 0 {
+			bad("io_ablation.iterations", "must be non-negative, got %d", p.Iterations)
+		}
+		checkIntervals("io_ablation.intervals", p.Intervals)
+		checkSecondsSlice("io_ablation.mttf_seconds", p.MTTFSeconds)
+		if p.PayloadBytes < 0 {
+			bad("io_ablation.payload_bytes", "must be non-negative, got %d", p.PayloadBytes)
+		}
+		if p.DeltaFraction < 0 || p.DeltaFraction > 1 || math.IsNaN(p.DeltaFraction) {
+			bad("io_ablation.delta_fraction", "must be in [0, 1], got %v", p.DeltaFraction)
+		}
+		if p.FullEvery < 0 {
+			bad("io_ablation.full_every", "must be non-negative, got %d", p.FullEvery)
+		}
+		if p.MaxRuns < 0 {
+			bad("io_ablation.max_runs", "must be non-negative, got %d", p.MaxRuns)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// --- canonical encoding ---------------------------------------------------
+
+// Canonical returns the spec's canonical wire encoding: defaults made
+// explicit (Normalize), execution knobs (workers, pool) zeroed because
+// they cannot change results, and the JSON re-emitted with
+// lexicographically sorted keys so the bytes do not depend on field
+// declaration or input order. Two specs describing the same simulated
+// campaign canonicalise to the same bytes — the property the
+// content-addressed result cache is keyed on.
+func (s *CampaignSpec) Canonical() ([]byte, error) {
+	c := s.clone()
+	c.Normalize()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	c.Workers, c.Pool = 0, 0
+	return canonicalMarshal(c)
+}
+
+// CacheKey returns the content address of the spec's canonical encoding
+// (SHA-256, hex) — the key under which the campaign service stores and
+// reuses results.
+func (s *CampaignSpec) CacheKey() (string, error) {
+	data, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// canonicalMarshal encodes v and re-encodes the document canonically.
+func canonicalMarshal(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, &SpecError{Msg: fmt.Sprintf("encoding: %v", err)}
+	}
+	return canonicalJSON(raw)
+}
+
+// canonicalJSON re-encodes a JSON document deterministically: objects
+// with sorted keys (encoding/json sorts map keys), numbers kept verbatim
+// via json.Number, and no insignificant whitespace.
+func canonicalJSON(raw []byte) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, &SpecError{Msg: fmt.Sprintf("canonicalising: %v", err)}
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		return nil, &SpecError{Msg: fmt.Sprintf("canonicalising: %v", err)}
+	}
+	return out, nil
+}
+
+// --- progress events ------------------------------------------------------
+
+// ProgressEvent is the wire form of one campaign-pool progress report:
+// the event RunSpec.OnProgress receives and the campaign service streams
+// to clients as NDJSON. Wall-clock quantities are split the way fairness
+// accounting needs them: WaitNS is how long the run sat queued behind the
+// pool, ElapsedNS how long it executed.
+type ProgressEvent struct {
+	// Index, Label, Seed identify the run within its campaign.
+	Index int    `json:"index"`
+	Label string `json:"label,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+	// State is "started", "retrying", "completed", or "failed".
+	State string `json:"state"`
+	// Attempt is the 1-based attempt number.
+	Attempt int `json:"attempt"`
+	// Error carries the attempt's error text for retrying/failed states.
+	Error string `json:"error,omitempty"`
+	// ElapsedNS is the attempt's execution wall time in nanoseconds;
+	// WaitNS the run's queue wait before its first attempt.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	WaitNS    int64 `json:"wait_ns"`
+	// Done, Failed, Total summarise the campaign so far.
+	Done   int `json:"done"`
+	Failed int `json:"failed"`
+	Total  int `json:"total"`
+}
+
+// progressEvent converts the runner's progress report to wire form.
+func progressEvent(p runner.Progress) ProgressEvent {
+	ev := ProgressEvent{
+		Index:     p.Spec.Index,
+		Label:     p.Spec.Label,
+		Seed:      p.Spec.Seed,
+		State:     p.State.String(),
+		Attempt:   p.Attempt,
+		ElapsedNS: p.Elapsed.Nanoseconds(),
+		WaitNS:    p.Wait.Nanoseconds(),
+		Done:      p.Done,
+		Failed:    p.Failed,
+		Total:     p.Total,
+	}
+	if p.Err != nil {
+		ev.Error = p.Err.Error()
+	}
+	return ev
+}

@@ -1,0 +1,401 @@
+package xsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestCampaignSpecRoundTripQuick is the wire contract's core property:
+// decoding a spec's own encoding reproduces it exactly, for randomly
+// generated specs of any shape (valid or not — round-trip is a purely
+// syntactic promise).
+func TestCampaignSpecRoundTripQuick(t *testing.T) {
+	f := func(s CampaignSpec) bool {
+		data, err := json.Marshal(&s)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeCampaignSpec(data)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(&s, got)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOutcomeRoundTripQuick extends the syntactic round-trip promise to
+// the result side of the wire.
+func TestOutcomeRoundTripQuick(t *testing.T) {
+	f := func(o CampaignOutcome) bool {
+		data, err := json.Marshal(&o)
+		if err != nil {
+			return false
+		}
+		var got CampaignOutcome
+		if err := json.Unmarshal(data, &got); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(&o, &got)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	_, err := DecodeCampaignSpec([]byte(`{"version":1,"kind":"table1","bogus":3}`))
+	var se *SpecError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SpecError", err)
+	}
+	if se.Field != "bogus" || se.Msg != "unknown field" {
+		t.Fatalf("SpecError = %+v", se)
+	}
+}
+
+func TestDecodeRejectsMalformedDocuments(t *testing.T) {
+	for _, doc := range []string{
+		``, `{`, `[1,2]`, `{"version":"one","kind":"table1"}`,
+		`{"version":1,"kind":"table1"} trailing`,
+	} {
+		if _, err := DecodeCampaignSpec([]byte(doc)); !IsSpecError(err) {
+			t.Errorf("DecodeCampaignSpec(%q) err = %v, want *SpecError", doc, err)
+		}
+	}
+	// Type mismatches name the offending field.
+	_, err := DecodeCampaignSpec([]byte(`{"version":1,"kind":"table2","table2":{"iterations":"many"}}`))
+	var se *SpecError
+	if !errors.As(err, &se) || !strings.Contains(se.Field, "iterations") {
+		t.Fatalf("err = %v, want *SpecError naming iterations", err)
+	}
+}
+
+func TestValidateCatalogsViolations(t *testing.T) {
+	spec := &CampaignSpec{
+		Version: 99,
+		Kind:    "nonsense",
+		Ranks:   -1,
+		TableII: &TableIIParams{},
+	}
+	err := spec.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted a broken spec")
+	}
+	for _, field := range []string{"version", "kind", "ranks", "table2"} {
+		if !strings.Contains(err.Error(), fmt.Sprintf("field %q", field)) {
+			t.Errorf("error does not mention field %q: %v", field, err)
+		}
+	}
+}
+
+func TestValidateKindSpecificRanges(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  CampaignSpec
+		field string
+	}{
+		{"negative victims", CampaignSpec{Version: 1, Kind: KindTableI,
+			TableI: &TableIParams{Victims: -1}}, "table1.victims"},
+		{"zero interval", CampaignSpec{Version: 1, Kind: KindTableII,
+			TableII: &TableIIParams{Intervals: []int{0}}}, "table2.intervals[0]"},
+		{"negative mttf", CampaignSpec{Version: 1, Kind: KindTableII,
+			TableII: &TableIIParams{MTTFSeconds: []float64{-5}}}, "table2.mttf_seconds[0]"},
+		{"degree one", CampaignSpec{Version: 1, Kind: KindCrossover,
+			Crossover: &CrossoverParams{Degrees: []int{1}}}, "replication_crossover.degrees[0]"},
+		{"indivisible degree", CampaignSpec{Version: 1, Kind: KindCrossover, Ranks: 10,
+			Crossover: &CrossoverParams{Degrees: []int{3}}}, "replication_crossover.degrees[0]"},
+		{"delta out of range", CampaignSpec{Version: 1, Kind: KindIOAblation,
+			IOAblation: &IOAblationParams{DeltaFraction: 1.5}}, "io_ablation.delta_fraction"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("field %q", tc.field)) {
+				t.Fatalf("err = %v, want violation on %q", err, tc.field)
+			}
+		})
+	}
+}
+
+// TestCanonicalIsByteStable pins the cache-key foundation: documents that
+// differ only in field order, whitespace, or reliance on defaults
+// canonicalise to identical bytes.
+func TestCanonicalIsByteStable(t *testing.T) {
+	docs := []string{
+		`{"version":1,"kind":"table2","seed":7}`,
+		`{"seed":7,"kind":"table2","version":1}`,
+		"{\n  \"kind\": \"table2\",\n  \"version\": 1,\n  \"seed\": 7\n}",
+		// Defaults spelled out explicitly must land on the same bytes as
+		// defaults left implicit.
+		`{"version":1,"kind":"table2","seed":7,"ranks":32768,
+		  "table2":{"iterations":1000,"intervals":[500,250,125],
+		            "mttf_seconds":[6000,3000],"max_runs":0,"paper_io":false}}`,
+	}
+	var want []byte
+	for i, doc := range docs {
+		spec, err := DecodeCampaignSpec([]byte(doc))
+		if err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		got, err := spec.Canonical()
+		if err != nil {
+			t.Fatalf("doc %d: Canonical: %v", i, err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("doc %d canonicalises differently:\n got %s\nwant %s", i, got, want)
+		}
+	}
+	// Repeated canonicalisation of the same spec is byte-stable.
+	spec, _ := DecodeCampaignSpec([]byte(docs[0]))
+	a, _ := spec.Canonical()
+	b, _ := spec.Canonical()
+	if !bytes.Equal(a, b) {
+		t.Fatal("Canonical is not deterministic across calls")
+	}
+}
+
+// TestCanonicalDoesNotMutate pins that Canonical normalizes a copy: the
+// receiver keeps its sparse, as-submitted shape.
+func TestCanonicalDoesNotMutate(t *testing.T) {
+	spec := &CampaignSpec{Version: 1, Kind: KindTableII, Seed: 7, Workers: 3, Pool: 2}
+	if _, err := spec.Canonical(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.TableII != nil || spec.Ranks != 0 || spec.Workers != 3 || spec.Pool != 2 {
+		t.Fatalf("Canonical mutated the receiver: %+v", spec)
+	}
+}
+
+// TestCacheKeyIgnoresExecutionKnobs pins the cache-key semantics:
+// workers and pool cannot change results (the repo's determinism
+// invariant), so they must not change the key; everything semantic must.
+func TestCacheKeyIgnoresExecutionKnobs(t *testing.T) {
+	base := CampaignSpec{Version: 1, Kind: KindTableII, Seed: 7}
+	key := func(s CampaignSpec) string {
+		t.Helper()
+		k, err := s.CacheKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	k0 := key(base)
+
+	knobs := base
+	knobs.Workers = 8
+	knobs.Pool = 4
+	if key(knobs) != k0 {
+		t.Error("Workers/Pool changed the cache key")
+	}
+
+	seeded := base
+	seeded.Seed = 8
+	if key(seeded) == k0 {
+		t.Error("Seed did not change the cache key")
+	}
+
+	scaled := base
+	scaled.Ranks = 64
+	if key(scaled) == k0 {
+		t.Error("Ranks did not change the cache key")
+	}
+
+	kinded := base
+	kinded.Kind = KindIntervalSweep
+	if key(kinded) == k0 {
+		t.Error("Kind did not change the cache key")
+	}
+}
+
+// TestSpecRunMatchesDriver pins end-to-end transport equivalence at the
+// source: executing a wire spec must agree with calling the experiment
+// driver directly on the equivalent config, and repeated executions must
+// produce byte-identical canonical outcomes.
+func TestSpecRunMatchesDriver(t *testing.T) {
+	spec := &CampaignSpec{
+		Version: 1,
+		Kind:    KindTableI,
+		Seed:    2013,
+		TableI:  &TableIParams{Victims: 10, MaxInjections: 50},
+	}
+	out, err := spec.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := RunTableI(TableIConfig{
+		RunSpec: RunSpec{Seed: 2013}, Victims: 10, MaxInjections: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TableI == nil {
+		t.Fatal("outcome has no table1 block")
+	}
+	if out.TableI.Injections != direct.Injections ||
+		!reflect.DeepEqual(out.TableI.ToFailure, direct.ToFailure) ||
+		!reflect.DeepEqual(out.TableI.KillsByRegion, direct.KillsByRegion) {
+		t.Fatalf("wire outcome diverges from direct driver:\nwire   %+v\ndirect %+v",
+			out.TableI, direct)
+	}
+
+	again, err := spec.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := out.Canonical()
+	b, _ := again.Canonical()
+	if !bytes.Equal(a, b) {
+		t.Fatal("repeated runs canonicalise differently")
+	}
+}
+
+// TestSpecRunTableII does the same for a simulated-campaign kind, at the
+// fast 64-rank scale the existing Table II tests use.
+func TestSpecRunTableII(t *testing.T) {
+	spec := &CampaignSpec{
+		Version: 1,
+		Kind:    KindTableII,
+		Ranks:   64,
+		Seed:    133,
+		TableII: &TableIIParams{Iterations: 200, Intervals: []int{100, 50}, MTTFSeconds: []float64{1000}},
+	}
+	out, err := spec.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := RunTableII(TableIIConfig{
+		RunSpec:    RunSpec{Ranks: 64, Seed: 133},
+		Iterations: 200,
+		Intervals:  []int{100, 50},
+		MTTFs:      []Duration{1000 * Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.TableII.Rows) != len(direct.Rows) {
+		t.Fatalf("rows = %d, want %d", len(out.TableII.Rows), len(direct.Rows))
+	}
+	for i, r := range direct.Rows {
+		w := out.TableII.Rows[i]
+		if w.C != r.C || w.E1NS != int64(r.E1) || w.E2NS != int64(r.E2) || w.F != r.F {
+			t.Fatalf("row %d: wire %+v vs direct %+v", i, w, r)
+		}
+	}
+	if out.SimTimeNS <= 0 {
+		t.Fatalf("SimTimeNS = %d, want positive", out.SimTimeNS)
+	}
+}
+
+// TestRunSpecProgressEvents pins the wire progress feed: every state
+// change arrives as a serialized event with a sensible terminal tally.
+func TestRunSpecProgressEvents(t *testing.T) {
+	var events []ProgressEvent
+	cfg := TableIConfig{
+		RunSpec: RunSpec{
+			Seed:       2013,
+			Pool:       2,
+			OnProgress: func(ev ProgressEvent) { events = append(events, ev) },
+		},
+		Victims: 5, MaxInjections: 50,
+	}
+	if _, err := RunTableI(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 10 { // 5 victims × (started + completed)
+		t.Fatalf("events = %d, want at least 10", len(events))
+	}
+	var last ProgressEvent
+	states := map[string]int{}
+	for _, ev := range events {
+		states[ev.State]++
+		last = ev
+	}
+	if states["started"] != 5 || states["completed"] != 5 {
+		t.Fatalf("state histogram = %v", states)
+	}
+	if last.Done != 5 || last.Total != 5 || last.Failed != 0 {
+		t.Fatalf("terminal tally = %+v", last)
+	}
+}
+
+func TestNormalizeFillsDriverDefaults(t *testing.T) {
+	spec := &CampaignSpec{Version: 1, Kind: KindTableII}
+	spec.Normalize()
+	if spec.Ranks != 32768 {
+		t.Errorf("Ranks = %d, want the paper's 32768", spec.Ranks)
+	}
+	if spec.CallOverheadNS != int64(PaperCallOverhead) {
+		t.Errorf("CallOverheadNS = %d, want PaperCallOverhead", spec.CallOverheadNS)
+	}
+	p := spec.TableII
+	if p == nil {
+		t.Fatal("Normalize did not create the table2 block")
+	}
+	if p.Iterations != 1000 || !reflect.DeepEqual(p.Intervals, []int{500, 250, 125}) ||
+		!reflect.DeepEqual(p.MTTFSeconds, []float64{6000, 3000}) {
+		t.Errorf("table2 defaults = %+v", p)
+	}
+
+	cross := &CampaignSpec{Version: 1, Kind: KindCrossover}
+	cross.Normalize()
+	if cross.Ranks != 24 || cross.Crossover == nil || len(cross.Crossover.MTTFSeconds) == 0 {
+		t.Errorf("crossover defaults = ranks %d, %+v", cross.Ranks, cross.Crossover)
+	}
+}
+
+// FuzzCampaignSpecDecode asserts the decode path never panics and that
+// everything it accepts survives a canonical round trip.
+func FuzzCampaignSpecDecode(f *testing.F) {
+	f.Add([]byte(`{"version":1,"kind":"table1"}`))
+	f.Add([]byte(`{"version":1,"kind":"table2","seed":7,"table2":{"intervals":[500]}}`))
+	f.Add([]byte(`{"version":1,"kind":"replication-crossover","replication_crossover":{"degrees":[2,3]}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeCampaignSpec(data)
+		if err != nil {
+			if !IsSpecError(err) {
+				t.Fatalf("decode error is not a *SpecError: %v", err)
+			}
+			return
+		}
+		// Whatever decoded must re-encode and decode to itself.
+		out, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := DecodeCampaignSpec(out)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Fatalf("round trip diverged:\n in %+v\nout %+v", spec, back)
+		}
+		// Canonicalisation must never panic; on valid specs it must be
+		// stable.
+		if a, err := spec.Canonical(); err == nil {
+			b, err := spec.Canonical()
+			if err != nil || !bytes.Equal(a, b) {
+				t.Fatalf("canonical not stable: %v", err)
+			}
+		}
+	})
+}
