@@ -14,6 +14,9 @@
 #                     enabled; payload digests double as a check that
 #                     data-plane pooling never leaks one message's bytes
 #                     into another)
+#   6b. program-mode equivalence (closure vs program digests under -race:
+#                     500 random workloads both ways, the heat/MPI twin
+#                     tests, and the Table II program-mode campaign)
 #   7. fuzz smoke     (10s of coverage-guided fuzzing per parsing surface;
 #                     checked-in corpora already ran as regressions in 4)
 #   8. BenchmarkHandoff allocation gate (the context-switch hot path
@@ -26,6 +29,9 @@
 #                     stay within 1 KiB of resident memory per virtual
 #                     process after one exchange step — the paper's
 #                     oversubscription scaling dimension)
+#   8d. checkpointing-workload memory gate (the full Table II loop in
+#                     program mode at 256k ranks must finish within
+#                     1.25 KiB of live memory per virtual process)
 #   9. campaign-parallelism smoke (a pooled campaign under -race must
 #                     produce bit-identical results to the sequential one:
 #                     pool=4 vs pool=1 digests for the Table II grid and a
@@ -66,6 +72,16 @@ go test -race ./...
 
 echo "== differential harness (500 seeds, Validate on, -race)"
 XSIM_DIFF_SEEDS=500 go test -race -count=1 -run '^TestDifferentialSeqVsParallel$' ./internal/mpitest/
+
+echo "== program-mode equivalence (closure vs prog digests, -race)"
+# Program mode must be observationally identical to closure mode: the
+# differential harness runs every random workload both ways (Workers in
+# {1,2,4}) and compares digests, and the Table II campaign smoke pins
+# row-identical results in program mode under the race detector.
+XSIM_DIFF_SEEDS=500 go test -race -count=1 -run '^TestDifferentialClosureVsProg$' ./internal/mpitest/
+go test -race -count=1 -run '^(TestProgHeatMatchesClosure|TestProgHeatWithFailureMatchesClosure|TestProgStepOpsMatchClosure|TestProgCollectiveWithFailureMatchesClosure)$' ./internal/mpi/
+go test -race -count=1 -run '^(TestHeatProgMatchesClosure|TestHeatProgRestartMatchesClosure)$' ./internal/heat/
+go test -race -count=1 -run '^TestRunTableIIProgModeMatchesClosure$' .
 
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzUnframe$' -fuzztime 10s ./internal/mpi/
@@ -130,6 +146,29 @@ echo "$bench" | awk '
 		}
 	}
 	END { if (!seen) { print "FAIL: BenchmarkBytesPerVP/prog/ranks=262144 did not run" > "/dev/stderr"; exit 1 } }
+'
+
+echo "== checkpointing-workload memory gate (program mode, 256k ranks)"
+# The full Table II loop (halo exchange + checkpoint + barrier every other
+# iteration) must leave at most 1.25 KiB of live memory per virtual
+# process once the run completes — the budget that makes 256k–1M-rank
+# campaigns feasible on one host. Gates the post-run live footprint
+# (retained-bytes/vp); the mid-run peak is reported alongside for the
+# closure-vs-program comparison but is dominated by the all-ranks halo
+# burst, which is reused capacity, not per-rank state.
+bench=$(go test -run '^$' -bench '^BenchmarkHeatCkptBytesPerVP/prog/ranks=262144$' -benchtime 1x ./internal/heat/)
+echo "$bench"
+echo "$bench" | awk '
+	/^BenchmarkHeatCkptBytesPerVP\/prog\/ranks=262144/ {
+		seen = 1
+		for (i = 1; i <= NF; i++) {
+			if ($i == "retained-bytes/vp" && $(i-1) + 0 > 1280) {
+				print "FAIL: checkpointing program-mode footprint is " $(i-1) " retained-bytes/vp, want <= 1280" > "/dev/stderr"
+				exit 1
+			}
+		}
+	}
+	END { if (!seen) { print "FAIL: BenchmarkHeatCkptBytesPerVP/prog/ranks=262144 did not run" > "/dev/stderr"; exit 1 } }
 '
 
 echo "== campaign-parallelism smoke (pool=4 vs pool=1 digests, -race)"

@@ -150,7 +150,11 @@ func runSingle(ctx context.Context, spec xsim.RunSpec, iterations, interval int,
 		MTTF:             xsim.Seconds(mttfSecs),
 		Seed:             spec.Seed,
 		CheckpointPrefix: "heat",
-		AppFor:           func(int) xsim.App { return xsim.RunHeat(hc) },
+	}
+	if spec.ProgMode {
+		camp.ProgFor = func(int) func(rank int) xsim.Prog { return xsim.RunHeatProg(hc) }
+	} else {
+		camp.AppFor = func(int) xsim.App { return xsim.RunHeat(hc) }
 	}
 	res, err := camp.RunContext(ctx)
 	if err != nil {

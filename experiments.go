@@ -152,13 +152,28 @@ type expCell struct {
 	camp *CampaignResult
 }
 
+// setHeatApp installs the heat application on the campaign in the
+// requested execution mode.
+func setHeatApp(camp *Campaign, hc HeatConfig, prog bool) {
+	if prog {
+		camp.ProgFor = func(int) func(rank int) Prog { return RunHeatProg(hc) }
+	} else {
+		camp.AppFor = func(int) App { return RunHeat(hc) }
+	}
+}
+
 // runHeatE1 executes one no-failure heat run and returns its Result.
-func runHeatE1(ctx context.Context, simCfg Config, hc HeatConfig) (*Result, error) {
+func runHeatE1(ctx context.Context, simCfg Config, hc HeatConfig, prog bool) (*Result, error) {
 	sim, err := New(simCfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.RunContext(ctx, RunHeat(hc))
+	var res *Result
+	if prog {
+		res, err = sim.RunProgsContext(ctx, RunHeatProg(hc))
+	} else {
+		res, err = sim.RunContext(ctx, RunHeat(hc))
+	}
 	if err != nil {
 		return res, err
 	}
@@ -204,7 +219,7 @@ func RunTableIIContext(ctx context.Context, cfg TableIIConfig) (*TableII, error)
 		return runner.Task[expCell]{
 			Spec: runner.Spec{Index: index, Label: fmt.Sprintf("E1 c=%d", interval)},
 			Run: func(ctx context.Context) (expCell, error) {
-				res, err := runHeatE1(ctx, simCfg, heatAt(interval))
+				res, err := runHeatE1(ctx, simCfg, heatAt(interval), cfg.ProgMode)
 				return expCell{res: res}, err
 			},
 		}
@@ -237,8 +252,8 @@ func RunTableIIContext(ctx context.Context, cfg TableIIConfig) (*TableII, error)
 						Seed:             seed,
 						MaxRuns:          cfg.MaxRuns,
 						CheckpointPrefix: "heat",
-						AppFor:           func(int) App { return RunHeat(hc) },
 					}
+					setHeatApp(&camp, hc, cfg.ProgMode)
 					res, err := camp.RunContext(ctx)
 					return expCell{camp: res}, err
 				},
@@ -412,8 +427,8 @@ func RunFirstImpressionsContext(ctx context.Context, cfg FirstImpressionsConfig)
 					MTTF:    cfg.MTTF,
 					Seed:    seed,
 					MaxRuns: 1, // observe the first failure only
-					AppFor:  func(int) App { return RunHeat(hc) },
 				}
+				setHeatApp(&camp, hc, cfg.ProgMode)
 				res, err := camp.RunContext(ctx)
 				out := firstImpressionsTrial{camp: res}
 				// The single run usually aborts; that is the point. Only
@@ -1049,7 +1064,7 @@ func RunCheckpointIOAblationContext(ctx context.Context, cfg CheckpointIOAblatio
 		tasks = append(tasks, runner.Task[expCell]{
 			Spec: runner.Spec{Index: len(tasks), Label: fmt.Sprintf("%s E1 c=%d", a.name, interval)},
 			Run: func(ctx context.Context) (expCell, error) {
-				res, err := runHeatE1(ctx, simCfg, hc)
+				res, err := runHeatE1(ctx, simCfg, hc, cfg.ProgMode)
 				return expCell{res: res}, err
 			},
 		})
@@ -1083,8 +1098,8 @@ func RunCheckpointIOAblationContext(ctx context.Context, cfg CheckpointIOAblatio
 							Seed:             seed,
 							MaxRuns:          cfg.MaxRuns,
 							CheckpointPrefix: "heat",
-							AppFor:           func(int) App { return RunHeat(hc) },
 						}
+						setHeatApp(&camp, hc, cfg.ProgMode)
 						res, err := camp.RunContext(ctx)
 						return expCell{camp: res}, err
 					},

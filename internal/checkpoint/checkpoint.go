@@ -234,19 +234,36 @@ func (fs *FS) scheduleDrains(name string, size int) {
 // fsmodel.ErrNotExist (wrapped) for missing files.
 func (fs *FS) Read(prefix string, iteration, rank int) (Meta, []byte, error) {
 	name := FileName(prefix, iteration, rank)
-	tier := fs.model
+	tier, wait := fs.readGate(name)
+	if wait > 0 {
+		fs.env.Sleep(wait)
+	}
+	return fs.readWithTier(name, tier, iteration, rank)
+}
+
+// readGate resolves which tier a read of name is served from and how long
+// the reader must wait first: when the only surviving copy is a drain
+// still in flight, the read blocks until it lands (interruptible — a
+// failure can strike mid-wait). Splitting the gate from the read body
+// lets program-mode restores park on the wait instead of sleeping.
+func (fs *FS) readGate(name string) (tier fsmodel.Model, wait vclock.Duration) {
+	tier = fs.model
 	if fs.Tiered() {
-		// Read from the fastest tier holding a copy; when the only
-		// surviving copy is a drain still in flight, wait for it to land
-		// (interruptible — a failure can strike mid-wait).
+		// Read from the fastest tier holding a copy.
 		t, at, ok := fs.store.NearestCopy(name, fs.env.Now())
 		if ok {
 			if now := fs.env.Now(); at > now {
-				fs.env.Sleep(at.Sub(now))
+				wait = at.Sub(now)
 			}
 			tier = fs.hier[t].Model
 		}
 	}
+	return tier, wait
+}
+
+// readWithTier is the body of Read after the tier gate: metadata charge,
+// open, decode, read charge, validation.
+func (fs *FS) readWithTier(name string, tier fsmodel.Model, iteration, rank int) (Meta, []byte, error) {
 	fs.env.Elapse(tier.MetadataCost())
 	data, complete, err := fs.store.Open(name)
 	if err != nil {
@@ -284,6 +301,75 @@ func (fs *FS) ChargeRestore(prefix string, rank, iteration int) error {
 		iteration = meta.BaseIteration
 	}
 	return fmt.Errorf("%w: restore chain from iteration %d too long", ErrCorrupted, iteration)
+}
+
+// RestoreState carries one checkpoint restore across program steps: the
+// step form of Read (chargeOnly=false, one file, payload kept) and of
+// ChargeRestore (chargeOnly=true, the whole delta chain, costs only).
+// The only blocking point — waiting for an in-flight drain to land — is
+// parked on instead of slept through. Zero value ready after Begin;
+// reused restore after restore.
+type RestoreState struct {
+	prefix     string
+	rank       int
+	iteration  int
+	chargeOnly bool
+
+	hops    int
+	gated   bool
+	name    string
+	tier    fsmodel.Model
+	wait    vclock.Duration
+	sl      mpi.SleepState
+	meta    Meta
+	payload []byte
+}
+
+// Begin arms a restore of iteration's checkpoint for rank.
+func (rs *RestoreState) Begin(prefix string, rank, iteration int, chargeOnly bool) {
+	*rs = RestoreState{prefix: prefix, rank: rank, iteration: iteration, chargeOnly: chargeOnly}
+}
+
+// Meta returns the last read file's metadata after RestoreStep reports
+// done (for chargeOnly chains, the full checkpoint ending the chain).
+func (rs *RestoreState) Meta() Meta { return rs.meta }
+
+// Payload returns the requested checkpoint's payload after a
+// chargeOnly=false RestoreStep reports done.
+func (rs *RestoreState) Payload() []byte { return rs.payload }
+
+// RestoreStep advances the restore; call it from every program step until
+// it reports done, returning the park value meanwhile. Errors are the
+// same as Read's.
+func (fs *FS) RestoreStep(rs *RestoreState) (done bool, park any, err error) {
+	for {
+		if rs.hops >= 1000 { // bound against base-pointer cycles
+			return true, nil, fmt.Errorf("%w: restore chain from iteration %d too long", ErrCorrupted, rs.iteration)
+		}
+		if !rs.gated {
+			rs.name = FileName(rs.prefix, rs.iteration, rs.rank)
+			rs.tier, rs.wait = fs.readGate(rs.name)
+			rs.gated = true
+		}
+		if rs.wait > 0 {
+			done, park := fs.env.SleepStep(&rs.sl, rs.wait)
+			if !done {
+				return false, park, nil
+			}
+			rs.wait = 0
+		}
+		meta, payload, err := fs.readWithTier(rs.name, rs.tier, rs.iteration, rs.rank)
+		if err != nil {
+			return true, nil, err
+		}
+		rs.meta, rs.payload = meta, payload
+		rs.gated = false
+		if !rs.chargeOnly || !meta.Incremental {
+			return true, nil, nil
+		}
+		rs.iteration = meta.BaseIteration
+		rs.hops++
+	}
 }
 
 // Delete removes one rank's checkpoint file (idempotent).

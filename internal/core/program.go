@@ -19,11 +19,14 @@ import "xsim/internal/vclock"
 //
 // Inside Step the full Ctx API is available except Block itself — a
 // Program parks by returning, and Ctx.Block panics with a diagnostic if
-// called without a carrier. Ctx.Sleep and every MPI call that blocks via
-// Block are therefore closure-mode-only; Program-based layers expose
-// step-shaped equivalents instead. FailNow/Exitf/Abort work unchanged:
-// they unwind via panic, which the scheduler recovers and classifies
-// exactly as it does for carrier-run bodies.
+// called without a carrier. Blocking primitives come in park-shaped
+// forms instead: Ctx.SleepPark arms the timer Sleep would block on and
+// hands back the park value to return from Step, and the MPI layer's
+// step states (WaitState, RecvState, CollectiveState, ...) park on the
+// same completion events their closure counterparts block on, so the two
+// modes stay digest-identical. FailNow/Exitf/Abort work unchanged: they
+// unwind via panic, which the scheduler recovers and classifies exactly
+// as it does for carrier-run bodies.
 type Program interface {
 	Step(c *Ctx, wake any) (park any, done bool)
 }
@@ -38,9 +41,12 @@ func (p *partition) stepProgram(v *vp) bool {
 		v.state = vpRunning
 		v.clock = vclock.Max(v.clock, v.wakeAt)
 	} else {
-		// Resume from a park: mirror Block's wake-side bookkeeping.
+		// Resume from a park: mirror Block's wake-side bookkeeping
+		// (including Sleep's post-Block clearing of the sleeping flag,
+		// which guards against stale timers from abandoned sleeps).
 		v.state = vpRunning
 		v.blockReason = nil
+		v.sleeping = false
 		wake = v.wakeVal
 		v.wakeVal = nil
 		if v.wakeAt > v.clock {
@@ -51,10 +57,12 @@ func (p *partition) stepProgram(v *vp) bool {
 	p.progSteps++
 	park, done, died := p.runStep(v, wake)
 	if died {
+		v.prog = nil // a dead VP never steps again; free the program state
 		return true
 	}
 	if done {
 		v.finishDeath(p.eng, nil)
+		v.prog = nil
 		return true
 	}
 	v.state = vpBlocked

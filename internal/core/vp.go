@@ -234,6 +234,25 @@ func (c *Ctx) Sleep(d vclock.Duration) {
 	v.sleeping = false
 }
 
+// SleepPark is the program-mode counterpart of Sleep: it schedules the
+// timer event that will wake the VP after d and returns the park value
+// the Program must return from Step (ok true). For d <= 0 it returns
+// (nil, false) after the same activation check Sleep performs — the
+// program should treat that as an already-elapsed sleep and continue
+// without parking. The scheduler clears the sleeping flag on resume,
+// mirroring Sleep's post-Block bookkeeping.
+func (c *Ctx) SleepPark(d vclock.Duration) (park any, ok bool) {
+	v := c.vp
+	if d <= 0 {
+		v.checkUnwind()
+		return nil, false
+	}
+	v.sleepSeq++
+	c.Emit(Event{Time: v.clock.Add(d), Kind: kindTimer, Target: v.rank, stamp: v.sleepSeq})
+	v.sleeping = true
+	return "sleep", true
+}
+
 // AdvanceTo moves the VP's clock forward to t if t is later (e.g. to the
 // completion time of an already-completed request). Like Elapse, it is an
 // activation point for pending failures and aborts.

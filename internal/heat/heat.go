@@ -81,6 +81,11 @@ type Config struct {
 	// FullEvery bounds the incremental chain length (default 4); only
 	// meaningful with DeltaFraction > 0.
 	FullEvery int
+	// onIter, when set, is called at the top of every iteration (before
+	// the compute phase) with the rank and 1-based iteration number. It
+	// is package-private: the scale benchmarks use it to sample the
+	// simulator's resident footprint at a deterministic mid-run point.
+	onIter func(rank, iter int)
 	// ProactiveTrigger, when non-zero, makes every rank write one extra
 	// off-interval checkpoint at the first iteration boundary at or past
 	// this virtual time — proactive fault tolerance driven by a failure
@@ -371,6 +376,9 @@ func Run(env *mpi.Env, cfg Config) {
 
 	proactiveDone := false
 	for iter := startIter + 1; iter <= cfg.Iterations; iter++ {
+		if cfg.onIter != nil {
+			cfg.onIter(rank, iter)
+		}
 		if tr != nil {
 			tr.iters[rank] = iter
 		}

@@ -1,0 +1,296 @@
+package heat
+
+import (
+	"fmt"
+
+	"xsim/internal/checkpoint"
+	"xsim/internal/mpi"
+)
+
+// NewProg returns a program-mode factory for the heat application: the
+// step-based twin of Run, observationally identical phase for phase
+// (restart probe, restore, halo exchange, compute, checkpoint, barrier,
+// delete) so closure- and program-mode experiments produce the same
+// virtual timelines. Program mode is what lets the headline experiments
+// run at 256k–1M ranks: a parked rank is a few hundred bytes of state
+// instead of a goroutine stack.
+func NewProg(cfg Config) func(rank int) mpi.Prog {
+	// One shared, read-only Config for every rank: at a million VPs an
+	// embedded copy per runner is ~180 bytes/rank for identical data.
+	return func(rank int) mpi.Prog { return &heatRunner{cfg: &cfg} }
+}
+
+// heatRunner phases; the order mirrors Run's control flow.
+const (
+	hpInit = iota
+	hpRestore
+	hpAfterRestore
+	hpInitialHalo
+	hpIterStart
+	hpIterHalo
+	hpMaybeCkpt
+	hpBarrier
+	hpFinish
+)
+
+// heatRunner is one rank's resumable heat application.
+type heatRunner struct {
+	cfg *Config // shared across ranks; read-only after NewProg
+	pc  int
+
+	fs            *checkpoint.FS
+	st            *state
+	startIter     int
+	restoreIter   int
+	prevCkpt      int
+	incr          bool
+	chain         []int
+	iter          int
+	full          bool
+	proactiveDone bool
+
+	rs         checkpoint.RestoreState
+	reqs       []*mpi.Request // receives first, in directions order, then sends
+	ws         mpi.WaitState
+	haloPosted bool
+	cs         mpi.CollectiveState
+	csArmed    bool
+}
+
+// haloStep posts (once) and completes the six-face exchange of
+// state.haloExchange as a resumable step.
+func (p *heatRunner) haloStep(world *mpi.Comm) (done bool, park any) {
+	s := p.st
+	if !p.haloPosted {
+		p.haloPosted = true
+		p.reqs = p.reqs[:0]
+		for _, d := range directions {
+			req, err := world.Irecv(s.neighbor(d.dx, d.dy, d.dz), oppositeTag(d.tag))
+			if err != nil {
+				panic(fmt.Sprintf("heat: halo irecv: %v", err))
+			}
+			p.reqs = append(p.reqs, req)
+		}
+		for _, d := range directions {
+			var req *mpi.Request
+			var err error
+			if s.cfg.RealCompute {
+				req, err = world.Isend(s.neighbor(d.dx, d.dy, d.dz), d.tag, s.packFace(d))
+			} else {
+				req, err = world.IsendN(s.neighbor(d.dx, d.dy, d.dz), d.tag, s.faceSize(d))
+			}
+			if err != nil {
+				panic(fmt.Sprintf("heat: halo isend: %v", err))
+			}
+			p.reqs = append(p.reqs, req)
+		}
+		p.ws.Begin(p.reqs...)
+	}
+	done, park, err := world.WaitallStep(&p.ws)
+	if !done {
+		return false, park
+	}
+	if err != nil {
+		panic(fmt.Sprintf("heat: halo waitall: %v", err))
+	}
+	if s.cfg.RealCompute {
+		// The requests are complete, so these waits cannot block; they
+		// charge the same per-receive wait call the closure path does.
+		for i, d := range directions {
+			msg, err := world.Wait(p.reqs[i])
+			if err != nil {
+				panic(fmt.Sprintf("heat: halo wait: %v", err))
+			}
+			s.unpackFace(d, msg.Data)
+		}
+	}
+	// Recycle the completed requests (the closure path drops them to the
+	// garbage collector; freeing charges nothing and keeps steady-state
+	// allocation flat at oversubscription scale) and drop the references:
+	// the truncated slice's backing array must not pin a dozen dead
+	// Requests per parked rank until the next exchange.
+	for i := range p.reqs {
+		world.Free(p.reqs[i])
+		p.reqs[i] = nil
+	}
+	p.reqs = p.reqs[:0]
+	p.haloPosted = false
+	return true, nil
+}
+
+// Step advances the application; the body is Run's loop unrolled into
+// resumable phases.
+func (p *heatRunner) Step(env *mpi.Env, wake any) (any, bool) {
+	cfg := p.cfg
+	world := env.World()
+	rank := env.Rank()
+	tr := cfg.Tracker
+	for {
+		switch p.pc {
+		case hpInit:
+			if err := cfg.Validate(env.Size()); err != nil {
+				panic(err)
+			}
+			tr.setPhase(rank, PhaseInit)
+			fs, err := checkpoint.NewFS(env)
+			if err != nil {
+				panic(err)
+			}
+			p.fs = fs
+			p.st = newState(cfg, rank)
+			candidates := cfg.checkpointIterations()
+			if cfg.ProactiveTrigger > 0 {
+				candidates = make([]int, cfg.Iterations)
+				for i := range candidates {
+					candidates[i] = i + 1
+				}
+			}
+			it, ok := fs.LatestValidAmong(cfg.prefix(), rank, candidates)
+			if !ok {
+				p.pc = hpAfterRestore
+				continue
+			}
+			p.restoreIter = it
+			switch {
+			case cfg.RealCompute:
+				p.rs.Begin(cfg.prefix(), rank, it, false)
+			case fs.Tiered() || cfg.DeltaFraction > 0:
+				p.rs.Begin(cfg.prefix(), rank, it, true)
+			default:
+				env.Elapse(env.FSModel().ReadCost(cfg.payloadBytes()))
+				p.startIter = it
+				p.pc = hpAfterRestore
+				continue
+			}
+			p.pc = hpRestore
+		case hpRestore:
+			done, park, err := p.fs.RestoreStep(&p.rs)
+			if !done {
+				return park, false
+			}
+			if err != nil {
+				panic(fmt.Sprintf("heat: rank %d cannot reload checkpoint %d: %v", rank, p.restoreIter, err))
+			}
+			if cfg.RealCompute {
+				p.st.restore(p.rs.Payload())
+			}
+			p.startIter = p.restoreIter
+			p.pc = hpAfterRestore
+		case hpAfterRestore:
+			if tr != nil {
+				tr.startIter[rank] = p.startIter
+			}
+			p.prevCkpt = p.startIter
+			p.incr = !cfg.RealCompute && cfg.DeltaFraction > 0
+			if p.incr && p.startIter > 0 {
+				p.chain = checkpoint.Chain(env.FSStore(), cfg.prefix(), rank, p.startIter)
+			}
+			tr.setPhase(rank, PhaseHalo)
+			p.pc = hpInitialHalo
+		case hpInitialHalo:
+			done, park := p.haloStep(world)
+			if !done {
+				return park, false
+			}
+			p.iter = p.startIter
+			p.pc = hpIterStart
+		case hpIterStart:
+			p.iter++
+			if p.iter > cfg.Iterations {
+				p.pc = hpFinish
+				continue
+			}
+			if cfg.onIter != nil {
+				cfg.onIter(rank, p.iter)
+			}
+			if tr != nil {
+				tr.iters[rank] = p.iter
+			}
+			tr.setPhase(rank, PhaseCompute)
+			p.st.computeIteration(env)
+			if p.iter%cfg.ExchangeInterval == 0 || p.iter == cfg.Iterations {
+				tr.setPhase(rank, PhaseHalo)
+				p.pc = hpIterHalo
+				continue
+			}
+			p.pc = hpMaybeCkpt
+		case hpIterHalo:
+			done, park := p.haloStep(world)
+			if !done {
+				return park, false
+			}
+			p.pc = hpMaybeCkpt
+		case hpMaybeCkpt:
+			iter := p.iter
+			proactive := cfg.ProactiveTrigger > 0 && !p.proactiveDone &&
+				env.Now() >= cfg.ProactiveTrigger
+			if proactive {
+				p.proactiveDone = true
+			}
+			if !(proactive || iter%cfg.CheckpointInterval == 0 || iter == cfg.Iterations) {
+				p.pc = hpIterStart
+				continue
+			}
+			tr.setPhase(rank, PhaseCheckpoint)
+			meta := checkpoint.Meta{Iteration: iter, Rank: rank}
+			p.full = !p.incr || len(p.chain) == 0 || len(p.chain) >= cfg.fullEvery()
+			var err error
+			switch {
+			case cfg.RealCompute:
+				err = p.fs.Write(cfg.prefix(), meta, p.st.encode())
+			case p.full:
+				err = p.fs.WriteSized(cfg.prefix(), meta, cfg.payloadBytes())
+			default:
+				err = p.fs.WriteIncrementalSized(cfg.prefix(), meta, p.chain[len(p.chain)-1], cfg.deltaBytes())
+			}
+			if err != nil {
+				panic(fmt.Sprintf("heat: rank %d checkpoint %d: %v", rank, iter, err))
+			}
+			tr.setPhase(rank, PhaseBarrier)
+			p.pc = hpBarrier
+		case hpBarrier:
+			if !p.csArmed {
+				p.csArmed = true
+				p.cs.BeginBarrier()
+			}
+			done, park, err := world.CollectiveStep(&p.cs)
+			if !done {
+				return park, false
+			}
+			p.csArmed = false
+			if err != nil {
+				panic(fmt.Sprintf("heat: rank %d barrier after checkpoint %d: %v", rank, p.iter, err))
+			}
+			iter := p.iter
+			tr.setPhase(rank, PhaseDelete)
+			if p.incr {
+				if p.full {
+					for _, old := range p.chain {
+						if old != iter {
+							p.fs.Delete(cfg.prefix(), old, rank)
+						}
+					}
+					p.chain = append(p.chain[:0], iter)
+				} else {
+					p.chain = append(p.chain, iter)
+				}
+			} else if p.prevCkpt > 0 && p.prevCkpt != iter {
+				p.fs.Delete(cfg.prefix(), p.prevCkpt, rank)
+			}
+			if tr != nil {
+				tr.ckpts[rank]++
+			}
+			p.prevCkpt = iter
+			p.pc = hpIterStart
+		case hpFinish:
+			tr.setPhase(rank, PhaseDone)
+			if cfg.OnFinal != nil && cfg.RealCompute {
+				cfg.OnFinal(rank, p.st.TotalHeat())
+			}
+			env.Finalize()
+			return nil, true
+		default:
+			panic(fmt.Sprintf("heat: program in phase %d", p.pc))
+		}
+	}
+}

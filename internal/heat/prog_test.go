@@ -1,0 +1,179 @@
+package heat
+
+import (
+	"math"
+	"testing"
+
+	"xsim/internal/checkpoint"
+	"xsim/internal/core"
+	"xsim/internal/fault"
+	"xsim/internal/fsmodel"
+	"xsim/internal/mpi"
+	"xsim/internal/netmodel"
+	"xsim/internal/topology"
+	"xsim/internal/vclock"
+)
+
+// testWorldH is testWorld with a multi-tier storage hierarchy.
+func testWorldH(t *testing.T, n, workers int, store *fsmodel.Store, h fsmodel.Hierarchy, start vclock.Time, failures fault.Schedule) *mpi.World {
+	t.Helper()
+	eng, err := core.New(core.Config{NumVPs: n, Workers: workers, Lookahead: vclock.Microsecond, StartClock: start})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &netmodel.Model{
+		Topo:           topology.NewFullyConnected(n),
+		System:         netmodel.LinkParams{Latency: vclock.Microsecond, Bandwidth: 1e9, DetectionTimeout: 10 * vclock.Millisecond},
+		OnNode:         netmodel.LinkParams{Latency: vclock.Microsecond, Bandwidth: 1e9, DetectionTimeout: 10 * vclock.Millisecond},
+		EagerThreshold: 256 * 1024,
+	}
+	w, err := mpi.NewWorld(eng, mpi.WorldConfig{Net: net, Proc: fastProc, FSStore: store, FSHierarchy: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Apply(eng, failures); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// compareRuns fails the test when two runs are observationally different.
+func compareRuns(t *testing.T, label string, ref, got *core.Result) {
+	t.Helper()
+	if ref.Completed != got.Completed || ref.Failed != got.Failed || ref.Aborted != got.Aborted {
+		t.Fatalf("%s: closure %d/%d/%d vs prog %d/%d/%d (completed/failed/aborted)",
+			label, ref.Completed, ref.Failed, ref.Aborted, got.Completed, got.Failed, got.Aborted)
+	}
+	for r := range ref.FinalClocks {
+		if ref.FinalClocks[r] != got.FinalClocks[r] || ref.Deaths[r] != got.Deaths[r] {
+			t.Fatalf("%s rank %d: closure (%v, %v) vs prog (%v, %v)",
+				label, r, ref.FinalClocks[r], ref.Deaths[r], got.FinalClocks[r], got.Deaths[r])
+		}
+	}
+}
+
+// TestHeatProgMatchesClosure checks the program-mode heat application is
+// observationally identical to the closure one across the fidelity modes:
+// modelled, real compute (with conservation), incremental checkpointing,
+// and a tiered store.
+func TestHeatProgMatchesClosure(t *testing.T) {
+	const n = 8
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+		hier fsmodel.Hierarchy
+	}{
+		{name: "modelled", mut: func(c *Config) { c.RealCompute = false }},
+		{name: "real", mut: func(c *Config) {}},
+		{name: "incremental", mut: func(c *Config) {
+			c.RealCompute = false
+			c.CheckpointPayload = 1000
+			c.DeltaFraction = 0.25
+		}},
+		{name: "tiered", mut: func(c *Config) { c.RealCompute = false }, hier: fsmodel.PaperTieredFS()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallReal(n)
+			cfg.Iterations = 40
+			cfg.CheckpointInterval = 10
+			tc.mut(&cfg)
+
+			newWorld := func(workers int, store *fsmodel.Store) *mpi.World {
+				if tc.hier != nil {
+					return testWorldH(t, n, workers, store, tc.hier, 0, nil)
+				}
+				return testWorld(t, n, workers, store, 0, nil)
+			}
+
+			var refHeat, progHeat float64
+			if cfg.RealCompute {
+				cfg.OnFinal = func(rank int, h float64) { refHeat += h }
+			}
+			ref, err := newWorld(1, fsmodel.NewStore()).Run(func(e *mpi.Env) { Run(e, cfg) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Completed != n {
+				t.Fatalf("closure completed = %d", ref.Completed)
+			}
+			for _, workers := range []int{1, 2} {
+				pcfg := cfg
+				if cfg.RealCompute {
+					progHeat = 0
+					pcfg.OnFinal = func(rank int, h float64) { progHeat += h }
+				}
+				got, err := newWorld(workers, fsmodel.NewStore()).RunProgs(NewProg(pcfg))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				compareRuns(t, tc.name, ref, got)
+				if cfg.RealCompute && math.Abs(progHeat-refHeat) > 1e-9*math.Abs(refHeat) {
+					t.Fatalf("workers=%d: prog total heat %v, closure %v", workers, progHeat, refHeat)
+				}
+			}
+		})
+	}
+}
+
+// TestHeatProgRestartMatchesClosure injects a failure (closure mode, which
+// is deterministic at one worker), persists the surviving checkpoints, and
+// checks closure and program restarts from identical stores agree —
+// including the incremental-chain restore path.
+func TestHeatProgRestartMatchesClosure(t *testing.T) {
+	const n = 8
+	cfg := smallReal(n)
+	cfg.RealCompute = false
+	cfg.Iterations = 60
+	cfg.CheckpointInterval = 10
+	cfg.CheckpointPayload = 1000
+	cfg.DeltaFraction = 0.25
+
+	// Two identical failure runs produce two identical stores, so the
+	// restart comparison cannot cross-contaminate.
+	crash := func() (*fsmodel.Store, vclock.Time) {
+		store := fsmodel.NewStore()
+		w := testWorld(t, n, 1, store, 0, fault.Schedule{{Rank: 2, At: vclock.Time(vclock.Millisecond)}})
+		res, err := w.Run(func(e *mpi.Env) { Run(e, cfg) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed != 1 {
+			t.Skipf("failure did not activate before completion: %+v", res)
+		}
+		checkpoint.CleanIncompleteSets(store, "heat", n)
+		if len(checkpoint.Iterations(store, "heat")) == 0 {
+			t.Skip("no surviving checkpoint set; failure struck too early")
+		}
+		return store, res.MaxClock
+	}
+
+	store1, start1 := crash()
+	store2, start2 := crash()
+	if start1 != start2 {
+		t.Fatalf("crash runs diverged: %v vs %v", start1, start2)
+	}
+
+	tr1 := NewTracker(n)
+	ccfg := cfg
+	ccfg.Tracker = tr1
+	ref, err := testWorld(t, n, 1, store1, start1, nil).Run(func(e *mpi.Env) { Run(e, ccfg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := NewTracker(n)
+	pcfg := cfg
+	pcfg.Tracker = tr2
+	got, err := testWorld(t, n, 1, store2, start2, nil).RunProgs(NewProg(pcfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareRuns(t, "restart", ref, got)
+	for r := 0; r < n; r++ {
+		if tr1.StartIterOf(r) != tr2.StartIterOf(r) {
+			t.Errorf("rank %d: closure restarted from %d, prog from %d", r, tr1.StartIterOf(r), tr2.StartIterOf(r))
+		}
+		if tr2.PhaseOf(r) != PhaseDone {
+			t.Errorf("rank %d: prog phase %v, want done", r, tr2.PhaseOf(r))
+		}
+	}
+}

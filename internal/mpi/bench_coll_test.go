@@ -1,0 +1,179 @@
+package mpi
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"xsim/internal/core"
+	"xsim/internal/procmodel"
+)
+
+// benchWorldTree is benchWorld with tree collectives — the scalable
+// algorithm the collective-heavy scale benchmarks use.
+func benchWorldTree(b *testing.B, n int) *World {
+	b.Helper()
+	eng, err := core.New(core.Config{NumVPs: n})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := NewWorld(eng, WorldConfig{Net: testNet(n), Proc: procmodel.Paper(), Collectives: Tree})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// allreduceClosure is the collective-heavy closure workload: one
+// allreduce per step, the shape where every rank blocks inside a
+// collective at every step. Rank 0 calls sample at the mid-step
+// boundary, when every other rank is parked inside the collective — the
+// steady-state resident footprint of the running simulation.
+func allreduceClosure(steps int, sample func(), fail func(error)) func(*Env) {
+	return func(e *Env) {
+		defer e.Finalize()
+		c := e.World()
+		contrib := []float64{float64(e.Rank())}
+		for i := 0; i < steps; i++ {
+			if e.Rank() == 0 && i == steps/2 {
+				sample()
+			}
+			if _, err := c.Allreduce(contrib, OpSum); err != nil {
+				fail(err)
+			}
+		}
+	}
+}
+
+// allreduceBenchProg is the program-mode twin: the same allreduce-per-step
+// loop as a parked CollectiveState machine.
+type allreduceBenchProg struct {
+	steps, step int
+	armed       bool
+	cs          CollectiveState
+	sample      func()
+	fail        func(error)
+}
+
+func (p *allreduceBenchProg) Step(e *Env, wake any) (any, bool) {
+	c := e.World()
+	for {
+		if p.step == p.steps {
+			e.Finalize()
+			return nil, true
+		}
+		if !p.armed {
+			p.armed = true
+			if e.Rank() == 0 && p.step == p.steps/2 {
+				p.sample()
+			}
+			p.cs.BeginAllreduce([]float64{float64(e.Rank())}, OpSum)
+		}
+		done, park, err := c.CollectiveStep(&p.cs)
+		if !done {
+			return park, false
+		}
+		p.armed = false
+		if err != nil {
+			p.fail(err)
+		}
+		p.step++
+	}
+}
+
+// memSampler measures the simulation's mid-run resident footprint: the
+// baseline is read before the world is built, and sample (called by rank
+// 0 at the workload's mid-step, when every other rank is parked) collects
+// the live heap+stack after a GC. That is the number that decides how
+// many virtual processes fit on one host: in closure mode it includes
+// every parked rank's goroutine stack; in program mode a parked rank is
+// only its state machine.
+type memSampler struct {
+	before, mid, after runtime.MemStats
+}
+
+// settle runs two collections so the second cycle finishes sweeping the
+// first cycle's garbage: after one GC, HeapInuse still counts lazily
+// swept spans and overstates the live footprint.
+func settle(into *runtime.MemStats) {
+	runtime.GC()
+	runtime.GC()
+	runtime.ReadMemStats(into)
+}
+
+func (m *memSampler) baseline() { settle(&m.before) }
+
+func (m *memSampler) sample() { settle(&m.mid) }
+
+// final records the post-run footprint (world still live): the retained
+// cost once every rank has finished — the accounting the pre-existing
+// BenchmarkBytesPerVP gate uses.
+func (m *memSampler) final() { settle(&m.after) }
+
+// bytesPerVP is the mid-run peak: heap spans plus goroutine stacks
+// (HeapInuse + StackInuse). Spans count whole 8 KiB pages, so this
+// includes the allocator geometry the in-flight messages really occupy
+// while the simulation runs — the honest "does it fit in RAM" number.
+func (m *memSampler) bytesPerVP(n int) float64 {
+	grew := (m.mid.HeapInuse + m.mid.StackInuse) - (m.before.HeapInuse + m.before.StackInuse)
+	return float64(grew) / float64(n)
+}
+
+// retainedPerVP is the post-run live footprint: reachable bytes plus
+// stacks (HeapAlloc + StackInuse). It deliberately excludes span
+// geometry — after a run, partially-filled spans pinned by request churn
+// are reusable capacity for the next simulation, not per-rank state — so
+// this is the number that scales with the rank count and the one the
+// ci.sh gate holds.
+func (m *memSampler) retainedPerVP(n int) float64 {
+	grew := (m.after.HeapAlloc + m.after.StackInuse) - (m.before.HeapAlloc + m.before.StackInuse)
+	return float64(grew) / float64(n)
+}
+
+// BenchmarkAllreduceBytesPerVP measures the resident memory cost of one
+// virtual process on the collective-heavy workload (tree allreduce per
+// step): mid-run heap+stack growth divided by the rank count, plus the
+// achieved rank-steps per second. In closure mode every rank parks a
+// goroutine inside the collective; in program mode the same rank is a
+// parked CollectiveState a few hundred bytes wide, which is what lets
+// the workload scale to a million ranks.
+func BenchmarkAllreduceBytesPerVP(b *testing.B) {
+	const steps = 2
+	measure := func(b *testing.B, n int, run func(w *World, sample func()) error) {
+		for i := 0; i < b.N; i++ {
+			var ms memSampler
+			ms.baseline()
+			w := benchWorldTree(b, n)
+			start := b.Elapsed()
+			if err := run(w, ms.sample); err != nil {
+				b.Fatal(err)
+			}
+			elapsed := (b.Elapsed() - start).Seconds()
+			ms.final()
+			b.ReportMetric(ms.bytesPerVP(n), "bytes/vp")
+			b.ReportMetric(ms.retainedPerVP(n), "retained-bytes/vp")
+			b.ReportMetric(float64(n)*float64(steps)/elapsed, "rankstep/s")
+			runtime.KeepAlive(w)
+		}
+	}
+	for _, n := range []int{4096, 65536} {
+		n := n
+		b.Run(fmt.Sprintf("closure/ranks=%d", n), func(b *testing.B) {
+			measure(b, n, func(w *World, sample func()) error {
+				_, err := w.Run(allreduceClosure(steps, sample, func(err error) { b.Error(err) }))
+				return err
+			})
+		})
+	}
+	for _, n := range []int{4096, 65536, 262144, 1048576} {
+		n := n
+		b.Run(fmt.Sprintf("prog/ranks=%d", n), func(b *testing.B) {
+			measure(b, n, func(w *World, sample func()) error {
+				_, err := w.RunProgs(func(rank int) Prog {
+					return &allreduceBenchProg{steps: steps, sample: sample, fail: func(err error) { b.Error(err) }}
+				})
+				return err
+			})
+		})
+	}
+}

@@ -227,6 +227,7 @@ func (w *World) onDeath(c *core.Ctx, reason core.DeathReason) {
 	// are unreachable now — release them and their payload buffers.
 	if ps, ok := c.Data().(*procState); ok {
 		ps.drainUnexpected()
+		ps.releaseIndexes()
 	}
 	if reason != core.DeathFailed {
 		return
@@ -323,6 +324,11 @@ type Env struct {
 
 	finalized  bool
 	nextCommID int
+	// prog marks a process executing as a program VP (World.RunProgs):
+	// blocking calls panic with a typed ClosureOnlyError instead of
+	// reaching core.Ctx.Block, directing the caller at the step-based
+	// states (WaitState, RecvState, CollectiveState, SleepState, ...).
+	prog bool
 }
 
 // Rank returns the process's world rank.
@@ -347,8 +353,15 @@ func (e *Env) Elapse(d vclock.Duration) { e.ctx.Elapse(d) }
 func (e *Env) Compute(ops float64) { e.ctx.Elapse(e.w.cfg.Proc.ComputeTime(ops)) }
 
 // Sleep advances the virtual clock by d while yielding to the simulator
-// (interruptible by failures and aborts, unlike Elapse).
-func (e *Env) Sleep(d vclock.Duration) { e.ctx.Sleep(d) }
+// (interruptible by failures and aborts, unlike Elapse). Programs use
+// SleepStep instead: a positive-duration Sleep blocks, which a program
+// VP cannot do.
+func (e *Env) Sleep(d vclock.Duration) {
+	if e.prog && d > 0 {
+		panic(&ClosureOnlyError{Op: "sleep", Rank: e.Rank()})
+	}
+	e.ctx.Sleep(d)
+}
 
 // Finalize marks a clean MPI exit. Applications that return without
 // calling it are treated as failed processes. In Validate mode it also

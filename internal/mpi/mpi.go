@@ -146,6 +146,13 @@ type Request struct {
 	// id-ordered pending list (ids are monotonic, so appending keeps the
 	// order) alongside the id-keyed map.
 	nNext, nPrev *Request
+
+	// waiter points at the program-mode WaitState tracking this request,
+	// so completion can decrement its pending count in O(1) instead of
+	// the wait re-scanning the request set on every wake; nil for
+	// requests not under a program wait (closure mode, free-standing
+	// Isends). Cleared at completion and by putReq's zeroing.
+	waiter *WaitState
 }
 
 // Done reports whether the request has completed (successfully or not).

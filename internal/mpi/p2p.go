@@ -400,6 +400,37 @@ func (ps *procState) drainUnexpected() {
 	}
 }
 
+// releaseIndexes drops the per-rank matching structures a dead rank no
+// longer needs: the posted-receive index, the unexpected-message map
+// shells (their queues were just emptied by drainUnexpected), the
+// collective scratch, and the pending-lookup spill map. Every one of
+// them is recreated on demand by its writer, so releasing an empty
+// structure is behavior-neutral — and only empty ones are released: a
+// failed rank that still has receives posted (or requests pending) keeps
+// those structures, and with them the matching semantics for whatever is
+// still in flight. At a million ranks the released maps are the dominant
+// retained cost of a finished rank that ever received from more than
+// postedInline distinct peers.
+func (ps *procState) releaseIndexes() {
+	ps.unexpBySrc = nil
+	ps.unexpByComm = nil
+	ps.f64s = nil
+	if ps.postedWild.head == nil {
+		empty := true
+		ps.posted.each(func(_ matchKey, q *reqQ) {
+			if q.head != nil {
+				empty = false
+			}
+		})
+		if empty {
+			ps.posted = postedIdx{}
+		}
+	}
+	if ps.pendHead == nil {
+		ps.pendSpill = nil
+	}
+}
+
 // pendSpillThreshold is the pending-set size past which id lookups switch
 // from walking the intrusive list to the pendSpill map. Point-to-point
 // shapes keep a handful of requests pending; fan-in collectives at the
@@ -704,6 +735,10 @@ func completeRequest(ps *procState, req *Request, at vclock.Time, err error) {
 	req.completeAt = at
 	req.err = err
 	req.awaitingData = false
+	if req.waiter != nil {
+		req.waiter.pending--
+		req.waiter = nil
+	}
 	if req.data != nil {
 		if req.ownedData {
 			ps.dp.putBuf(req.data)
@@ -789,6 +824,11 @@ func (e *Env) wait(reqs ...*Request) error {
 			if !r.done {
 				e.ps.armTimeout(e.w, r, vpEmitter{e.ctx})
 			}
+		}
+		if e.prog {
+			// A program VP has no goroutine to block; the step-based
+			// WaitState is the program-mode form of this wait.
+			panic(&ClosureOnlyError{Op: waitReason(reqs), Rank: e.Rank()})
 		}
 		e.ps.waitingOn = reqs
 		e.ctx.Block(e.ps)

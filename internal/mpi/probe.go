@@ -116,6 +116,11 @@ func (c *Comm) Probe(src, tag int) (*Message, error) {
 			e.w.m.recordDetection(e.Rank(), peer, now)
 			return nil, c.handleError(&ProcFailedError{Rank: peer, FailedAt: tof, Op: "probe"})
 		}
+		if e.prog {
+			// A program VP cannot block; ProbeStep is the program-mode
+			// form of this probe.
+			panic(&ClosureOnlyError{Op: fmt.Sprintf("probe: src %d tag %d (comm %d)", worldSrc, tag, c.id), Rank: e.Rank()})
+		}
 		pr := &probeRec{comm: c.id, src: worldSrc, tag: tag}
 		e.ps.probes = append(e.ps.probes, pr)
 		// Block with the procState: the reason string is formatted lazily

@@ -1,6 +1,8 @@
 package mpi
 
 import (
+	"fmt"
+
 	"xsim/internal/core"
 	"xsim/internal/trace"
 	"xsim/internal/vclock"
@@ -13,14 +15,21 @@ import (
 // processes.
 //
 // The programming model: a Prog's Step runs MPI calls that complete
-// without blocking — Irecv, eager Send/SendN/Isend/IsendN (below the
-// network model's eager threshold), Elapse/Compute — and expresses every
-// wait as a WaitState it parks on by
-// returning. Calls that must block the caller (rendezvous or blocking
-// sends, Recv, Probe, Barrier, collectives, Sleep) are closure-mode only
-// and panic with a diagnostic if used from a program. The dominant
-// oversubscription shapes (halo exchange: Irecv/Irecv/Send/Send/Waitall)
-// fit the restriction exactly; use World.Run when they don't.
+// without blocking — Irecv, Isend/IsendN (rendezvous sends included),
+// Elapse/Compute — and expresses every blocking point as a step state it
+// parks on by returning: WaitState for Wait/Waitall (rendezvous sends
+// park on the clear-to-send exactly like a blocked closure), RecvState
+// and SendState for blocking point-to-point, ProbeState for MPI_Probe,
+// SleepState for interruptible sleeps (checkpoint I/O charging), and
+// CollectiveState (prog_coll.go) for barrier/bcast/reduce/allreduce/
+// gather/scatter/allgather/alltoall over the same reserved-tag traffic
+// as the closure algorithms — the two modes are digest-identical.
+// Closure-style blocking entry points (Comm.Recv, rendezvous Comm.Send,
+// Comm.Probe, the collective methods, Env.Sleep) cannot run on a program
+// VP and panic with a typed *ClosureOnlyError naming the op and rank.
+// Comm.Abort and Env.FailNow keep their closure semantics — they unwind
+// the VP via panic, which the scheduler classifies, so programs may call
+// them directly.
 
 // Prog is a resumable MPI program: one simulated process expressed as
 // explicit steps between waits. Step is called once to start (wake == nil)
@@ -41,9 +50,28 @@ func (w *World) RunProgs(newProg func(rank int) Prog) (*core.Result, error) {
 	return w.eng.RunPrograms(func(c *core.Ctx) core.Program {
 		b := &progBundle{}
 		initProcEnv(&b.procBundle, w, c)
+		b.env.prog = true
 		b.pv = progVP{env: &b.env, user: newProg(c.Rank())}
 		return &b.pv
 	})
+}
+
+// ClosureOnlyError is the panic value raised when a program VP calls a
+// blocking MPI entry point (Comm.Recv, a rendezvous Comm.Send, Comm.Probe,
+// a collective method, Env.Sleep): a program has no goroutine to block, so
+// the call names the op and rank and points at the step-based equivalent.
+// It doubles as the typed error path for ops that stay closure-only.
+type ClosureOnlyError struct {
+	// Op describes the blocking operation (e.g. "MPI wait: recv from 3
+	// tag 0 (comm 0)", "probe: src 1 tag -1 (comm 0)", "sleep").
+	Op string
+	// Rank is the world rank of the offending process.
+	Rank int
+}
+
+// Error implements error.
+func (e *ClosureOnlyError) Error() string {
+	return fmt.Sprintf("mpi: rank %d: %s would block, which a program VP cannot do (closure-mode-only; use the step-based state instead)", e.Rank, e.Op)
 }
 
 // progBundle extends the per-process allocation with the program adapter,
@@ -62,37 +90,62 @@ type progVP struct {
 
 func (pv *progVP) Step(c *core.Ctx, wake any) (park any, done bool) {
 	park, done = pv.user.Step(pv.env, wake)
-	if done && !pv.env.finalized {
-		c.Logf("exited without MPI_Finalize: simulated MPI process failure")
-		c.FailNow()
+	if done {
+		if !pv.env.finalized {
+			c.Logf("exited without MPI_Finalize: simulated MPI process failure")
+			c.FailNow()
+		}
+		// The rank is done: drop the user program (and everything its
+		// state machine pins — request slices, grids, wait sets) while
+		// the per-process bundle lives on for post-run accounting. At a
+		// million ranks the finished programs would otherwise be the
+		// largest block of dead memory in the residual footprint.
+		pv.user = nil
 	}
 	return park, done
 }
 
 // WaitState carries one wait (a Wait or Waitall) across program steps: the
-// request set being waited on and whether the per-call overhead has been
-// charged. It is embedded in the user's program state and reused wait
+// request set being waited on, whether the per-call overhead has been
+// charged, and a pending count maintained by request completion
+// (completeRequest decrements it through Request.waiter), so a wake that
+// does not finish the wait re-parks in O(1) instead of re-scanning the
+// request set. It is embedded in the user's program state and reused wait
 // after wait; Begin never allocates once the request slice has grown to
 // the program's steady-state width.
 type WaitState struct {
 	reqs    []*Request
 	charged bool
+	// pending counts the tracked not-yet-complete requests; valid once
+	// the wait has parked (waitStep's first not-done pass fills it).
+	pending int
 }
 
 // Begin arms the wait for a new request set. Call it once per wait, then
-// call WaitStep/WaitallStep from every step until it reports done.
+// call WaitStep/WaitallStep from every step until it reports done. A
+// request must appear at most once in the set.
 func (ws *WaitState) Begin(reqs ...*Request) {
 	ws.reqs = append(ws.reqs[:0], reqs...)
 	ws.charged = false
+	ws.pending = 0
 }
 
 // waitStep is one scheduling quantum of Env.wait, shaped for programs: it
 // either completes the wait (done == true: the clock has advanced to the
 // latest completion and err is the first request error in request order)
 // or arms failure-detection timeouts and returns the park value the
-// program must return from Step. Wake-ups deliver no value — re-calling
-// waitStep re-examines the request set, exactly like the closure loop.
+// program must return from Step. Wake-ups deliver no value — a wake with
+// requests still pending re-parks in O(1) off the pending count, and the
+// final wake re-examines the request set exactly like the closure loop.
 func (e *Env) waitStep(ws *WaitState) (done bool, park any, err error) {
+	if ws.charged && ws.pending > 0 {
+		// O(1) re-park: a completion woke the VP but the wait is not
+		// done. No re-scan and no timeout re-arm is needed — timeouts
+		// for peers that failed while parked are armed by the
+		// failure-notification handler, as in closure mode.
+		e.ps.waitingOn = ws.reqs
+		return false, e.ps, nil
+	}
 	if !ws.charged {
 		e.chargeCall()
 		ws.charged = true
@@ -109,11 +162,17 @@ func (e *Env) waitStep(ws *WaitState) (done bool, park any, err error) {
 		}
 	}
 	if !allDone {
-		// Before parking, arm failure-detection timeouts for pending
-		// requests that involve already-known-failed peers; requests whose
-		// peer fails later are armed by the notification handler.
+		// Before parking, register each pending request with this wait
+		// (completion decrements pending in O(1)) and arm
+		// failure-detection timeouts for requests that involve
+		// already-known-failed peers; requests whose peer fails later
+		// are armed by the notification handler.
 		for _, r := range ws.reqs {
 			if !r.done {
+				if r.waiter != ws {
+					r.waiter = ws
+					ws.pending++
+				}
 				e.ps.armTimeout(e.w, r, vpEmitter{e.ctx})
 			}
 		}
@@ -139,10 +198,21 @@ func (e *Env) waitStep(ws *WaitState) (done bool, park any, err error) {
 	}
 	for _, r := range ws.reqs {
 		if r.err != nil {
-			return true, nil, r.err
+			err = r.err
+			break
 		}
 	}
-	return true, nil, nil
+	// Drop the request references (capacity stays for the next Begin): an
+	// idle WaitState must not pin completed — and possibly recycled —
+	// requests in memory while the program is parked elsewhere. At a
+	// million ranks those stale pointers are the difference between a
+	// parked rank costing its state machine and costing its state machine
+	// plus a dozen dead Requests.
+	for i := range ws.reqs {
+		ws.reqs[i] = nil
+	}
+	ws.reqs = ws.reqs[:0]
+	return true, nil, err
 }
 
 // WaitallStep advances a program's wait on the request set armed by
@@ -158,4 +228,184 @@ func (c *Comm) WaitallStep(ws *WaitState) (done bool, park any, err error) {
 		err = c.handleError(err)
 	}
 	return done, park, err
+}
+
+// WaitStep advances a program's wait on the single request armed by
+// ws.Begin — the step form of Comm.Wait. On done it returns the received
+// message for receives (nil for sends); like Wait, the request stays the
+// caller's to Free or reuse.
+func (c *Comm) WaitStep(ws *WaitState) (done bool, park any, msg *Message, err error) {
+	req := ws.reqs[0] // waitStep drops the references on completion
+	done, park, err = c.env.waitStep(ws)
+	if !done {
+		return false, park, nil, nil
+	}
+	if err != nil {
+		return true, nil, nil, c.handleError(err)
+	}
+	return true, nil, req.msg, nil
+}
+
+// SleepState carries one interruptible sleep across program steps: the
+// step form of Env.Sleep, used e.g. to charge checkpoint-restore gate
+// delays. Zero value ready; reused sleep after sleep.
+type SleepState struct {
+	armed bool
+}
+
+// SleepStep advances the sleep. The first call arms the wake timer and
+// returns the park value to return from Step (or done immediately for
+// d <= 0); the resume call reports done. The clock advances to the wake
+// time on resume, with events due before the deadline (failure
+// activations, aborts, message arrivals) processed in order — exactly
+// Env.Sleep's semantics.
+func (e *Env) SleepStep(ss *SleepState, d vclock.Duration) (done bool, park any) {
+	if ss.armed {
+		ss.armed = false
+		return true, nil
+	}
+	park, ok := e.ctx.SleepPark(d)
+	if !ok {
+		return true, nil
+	}
+	ss.armed = true
+	return false, park
+}
+
+// RecvState carries one blocking receive across program steps: the step
+// form of Comm.Recv. Zero value ready; reused receive after receive.
+type RecvState struct {
+	ws  WaitState
+	req *Request
+}
+
+// RecvStep advances a blocking receive from src (or AnySource) with tag
+// (or AnyTag). The first call posts the receive; src and tag are ignored
+// on resume calls. On done the caller owns msg (Release it once
+// consumed); a failed-process receive completes in error after the
+// detection timeout, through the communicator's error handler, exactly
+// like Recv.
+func (c *Comm) RecvStep(rs *RecvState, src, tag int) (done bool, park any, msg *Message, err error) {
+	if rs.req == nil {
+		req, err := c.irecv(src, tag)
+		if err != nil {
+			return true, nil, nil, c.handleError(err)
+		}
+		rs.req = req
+		rs.ws.Begin(req)
+	}
+	done, park, err = c.env.waitStep(&rs.ws)
+	if !done {
+		return false, park, nil, nil
+	}
+	req := rs.req
+	rs.req = nil
+	msg = req.msg
+	req.msg = nil
+	c.env.ps.dp.putReq(req)
+	if err != nil {
+		if msg != nil {
+			msg.Release()
+		}
+		return true, nil, nil, c.handleError(err)
+	}
+	return true, nil, msg, nil
+}
+
+// SendState carries one blocking send across program steps: the step form
+// of Comm.Send/SendN. Zero value ready; reused send after send.
+type SendState struct {
+	ws  WaitState
+	req *Request
+}
+
+// SendStep advances a blocking send of data to dst with tag. Eager sends
+// complete on the first call; larger-than-threshold sends post the
+// rendezvous envelope and park until the receiver's clear-to-send — data
+// must stay untouched until done (the MPI contract; the payload is read
+// at clear-to-send time). dst, tag, and data are ignored on resume calls.
+func (c *Comm) SendStep(ss *SendState, dst, tag int, data []byte) (done bool, park any, err error) {
+	return c.sendStep(ss, dst, tag, len(data), data)
+}
+
+// SendNStep is SendStep for a payload-free message of the given size.
+func (c *Comm) SendNStep(ss *SendState, dst, tag, size int) (done bool, park any, err error) {
+	return c.sendStep(ss, dst, tag, size, nil)
+}
+
+func (c *Comm) sendStep(ss *SendState, dst, tag, size int, data []byte) (done bool, park any, err error) {
+	if ss.req == nil {
+		req, err := c.isend(dst, tag, size, data)
+		if err != nil {
+			return true, nil, c.handleError(err)
+		}
+		ss.req = req
+		ss.ws.Begin(req)
+	}
+	done, park, err = c.env.waitStep(&ss.ws)
+	if !done {
+		return false, park, nil
+	}
+	c.env.ps.dp.putReq(ss.req)
+	ss.req = nil
+	return true, nil, c.handleError(err)
+}
+
+// ProbeState carries one blocking probe across program steps: the step
+// form of Comm.Probe. Zero value ready; reused probe after probe. The
+// embedded probe record is registered by address, so a ProbeState must
+// not be copied while a probe is in flight.
+type ProbeState struct {
+	begun     bool
+	parked    bool
+	worldSrc  int
+	tag       int
+	postClock vclock.Time
+	pr        probeRec
+}
+
+// ProbeStep advances a blocking probe for a message from src (or
+// AnySource) with tag (or AnyTag); src and tag are ignored on resume
+// calls. On done msg carries the envelope information without consuming
+// the message; probing a failed process completes in error after the
+// detection timeout, like Probe.
+func (c *Comm) ProbeStep(st *ProbeState, src, tag int) (done bool, park any, msg *Message, err error) {
+	e := c.env
+	if !st.begun {
+		e.chargeCall()
+		if err := c.checkRevoked("probe"); err != nil {
+			return true, nil, nil, c.handleError(err)
+		}
+		worldSrc, err := c.probeSrc(src)
+		if err != nil {
+			return true, nil, nil, c.handleError(err)
+		}
+		st.begun = true
+		st.worldSrc = worldSrc
+		st.tag = tag
+		st.postClock = e.ctx.NowQuiet()
+	}
+	if st.parked {
+		st.parked = false
+		e.ps.removeProbe(&st.pr)
+	}
+	if env := e.ps.peekUnexpected(c.id, st.worldSrc, st.tag); env != nil {
+		st.begun = false
+		return true, nil, &Message{Src: env.srcCommRank, Tag: env.tag, Size: env.size}, nil
+	}
+	// A relevant failed peer means no message can come: complete in error
+	// after the detection timeout, like a receive would.
+	if peer, tof, ok := e.ps.relevantFailure(st.worldSrc); ok {
+		at := vclock.Max(st.postClock, tof).Add(e.w.cfg.Net.Timeout(e.Rank(), peer))
+		now := vclock.Max(at, e.ctx.NowQuiet())
+		e.ctx.AdvanceTo(now)
+		e.w.trace(trace.Event{At: now, Kind: trace.KindDetect, Rank: int32(e.Rank()), Peer: int32(peer), Aux: int64(tof)})
+		e.w.m.recordDetection(e.Rank(), peer, now)
+		st.begun = false
+		return true, nil, nil, c.handleError(&ProcFailedError{Rank: peer, FailedAt: tof, Op: "probe"})
+	}
+	st.pr = probeRec{comm: c.id, src: st.worldSrc, tag: st.tag}
+	e.ps.probes = append(e.ps.probes, &st.pr)
+	st.parked = true
+	return false, e.ps, nil, nil
 }

@@ -10,13 +10,17 @@ import (
 )
 
 // runProgWorldErr mirrors runWorldErr for program mode.
-func runProgWorldErr(t *testing.T, n, workers int, failures map[int]vclock.Time, newProg func(rank int) Prog) (*core.Result, error) {
+func runProgWorldErr(t *testing.T, n, workers int, failures map[int]vclock.Time, newProg func(rank int) Prog, opts ...worldOpt) (*core.Result, error) {
 	t.Helper()
 	eng, err := core.New(core.Config{NumVPs: n, Workers: workers, Lookahead: vclock.Microsecond})
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, err := NewWorld(eng, WorldConfig{Net: testNet(n), Proc: procmodel.Paper()})
+	cfg := WorldConfig{Net: testNet(n), Proc: procmodel.Paper()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	w, err := NewWorld(eng, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,8 +195,45 @@ func (rendezvousProg) Step(e *Env, wake any) (any, bool) {
 
 func TestProgRendezvousSendPanicsWithDiagnostic(t *testing.T) {
 	_, err := runProgWorldErr(t, 2, 1, nil, func(rank int) Prog { return rendezvousProg{} })
-	if err == nil || !strings.Contains(err.Error(), "called Block from a program VP") {
-		t.Fatalf("err = %v, want the program-Block diagnostic", err)
+	if err == nil || !strings.Contains(err.Error(), "closure-mode-only") {
+		t.Fatalf("err = %v, want the typed closure-only diagnostic", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "rank 0") {
+		t.Fatalf("err = %v, want the offending rank named", err)
+	}
+}
+
+// closureOnlyProg drives one closure-mode-only entry point per op name.
+type closureOnlyProg struct{ op string }
+
+func (p closureOnlyProg) Step(e *Env, wake any) (any, bool) {
+	c := e.World()
+	switch p.op {
+	case "recv":
+		if e.Rank() == 0 {
+			_, _ = c.Recv(1, 0)
+		}
+	case "sleep":
+		e.Sleep(vclock.Millisecond)
+	case "probe":
+		if e.Rank() == 0 {
+			_, _ = c.Probe(1, 0)
+		}
+	case "barrier":
+		_ = c.Barrier()
+	}
+	e.Finalize()
+	return nil, true
+}
+
+func TestProgClosureOnlyEntriesPanicTyped(t *testing.T) {
+	for _, op := range []string{"recv", "sleep", "probe", "barrier"} {
+		t.Run(op, func(t *testing.T) {
+			_, err := runProgWorldErr(t, 2, 1, nil, func(rank int) Prog { return closureOnlyProg{op: op} })
+			if err == nil || !strings.Contains(err.Error(), "closure-mode-only") {
+				t.Fatalf("op %s: err = %v, want the typed closure-only diagnostic", op, err)
+			}
+		})
 	}
 }
 

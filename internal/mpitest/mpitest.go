@@ -315,9 +315,9 @@ type Outcome struct {
 	Failures                                                []xsim.FailureMetric
 }
 
-// Run executes the workload at the given worker count with invariant
-// checks enabled and returns its outcome.
-func (w *Workload) Run(workers int) (*Outcome, error) {
+// simConfig builds the simulation configuration shared by the closure
+// and program execution modes.
+func (w *Workload) simConfig(workers int) xsim.Config {
 	cfg := xsim.Config{
 		Ranks:        w.Ranks,
 		Workers:      workers,
@@ -329,16 +329,12 @@ func (w *Workload) Run(workers int) (*Outcome, error) {
 	if w.Tree {
 		cfg.Collectives = mpi.Tree
 	}
-	sim, err := xsim.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	digests := make([]uint64, w.Ranks)
-	errs := make([]string, w.Ranks)
-	res, err := sim.Run(w.app(digests, errs))
-	if err != nil {
-		return nil, err
-	}
+	return cfg
+}
+
+// outcome folds a run's result and the per-rank observations into the
+// comparable Outcome.
+func (w *Workload) outcome(res *xsim.Result, digests []uint64, errs []string) *Outcome {
 	return &Outcome{
 		SimTime: res.SimTime, MinTime: res.MinTime, AvgTime: res.AvgTime,
 		Completed: res.Completed, Failed: res.Failed, Aborted: res.Aborted,
@@ -350,7 +346,23 @@ func (w *Workload) Run(workers int) (*Outcome, error) {
 		CollectiveOps: res.MPI.CollectiveOps,
 		UnexpectedMax: res.MPI.UnexpectedMax,
 		Failures:      res.MPI.Failures,
-	}, nil
+	}
+}
+
+// Run executes the workload at the given worker count with invariant
+// checks enabled and returns its outcome.
+func (w *Workload) Run(workers int) (*Outcome, error) {
+	sim, err := xsim.New(w.simConfig(workers))
+	if err != nil {
+		return nil, err
+	}
+	digests := make([]uint64, w.Ranks)
+	errs := make([]string, w.Ranks)
+	res, err := sim.Run(w.app(digests, errs))
+	if err != nil {
+		return nil, err
+	}
+	return w.outcome(res, digests, errs), nil
 }
 
 // Diff compares two outcomes field by field and describes the first

@@ -1,0 +1,379 @@
+package mpitest
+
+import (
+	"fmt"
+
+	"xsim"
+	"xsim/internal/mpi"
+)
+
+// RunProg executes the workload in program mode at the given worker count:
+// the same scripted per-rank program as Run, expressed as a resumable
+// state machine over the step-based blocking surface (WaitStep,
+// SendStep, RecvStep, ProbeStep, SleepStep, CollectiveStep) instead of
+// goroutine-blocking calls. A correct engine produces a bit-identical
+// Outcome from both modes, so Diff(Run(...), RunProg(...)) == "" is the
+// program-mode conformance check across every workload shape the
+// generator emits.
+func (w *Workload) RunProg(workers int) (*Outcome, error) {
+	sim, err := xsim.New(w.simConfig(workers))
+	if err != nil {
+		return nil, err
+	}
+	digests := make([]uint64, w.Ranks)
+	errs := make([]string, w.Ranks)
+	res, err := sim.RunProgs(func(rank int) xsim.Prog {
+		return &progRank{w: w, d: newDigest(), digests: digests, errs: errs}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return w.outcome(res, digests, errs), nil
+}
+
+// progRank is one rank's resumable scripted program: the program-mode
+// twin of runRank, phase for phase and observation for observation.
+type progRank struct {
+	w       *Workload
+	digests []uint64
+	errs    []string
+	d       *digest
+
+	started   bool
+	pi        int  // current phase
+	atBarrier bool // in the phase-quiescing barrier
+
+	mi    int // message/collective/step cursor within the phase
+	wi    int // wait-permutation cursor (burst phases)
+	stage int // sub-stage of the current message (probe phases)
+
+	reqs    []*xsim.Request
+	recvOf  []int
+	perm    []int
+	waiting bool
+	pmSrc   int // probed envelope for the follow-up receive
+	pmTag   int
+
+	ws    xsim.WaitState
+	ss    xsim.SendState
+	rs    xsim.RecvState
+	ps    xsim.ProbeState
+	sl    xsim.SleepState
+	cs    xsim.CollectiveState
+	armed bool
+}
+
+// Step advances the scripted program; the body is runRank's loop unrolled
+// into resumable phases, folding the same observations in the same order.
+func (p *progRank) Step(e *xsim.Env, wake any) (any, bool) {
+	c := e.World()
+	if !p.started {
+		p.started = true
+		c.SetErrorHandler(xsim.ErrorsReturn)
+	}
+	rank := c.Rank()
+	for {
+		if p.pi == len(p.w.phases) {
+			p.digests[rank] = p.d.sum()
+			e.Finalize()
+			return nil, true
+		}
+		ph := p.w.phases[p.pi]
+		if p.atBarrier {
+			if !p.armed {
+				p.armed = true
+				p.cs.BeginBarrier()
+			}
+			done, park, err := c.CollectiveStep(&p.cs)
+			if !done {
+				return park, false
+			}
+			p.armed = false
+			if err != nil {
+				return p.bail(rank, fmt.Errorf("phase %d barrier: %w", p.pi, err))
+			}
+			p.atBarrier = false
+			p.pi++
+			p.resetPhase()
+			continue
+		}
+		var done bool
+		var park any
+		var err error
+		switch ph.kind {
+		case phaseP2P, phaseStorm:
+			done, park, err = p.stepBurst(e, ph)
+		case phaseColl:
+			done, park, err = p.stepColl(e, ph)
+		case phaseCompute:
+			done, park = p.stepCompute(e, ph)
+		case phaseProbe:
+			done, park, err = p.stepProbe(e, ph)
+		case phaseCancel:
+			// Cancel phases are entirely nonblocking: the closure body is
+			// already a valid program step.
+			done, err = true, p.w.runCancel(e, p.d, p.pi, ph)
+		}
+		if !done {
+			return park, false
+		}
+		if err != nil {
+			return p.bail(rank, fmt.Errorf("phase %d (%s): %w", p.pi, ph.kind, err))
+		}
+		p.d.time(e.Now())
+		p.digests[rank] = p.d.sum()
+		p.atBarrier = true
+	}
+}
+
+// bail records the digest and error and completes without Finalize — a
+// simulated process failure, exactly like the closure app's error path.
+func (p *progRank) bail(rank int, err error) (any, bool) {
+	p.digests[rank] = p.d.sum()
+	p.errs[rank] = err.Error()
+	return nil, true
+}
+
+func (p *progRank) resetPhase() {
+	p.mi, p.wi, p.stage = 0, 0, 0
+	p.reqs = p.reqs[:0]
+	p.recvOf = p.recvOf[:0]
+	p.perm = nil
+	p.waiting = false
+}
+
+// stepBurst is runBurst as a state machine: post everything nonblockingly
+// (one inline pass), then wait request by request in the seeded
+// permutation order.
+func (p *progRank) stepBurst(e *xsim.Env, ph phase) (done bool, park any, err error) {
+	c := e.World()
+	rank := c.Rank()
+	if p.perm == nil {
+		for mi, m := range ph.msgs {
+			if m.dst != rank {
+				continue
+			}
+			src, tag := m.src, m.tag
+			if m.wildSrc {
+				src = xsim.AnySource
+			}
+			if m.anyTag {
+				tag = xsim.AnyTag
+			}
+			r, err := c.Irecv(src, tag)
+			if err != nil {
+				return true, nil, err
+			}
+			p.reqs = append(p.reqs, r)
+			p.recvOf = append(p.recvOf, mi)
+		}
+		for mi, m := range ph.msgs {
+			if m.src != rank {
+				continue
+			}
+			if m.pre > 0 {
+				e.Elapse(m.pre)
+			}
+			var r *xsim.Request
+			var err error
+			if m.payload {
+				r, err = c.Isend(m.dst, m.tag, fill(mi*31+m.tag, m.size))
+			} else {
+				r, err = c.IsendN(m.dst, m.tag, m.size)
+			}
+			if err != nil {
+				return true, nil, err
+			}
+			p.reqs = append(p.reqs, r)
+			p.recvOf = append(p.recvOf, -1)
+		}
+		p.perm = permFor(p.w.Seed, p.pi, rank, len(p.reqs))
+	}
+	for p.wi < len(p.perm) {
+		i := p.perm[p.wi]
+		if !p.waiting {
+			p.waiting = true
+			p.ws.Begin(p.reqs[i])
+		}
+		wd, park, msg, err := c.WaitStep(&p.ws)
+		if !wd {
+			return false, park, nil
+		}
+		p.waiting = false
+		p.d.num(i)
+		if err != nil {
+			return true, nil, err
+		}
+		if p.recvOf[i] >= 0 {
+			p.d.msg(msg)
+			msg.Release()
+		}
+		p.wi++
+	}
+	return true, nil, nil
+}
+
+// stepColl is runColl as a state machine: one CollectiveState per
+// scripted op, armed once, stepped to completion, results folded exactly
+// as the closure path folds the returned values.
+func (p *progRank) stepColl(e *xsim.Env, ph phase) (done bool, park any, err error) {
+	c := e.World()
+	rank, n := c.Rank(), c.Size()
+	ops := []mpi.ReduceOp{xsim.OpSum, xsim.OpMax, xsim.OpMin}
+	for p.mi < len(ph.colls) {
+		ci, op := p.mi, ph.colls[p.mi]
+		if !p.armed {
+			p.armed = true
+			switch op.kind {
+			case collBarrier:
+				p.cs.BeginBarrier()
+			case collBcast:
+				var data []byte
+				if rank == op.root {
+					data = fill(ci*17+op.root, op.size)
+				}
+				p.cs.BeginBcast(op.root, data)
+			case collReduce:
+				p.cs.BeginReduce(op.root, fillF64(rank*257+ci, 1+op.size%8), ops[op.op])
+			case collAllreduce:
+				p.cs.BeginAllreduce(fillF64(rank*263+ci, 1+op.size%8), ops[op.op])
+			case collGather:
+				p.cs.BeginGather(op.root, fill(rank*269+ci, op.size))
+			case collScatter:
+				var parts [][]byte
+				if rank == op.root {
+					parts = make([][]byte, n)
+					for i := range parts {
+						parts[i] = fill(i*271+ci, op.size)
+					}
+				}
+				p.cs.BeginScatter(op.root, parts)
+			case collAllgather:
+				p.cs.BeginAllgather(fill(rank*277+ci, op.size))
+			case collAlltoall:
+				parts := make([][]byte, n)
+				for i := range parts {
+					parts[i] = fill(rank*281+i*283+ci, op.size%128)
+				}
+				p.cs.BeginAlltoall(parts)
+			}
+		}
+		cd, park, err := c.CollectiveStep(&p.cs)
+		if !cd {
+			return false, park, nil
+		}
+		p.armed = false
+		if err != nil {
+			return true, nil, err
+		}
+		switch op.kind {
+		case collBcast, collScatter:
+			p.d.bytes(p.cs.Bytes())
+		case collReduce:
+			if rank == op.root {
+				p.d.floats(p.cs.Floats())
+			}
+		case collAllreduce:
+			p.d.floats(p.cs.Floats())
+		case collGather, collAllgather, collAlltoall:
+			for _, part := range p.cs.Parts() {
+				p.d.bytes(part)
+			}
+		}
+		p.mi++
+	}
+	return true, nil, nil
+}
+
+// stepCompute replays the rank's Elapse/Sleep script with SleepStep in
+// place of the blocking Sleep.
+func (p *progRank) stepCompute(e *xsim.Env, ph phase) (done bool, park any) {
+	steps := ph.steps[e.Rank()]
+	for p.mi < len(steps) {
+		st := steps[p.mi]
+		if st.sleep {
+			sd, park := e.SleepStep(&p.sl, st.d)
+			if !sd {
+				return false, park
+			}
+		} else {
+			e.Elapse(st.d)
+		}
+		p.mi++
+	}
+	return true, nil
+}
+
+// stepProbe is runProbe as a state machine: senders pre-elapse then send
+// via SendStep; receivers Iprobe inline, probe via ProbeStep, and receive
+// via RecvStep, folding the same envelope observations.
+func (p *progRank) stepProbe(e *xsim.Env, ph phase) (done bool, park any, err error) {
+	c := e.World()
+	rank := c.Rank()
+	for p.mi < len(ph.msgs) {
+		m := ph.msgs[p.mi]
+		switch rank {
+		case m.src:
+			if p.stage == 0 {
+				if m.pre > 0 {
+					e.Elapse(m.pre)
+				}
+				p.stage = 1
+			}
+			var sd bool
+			var park any
+			var err error
+			if m.payload {
+				sd, park, err = c.SendStep(&p.ss, m.dst, m.tag, fill(p.mi*29+m.tag, m.size))
+			} else {
+				sd, park, err = c.SendNStep(&p.ss, m.dst, m.tag, m.size)
+			}
+			if !sd {
+				return false, park, nil
+			}
+			if err != nil {
+				return true, nil, err
+			}
+		case m.dst:
+			if p.stage == 0 {
+				pm, ok, err := c.Iprobe(m.src, xsim.AnyTag)
+				if err != nil {
+					return true, nil, err
+				}
+				p.d.bool(ok)
+				if ok {
+					p.d.num(pm.Src)
+					p.d.num(pm.Tag)
+					p.d.num(pm.Size)
+				}
+				p.stage = 1
+			}
+			if p.stage == 1 {
+				pd, park, pm, err := c.ProbeStep(&p.ps, m.src, xsim.AnyTag)
+				if !pd {
+					return false, park, nil
+				}
+				if err != nil {
+					return true, nil, err
+				}
+				p.d.num(pm.Src)
+				p.d.num(pm.Tag)
+				p.d.num(pm.Size)
+				p.pmSrc, p.pmTag = pm.Src, pm.Tag
+				p.stage = 2
+			}
+			rd, park, msg, err := c.RecvStep(&p.rs, p.pmSrc, p.pmTag)
+			if !rd {
+				return false, park, nil
+			}
+			if err != nil {
+				return true, nil, err
+			}
+			p.d.msg(msg)
+			msg.Release()
+		}
+		p.mi++
+		p.stage = 0
+	}
+	return true, nil, nil
+}

@@ -1,0 +1,56 @@
+package mpitest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// progSeedCount returns how many seeds the prog-vs-closure differential
+// sweeps: the full XSIM_DIFF_SEEDS override if set, else a smaller
+// default than the seq-vs-parallel sweep (each seed runs four times).
+func progSeedCount(t *testing.T) int {
+	n := seedCount(t)
+	if n > 120 {
+		n = 120
+	}
+	return n
+}
+
+// TestDifferentialClosureVsProg runs every seeded workload in closure
+// mode sequentially and in program mode at 1, 2 and 4 workers, and
+// requires bit-identical outcomes: simulated times, per-rank clocks,
+// terminations and observation digests, and MPI metrics. This is the
+// conformance proof that the step-based blocking surface (waits, sends,
+// receives, probes, sleeps, and every collective algorithm) replays the
+// closure semantics exactly — including wildcard matching, failure
+// detection, and error bail-out paths.
+func TestDifferentialClosureVsProg(t *testing.T) {
+	seeds := progSeedCount(t)
+	const shard = 15
+	for lo := 0; lo < seeds; lo += shard {
+		lo := lo
+		hi := lo + shard
+		if hi > seeds {
+			hi = seeds
+		}
+		t.Run(fmt.Sprintf("seeds%d-%d", lo, hi-1), func(t *testing.T) {
+			t.Parallel()
+			for seed := lo; seed < hi; seed++ {
+				w := Generate(int64(seed))
+				ref, err := w.Run(1)
+				if err != nil {
+					t.Fatalf("%s: closure run: %v", w, err)
+				}
+				for _, workers := range []int{1, 2, 4} {
+					got, err := w.RunProg(workers)
+					if err != nil {
+						t.Fatalf("%s: prog workers=%d run: %v", w, workers, err)
+					}
+					if d := Diff(ref, got); d != "" {
+						t.Fatalf("%s: prog workers=%d diverges from closure: %s", w, workers, d)
+					}
+				}
+			}
+		})
+	}
+}

@@ -57,6 +57,11 @@ type Campaign struct {
 	// drawn) — proactive fault tolerance experiments build applications
 	// that checkpoint ahead of the predicted failure.
 	AppForPredicted func(run int, predicted Time) App
+	// ProgFor, when set, runs each campaign run in program mode: the
+	// returned per-rank factory is passed to Sim.RunProgs instead of
+	// executing an App closure per rank. It takes precedence over AppFor
+	// and AppForPredicted.
+	ProgFor func(run int) func(rank int) Prog
 	// PredictionLead is how far ahead the failure predictor fires.
 	PredictionLead Duration
 }
@@ -132,7 +137,7 @@ func (c Campaign) Run() (*CampaignResult, error) {
 // next simulation window; the partial CampaignResult accompanies an
 // error wrapping ErrCancelled.
 func (c Campaign) RunContext(ctx context.Context) (*CampaignResult, error) {
-	if c.AppFor == nil && c.AppForPredicted == nil {
+	if c.AppFor == nil && c.AppForPredicted == nil && c.ProgFor == nil {
 		return nil, fmt.Errorf("xsim: Campaign.AppFor is required")
 	}
 	maxRuns := c.MaxRuns
@@ -170,22 +175,27 @@ func (c Campaign) RunContext(ctx context.Context) (*CampaignResult, error) {
 		if err != nil {
 			return result, err
 		}
-		var app App
-		if c.AppForPredicted != nil {
-			// The predictor sees the run's earliest upcoming failure
-			// (explicit or drawn) and fires PredictionLead ahead of it.
-			predicted := Time(vclock.Never)
-			if sorted := cfg.Failures.Sorted(); len(sorted) > 0 {
-				predicted = sorted[0].At - Time(c.PredictionLead)
-				if predicted < start {
-					predicted = start
-				}
-			}
-			app = c.AppForPredicted(run, predicted)
+		var res *Result
+		if c.ProgFor != nil {
+			res, err = sim.RunProgsContext(ctx, c.ProgFor(run))
 		} else {
-			app = c.AppFor(run)
+			var app App
+			if c.AppForPredicted != nil {
+				// The predictor sees the run's earliest upcoming failure
+				// (explicit or drawn) and fires PredictionLead ahead of it.
+				predicted := Time(vclock.Never)
+				if sorted := cfg.Failures.Sorted(); len(sorted) > 0 {
+					predicted = sorted[0].At - Time(c.PredictionLead)
+					if predicted < start {
+						predicted = start
+					}
+				}
+				app = c.AppForPredicted(run, predicted)
+			} else {
+				app = c.AppFor(run)
+			}
+			res, err = sim.RunContext(ctx, app)
 		}
-		res, err := sim.RunContext(ctx, app)
 		if err != nil {
 			return result, err
 		}

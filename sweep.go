@@ -117,7 +117,7 @@ func RunIntervalSweepContext(ctx context.Context, cfg IntervalSweepConfig) (*Int
 		return runner.Task[expCell]{
 			Spec: runner.Spec{Index: index, Label: fmt.Sprintf("E1 c=%d", interval)},
 			Run: func(ctx context.Context) (expCell, error) {
-				res, err := runHeatE1(ctx, simCfg, heatAt(interval))
+				res, err := runHeatE1(ctx, simCfg, heatAt(interval), cfg.ProgMode)
 				return expCell{res: res}, err
 			},
 		}
@@ -146,8 +146,8 @@ func RunIntervalSweepContext(ctx context.Context, cfg IntervalSweepConfig) (*Int
 						MTTF:             cfg.MTTF,
 						Seed:             seed,
 						CheckpointPrefix: "heat",
-						AppFor:           func(int) App { return RunHeat(hc) },
 					}
+					setHeatApp(&camp, hc, cfg.ProgMode)
 					res, err := camp.RunContext(ctx)
 					return expCell{camp: res}, err
 				},

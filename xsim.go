@@ -73,6 +73,22 @@ type (
 	Injection = fault.Injection
 	// Store is the simulated parallel file system's persistent contents.
 	Store = fsmodel.Store
+	// Prog is a program-mode rank: a resumable step function instead of
+	// a goroutine-backed closure. See Sim.RunProgs.
+	Prog = mpi.Prog
+	// WaitState, SleepState, RecvState, SendState, ProbeState and
+	// CollectiveState are the resumable blocking-operation states a Prog
+	// parks on; each is the step-based twin of the corresponding
+	// closure-mode call.
+	WaitState       = mpi.WaitState
+	SleepState      = mpi.SleepState
+	RecvState       = mpi.RecvState
+	SendState       = mpi.SendState
+	ProbeState      = mpi.ProbeState
+	CollectiveState = mpi.CollectiveState
+	// ClosureOnlyError is the typed panic value raised when a program
+	// VP enters an operation that only closure mode can block on.
+	ClosureOnlyError = mpi.ClosureOnlyError
 )
 
 // Wildcards and error handlers, re-exported.
@@ -355,6 +371,25 @@ func (s *Sim) Run(app App) (*Result, error) {
 // ErrCancelled. A deadlocked simulation likewise returns its partial
 // Result with an error wrapping ErrDeadlock.
 func (s *Sim) RunContext(ctx context.Context, app App) (*Result, error) {
+	return s.runContext(ctx, func() (*core.Result, error) { return s.world.Run(app) })
+}
+
+// RunProgs executes one program-mode rank per virtual process: newProg is
+// called once per rank and the returned Prog is stepped to completion.
+// Program mode trades the per-rank goroutine (and its stack) for a few
+// hundred bytes of parked state, which is what makes 256k–1M-rank
+// experiments practical; a conforming Prog is observationally identical
+// to its closure twin.
+func (s *Sim) RunProgs(newProg func(rank int) Prog) (*Result, error) {
+	return s.RunProgsContext(context.Background(), newProg)
+}
+
+// RunProgsContext is RunProgs honouring ctx the way RunContext does.
+func (s *Sim) RunProgsContext(ctx context.Context, newProg func(rank int) Prog) (*Result, error) {
+	return s.runContext(ctx, func() (*core.Result, error) { return s.world.RunProgs(newProg) })
+}
+
+func (s *Sim) runContext(ctx context.Context, run func() (*core.Result, error)) (*Result, error) {
 	if ctx.Err() != nil {
 		return nil, fmt.Errorf("%w before the run started: %v", ErrCancelled, context.Cause(ctx))
 	}
@@ -372,7 +407,7 @@ func (s *Sim) RunContext(ctx context.Context, app App) (*Result, error) {
 			}
 		}()
 	}
-	res, err := s.world.Run(app)
+	res, err := run()
 	if err != nil && res == nil {
 		return nil, err
 	}
@@ -524,6 +559,15 @@ func HeatWorkloadFor(n int) (HeatConfig, error) {
 // the Table II experiments.
 func RunHeat(hc HeatConfig) App {
 	return func(e *Env) { heat.Run(e, hc) }
+}
+
+// RunHeatProg is RunHeat in program mode: the per-rank factory passed to
+// Sim.RunProgs. The program-mode heat application is observationally
+// identical to the closure one (same checkpoints, barriers, halo traffic
+// and virtual timeline) while a parked rank costs a few hundred bytes
+// instead of a goroutine stack.
+func RunHeatProg(hc HeatConfig) func(rank int) Prog {
+	return heat.NewProg(hc)
 }
 
 // NewHeatTracker sizes a tracker for n ranks.

@@ -390,6 +390,26 @@ func TestRunTableIIDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunTableIIProgModeMatchesClosure pins the headline experiment's
+// program-mode switch: the full Table II grid — E1 runs and every
+// failure/restart campaign cell — must be row-identical in both
+// execution modes.
+func TestRunTableIIProgModeMatchesClosure(t *testing.T) {
+	ref := runSmallTableII(t)
+	tab, err := RunTableII(TableIIConfig{RunSpec: RunSpec{Ranks: 64, Seed: 133, ProgMode: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(ref.Rows) {
+		t.Fatalf("prog rows = %d, closure rows = %d", len(tab.Rows), len(ref.Rows))
+	}
+	for i := range ref.Rows {
+		if tab.Rows[i] != ref.Rows[i] {
+			t.Fatalf("row %d differs in program mode: %+v vs %+v", i, tab.Rows[i], ref.Rows[i])
+		}
+	}
+}
+
 func TestFirstImpressions(t *testing.T) {
 	fi, err := RunFirstImpressions(FirstImpressionsConfig{
 		RunSpec: RunSpec{Ranks: 64, Seed: 1},
